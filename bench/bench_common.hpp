@@ -1,0 +1,140 @@
+// Shared plumbing for the paper-protocol benchmark binaries.
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "emc/bench_core/args.hpp"
+#include "emc/common/timer.hpp"
+#include "emc/bench_core/methodology.hpp"
+#include "emc/bench_core/report.hpp"
+#include "emc/crypto/provider.hpp"
+#include "emc/mpi/comm.hpp"
+#include "emc/netsim/profile.hpp"
+#include "emc/secure_mpi/secure_comm.hpp"
+
+namespace emc::bench {
+
+/// One measured configuration: the unencrypted baseline or one of the
+/// paper's reported cryptographic libraries.
+struct LibraryConfig {
+  std::string label;              // "Unencrypted", "BoringSSL", ...
+  std::string provider;           // registry name; empty = baseline
+  [[nodiscard]] bool encrypted() const { return !provider.empty(); }
+};
+
+/// The rows of every paper table: baseline + BoringSSL + Libsodium +
+/// CryptoPP (256-bit keys, like the paper's reported numbers).
+inline std::vector<LibraryConfig> paper_rows(bool optimized_cryptopp) {
+  return {
+      {"Unencrypted", ""},
+      {"BoringSSL", "boringssl-sim"},
+      {"Libsodium", "libsodium-sim"},
+      {"CryptoPP",
+       optimized_cryptopp ? "cryptopp-opt-sim" : "cryptopp-sim"},
+  };
+}
+
+/// Stopping policy from --paper / --quick / default.
+inline StabilityPolicy policy_from(const Args& args) {
+  if (args.has("paper")) return StabilityPolicy{};  // the paper's 20..100
+  if (args.has("quick")) return StabilityPolicy::quick();
+  StabilityPolicy p;  // default: same rule, fewer minimum runs
+  p.min_runs = 5;
+  p.max_runs = 40;
+  p.hard_cap = 60;
+  return p;
+}
+
+inline net::NetworkProfile net_from(const Args& args) {
+  return net::profile_by_name(args.get("net", "eth"));
+}
+
+/// Simulated-CPU calibration. The virtual cluster models the paper's
+/// Xeon E5-2620 v4 nodes; the build host may be slower or faster, so
+/// charged host time (crypto, kernel compute) is scaled by this
+/// factor. Set from --cpu-scale: a number, or "auto" (default), which
+/// measures the tuned AES-GCM tier on this host and anchors it to the
+/// paper's measured 1381 MB/s enc+dec throughput (Fig. 2, BoringSSL,
+/// large buffers). --cpu-scale=1 disables calibration.
+inline double& global_cpu_scale() {
+  static double scale = 1.0;
+  return scale;
+}
+
+inline double calibrate_cpu_scale(const Args& args) {
+  const std::string opt = args.get("cpu-scale", "auto");
+  double scale = 1.0;
+  if (opt == "auto") {
+    constexpr double kPaperEncDecMBps = 1381.0;  // Fig. 2, BoringSSL, 2MB
+    const auto key =
+        crypto::provider("boringssl-sim").make_key(crypto::demo_key(32));
+    constexpr std::size_t kSize = 256 * 1024;
+    const Bytes pt(kSize, 0x6b);
+    const Bytes nonce(crypto::kGcmNonceBytes, 0x01);
+    Bytes wire(kSize + crypto::kGcmTagBytes);
+    Bytes back(kSize);
+    // Warm up, then take the best of several timed batches — the
+    // maximum is robust against scheduler interruptions, which matters
+    // because this one number scales every virtual crypto cost.
+    for (int i = 0; i < 4; ++i) {
+      key->seal(nonce, {}, pt, wire);
+      (void)key->open(nonce, {}, wire, back);
+    }
+    double best_mbps = 0.0;
+    constexpr int kBatch = 16;
+    for (int round = 0; round < 5; ++round) {
+      WallTimer timer;
+      for (int i = 0; i < kBatch; ++i) {
+        key->seal(nonce, {}, pt, wire);
+        (void)key->open(nonce, {}, wire, back);
+      }
+      best_mbps = std::max(
+          best_mbps,
+          static_cast<double>(kSize) * kBatch / timer.seconds() / 1e6);
+    }
+    scale = best_mbps / kPaperEncDecMBps;
+  } else {
+    scale = std::stod(opt);
+  }
+  global_cpu_scale() = scale;
+  return scale;
+}
+
+/// Runs @p body on a fresh world and returns the virtual seconds it
+/// took (worlds are cheap; a fresh one per sample keeps NIC state and
+/// contention history independent across samples). Applies the global
+/// CPU calibration.
+inline double timed_world(const mpi::WorldConfig& config,
+                          const std::function<void(mpi::Comm&)>& body) {
+  mpi::WorldConfig calibrated = config;
+  calibrated.cpu_scale = global_cpu_scale();
+  mpi::World world(calibrated);
+  return world.run(body);
+}
+
+/// Builds a SecureConfig for one library row (256-bit demo key).
+inline secure::SecureConfig secure_config_for(const LibraryConfig& lib) {
+  secure::SecureConfig config;
+  config.provider = lib.provider;
+  config.key = crypto::demo_key(32);
+  return config;
+}
+
+inline void print_header(const std::string& what, const Args& args) {
+  std::cout << "### " << what << "\n"
+            << "    simulated-cpu scale: " << global_cpu_scale()
+            << (args.get("cpu-scale", "auto") == "auto"
+                    ? " (auto-calibrated to the paper's Xeon)"
+                    : "")
+            << "\n    policy: "
+            << (args.has("paper") ? "paper (>=20 runs, stddev<=5%)"
+                : args.has("quick") ? "quick smoke"
+                                    : "default (>=5 runs, stddev<=5%)")
+            << "\n";
+}
+
+}  // namespace emc::bench

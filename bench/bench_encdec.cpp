@@ -1,0 +1,96 @@
+// Reproduces Fig. 2 (gcc-4.8.5 build) and Fig. 9 (MVAPICH-toolchain
+// build): single-thread AES-GCM-256 encryption-decryption throughput
+// versus data size, per cryptographic library.
+//
+//   bench_encdec [--compiler=gcc48|mvapich] [--quick|--paper]
+//                [--key-bits=256|128]
+//
+// The paper times 500,000 encrypt+decrypt pairs per size; this harness
+// sizes the inner batch so one sample takes a few milliseconds and
+// applies the same repeat-until-stable methodology. The reported
+// number is total data bytes / elapsed seconds, i.e. half of the raw
+// one-way throughput, exactly as the paper defines it.
+#include "bench_common.hpp"
+
+#include "emc/common/rng.hpp"
+#include "emc/common/timer.hpp"
+
+namespace {
+
+using namespace emc;
+using namespace emc::bench;
+
+double encdec_throughput(const crypto::AeadKey& key, std::size_t size,
+                         const StabilityPolicy& policy) {
+  Xoshiro256 rng(size * 2654435761u + 1);
+  const Bytes pt = rng.bytes(size);
+  const Bytes nonce = rng.bytes(crypto::kGcmNonceBytes);
+  Bytes wire(size + crypto::kGcmTagBytes);
+  Bytes back(size);
+
+  // Batch so one sample is ~2-20 ms even for the slow tiers.
+  const std::size_t batch =
+      std::max<std::size_t>(1, (1u << 21) / std::max<std::size_t>(size, 64));
+
+  const MeasureResult result = run_until_stable(
+      [&] {
+        WallTimer timer;
+        for (std::size_t i = 0; i < batch; ++i) {
+          key.seal(nonce, {}, pt, wire);
+          if (!key.open(nonce, {}, wire, back)) {
+            throw std::runtime_error("open failed in benchmark");
+          }
+        }
+        const double seconds = timer.seconds();
+        return static_cast<double>(size * batch) / seconds;
+      },
+      policy);
+  return result.mean;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  const std::string compiler = args.get("compiler", "gcc48");
+  const bool optimized = compiler == "mvapich";
+  const long key_bits = args.get_int("key-bits", 256);
+  const StabilityPolicy policy = policy_from(args);
+
+  print_header(std::string("Encryption-decryption throughput of AES-GCM-") +
+                   std::to_string(key_bits) + ", " +
+                   (optimized ? "MVAPICH-toolchain build (paper Fig. 9)"
+                              : "gcc-4.8.5 build (paper Fig. 2)"),
+               args);
+
+  const std::vector<std::size_t> sizes = {
+      64,        256,        1024,       4096,      16 * 1024,
+      64 * 1024, 256 * 1024, 1024 * 1024, 4 * 1024 * 1024};
+
+  std::vector<std::string> columns = {"size"};
+  const auto libs = crypto::reported_providers(optimized);
+  for (const auto* p : libs) columns.push_back(p->name + " (MB/s)");
+
+  Table table(std::string("AES-GCM-") + std::to_string(key_bits) +
+                  " enc+dec throughput, single thread",
+              columns);
+
+  for (std::size_t size : sizes) {
+    std::vector<std::string> row = {size_label(size)};
+    for (const auto* p : libs) {
+      if (!p->supports_key_size(static_cast<std::size_t>(key_bits / 8))) {
+        row.push_back("n/a");
+        continue;
+      }
+      const auto key = p->make_key(
+          crypto::demo_key(static_cast<std::size_t>(key_bits / 8)));
+      row.push_back(fmt_mbps(encdec_throughput(*key, size, policy)));
+    }
+    table.add_row(std::move(row));
+  }
+
+  table.print(std::cout);
+  const std::string csv = "encdec_" + compiler + ".csv";
+  if (table.save_csv(csv)) std::cout << "csv: " << csv << "\n";
+  return 0;
+}

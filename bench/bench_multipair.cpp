@@ -1,0 +1,120 @@
+// Reproduces the OSU Multiple-Pair bandwidth figures: Figs. 4/5/6
+// (Ethernet, 1 B / 16 KB / 2 MB) and Figs. 11/12/13 (InfiniBand,
+// including the 8-pair throttling).
+//
+//   bench_multipair [--net=eth|ib] [--quick|--paper] [--window=64]
+//                   [--iters=N]
+//
+// Protocol (OSU multiple-pair, paper §V): N sender ranks on node 0
+// communicate with N receiver ranks on node 1; per iteration each
+// sender posts a window of 64 non-blocking sends and waits for the
+// receiver's reply before the next iteration. Aggregate throughput
+// counts payload bytes only (the 28-byte framing is excluded).
+#include "bench_common.hpp"
+
+#include <algorithm>
+
+namespace {
+
+using namespace emc;
+using namespace emc::bench;
+
+double multipair_throughput(const net::NetworkProfile& profile,
+                            const LibraryConfig& lib, int pairs,
+                            std::size_t size, int window, int iters,
+                            const StabilityPolicy& policy) {
+  mpi::WorldConfig config;
+  config.cluster.num_nodes = 2;
+  config.cluster.ranks_per_node = pairs;
+  config.cluster.inter = profile;
+
+  const MeasureResult result = run_until_stable(
+      [&] {
+        const double elapsed = timed_world(config, [&](mpi::Comm& plain) {
+          std::unique_ptr<secure::SecureComm> secure_comm;
+          mpi::Communicator* comm = &plain;
+          if (lib.encrypted()) {
+            secure_comm = std::make_unique<secure::SecureComm>(
+                plain, secure_config_for(lib));
+            comm = secure_comm.get();
+          }
+          const int me = plain.rank();
+          const bool sender = me < pairs;
+          const int peer = sender ? me + pairs : me - pairs;
+          Bytes payload(size, 0x77);
+          std::vector<Bytes> bufs(
+              static_cast<std::size_t>(window), Bytes(size));
+          Bytes ack(1);
+          for (int it = 0; it < iters; ++it) {
+            std::vector<mpi::Request> requests;
+            requests.reserve(static_cast<std::size_t>(window));
+            if (sender) {
+              for (int w = 0; w < window; ++w) {
+                requests.push_back(comm->isend(payload, peer, w));
+              }
+              comm->waitall(requests);
+              comm->recv(ack, peer, 9999);
+            } else {
+              for (int w = 0; w < window; ++w) {
+                requests.push_back(
+                    comm->irecv(bufs[static_cast<std::size_t>(w)], peer, w));
+              }
+              comm->waitall(requests);
+              comm->send(ack, peer, 9999);
+            }
+          }
+        });
+        return static_cast<double>(size) * window * iters * pairs / elapsed;
+      },
+      policy);
+  return result.mean;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  calibrate_cpu_scale(args);
+  const net::NetworkProfile profile = net_from(args);
+  const StabilityPolicy policy = policy_from(args);
+  const bool eth = profile.name == "ethernet-10g";
+  const int window = static_cast<int>(args.get_int("window", 64));
+
+  print_header("OSU multiple-pair aggregate bandwidth on " + profile.name +
+                   (eth ? " (paper Figs. 4/5/6)" : " (paper Figs. 11/12/13)"),
+               args);
+
+  const std::vector<std::size_t> sizes = {1, 16 * 1024, 2 * 1024 * 1024};
+  const std::vector<int> pair_counts = {1, 2, 4, 8};
+  const auto libs = paper_rows(/*optimized_cryptopp=*/!eth);
+
+  for (std::size_t size : sizes) {
+    std::vector<std::string> columns = {"library"};
+    for (int p : pair_counts) {
+      columns.push_back(std::to_string(p) + (p == 1 ? " pair" : " pairs"));
+    }
+    Table table("Multiple-pair throughput (MB/s), " + size_label(size) +
+                    " messages",
+                columns);
+    // OSU uses a 64-deep window at every size; for multi-megabyte
+    // messages that is gigabytes of crypto per sample on the slow
+    // tiers, so the window shrinks there (the aggregate-bandwidth
+    // shape depends on concurrency, not window depth).
+    const int use_window = size >= (1u << 20) ? std::min(window, 8) : window;
+    const int iters = static_cast<int>(
+        args.get_int("iters", size >= (1u << 20) ? 2 : 10));
+    for (const LibraryConfig& lib : libs) {
+      std::vector<std::string> row = {lib.label};
+      for (int pairs : pair_counts) {
+        row.push_back(fmt_mbps(multipair_throughput(
+            profile, lib, pairs, size, use_window, iters, policy)));
+      }
+      table.add_row(std::move(row));
+    }
+    table.print(std::cout);
+    const std::string csv = "multipair_" + std::string(eth ? "eth" : "ib") +
+                            "_" + size_label(size) + ".csv";
+    if (table.save_csv(csv)) std::cout << "csv: " << csv << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Reproduces Table IV (Ethernet) and Table VIII (InfiniBand): mini-NAS
+// kernel runtimes under the unencrypted baseline and each reported
+// cryptographic library, with the total-time-based average overhead
+// (the paper's footnote-2 aggregation: totals first, ratio second —
+// never an average of per-benchmark ratios).
+//
+//   bench_nas [--net=eth|ib] [--class=S|W|A] [--nodes=8]
+//             [--ranks-per-node=8] [--quick|--paper]
+#include "bench_common.hpp"
+
+#include "emc/nas/nas.hpp"
+
+namespace {
+
+using namespace emc;
+using namespace emc::bench;
+
+double kernel_time(const net::NetworkProfile& profile,
+                   const LibraryConfig& lib, nas::Kernel kernel,
+                   nas::ProblemClass cls, int nodes, int rpn,
+                   const StabilityPolicy& policy, bool& verified) {
+  mpi::WorldConfig config;
+  config.cluster.num_nodes = nodes;
+  config.cluster.ranks_per_node = rpn;
+  config.cluster.inter = profile;
+
+  bool all_verified = true;
+  const MeasureResult result = run_until_stable(
+      [&] {
+        const double elapsed = timed_world(config, [&](mpi::Comm& plain) {
+          std::unique_ptr<secure::SecureComm> secure_comm;
+          mpi::Communicator* comm = &plain;
+          if (lib.encrypted()) {
+            secure_comm = std::make_unique<secure::SecureComm>(
+                plain, secure_config_for(lib));
+            comm = secure_comm.get();
+          }
+          const nas::KernelResult r =
+              nas::run_kernel(kernel, *comm, plain.process(), cls);
+          if (!r.verified) all_verified = false;
+        });
+        return elapsed;
+      },
+      policy);
+  verified = all_verified;
+  return result.mean;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  calibrate_cpu_scale(args);
+  const net::NetworkProfile profile = net_from(args);
+  const bool eth = profile.name == "ethernet-10g";
+  const nas::ProblemClass cls = nas::class_by_name(args.get("class", "W"));
+  const int nodes = static_cast<int>(args.get_int("nodes", 8));
+  const int rpn = static_cast<int>(args.get_int("ranks-per-node", 8));
+
+  // NAS runs are heavyweight; the default stopping rule uses fewer
+  // repetitions (virtual network time is exact; only the measured
+  // crypto/compute time carries noise).
+  StabilityPolicy policy = policy_from(args);
+  if (!args.has("paper")) {
+    policy.min_runs = std::min<std::size_t>(policy.min_runs, 3);
+    policy.max_runs = std::min<std::size_t>(policy.max_runs, 10);
+    policy.hard_cap = std::min<std::size_t>(policy.hard_cap, 12);
+  }
+
+  print_header(std::string("Mini-NAS class ") + nas::class_name(cls) +
+                   ", " + std::to_string(nodes * rpn) + " ranks / " +
+                   std::to_string(nodes) + " nodes, on " + profile.name +
+                   (eth ? " (paper Table IV)" : " (paper Table VIII)"),
+               args);
+
+  const auto kernels = nas::all_kernels();
+  std::vector<std::string> columns = {"library"};
+  for (nas::Kernel k : kernels) columns.push_back(nas::kernel_name(k));
+  columns.push_back("total(s)");
+  columns.push_back("overhead");
+
+  Table table("Mini-NAS runtimes (virtual seconds)", columns);
+  const auto libs = paper_rows(/*optimized_cryptopp=*/!eth);
+  double baseline_total = 0.0;
+  bool everything_verified = true;
+
+  for (const LibraryConfig& lib : libs) {
+    std::vector<std::string> row = {lib.label};
+    double total = 0.0;
+    for (nas::Kernel kernel : kernels) {
+      bool verified = false;
+      const double t = kernel_time(profile, lib, kernel, cls, nodes, rpn,
+                                   policy, verified);
+      everything_verified = everything_verified && verified;
+      total += t;
+      row.push_back(fmt_double(t, 3) + (verified ? "" : "!"));
+    }
+    if (!lib.encrypted()) baseline_total = total;
+    row.push_back(fmt_double(total, 3));
+    row.push_back(lib.encrypted() && baseline_total > 0
+                      ? fmt_percent(overhead_percent(baseline_total, total))
+                      : "-");
+    table.add_row(std::move(row));
+  }
+
+  table.print(std::cout);
+  std::cout << (everything_verified
+                    ? "all kernels verified\n"
+                    : "WARNING: some kernels failed verification (!)\n");
+  const std::string csv = std::string("nas_") + (eth ? "eth" : "ib") + ".csv";
+  if (table.save_csv(csv)) std::cout << "csv: " << csv << "\n";
+  return everything_verified ? 0 : 1;
+}

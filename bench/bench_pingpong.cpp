@@ -1,0 +1,118 @@
+// Reproduces Table I / Fig. 3 (Ethernet) and Table V / Fig. 10
+// (InfiniBand): uni-directional ping-pong throughput between two ranks
+// on different nodes, unencrypted baseline vs the three reported
+// cryptographic libraries with 256-bit keys.
+//
+//   bench_pingpong [--net=eth|ib] [--quick|--paper] [--iters=N]
+//
+// Protocol (paper §V): the two processes bounce a message of the
+// designated size back and forth; uni-directional throughput is
+// size / one-way-time. The paper iterates 10,000x (<1 MB) per
+// measurement; the simulated iteration count is reduced (virtual
+// network time is noise-free; only the real crypto time needs
+// averaging) — see EXPERIMENTS.md.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace emc;
+using namespace emc::bench;
+
+double pingpong_throughput(const net::NetworkProfile& profile,
+                           const LibraryConfig& lib, std::size_t size,
+                           int iters, const StabilityPolicy& policy) {
+  mpi::WorldConfig config;
+  config.cluster.num_nodes = 2;
+  config.cluster.ranks_per_node = 1;
+  config.cluster.inter = profile;
+
+  const MeasureResult result = run_until_stable(
+      [&] {
+        const double elapsed = timed_world(config, [&](mpi::Comm& plain) {
+          std::unique_ptr<secure::SecureComm> secure_comm;
+          mpi::Communicator* comm = &plain;
+          if (lib.encrypted()) {
+            secure_comm = std::make_unique<secure::SecureComm>(
+                plain, secure_config_for(lib));
+            comm = secure_comm.get();
+          }
+          Bytes payload(size, 0x5a);
+          Bytes buf(size);
+          for (int i = 0; i < iters; ++i) {
+            if (plain.rank() == 0) {
+              comm->send(payload, 1, 1);
+              comm->recv(buf, 1, 2);
+            } else {
+              comm->recv(buf, 0, 1);
+              comm->send(payload, 0, 2);
+            }
+          }
+        });
+        // 2*iters one-way trips; the 28-byte framing is excluded from
+        // the byte count, as in the paper.
+        return static_cast<double>(size) * 2.0 * iters / elapsed;
+      },
+      policy);
+  return result.mean;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  calibrate_cpu_scale(args);
+  const net::NetworkProfile profile = net_from(args);
+  const StabilityPolicy policy = policy_from(args);
+  const bool eth = profile.name == "ethernet-10g";
+
+  print_header("Ping-pong uni-directional throughput on " + profile.name +
+                   (eth ? " (paper Table I + Fig. 3)"
+                        : " (paper Table V + Fig. 10)"),
+               args);
+
+  const std::vector<std::size_t> small_sizes = {1, 16, 256, 1024};
+  const std::vector<std::size_t> large_sizes = {
+      2 * 1024,   8 * 1024,   32 * 1024,  128 * 1024,
+      512 * 1024, 1024 * 1024, 2 * 1024 * 1024};
+
+  const auto libs = paper_rows(/*optimized_cryptopp=*/!eth);
+
+  const auto run_table = [&](const char* title,
+                             const std::vector<std::size_t>& sizes,
+                             const std::string& csv) {
+    std::vector<std::string> columns = {"library"};
+    for (std::size_t s : sizes) columns.push_back(size_label(s));
+    Table table(title, columns);
+    std::vector<double> baseline(sizes.size(), 0.0);
+
+    for (const LibraryConfig& lib : libs) {
+      std::vector<std::string> row = {lib.label};
+      for (std::size_t i = 0; i < sizes.size(); ++i) {
+        const std::size_t size = sizes[i];
+        const int iters =
+            static_cast<int>(args.get_int("iters", size >= (1u << 20) ? 5 : 40));
+        const double mbps =
+            pingpong_throughput(profile, lib, size, iters, policy);
+        if (!lib.encrypted()) baseline[i] = mbps;
+        // Time overhead vs baseline, the paper's metric:
+        // (t_enc - t_base) / t_base == base_mbps / mbps - 1.
+        std::string cell = fmt_mbps(mbps);
+        if (lib.encrypted() && baseline[i] > 0 && mbps > 0) {
+          cell += " (" +
+                  fmt_percent((baseline[i] / mbps - 1.0) * 100.0) + ")";
+        }
+        row.push_back(std::move(cell));
+      }
+      table.add_row(std::move(row));
+    }
+    table.print(std::cout);
+    if (table.save_csv(csv)) std::cout << "csv: " << csv << "\n";
+  };
+
+  const std::string net_tag = eth ? "eth" : "ib";
+  run_table("Ping-pong throughput (MB/s), small messages", small_sizes,
+            "pingpong_small_" + net_tag + ".csv");
+  run_table("Ping-pong throughput (MB/s), medium/large messages",
+            large_sizes, "pingpong_large_" + net_tag + ".csv");
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Reproduces the paper's scalability sweep (§V, "Benchmark
+// methodology"): the four cluster settings 4 ranks/4 nodes,
+// 16 ranks/4 nodes, 16 ranks/8 nodes and 64 ranks/8 nodes, applied to
+// a representative collective (alltoall, 16 KB) and a representative
+// mini-NAS kernel (CG), baseline vs BoringSSL.
+//
+//   bench_scaling [--net=eth|ib] [--quick|--paper]
+#include "bench_common.hpp"
+
+#include "emc/nas/nas.hpp"
+
+namespace {
+
+using namespace emc;
+using namespace emc::bench;
+
+struct Setting {
+  int nodes;
+  int ranks_per_node;
+  [[nodiscard]] std::string label() const {
+    return std::to_string(nodes * ranks_per_node) + "r/" +
+           std::to_string(nodes) + "n";
+  }
+};
+
+double alltoall_time(const net::NetworkProfile& profile,
+                     const LibraryConfig& lib, const Setting& s,
+                     const StabilityPolicy& policy) {
+  mpi::WorldConfig config;
+  config.cluster.num_nodes = s.nodes;
+  config.cluster.ranks_per_node = s.ranks_per_node;
+  config.cluster.inter = profile;
+  const int total = config.cluster.total_ranks();
+  constexpr std::size_t kSize = 16 * 1024;
+  constexpr int kIters = 3;
+
+  return run_until_stable(
+             [&] {
+               const double elapsed =
+                   timed_world(config, [&](mpi::Comm& plain) {
+                     std::unique_ptr<secure::SecureComm> sc;
+                     mpi::Communicator* comm = &plain;
+                     if (lib.encrypted()) {
+                       sc = std::make_unique<secure::SecureComm>(
+                           plain, secure_config_for(lib));
+                       comm = sc.get();
+                     }
+                     Bytes sendbuf(kSize * static_cast<std::size_t>(total),
+                                   0x21);
+                     Bytes recvbuf(sendbuf.size());
+                     for (int i = 0; i < kIters; ++i) {
+                       comm->alltoall(sendbuf, recvbuf, kSize);
+                     }
+                   });
+               return elapsed / kIters;
+             },
+             policy)
+      .mean;
+}
+
+double cg_time(const net::NetworkProfile& profile, const LibraryConfig& lib,
+               const Setting& s, const StabilityPolicy& policy) {
+  mpi::WorldConfig config;
+  config.cluster.num_nodes = s.nodes;
+  config.cluster.ranks_per_node = s.ranks_per_node;
+  config.cluster.inter = profile;
+
+  return run_until_stable(
+             [&] {
+               return timed_world(config, [&](mpi::Comm& plain) {
+                 std::unique_ptr<secure::SecureComm> sc;
+                 mpi::Communicator* comm = &plain;
+                 if (lib.encrypted()) {
+                   sc = std::make_unique<secure::SecureComm>(
+                       plain, secure_config_for(lib));
+                   comm = sc.get();
+                 }
+                 (void)nas::run_cg(*comm, plain.process(),
+                                   nas::ProblemClass::kW);
+               });
+             },
+             policy)
+      .mean;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  calibrate_cpu_scale(args);
+  const net::NetworkProfile profile = net_from(args);
+  StabilityPolicy policy = policy_from(args);
+  if (!args.has("paper")) {
+    policy.min_runs = 3;
+    policy.max_runs = 10;
+    policy.hard_cap = 12;
+  }
+
+  print_header("Scalability sweep on " + profile.name +
+                   " (paper's 4r/4n, 16r/4n, 16r/8n, 64r/8n settings)",
+               args);
+
+  const std::vector<Setting> settings = {
+      {4, 1}, {4, 4}, {8, 2}, {8, 8}};
+  const LibraryConfig baseline{"Unencrypted", ""};
+  const LibraryConfig boring{"BoringSSL", "boringssl-sim"};
+
+  std::vector<std::string> columns = {"setting", "alltoall-16KB base (us)",
+                                      "alltoall-16KB enc (us)",
+                                      "a2a overhead", "CG-W base (s)",
+                                      "CG-W enc (s)", "CG overhead"};
+  Table table("Scaling of encryption overhead with concurrency", columns);
+
+  for (const Setting& s : settings) {
+    const double a_base = alltoall_time(profile, baseline, s, policy);
+    const double a_enc = alltoall_time(profile, boring, s, policy);
+    const double c_base = cg_time(profile, baseline, s, policy);
+    const double c_enc = cg_time(profile, boring, s, policy);
+    table.add_row({s.label(), fmt_us(a_base), fmt_us(a_enc),
+                   fmt_percent(overhead_percent(a_base, a_enc)),
+                   fmt_double(c_base, 4), fmt_double(c_enc, 4),
+                   fmt_percent(overhead_percent(c_base, c_enc))});
+  }
+
+  table.print(std::cout);
+  const std::string csv =
+      std::string("scaling_") +
+      (profile.name == "ethernet-10g" ? "eth" : "ib") + ".csv";
+  if (table.save_csv(csv)) std::cout << "csv: " << csv << "\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Key distribution end-to-end — the piece the paper's §IV explicitly
+// leaves as future work, implemented and demonstrated:
+//
+//   1. eight simulated ranks run a Diffie-Hellman group handshake over
+//      the *plain* MPI transport (RFC 3526 2048-bit MODP group),
+//   2. every rank derives the same 256-bit session key,
+//   3. the ranks switch to SecureComm under that key (no hardcoded
+//      secrets anywhere), and
+//   4. replay protection (context binding) is enabled on top.
+//
+//   ./key_distribution [--small]   (--small uses a fast test group)
+#include <iostream>
+#include <string>
+
+#include "emc/secure_mpi/key_exchange.hpp"
+#include "emc/secure_mpi/secure_comm.hpp"
+
+int main(int argc, char** argv) {
+  using namespace emc;
+
+  const bool small = argc > 1 && std::string(argv[1]) == "--small";
+  const crypto::DhGroup group =
+      small ? crypto::generate_test_group(256, 2024) : crypto::modp_group14();
+
+  mpi::WorldConfig world;
+  world.cluster.num_nodes = 4;
+  world.cluster.ranks_per_node = 2;
+  world.cluster.inter = net::infiniband_qdr_40g();
+
+  std::cout << "Diffie-Hellman group key establishment over MiniMPI\n"
+            << "group: " << group.name << " ("
+            << group.p.bit_length() << "-bit modulus)\n\n";
+
+  const double t = mpi::run_world(world, [&](mpi::Comm& comm) {
+    const double handshake_start = comm.now();
+    const Bytes session_key = secure::establish_group_key(comm, group);
+    const double handshake_time = comm.now() - handshake_start;
+
+    if (comm.rank() == 0) {
+      std::cout << "handshake complete in " << handshake_time * 1e3
+                << " virtual ms; session key fingerprint: "
+                << to_hex(BytesView(session_key).first(8)) << "...\n";
+    }
+
+    // Switch to encrypted communication under the distributed key,
+    // with the replay-protection extension enabled.
+    secure::SecureConfig config;
+    config.provider = "boringssl-sim";
+    config.key = session_key;
+    config.bind_context = true;
+    secure::SecureComm secure_comm(comm, config);
+
+    Bytes report = comm.rank() == 0
+                       ? bytes_of("classified: all nodes keyed and sealed")
+                       : Bytes(38);
+    secure_comm.bcast(report, 0);
+
+    if (comm.rank() == comm.size() - 1) {
+      std::cout << "last rank decrypted broadcast: \""
+                << std::string(report.begin(), report.end()) << "\"\n";
+    }
+  });
+
+  std::cout << "\ntotal virtual time " << t * 1e3
+            << " ms — DH modexp cost and wire traffic both charged to "
+               "the simulated cluster\n";
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Tour of the cryptographic-library registry: capability matrix,
+// self-tests, engine identification, and a quick speed preview —
+// the "which library should my encrypted MPI use?" view.
+#include <iomanip>
+#include <iostream>
+
+#include "emc/common/cpu.hpp"
+#include "emc/common/rng.hpp"
+#include "emc/common/timer.hpp"
+#include "emc/crypto/provider.hpp"
+
+int main() {
+  using namespace emc;
+  using namespace emc::crypto;
+
+  const auto& cpu = cpu_features();
+  std::cout << "host ISA: aes-ni=" << (cpu.aesni ? "yes" : "no")
+            << " pclmulqdq=" << (cpu.pclmul ? "yes" : "no")
+            << " avx2=" << (cpu.avx2 ? "yes" : "no") << "\n\n";
+
+  std::cout << std::left << std::setw(18) << "provider" << std::setw(14)
+            << "key sizes" << std::setw(10) << "selftest" << std::setw(14)
+            << "16KB seal" << "engine\n";
+  std::cout << std::string(95, '-') << "\n";
+
+  Xoshiro256 rng(0x70a);
+  const Bytes pt = rng.bytes(16 * 1024);
+  const Bytes nonce = rng.bytes(kGcmNonceBytes);
+
+  for (const Provider& p : providers()) {
+    std::string keys;
+    for (std::size_t k : p.key_sizes) {
+      keys += (keys.empty() ? "" : "/") + std::to_string(k * 8);
+    }
+    const bool ok = self_test(p);
+
+    const AeadKeyPtr key = p.make_key(demo_key(32));
+    Bytes wire(pt.size() + kGcmTagBytes);
+    key->seal(nonce, {}, pt, wire);  // warm-up
+    WallTimer timer;
+    constexpr int kReps = 64;
+    for (int i = 0; i < kReps; ++i) key->seal(nonce, {}, pt, wire);
+    const double mbps =
+        static_cast<double>(pt.size()) * kReps / timer.seconds() / 1e6;
+
+    std::cout << std::left << std::setw(18) << p.name << std::setw(14)
+              << keys << std::setw(10) << (ok ? "PASS" : "FAIL")
+              << std::setw(14)
+              << (std::to_string(static_cast<int>(mbps)) + " MB/s")
+              << key->engine() << "\n";
+    std::cout << "  models: " << p.models << "\n";
+  }
+
+  std::cout << "\nAll providers produce byte-identical AES-GCM wire format; "
+               "they differ only in speed —\nexactly the comparison the "
+               "paper runs across OpenSSL, BoringSSL, Libsodium, CryptoPP.\n";
+  return 0;
+}

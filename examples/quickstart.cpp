@@ -1,0 +1,73 @@
+// Quickstart: spin up a 4-rank simulated cluster and exchange
+// encrypted messages with the public API.
+//
+//   ./quickstart [provider-name]     (default: boringssl-sim)
+//
+// Shows: building a world, wrapping ranks in SecureComm, encrypted
+// point-to-point + collectives, and the virtual-time accounting.
+#include <iostream>
+
+#include "emc/crypto/provider.hpp"
+#include "emc/mpi/reduce.hpp"
+#include "emc/secure_mpi/secure_comm.hpp"
+
+int main(int argc, char** argv) {
+  using namespace emc;
+
+  const std::string provider = argc > 1 ? argv[1] : "boringssl-sim";
+  std::cout << "Encrypted MPI quickstart — provider: " << provider << " ("
+            << crypto::provider(provider).models << ")\n\n";
+
+  // A 2-node cluster with 2 ranks per node, connected by 10 GbE.
+  mpi::WorldConfig world;
+  world.cluster.num_nodes = 2;
+  world.cluster.ranks_per_node = 2;
+  world.cluster.inter = net::ethernet_10g();
+
+  // AES-GCM with the hardcoded 256-bit study key (the paper leaves
+  // key distribution to future work).
+  secure::SecureConfig secure_config;
+  secure_config.provider = provider;
+
+  const double virtual_seconds = secure::run_secure_world(
+      world, secure_config, [](secure::SecureComm& comm) {
+        const int rank = comm.rank();
+        const int n = comm.size();
+
+        // 1. Encrypted ring: pass a token around the cluster.
+        Bytes token = bytes_of("hello from rank " + std::to_string(rank));
+        token.resize(64);
+        Bytes incoming(64);
+        comm.sendrecv(token, (rank + 1) % n, /*sendtag=*/1, incoming,
+                      (rank - 1 + n) % n, /*recvtag=*/1);
+
+        // 2. Encrypted allgather: everyone learns everyone's greeting.
+        Bytes all(64 * static_cast<std::size_t>(n));
+        comm.allgather(token, all);
+
+        // 3. Typed reduction over the encrypted transport.
+        const double sum = mpi::allreduce_sum(comm, static_cast<double>(rank));
+
+        if (rank == 0) {
+          std::cout << "ring neighbour said: \""
+                    << std::string(incoming.begin(),
+                                   incoming.begin() + 22)
+                    << "...\"\n";
+          std::cout << "allgather collected " << n << " greetings, "
+                    << all.size() << " plaintext bytes total\n";
+          std::cout << "allreduce over encrypted p2p: sum of ranks = " << sum
+                    << "\n";
+          const auto& c = comm.counters();
+          std::cout << "rank 0 crypto accounting: " << c.messages_sealed
+                    << " messages sealed (" << c.bytes_sealed
+                    << " B plaintext), " << c.messages_opened
+                    << " opened\n";
+        }
+      });
+
+  std::cout << "\nsimulated cluster finished at t = " << virtual_seconds * 1e6
+            << " virtual microseconds\n";
+  std::cout << "every wire message carried the +28-byte nonce||tag framing "
+               "and was verified on receipt\n";
+  return 0;
+}

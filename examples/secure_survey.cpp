@@ -1,0 +1,138 @@
+// Domain scenario: privacy-preserving aggregation of sensitive medical
+// records across hospital compute nodes (the HPC-in-the-public-cloud
+// motivation of the paper's introduction).
+//
+// 16 simulated ranks each hold a shard of patient records; they run an
+// encrypted alltoall to redistribute records by age cohort, then an
+// encrypted gather of per-cohort statistics. Midway, the example
+// plays adversary: it corrupts one ciphertext on the wire and shows
+// the integrity failure surfacing as an error instead of silently
+// poisoning the statistics.
+#include <iostream>
+#include <numeric>
+
+#include "emc/common/rng.hpp"
+#include "emc/mpi/reduce.hpp"
+#include "emc/secure_mpi/secure_comm.hpp"
+
+namespace {
+
+using namespace emc;
+
+struct PatientRecord {
+  std::uint32_t cohort;   // age decade 0..7
+  float systolic_bp;
+};
+
+constexpr int kCohorts = 8;
+constexpr std::size_t kRecordsPerRank = 512;
+
+}  // namespace
+
+int main() {
+  mpi::WorldConfig world;
+  world.cluster.num_nodes = 8;
+  world.cluster.ranks_per_node = 2;
+  world.cluster.inter = net::infiniband_qdr_40g();
+
+  secure::SecureConfig secure_config;
+  secure_config.provider = "boringssl-sim";
+
+  const double t = secure::run_secure_world(
+      world, secure_config, [](secure::SecureComm& comm) {
+        const int rank = comm.rank();
+        const auto n = static_cast<std::size_t>(comm.size());
+        Xoshiro256 rng(1000 + static_cast<std::uint64_t>(rank));
+
+        // Local shard of synthetic records.
+        std::vector<PatientRecord> records(kRecordsPerRank);
+        for (auto& r : records) {
+          r.cohort = static_cast<std::uint32_t>(rng.next_below(kCohorts));
+          r.systolic_bp =
+              100.0f + 60.0f * static_cast<float>(rng.next_double());
+        }
+
+        // Redistribute by cohort owner (cohort c -> rank c % n) with an
+        // encrypted alltoallv, like the paper's Encrypted_Alltoall.
+        std::vector<std::vector<PatientRecord>> outgoing(n);
+        for (const auto& r : records) {
+          outgoing[r.cohort % n].push_back(r);
+        }
+        std::vector<std::size_t> sendcounts(n);
+        std::vector<std::size_t> senddispls(n);
+        Bytes sendbuf;
+        for (std::size_t d = 0; d < n; ++d) {
+          senddispls[d] = sendbuf.size();
+          sendcounts[d] = outgoing[d].size() * sizeof(PatientRecord);
+          const auto* raw =
+              reinterpret_cast<const std::uint8_t*>(outgoing[d].data());
+          sendbuf.insert(sendbuf.end(), raw, raw + sendcounts[d]);
+        }
+        // Exchange counts first (encrypted allgather), then payloads.
+        std::vector<std::size_t> all_counts(n * n);
+        comm.allgather(
+            BytesView(reinterpret_cast<const std::uint8_t*>(sendcounts.data()),
+                      n * sizeof(std::size_t)),
+            MutBytes(reinterpret_cast<std::uint8_t*>(all_counts.data()),
+                     all_counts.size() * sizeof(std::size_t)));
+        std::vector<std::size_t> recvcounts(n);
+        std::vector<std::size_t> recvdispls(n);
+        std::size_t total = 0;
+        for (std::size_t s = 0; s < n; ++s) {
+          recvcounts[s] = all_counts[s * n + static_cast<std::size_t>(rank)];
+          recvdispls[s] = total;
+          total += recvcounts[s];
+        }
+        Bytes recvbuf(total);
+        comm.alltoallv(sendbuf, sendcounts, senddispls, recvbuf, recvcounts,
+                       recvdispls);
+
+        // Per-cohort mean blood pressure on the cohort owner.
+        const auto* mine =
+            reinterpret_cast<const PatientRecord*>(recvbuf.data());
+        const std::size_t count = total / sizeof(PatientRecord);
+        double sum = 0.0;
+        for (std::size_t i = 0; i < count; ++i) sum += mine[i].systolic_bp;
+        const double global_records =
+            mpi::allreduce_sum(comm, static_cast<double>(count));
+        const double global_sum = mpi::allreduce_sum(comm, sum);
+
+        if (rank == 0) {
+          std::cout << "aggregated " << global_records
+                    << " encrypted patient records; global mean systolic BP "
+                    << global_sum / global_records << " mmHg\n";
+          const auto& c = comm.counters();
+          std::cout << "rank 0 sealed " << c.messages_sealed
+                    << " messages / opened " << c.messages_opened
+                    << "; every wire byte was AES-GCM protected\n";
+        }
+
+        // --- Adversary interlude: tamper with a ciphertext ------------
+        if (comm.size() >= 2) {
+          if (rank == 0) {
+            // Capture a legitimate encrypted message via the plain comm
+            // and corrupt one ciphertext byte before re-injecting it.
+            Bytes wire(secure::SecureComm::wire_size(32));
+            comm.plain().recv(wire, 1, 77);
+            wire[20] ^= 0x01;
+            comm.plain().send(wire, 1, 78);
+          } else if (rank == 1) {
+            Bytes secret(32, 0xAB);
+            comm.send(secret, 0, 77);  // sealed by SecureComm
+            Bytes out(32);
+            try {
+              comm.recv(out, 0, 78);
+              std::cout << "!! tampering went UNDETECTED (bug)\n";
+            } catch (const secure::IntegrityError& e) {
+              std::cout << "tampered ciphertext rejected as expected: "
+                        << e.what() << "\n";
+            }
+          }
+        }
+        comm.barrier();
+      });
+
+  std::cout << "survey completed at t = " << t * 1e3
+            << " virtual milliseconds\n";
+  return 0;
+}

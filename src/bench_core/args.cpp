@@ -1,0 +1,44 @@
+#include "emc/bench_core/args.hpp"
+
+#include <stdexcept>
+
+namespace emc::bench {
+
+Args::Args(int argc, char** argv) {
+  if (argc > 0) {
+    program_ = argv[0];
+    const std::size_t slash = program_.find_last_of('/');
+    if (slash != std::string::npos) program_ = program_.substr(slash + 1);
+  }
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      const std::size_t eq = arg.find('=');
+      if (eq == std::string::npos) {
+        options_[arg.substr(2)] = "";
+      } else {
+        options_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      }
+    } else {
+      positional_.push_back(std::move(arg));
+    }
+  }
+}
+
+bool Args::has(const std::string& name) const {
+  return options_.count(name) != 0;
+}
+
+std::string Args::get(const std::string& name,
+                      const std::string& fallback) const {
+  const auto it = options_.find(name);
+  return it == options_.end() || it->second.empty() ? fallback : it->second;
+}
+
+long Args::get_int(const std::string& name, long fallback) const {
+  const auto it = options_.find(name);
+  if (it == options_.end() || it->second.empty()) return fallback;
+  return std::stol(it->second);
+}
+
+}  // namespace emc::bench

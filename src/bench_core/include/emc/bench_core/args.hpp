@@ -1,0 +1,36 @@
+// Minimal --key=value / --flag argument parsing for the bench binaries.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace emc::bench {
+
+class Args {
+ public:
+  Args(int argc, char** argv);
+
+  /// True when --name was passed (with or without a value).
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  /// Value of --name=value, or @p fallback.
+  [[nodiscard]] std::string get(const std::string& name,
+                                const std::string& fallback) const;
+  [[nodiscard]] long get_int(const std::string& name, long fallback) const;
+
+  /// Program name (argv[0] basename).
+  [[nodiscard]] const std::string& program() const { return program_; }
+
+  /// Unrecognized positional arguments, in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace emc::bench

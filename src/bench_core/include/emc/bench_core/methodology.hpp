@@ -1,0 +1,51 @@
+// The paper's benchmark methodology (§V, "Benchmark methodology"):
+// run each experiment at least `min_runs` times, up to `max_runs`,
+// until the sample standard deviation is within `target_rel_stddev`
+// of the mean; if still unstable, keep running until the 99%
+// confidence interval is within that fraction of the mean (bounded by
+// a hard cap so a pathological experiment terminates).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "emc/common/stats.hpp"
+
+namespace emc::bench {
+
+struct StabilityPolicy {
+  std::size_t min_runs = 20;
+  std::size_t max_runs = 100;
+  double target_rel_stddev = 0.05;
+  double fallback_confidence = 0.99;
+  std::size_t hard_cap = 300;
+
+  /// Reduced-effort policy for smoke runs / CI (set via --quick).
+  [[nodiscard]] static StabilityPolicy quick() {
+    return StabilityPolicy{.min_runs = 3,
+                           .max_runs = 10,
+                           .target_rel_stddev = 0.10,
+                           .fallback_confidence = 0.99,
+                           .hard_cap = 12};
+  }
+};
+
+struct MeasureResult {
+  double mean = 0.0;
+  double stddev = 0.0;
+  std::size_t runs = 0;
+  bool stable = false;  ///< met the stddev or CI criterion
+};
+
+/// Repeats @p sample per the policy. @p sample returns one
+/// measurement (seconds, MB/s, ... — any positive metric).
+[[nodiscard]] MeasureResult run_until_stable(
+    const std::function<double()>& sample,
+    const StabilityPolicy& policy = {});
+
+/// Relative overhead in percent: 100 * (value - baseline) / baseline.
+/// This is also how the paper aggregates NAS results (footnote 2):
+/// totals first, ratio second — never an average of ratios.
+[[nodiscard]] double overhead_percent(double baseline, double value);
+
+}  // namespace emc::bench

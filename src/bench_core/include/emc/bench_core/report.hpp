@@ -1,0 +1,54 @@
+// Console tables and CSV emission for the benchmark binaries — each
+// bench prints the same rows/series the paper's tables and figures
+// report, plus a machine-readable CSV next to it.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace emc::bench {
+
+/// Right-aligned fixed-layout console table with a title.
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> columns);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders to @p os with column sizing and a rule under the header.
+  void print(std::ostream& os) const;
+
+  /// Comma-separated form (header + rows) for post-processing.
+  void write_csv(std::ostream& os) const;
+
+  /// Writes CSV to @p path (creates/truncates); returns success.
+  bool save_csv(const std::string& path) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "1B", "16KB", "2MB" labels the paper uses for message sizes.
+[[nodiscard]] std::string size_label(std::size_t bytes);
+
+/// Fixed-precision number formatting helpers.
+[[nodiscard]] std::string fmt_double(double v, int precision = 2);
+
+/// Throughput in MB/s (decimal MB, as the paper reports).
+[[nodiscard]] std::string fmt_mbps(double bytes_per_second,
+                                   int precision = 2);
+
+/// Time in microseconds with thousands grouping like the paper tables.
+[[nodiscard]] std::string fmt_us(double seconds, int precision = 2);
+
+/// Signed percentage, e.g. "+78.3%".
+[[nodiscard]] std::string fmt_percent(double percent, int precision = 1);
+
+/// Parses "1", "16k", "2m", "4MB" etc. into bytes.
+[[nodiscard]] std::size_t parse_size(const std::string& text);
+
+}  // namespace emc::bench

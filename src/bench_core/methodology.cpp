@@ -1,0 +1,42 @@
+#include "emc/bench_core/methodology.hpp"
+
+#include <cmath>
+
+namespace emc::bench {
+
+MeasureResult run_until_stable(const std::function<double()>& sample,
+                               const StabilityPolicy& policy) {
+  RunningStats stats;
+
+  const auto stddev_ok = [&] {
+    return stats.rel_stddev() <= policy.target_rel_stddev;
+  };
+  const auto ci_ok = [&] {
+    return stats.mean() != 0.0 &&
+           stats.ci_halfwidth(policy.fallback_confidence) <=
+               policy.target_rel_stddev * std::abs(stats.mean());
+  };
+
+  // Phase 1: min..max runs with the stddev criterion.
+  while (stats.count() < policy.max_runs) {
+    stats.add(sample());
+    if (stats.count() >= policy.min_runs && stddev_ok()) {
+      return MeasureResult{stats.mean(), stats.stddev(), stats.count(), true};
+    }
+  }
+  // Phase 2: extend until the confidence interval tightens.
+  while (stats.count() < policy.hard_cap) {
+    if (ci_ok()) {
+      return MeasureResult{stats.mean(), stats.stddev(), stats.count(), true};
+    }
+    stats.add(sample());
+  }
+  return MeasureResult{stats.mean(), stats.stddev(), stats.count(), ci_ok()};
+}
+
+double overhead_percent(double baseline, double value) {
+  if (baseline == 0.0) return 0.0;
+  return 100.0 * (value - baseline) / baseline;
+}
+
+}  // namespace emc::bench

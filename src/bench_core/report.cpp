@@ -1,0 +1,123 @@
+#include "emc/bench_core/report.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace emc::bench {
+
+Table::Table(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != columns_.size()) {
+    throw std::invalid_argument("table row width mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+    for (const auto& row : rows_) widths[c] = std::max(widths[c], row[c].size());
+  }
+  os << "\n== " << title_ << " ==\n";
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    os << (c == 0 ? "" : "  ") << std::setw(static_cast<int>(widths[c]))
+       << columns_[c];
+  }
+  os << '\n';
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      os << (c == 0 ? "" : "  ") << std::setw(static_cast<int>(widths[c]))
+         << row[c];
+    }
+    os << '\n';
+  }
+}
+
+void Table::write_csv(std::ostream& os) const {
+  const auto emit = [&os](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c != 0) os << ',';
+      os << cells[c];
+    }
+    os << '\n';
+  };
+  emit(columns_);
+  for (const auto& row : rows_) emit(row);
+}
+
+bool Table::save_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_csv(out);
+  return static_cast<bool>(out);
+}
+
+std::string size_label(std::size_t bytes) {
+  if (bytes >= (1u << 20) && bytes % (1u << 20) == 0) {
+    return std::to_string(bytes >> 20) + "MB";
+  }
+  if (bytes >= (1u << 10) && bytes % (1u << 10) == 0) {
+    return std::to_string(bytes >> 10) + "KB";
+  }
+  return std::to_string(bytes) + "B";
+}
+
+std::string fmt_double(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string fmt_mbps(double bytes_per_second, int precision) {
+  return fmt_double(bytes_per_second / 1e6, precision);
+}
+
+std::string fmt_us(double seconds, int precision) {
+  // Thousands grouping for readability of the big alltoall numbers.
+  const std::string plain = fmt_double(seconds * 1e6, precision);
+  const std::size_t dot = plain.find('.');
+  std::string head = plain.substr(0, dot);
+  const std::string tail = plain.substr(dot);
+  std::string grouped;
+  int count = 0;
+  for (auto it = head.rbegin(); it != head.rend(); ++it) {
+    if (count != 0 && count % 3 == 0 && *it != '-') grouped.push_back(',');
+    grouped.push_back(*it);
+    ++count;
+  }
+  std::reverse(grouped.begin(), grouped.end());
+  return grouped + tail;
+}
+
+std::string fmt_percent(double percent, int precision) {
+  std::ostringstream os;
+  os << (percent >= 0 ? "+" : "") << std::fixed
+     << std::setprecision(precision) << percent << "%";
+  return os.str();
+}
+
+std::size_t parse_size(const std::string& text) {
+  if (text.empty()) throw std::invalid_argument("empty size");
+  std::size_t idx = 0;
+  const unsigned long long value = std::stoull(text, &idx);
+  std::string suffix = text.substr(idx);
+  std::transform(suffix.begin(), suffix.end(), suffix.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (suffix.empty() || suffix == "b") return value;
+  if (suffix == "k" || suffix == "kb") return value << 10;
+  if (suffix == "m" || suffix == "mb") return value << 20;
+  if (suffix == "g" || suffix == "gb") return value << 30;
+  throw std::invalid_argument("bad size suffix: " + text);
+}
+
+}  // namespace emc::bench

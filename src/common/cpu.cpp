@@ -1,0 +1,39 @@
+#include "emc/common/cpu.hpp"
+
+#if defined(__x86_64__) || defined(_M_X64) || defined(__i386__)
+#include <cpuid.h>
+#define EMC_X86 1
+#endif
+
+namespace emc {
+
+namespace {
+
+CpuFeatures detect() noexcept {
+  CpuFeatures f;
+#ifdef EMC_X86
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx)) {
+    f.aesni = (ecx & (1u << 25)) != 0;
+    f.pclmul = (ecx & (1u << 1)) != 0;
+  }
+  if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx)) {
+    f.avx2 = (ebx & (1u << 5)) != 0;
+  }
+#endif
+  return f;
+}
+
+}  // namespace
+
+const CpuFeatures& cpu_features() noexcept {
+  static const CpuFeatures f = detect();
+  return f;
+}
+
+bool has_aes_hardware() noexcept {
+  const auto& f = cpu_features();
+  return f.aesni && f.pclmul;
+}
+
+}  // namespace emc

@@ -1,0 +1,99 @@
+// Byte-buffer utilities shared by every module: hex codecs, endian
+// load/store, constant-time comparison, and buffer aliases.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace emc {
+
+/// Owning byte buffer used throughout the library for messages,
+/// plaintexts, and ciphertexts.
+using Bytes = std::vector<std::uint8_t>;
+
+/// Non-owning read-only view of bytes.
+using BytesView = std::span<const std::uint8_t>;
+
+/// Non-owning writable view of bytes.
+using MutBytes = std::span<std::uint8_t>;
+
+/// Encodes @p data as lowercase hex ("deadbeef").
+[[nodiscard]] std::string to_hex(BytesView data);
+
+/// Decodes a hex string (case-insensitive, even length, no separators).
+/// Throws std::invalid_argument on malformed input.
+[[nodiscard]] Bytes from_hex(std::string_view hex);
+
+/// Builds a Bytes buffer from an ASCII string literal (no NUL).
+[[nodiscard]] Bytes bytes_of(std::string_view text);
+
+/// Constant-time equality check; returns false on length mismatch.
+/// Used for authentication-tag comparison so timing does not leak
+/// how many prefix bytes matched.
+[[nodiscard]] bool ct_equal(BytesView a, BytesView b) noexcept;
+
+/// XORs @p src into @p dst (dst[i] ^= src[i]); sizes must match.
+void xor_into(MutBytes dst, BytesView src) noexcept;
+
+/// Best-effort secure wipe that the optimizer may not elide.
+void secure_zero(MutBytes data) noexcept;
+
+// --- Endian helpers (byte order explicit, alignment-free) ---------------
+
+[[nodiscard]] constexpr std::uint32_t load_be32(const std::uint8_t* p) noexcept {
+  return (std::uint32_t{p[0]} << 24) | (std::uint32_t{p[1]} << 16) |
+         (std::uint32_t{p[2]} << 8) | std::uint32_t{p[3]};
+}
+
+[[nodiscard]] constexpr std::uint64_t load_be64(const std::uint8_t* p) noexcept {
+  return (std::uint64_t{load_be32(p)} << 32) | load_be32(p + 4);
+}
+
+[[nodiscard]] constexpr std::uint32_t load_le32(const std::uint8_t* p) noexcept {
+  return std::uint32_t{p[0]} | (std::uint32_t{p[1]} << 8) |
+         (std::uint32_t{p[2]} << 16) | (std::uint32_t{p[3]} << 24);
+}
+
+[[nodiscard]] constexpr std::uint64_t load_le64(const std::uint8_t* p) noexcept {
+  return std::uint64_t{load_le32(p)} | (std::uint64_t{load_le32(p + 4)} << 32);
+}
+
+constexpr void store_be32(std::uint8_t* p, std::uint32_t v) noexcept {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v);
+}
+
+constexpr void store_be64(std::uint8_t* p, std::uint64_t v) noexcept {
+  store_be32(p, static_cast<std::uint32_t>(v >> 32));
+  store_be32(p + 4, static_cast<std::uint32_t>(v));
+}
+
+constexpr void store_le32(std::uint8_t* p, std::uint32_t v) noexcept {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+constexpr void store_le64(std::uint8_t* p, std::uint64_t v) noexcept {
+  store_le32(p, static_cast<std::uint32_t>(v));
+  store_le32(p + 4, static_cast<std::uint32_t>(v >> 32));
+}
+
+/// Rotate-left on 32-bit words (AES key schedule, hashing).
+[[nodiscard]] constexpr std::uint32_t rotl32(std::uint32_t x, int k) noexcept {
+  return (x << k) | (x >> (32 - k));
+}
+
+/// Rotate-left on 64-bit words (xoshiro).
+[[nodiscard]] constexpr std::uint64_t rotl64(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace emc

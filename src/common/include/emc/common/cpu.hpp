@@ -1,0 +1,19 @@
+// Runtime CPU feature detection used to dispatch between the
+// hardware-accelerated (AES-NI + PCLMULQDQ) and software crypto cores.
+#pragma once
+
+namespace emc {
+
+struct CpuFeatures {
+  bool aesni = false;   ///< AES New Instructions
+  bool pclmul = false;  ///< Carry-less multiply (GHASH)
+  bool avx2 = false;    ///< 256-bit integer SIMD
+};
+
+/// Detects once (thread-safe) and caches.
+[[nodiscard]] const CpuFeatures& cpu_features() noexcept;
+
+/// True when the hardware AES-GCM path is usable on this host.
+[[nodiscard]] bool has_aes_hardware() noexcept;
+
+}  // namespace emc

@@ -1,0 +1,57 @@
+// Streaming statistics used by the benchmark methodology (paper §V):
+// mean, sample standard deviation, and confidence intervals.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace emc {
+
+/// Welford streaming accumulator for mean/variance.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+
+  /// Sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+
+  /// stddev / mean; 0 when mean is 0.
+  [[nodiscard]] double rel_stddev() const noexcept;
+
+  /// Half-width of the confidence interval for the mean at the given
+  /// two-sided confidence level (0.95 or 0.99), using Student-t
+  /// critical values; 0 for fewer than 2 samples.
+  [[nodiscard]] double ci_halfwidth(double confidence) const noexcept;
+
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Two-sided Student-t critical value for @p confidence (0.95 / 0.99)
+/// with @p df degrees of freedom; falls back to the normal quantile
+/// for df > 120. Exposed for testing.
+[[nodiscard]] double t_critical(double confidence, std::size_t df) noexcept;
+
+/// Summary of a full sample vector (convenience for reporters).
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+[[nodiscard]] Summary summarize(const std::vector<double>& xs) noexcept;
+
+}  // namespace emc

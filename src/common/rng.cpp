@@ -1,0 +1,90 @@
+#include "emc/common/rng.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <random>
+
+namespace emc {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+std::uint64_t Xoshiro256::next() noexcept {
+  const std::uint64_t result = rotl64(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl64(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Xoshiro256::next_below(std::uint64_t bound) noexcept {
+  // Unbiased modulo via rejection of the truncated top range.
+  const std::uint64_t threshold = (0 - bound) % bound;  // 2^64 mod bound
+  for (;;) {
+    const std::uint64_t x = next();
+    if (x >= threshold) return x % bound;
+  }
+}
+
+double Xoshiro256::next_double() noexcept {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+void Xoshiro256::fill(MutBytes out) noexcept {
+  std::size_t i = 0;
+  while (i + 8 <= out.size()) {
+    store_le64(out.data() + i, next());
+    i += 8;
+  }
+  if (i < out.size()) {
+    std::uint8_t tail[8];
+    store_le64(tail, next());
+    for (std::size_t j = 0; i < out.size(); ++i, ++j) out[i] = tail[j];
+  }
+}
+
+Bytes Xoshiro256::bytes(std::size_t n) {
+  Bytes out(n);
+  fill(out);
+  return out;
+}
+
+void random_nonce(MutBytes out) {
+  static std::mutex mu;
+  static Xoshiro256 rng = [] {
+    std::random_device rd;
+    const std::uint64_t seed =
+        (std::uint64_t{rd()} << 32) ^ std::uint64_t{rd()};
+    return Xoshiro256(seed);
+  }();
+  static std::atomic<std::uint64_t> counter{0};
+
+  const std::uint64_t serial = counter.fetch_add(1, std::memory_order_relaxed);
+  std::scoped_lock lock(mu);
+  rng.fill(out);
+  // Mix the serial into the low bytes: even if the generator state were
+  // ever duplicated, distinct serials keep the nonces distinct.
+  std::uint8_t mix[8];
+  store_le64(mix, serial);
+  for (std::size_t i = 0; i < out.size() && i < 8; ++i) out[i] ^= mix[i];
+}
+
+}  // namespace emc

@@ -1,0 +1,71 @@
+#include "emc/common/stats.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace emc {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStats::rel_stddev() const noexcept {
+  return mean_ == 0.0 ? 0.0 : stddev() / mean_;
+}
+
+double RunningStats::ci_halfwidth(double confidence) const noexcept {
+  if (n_ < 2) return 0.0;
+  const double t = t_critical(confidence, n_ - 1);
+  return t * stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+namespace {
+
+// Two-sided critical values; index = df, capped table then normal tail.
+constexpr std::array<double, 31> kT95 = {
+    0,      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+    2.228,  2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093,
+    2.086,  2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045,
+    2.042};
+constexpr std::array<double, 31> kT99 = {
+    0,      63.657, 9.925, 5.841, 4.604, 4.032, 3.707, 3.499, 3.355, 3.250,
+    3.169,  3.106,  3.055, 3.012, 2.977, 2.947, 2.921, 2.898, 2.878, 2.861,
+    2.845,  2.831,  2.819, 2.807, 2.797, 2.787, 2.779, 2.771, 2.763, 2.756,
+    2.750};
+
+}  // namespace
+
+double t_critical(double confidence, std::size_t df) noexcept {
+  const bool ninety_nine = confidence >= 0.985;
+  const auto& table = ninety_nine ? kT99 : kT95;
+  if (df == 0) df = 1;
+  if (df < table.size()) return table[df];
+  if (df <= 40) return ninety_nine ? 2.704 : 2.021;
+  if (df <= 60) return ninety_nine ? 2.660 : 2.000;
+  if (df <= 120) return ninety_nine ? 2.617 : 1.980;
+  return ninety_nine ? 2.576 : 1.960;
+}
+
+Summary summarize(const std::vector<double>& xs) noexcept {
+  RunningStats rs;
+  for (double x : xs) rs.add(x);
+  return Summary{rs.count(), rs.mean(), rs.stddev(), rs.min(), rs.max()};
+}
+
+}  // namespace emc

@@ -1,0 +1,235 @@
+// Key schedule (FIPS-197 §5.2) and the portable + T-table cores.
+#include <stdexcept>
+
+#include "emc/crypto/aes.hpp"
+
+namespace emc::crypto {
+
+using detail::aes_inv_sbox;
+using detail::aes_sbox;
+using detail::gf_mul;
+using detail::xtime;
+
+// --------------------------------------------------------- key schedule
+
+AesKeySchedule::AesKeySchedule(BytesView key) {
+  if (!valid_aes_key_size(key.size())) {
+    throw std::invalid_argument("AES key must be 16, 24, or 32 bytes");
+  }
+  const int nk = static_cast<int>(key.size() / 4);
+  rounds_ = nk + 6;
+  const int total_words = 4 * (rounds_ + 1);
+
+  const auto& sbox = aes_sbox();
+  const auto sub_word = [&sbox](std::uint32_t w) {
+    return (std::uint32_t{sbox[(w >> 24) & 0xff]} << 24) |
+           (std::uint32_t{sbox[(w >> 16) & 0xff]} << 16) |
+           (std::uint32_t{sbox[(w >> 8) & 0xff]} << 8) |
+           std::uint32_t{sbox[w & 0xff]};
+  };
+
+  for (int i = 0; i < nk; ++i) {
+    words_[static_cast<std::size_t>(i)] =
+        load_be32(key.data() + static_cast<std::size_t>(4 * i));
+  }
+  std::uint8_t rcon = 0x01;
+  for (int i = nk; i < total_words; ++i) {
+    std::uint32_t temp = words_[static_cast<std::size_t>(i - 1)];
+    if (i % nk == 0) {
+      temp = sub_word(rotl32(temp, 8)) ^ (std::uint32_t{rcon} << 24);
+      rcon = xtime(rcon);
+    } else if (nk > 6 && i % nk == 4) {
+      temp = sub_word(temp);
+    }
+    words_[static_cast<std::size_t>(i)] =
+        words_[static_cast<std::size_t>(i - nk)] ^ temp;
+  }
+
+  for (int i = 0; i < total_words; ++i) {
+    store_be32(bytes_.data() + static_cast<std::size_t>(4 * i),
+               words_[static_cast<std::size_t>(i)]);
+  }
+}
+
+// -------------------------------------------------------- portable core
+
+namespace {
+
+/// SubBytes + ShiftRows into @p t (column-major state layout).
+inline void sub_shift(const std::uint8_t s[16], std::uint8_t t[16],
+                      const std::array<std::uint8_t, 256>& box) noexcept {
+  for (int c = 0; c < 4; ++c) {
+    for (int r = 0; r < 4; ++r) {
+      t[4 * c + r] = box[s[4 * ((c + r) & 3) + r]];
+    }
+  }
+}
+
+}  // namespace
+
+void AesPortable::encrypt_block(const std::uint8_t in[kAesBlock],
+                                std::uint8_t out[kAesBlock]) const noexcept {
+  const auto& sbox = aes_sbox();
+  std::uint8_t s[16];
+  std::uint8_t t[16];
+  const std::uint8_t* rk = ks_.round_key(0);
+  for (int i = 0; i < 16; ++i) s[i] = static_cast<std::uint8_t>(in[i] ^ rk[i]);
+
+  for (int round = 1; round < ks_.rounds(); ++round) {
+    sub_shift(s, t, sbox);
+    rk = ks_.round_key(round);
+    for (int c = 0; c < 4; ++c) {
+      const std::uint8_t a0 = t[4 * c];
+      const std::uint8_t a1 = t[4 * c + 1];
+      const std::uint8_t a2 = t[4 * c + 2];
+      const std::uint8_t a3 = t[4 * c + 3];
+      s[4 * c + 0] = static_cast<std::uint8_t>(
+          xtime(a0) ^ xtime(a1) ^ a1 ^ a2 ^ a3 ^ rk[4 * c + 0]);
+      s[4 * c + 1] = static_cast<std::uint8_t>(
+          a0 ^ xtime(a1) ^ xtime(a2) ^ a2 ^ a3 ^ rk[4 * c + 1]);
+      s[4 * c + 2] = static_cast<std::uint8_t>(
+          a0 ^ a1 ^ xtime(a2) ^ xtime(a3) ^ a3 ^ rk[4 * c + 2]);
+      s[4 * c + 3] = static_cast<std::uint8_t>(
+          xtime(a0) ^ a0 ^ a1 ^ a2 ^ xtime(a3) ^ rk[4 * c + 3]);
+    }
+  }
+
+  sub_shift(s, t, sbox);
+  rk = ks_.round_key(ks_.rounds());
+  for (int i = 0; i < 16; ++i) {
+    out[i] = static_cast<std::uint8_t>(t[i] ^ rk[i]);
+  }
+}
+
+void AesPortable::decrypt_block(const std::uint8_t in[kAesBlock],
+                                std::uint8_t out[kAesBlock]) const noexcept {
+  const auto& inv = aes_inv_sbox();
+  std::uint8_t s[16];
+  std::uint8_t t[16];
+  const std::uint8_t* rk = ks_.round_key(ks_.rounds());
+  for (int i = 0; i < 16; ++i) s[i] = static_cast<std::uint8_t>(in[i] ^ rk[i]);
+
+  for (int round = ks_.rounds() - 1; round >= 1; --round) {
+    // InvShiftRows + InvSubBytes.
+    for (int c = 0; c < 4; ++c) {
+      for (int r = 0; r < 4; ++r) {
+        t[4 * c + r] = inv[s[4 * ((c - r + 4) & 3) + r]];
+      }
+    }
+    rk = ks_.round_key(round);
+    for (int i = 0; i < 16; ++i) {
+      t[i] = static_cast<std::uint8_t>(t[i] ^ rk[i]);
+    }
+    // InvMixColumns.
+    for (int c = 0; c < 4; ++c) {
+      const std::uint8_t a0 = t[4 * c];
+      const std::uint8_t a1 = t[4 * c + 1];
+      const std::uint8_t a2 = t[4 * c + 2];
+      const std::uint8_t a3 = t[4 * c + 3];
+      s[4 * c + 0] = static_cast<std::uint8_t>(
+          gf_mul(a0, 0x0e) ^ gf_mul(a1, 0x0b) ^ gf_mul(a2, 0x0d) ^
+          gf_mul(a3, 0x09));
+      s[4 * c + 1] = static_cast<std::uint8_t>(
+          gf_mul(a0, 0x09) ^ gf_mul(a1, 0x0e) ^ gf_mul(a2, 0x0b) ^
+          gf_mul(a3, 0x0d));
+      s[4 * c + 2] = static_cast<std::uint8_t>(
+          gf_mul(a0, 0x0d) ^ gf_mul(a1, 0x09) ^ gf_mul(a2, 0x0e) ^
+          gf_mul(a3, 0x0b));
+      s[4 * c + 3] = static_cast<std::uint8_t>(
+          gf_mul(a0, 0x0b) ^ gf_mul(a1, 0x0d) ^ gf_mul(a2, 0x09) ^
+          gf_mul(a3, 0x0e));
+    }
+  }
+
+  rk = ks_.round_key(0);
+  for (int c = 0; c < 4; ++c) {
+    for (int r = 0; r < 4; ++r) {
+      out[4 * c + r] = static_cast<std::uint8_t>(
+          inv[s[4 * ((c - r + 4) & 3) + r]] ^ rk[4 * c + r]);
+    }
+  }
+}
+
+// --------------------------------------------------------- T-table core
+
+namespace {
+
+struct Ttables {
+  std::array<std::uint32_t, 256> te0{};
+  std::array<std::uint32_t, 256> te1{};
+  std::array<std::uint32_t, 256> te2{};
+  std::array<std::uint32_t, 256> te3{};
+};
+
+const Ttables& ttables() noexcept {
+  static const Ttables tables = [] {
+    Ttables t;
+    const auto& sbox = aes_sbox();
+    for (int i = 0; i < 256; ++i) {
+      const std::uint8_t s = sbox[static_cast<std::size_t>(i)];
+      const std::uint8_t s2 = xtime(s);
+      const std::uint8_t s3 = static_cast<std::uint8_t>(s2 ^ s);
+      const auto idx = static_cast<std::size_t>(i);
+      t.te0[idx] = (std::uint32_t{s2} << 24) | (std::uint32_t{s} << 16) |
+                   (std::uint32_t{s} << 8) | std::uint32_t{s3};
+      t.te1[idx] = (std::uint32_t{s3} << 24) | (std::uint32_t{s2} << 16) |
+                   (std::uint32_t{s} << 8) | std::uint32_t{s};
+      t.te2[idx] = (std::uint32_t{s} << 24) | (std::uint32_t{s3} << 16) |
+                   (std::uint32_t{s2} << 8) | std::uint32_t{s};
+      t.te3[idx] = (std::uint32_t{s} << 24) | (std::uint32_t{s} << 16) |
+                   (std::uint32_t{s3} << 8) | std::uint32_t{s2};
+    }
+    return t;
+  }();
+  return tables;
+}
+
+}  // namespace
+
+void AesTtable::encrypt_block(const std::uint8_t in[kAesBlock],
+                              std::uint8_t out[kAesBlock]) const noexcept {
+  const Ttables& t = ttables();
+  const std::uint32_t* rk = ks_.words();
+  std::uint32_t s0 = load_be32(in) ^ rk[0];
+  std::uint32_t s1 = load_be32(in + 4) ^ rk[1];
+  std::uint32_t s2 = load_be32(in + 8) ^ rk[2];
+  std::uint32_t s3 = load_be32(in + 12) ^ rk[3];
+
+  for (int round = 1; round < ks_.rounds(); ++round) {
+    rk += 4;
+    const std::uint32_t t0 = t.te0[s0 >> 24] ^ t.te1[(s1 >> 16) & 0xff] ^
+                             t.te2[(s2 >> 8) & 0xff] ^ t.te3[s3 & 0xff] ^
+                             rk[0];
+    const std::uint32_t t1 = t.te0[s1 >> 24] ^ t.te1[(s2 >> 16) & 0xff] ^
+                             t.te2[(s3 >> 8) & 0xff] ^ t.te3[s0 & 0xff] ^
+                             rk[1];
+    const std::uint32_t t2 = t.te0[s2 >> 24] ^ t.te1[(s3 >> 16) & 0xff] ^
+                             t.te2[(s0 >> 8) & 0xff] ^ t.te3[s1 & 0xff] ^
+                             rk[2];
+    const std::uint32_t t3 = t.te0[s3 >> 24] ^ t.te1[(s0 >> 16) & 0xff] ^
+                             t.te2[(s1 >> 8) & 0xff] ^ t.te3[s2 & 0xff] ^
+                             rk[3];
+    s0 = t0;
+    s1 = t1;
+    s2 = t2;
+    s3 = t3;
+  }
+
+  const auto& sbox = aes_sbox();
+  rk += 4;
+  const auto final_word = [&](std::uint32_t a, std::uint32_t b,
+                              std::uint32_t c, std::uint32_t d,
+                              std::uint32_t k) {
+    return ((std::uint32_t{sbox[(a >> 24) & 0xff]} << 24) |
+            (std::uint32_t{sbox[(b >> 16) & 0xff]} << 16) |
+            (std::uint32_t{sbox[(c >> 8) & 0xff]} << 8) |
+            std::uint32_t{sbox[d & 0xff]}) ^
+           k;
+  };
+  store_be32(out, final_word(s0, s1, s2, s3, rk[0]));
+  store_be32(out + 4, final_word(s1, s2, s3, s0, rk[1]));
+  store_be32(out + 8, final_word(s2, s3, s0, s1, rk[2]));
+  store_be32(out + 12, final_word(s3, s0, s1, s2, rk[3]));
+}
+
+}  // namespace emc::crypto

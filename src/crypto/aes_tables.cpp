@@ -1,0 +1,64 @@
+// S-box tables generated from the field definition rather than
+// transcribed, so a typo cannot silently corrupt the cipher; the FIPS
+// known-answer tests validate the construction.
+#include "emc/crypto/aes.hpp"
+
+namespace emc::crypto::detail {
+
+namespace {
+
+constexpr std::uint8_t gf_inverse(std::uint8_t a) noexcept {
+  if (a == 0) return 0;
+  // a^254 = a^-1 in GF(2^8).
+  std::uint8_t result = 1;
+  std::uint8_t base = a;
+  int exp = 254;
+  while (exp > 0) {
+    if ((exp & 1) != 0) result = gf_mul(result, base);
+    base = gf_mul(base, base);
+    exp >>= 1;
+  }
+  return result;
+}
+
+constexpr std::uint8_t rotl8(std::uint8_t x, int k) noexcept {
+  return static_cast<std::uint8_t>(
+      static_cast<std::uint8_t>(x << k) |
+      static_cast<std::uint8_t>(x >> (8 - k)));
+}
+
+constexpr std::array<std::uint8_t, 256> make_sbox() noexcept {
+  std::array<std::uint8_t, 256> box{};
+  for (int i = 0; i < 256; ++i) {
+    const std::uint8_t b = gf_inverse(static_cast<std::uint8_t>(i));
+    box[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(
+        b ^ rotl8(b, 1) ^ rotl8(b, 2) ^ rotl8(b, 3) ^ rotl8(b, 4) ^ 0x63);
+  }
+  return box;
+}
+
+constexpr std::array<std::uint8_t, 256> make_inv_sbox(
+    const std::array<std::uint8_t, 256>& box) noexcept {
+  std::array<std::uint8_t, 256> inv{};
+  for (int i = 0; i < 256; ++i) {
+    inv[box[static_cast<std::size_t>(i)]] = static_cast<std::uint8_t>(i);
+  }
+  return inv;
+}
+
+constexpr auto kSbox = make_sbox();
+constexpr auto kInvSbox = make_inv_sbox(kSbox);
+
+static_assert(kSbox[0x00] == 0x63, "S-box generation broken");
+static_assert(kSbox[0x01] == 0x7c, "S-box generation broken");
+static_assert(kSbox[0x53] == 0xed, "S-box generation broken");
+static_assert(kInvSbox[0x63] == 0x00, "inverse S-box generation broken");
+
+}  // namespace
+
+const std::array<std::uint8_t, 256>& aes_sbox() noexcept { return kSbox; }
+const std::array<std::uint8_t, 256>& aes_inv_sbox() noexcept {
+  return kInvSbox;
+}
+
+}  // namespace emc::crypto::detail

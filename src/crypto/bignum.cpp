@@ -1,0 +1,415 @@
+#include "emc/crypto/bignum.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+#include "emc/common/rng.hpp"
+
+namespace emc::crypto {
+
+namespace {
+
+using u64 = std::uint64_t;
+__extension__ using u128 = unsigned __int128;
+
+}  // namespace
+
+void BigUint::trim() noexcept {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigUint BigUint::from_u64(u64 value) {
+  BigUint out;
+  if (value != 0) out.limbs_.push_back(value);
+  return out;
+}
+
+BigUint BigUint::from_hex(std::string_view hex) {
+  BigUint out;
+  std::string clean;
+  clean.reserve(hex.size());
+  for (char c : hex) {
+    if (std::isspace(static_cast<unsigned char>(c))) continue;
+    if (!std::isxdigit(static_cast<unsigned char>(c))) {
+      throw std::invalid_argument("BigUint::from_hex: non-hex character");
+    }
+    clean.push_back(c);
+  }
+  // Consume 16 hex digits per limb from the least significant end.
+  std::size_t end = clean.size();
+  while (end > 0) {
+    const std::size_t begin = end >= 16 ? end - 16 : 0;
+    out.limbs_.push_back(
+        std::stoull(clean.substr(begin, end - begin), nullptr, 16));
+    end = begin;
+  }
+  out.trim();
+  return out;
+}
+
+BigUint BigUint::from_bytes(BytesView be) {
+  BigUint out;
+  const std::size_t n = be.size();
+  out.limbs_.resize((n + 7) / 8, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t byte_from_lsb = n - 1 - i;
+    out.limbs_[byte_from_lsb / 8] |=
+        static_cast<u64>(be[i]) << (8 * (byte_from_lsb % 8));
+  }
+  out.trim();
+  return out;
+}
+
+Bytes BigUint::to_bytes(std::size_t min_len) const {
+  Bytes out;
+  const std::size_t bytes = (bit_length() + 7) / 8;
+  const std::size_t total = std::max(bytes, min_len);
+  out.resize(total, 0);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    out[total - 1 - i] = static_cast<std::uint8_t>(
+        limbs_[i / 8] >> (8 * (i % 8)));
+  }
+  return out;
+}
+
+std::string BigUint::to_hex() const {
+  if (is_zero()) return "0";
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  for (auto it = limbs_.rbegin(); it != limbs_.rend(); ++it) {
+    for (int shift = 60; shift >= 0; shift -= 4) {
+      out.push_back(digits[(*it >> shift) & 0xf]);
+    }
+  }
+  const std::size_t first = out.find_first_not_of('0');
+  return out.substr(first);
+}
+
+std::size_t BigUint::bit_length() const noexcept {
+  if (limbs_.empty()) return 0;
+  const u64 top = limbs_.back();
+  return (limbs_.size() - 1) * 64 +
+         (64 - static_cast<std::size_t>(__builtin_clzll(top)));
+}
+
+bool BigUint::bit(std::size_t i) const noexcept {
+  const std::size_t limb = i / 64;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % 64)) & 1;
+}
+
+int BigUint::compare(const BigUint& other) const noexcept {
+  if (limbs_.size() != other.limbs_.size()) {
+    return limbs_.size() < other.limbs_.size() ? -1 : 1;
+  }
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    if (limbs_[i] != other.limbs_[i]) {
+      return limbs_[i] < other.limbs_[i] ? -1 : 1;
+    }
+  }
+  return 0;
+}
+
+BigUint BigUint::add(const BigUint& other) const {
+  BigUint out;
+  const std::size_t n = std::max(limbs_.size(), other.limbs_.size());
+  out.limbs_.resize(n + 1, 0);
+  u64 carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const u128 sum = static_cast<u128>(i < limbs_.size() ? limbs_[i] : 0) +
+                     (i < other.limbs_.size() ? other.limbs_[i] : 0) + carry;
+    out.limbs_[i] = static_cast<u64>(sum);
+    carry = static_cast<u64>(sum >> 64);
+  }
+  out.limbs_[n] = carry;
+  out.trim();
+  return out;
+}
+
+BigUint BigUint::sub(const BigUint& other) const {
+  if (*this < other) {
+    throw std::underflow_error("BigUint::sub would underflow");
+  }
+  BigUint out;
+  out.limbs_.resize(limbs_.size(), 0);
+  u64 borrow = 0;
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    const u64 rhs = (i < other.limbs_.size() ? other.limbs_[i] : 0);
+    const u64 lhs = limbs_[i];
+    const u64 with_borrow = rhs + borrow;
+    // Detect wraparound of rhs + borrow, then of the subtraction.
+    const bool overflow = with_borrow < rhs;
+    out.limbs_[i] = lhs - with_borrow;
+    borrow = (overflow || lhs < with_borrow) ? 1 : 0;
+  }
+  out.trim();
+  return out;
+}
+
+BigUint BigUint::mul(const BigUint& a, const BigUint& b) {
+  if (a.is_zero() || b.is_zero()) return {};
+  BigUint out;
+  out.limbs_.assign(a.limbs_.size() + b.limbs_.size(), 0);
+  for (std::size_t i = 0; i < a.limbs_.size(); ++i) {
+    u64 carry = 0;
+    for (std::size_t j = 0; j < b.limbs_.size(); ++j) {
+      const u128 cur = static_cast<u128>(a.limbs_[i]) * b.limbs_[j] +
+                       out.limbs_[i + j] + carry;
+      out.limbs_[i + j] = static_cast<u64>(cur);
+      carry = static_cast<u64>(cur >> 64);
+    }
+    out.limbs_[i + b.limbs_.size()] += carry;
+  }
+  out.trim();
+  return out;
+}
+
+BigUint BigUint::shifted_left(std::size_t bits) const {
+  if (is_zero() || bits == 0) return *this;
+  BigUint out;
+  const std::size_t limb_shift = bits / 64;
+  const std::size_t bit_shift = bits % 64;
+  out.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    out.limbs_[i + limb_shift] |= limbs_[i] << bit_shift;
+    if (bit_shift != 0) {
+      out.limbs_[i + limb_shift + 1] |= limbs_[i] >> (64 - bit_shift);
+    }
+  }
+  out.trim();
+  return out;
+}
+
+std::pair<BigUint, BigUint> BigUint::divmod(const BigUint& m) const {
+  if (m.is_zero()) throw std::domain_error("BigUint division by zero");
+  if (*this < m) {
+    return {BigUint{}, *this};
+  }
+  const std::size_t shift = bit_length() - m.bit_length();
+  BigUint divisor = m.shifted_left(shift);
+  BigUint remainder = *this;
+  BigUint quotient;
+  quotient.limbs_.assign(shift / 64 + 1, 0);
+  for (std::size_t i = shift + 1; i-- > 0;) {
+    if (remainder >= divisor) {
+      remainder = remainder.sub(divisor);
+      quotient.limbs_[i / 64] |= u64{1} << (i % 64);
+    }
+    // divisor >>= 1
+    for (std::size_t j = 0; j < divisor.limbs_.size(); ++j) {
+      divisor.limbs_[j] >>= 1;
+      if (j + 1 < divisor.limbs_.size()) {
+        divisor.limbs_[j] |= divisor.limbs_[j + 1] << 63;
+      }
+    }
+    divisor.trim();
+  }
+  quotient.trim();
+  return {std::move(quotient), std::move(remainder)};
+}
+
+BigUint BigUint::mod(const BigUint& m) const { return divmod(m).second; }
+
+BigUint BigUint::modexp_slow(const BigUint& base, const BigUint& exp,
+                             const BigUint& m) {
+  if (m.is_zero()) throw std::domain_error("modexp modulus is zero");
+  BigUint result = from_u64(1).mod(m);
+  BigUint b = base.mod(m);
+  const std::size_t bits = exp.bit_length();
+  for (std::size_t i = 0; i < bits; ++i) {
+    if (exp.bit(i)) result = mul(result, b).mod(m);
+    b = mul(b, b).mod(m);
+  }
+  return result;
+}
+
+// ------------------------------------------------------------ Montgomery
+
+namespace {
+
+/// -m^{-1} mod 2^64 via Newton iteration (m odd).
+u64 mont_n0(u64 m0) noexcept {
+  u64 inv = 1;
+  for (int i = 0; i < 6; ++i) inv *= 2 - m0 * inv;  // inv = m0^{-1} mod 2^64
+  return ~inv + 1;                                  // -inv
+}
+
+/// CIOS Montgomery multiplication: returns a*b*R^{-1} mod m with
+/// R = 2^(64*n); all operands have exactly n limbs (m normalized).
+void mont_mul(const std::vector<u64>& a, const std::vector<u64>& b,
+              const std::vector<u64>& m, u64 n0, std::vector<u64>& out,
+              std::vector<u64>& scratch) {
+  const std::size_t n = m.size();
+  scratch.assign(n + 2, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    // scratch += a[i] * b
+    u64 carry = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      const u128 cur =
+          static_cast<u128>(a[i]) * b[j] + scratch[j] + carry;
+      scratch[j] = static_cast<u64>(cur);
+      carry = static_cast<u64>(cur >> 64);
+    }
+    u128 top = static_cast<u128>(scratch[n]) + carry;
+    scratch[n] = static_cast<u64>(top);
+    scratch[n + 1] = static_cast<u64>(top >> 64);
+
+    // q = scratch[0] * n0 mod 2^64; scratch += q * m; scratch >>= 64
+    const u64 q = scratch[0] * n0;
+    carry = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      const u128 cur = static_cast<u128>(q) * m[j] + scratch[j] + carry;
+      scratch[j] = static_cast<u64>(cur);
+      carry = static_cast<u64>(cur >> 64);
+    }
+    top = static_cast<u128>(scratch[n]) + carry;
+    scratch[n] = static_cast<u64>(top);
+    scratch[n + 1] += static_cast<u64>(top >> 64);
+
+    // Shift right one limb.
+    for (std::size_t j = 0; j < n + 1; ++j) scratch[j] = scratch[j + 1];
+    scratch[n + 1] = 0;
+  }
+
+  // Conditional final subtraction.
+  bool ge = scratch[n] != 0;
+  if (!ge) {
+    ge = true;
+    for (std::size_t j = n; j-- > 0;) {
+      if (scratch[j] != m[j]) {
+        ge = scratch[j] > m[j];
+        break;
+      }
+    }
+  }
+  out.assign(n, 0);
+  if (ge) {
+    u64 borrow = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      const u64 with_borrow = m[j] + borrow;
+      const bool overflow = with_borrow < m[j];
+      out[j] = scratch[j] - with_borrow;
+      borrow = (overflow || scratch[j] < with_borrow) ? 1 : 0;
+    }
+  } else {
+    std::copy(scratch.begin(), scratch.begin() + static_cast<long>(n),
+              out.begin());
+  }
+}
+
+}  // namespace
+
+BigUint BigUint::modexp(const BigUint& base, const BigUint& exp,
+                        const BigUint& m) {
+  if (m.is_zero()) throw std::domain_error("modexp modulus is zero");
+  if (!m.is_odd()) return modexp_slow(base, exp, m);  // Montgomery needs odd m
+  if (m.compare(from_u64(1)) == 0) return {};
+
+  const std::size_t n = m.limbs_.size();
+  std::vector<u64> mod_limbs = m.limbs_;
+  const u64 n0 = mont_n0(mod_limbs[0]);
+
+  // R mod m and R^2 mod m with R = 2^(64n).
+  const BigUint r = from_u64(1).shifted_left(64 * n);
+  const BigUint r_mod = r.mod(m);
+  const BigUint r2_mod = mul(r_mod, r_mod).mod(m);
+
+  const auto to_limbs = [n](const BigUint& x) {
+    std::vector<u64> limbs = x.limbs_;
+    limbs.resize(n, 0);
+    return limbs;
+  };
+
+  std::vector<u64> result = to_limbs(r_mod);        // 1 in Montgomery form
+  std::vector<u64> b;
+  std::vector<u64> scratch;
+  mont_mul(to_limbs(base.mod(m)), to_limbs(r2_mod), mod_limbs, n0, b,
+           scratch);                                 // base -> Montgomery
+
+  const std::size_t bits = exp.bit_length();
+  std::vector<u64> tmp;
+  for (std::size_t i = bits; i-- > 0;) {
+    mont_mul(result, result, mod_limbs, n0, tmp, scratch);
+    result.swap(tmp);
+    if (exp.bit(i)) {
+      mont_mul(result, b, mod_limbs, n0, tmp, scratch);
+      result.swap(tmp);
+    }
+  }
+  // Leave Montgomery form: multiply by 1.
+  std::vector<u64> one(n, 0);
+  one[0] = 1;
+  mont_mul(result, one, mod_limbs, n0, tmp, scratch);
+
+  BigUint out;
+  out.limbs_ = std::move(tmp);
+  out.trim();
+  return out;
+}
+
+BigUint BigUint::random_below(const BigUint& bound, std::uint64_t seed) {
+  if (bound.is_zero()) throw std::domain_error("random_below(0)");
+  Xoshiro256 rng(seed);
+  const std::size_t bytes = (bound.bit_length() + 7) / 8;
+  for (;;) {
+    Bytes raw(bytes);
+    rng.fill(raw);
+    // Mask the top byte to the bound's bit length to cut rejections.
+    const std::size_t top_bits = bound.bit_length() % 8;
+    if (top_bits != 0) {
+      raw[0] &= static_cast<std::uint8_t>((1u << top_bits) - 1);
+    }
+    BigUint candidate = from_bytes(raw);
+    if (candidate < bound) return candidate;
+  }
+}
+
+bool BigUint::probably_prime(const BigUint& n, int rounds,
+                             std::uint64_t seed) {
+  if (n < from_u64(2)) return false;
+  for (u64 small : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull}) {
+    const BigUint p = from_u64(small);
+    if (n == p) return true;
+    if (n.mod(p).is_zero()) return false;
+  }
+  // n - 1 = d * 2^r with d odd.
+  const BigUint n_minus_1 = n.sub(from_u64(1));
+  BigUint d = n_minus_1;
+  std::size_t r = 0;
+  while (!d.is_odd()) {
+    // d >>= 1
+    BigUint half;
+    half.limbs_.resize(d.limbs_.size());
+    for (std::size_t j = 0; j < d.limbs_.size(); ++j) {
+      half.limbs_[j] = d.limbs_[j] >> 1;
+      if (j + 1 < d.limbs_.size()) {
+        half.limbs_[j] |= d.limbs_[j + 1] << 63;
+      }
+    }
+    half.trim();
+    d = std::move(half);
+    ++r;
+  }
+
+  const BigUint two = from_u64(2);
+  const BigUint n_minus_3 = n.sub(from_u64(3));
+  for (int round = 0; round < rounds; ++round) {
+    const BigUint a =
+        random_below(n_minus_3, seed + static_cast<u64>(round)).add(two);
+    BigUint x = modexp(a, d, n);
+    if (x == from_u64(1) || x == n_minus_1) continue;
+    bool witness = true;
+    for (std::size_t i = 0; i + 1 < std::max<std::size_t>(r, 1); ++i) {
+      x = modexp(x, two, n);
+      if (x == n_minus_1) {
+        witness = false;
+        break;
+      }
+    }
+    if (witness) return false;
+  }
+  return true;
+}
+
+}  // namespace emc::crypto

@@ -1,0 +1,176 @@
+#include "emc/crypto/ccm.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "emc/crypto/aes.hpp"
+
+namespace emc::crypto {
+
+namespace {
+
+// With a 12-byte nonce, the length field Q occupies q = 15-12 = 3
+// bytes (messages up to 2^24-1 bytes) and the tag is 16 bytes.
+constexpr std::size_t kQ = 15 - kGcmNonceBytes;
+
+class CcmKey final : public AeadKey {
+ public:
+  explicit CcmKey(BytesView key) : aes_(key), key_size_(key.size()) {}
+
+  void seal(BytesView nonce, BytesView aad, BytesView pt,
+            MutBytes out) const override {
+    check_nonce(nonce);
+    if (out.size() != pt.size() + kGcmTagBytes) {
+      throw std::invalid_argument("ccm seal: out must be pt+16 bytes");
+    }
+    if (pt.size() >= (1u << (8 * kQ))) {
+      throw std::invalid_argument("ccm: message too long for 12-byte nonce");
+    }
+    std::uint8_t tag[kAesBlock];
+    cbc_mac(nonce, aad, pt, tag);
+    ctr_crypt(nonce, pt, out.first(pt.size()));
+    // Encrypt the tag with counter block 0.
+    std::uint8_t a0[kAesBlock];
+    counter_block(nonce, 0, a0);
+    std::uint8_t s0[kAesBlock];
+    aes_.encrypt_block(a0, s0);
+    for (std::size_t i = 0; i < kGcmTagBytes; ++i) {
+      out[pt.size() + i] = static_cast<std::uint8_t>(tag[i] ^ s0[i]);
+    }
+  }
+
+  bool open(BytesView nonce, BytesView aad, BytesView ct_tag,
+            MutBytes out) const override {
+    check_nonce(nonce);
+    if (ct_tag.size() < kGcmTagBytes) return false;
+    const std::size_t ct_len = ct_tag.size() - kGcmTagBytes;
+    if (out.size() != ct_len) {
+      throw std::invalid_argument("ccm open: out must be ct-16 bytes");
+    }
+    ctr_crypt(nonce, ct_tag.first(ct_len), out);
+
+    std::uint8_t tag[kAesBlock];
+    cbc_mac(nonce, aad, out, tag);
+    std::uint8_t a0[kAesBlock];
+    counter_block(nonce, 0, a0);
+    std::uint8_t s0[kAesBlock];
+    aes_.encrypt_block(a0, s0);
+    std::uint8_t expected[kGcmTagBytes];
+    for (std::size_t i = 0; i < kGcmTagBytes; ++i) {
+      expected[i] = static_cast<std::uint8_t>(tag[i] ^ s0[i]);
+    }
+    if (!ct_equal(BytesView(expected, kGcmTagBytes),
+                  ct_tag.last(kGcmTagBytes))) {
+      secure_zero(out);
+      return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] std::size_t key_size() const override { return key_size_; }
+  [[nodiscard]] const char* engine() const override {
+    return "aes-ccm (cbc-mac + ctr, ttable)";
+  }
+
+ private:
+  static void check_nonce(BytesView nonce) {
+    if (nonce.size() != kGcmNonceBytes) {
+      throw std::invalid_argument("ccm: nonce must be 12 bytes here");
+    }
+  }
+
+  /// A_i = flags(q-1) || N || i  (SP 800-38C A.3).
+  static void counter_block(BytesView nonce, std::uint32_t i,
+                            std::uint8_t out[kAesBlock]) {
+    out[0] = static_cast<std::uint8_t>(kQ - 1);
+    std::memcpy(out + 1, nonce.data(), kGcmNonceBytes);
+    out[13] = static_cast<std::uint8_t>(i >> 16);
+    out[14] = static_cast<std::uint8_t>(i >> 8);
+    out[15] = static_cast<std::uint8_t>(i);
+  }
+
+  void ctr_crypt(BytesView nonce, BytesView in, MutBytes out) const {
+    std::uint8_t block[kAesBlock];
+    std::uint8_t keystream[kAesBlock];
+    std::uint32_t counter = 1;
+    std::size_t i = 0;
+    while (i < in.size()) {
+      counter_block(nonce, counter++, block);
+      aes_.encrypt_block(block, keystream);
+      const std::size_t n =
+          std::min<std::size_t>(kAesBlock, in.size() - i);
+      for (std::size_t j = 0; j < n; ++j) {
+        out[i + j] = static_cast<std::uint8_t>(in[i + j] ^ keystream[j]);
+      }
+      i += n;
+    }
+  }
+
+  /// CBC-MAC over B0 || encoded(aad) || pt (SP 800-38C A.2).
+  void cbc_mac(BytesView nonce, BytesView aad, BytesView pt,
+               std::uint8_t mac[kAesBlock]) const {
+    std::uint8_t block[kAesBlock];
+    // B0: flags = 64*[a>0] + 8*((t-2)/2) + (q-1); t = 16.
+    block[0] = static_cast<std::uint8_t>(
+        (aad.empty() ? 0 : 0x40) | (((kGcmTagBytes - 2) / 2) << 3) |
+        (kQ - 1));
+    std::memcpy(block + 1, nonce.data(), kGcmNonceBytes);
+    block[13] = static_cast<std::uint8_t>(pt.size() >> 16);
+    block[14] = static_cast<std::uint8_t>(pt.size() >> 8);
+    block[15] = static_cast<std::uint8_t>(pt.size());
+    aes_.encrypt_block(block, mac);
+
+    const auto absorb = [&](BytesView data, std::size_t prefix_used) {
+      // Continues the CBC chain over data, with `prefix_used` bytes of
+      // the current block already consumed by a length prefix.
+      std::size_t fill = prefix_used;
+      std::uint8_t cur[kAesBlock];
+      std::memset(cur, 0, kAesBlock);
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        cur[fill++] = data[i];
+        if (fill == kAesBlock) {
+          for (std::size_t j = 0; j < kAesBlock; ++j) cur[j] ^= mac[j];
+          aes_.encrypt_block(cur, mac);
+          std::memset(cur, 0, kAesBlock);
+          fill = 0;
+        }
+      }
+      if (fill != 0) {
+        for (std::size_t j = 0; j < kAesBlock; ++j) cur[j] ^= mac[j];
+        aes_.encrypt_block(cur, mac);
+      }
+    };
+
+    if (!aad.empty()) {
+      if (aad.size() >= 0xFF00) {
+        throw std::invalid_argument("ccm: AAD longer than supported");
+      }
+      // 2-byte big-endian AAD length prefix shares the first block.
+      std::uint8_t prefix_block[kAesBlock] = {};
+      prefix_block[0] = static_cast<std::uint8_t>(aad.size() >> 8);
+      prefix_block[1] = static_cast<std::uint8_t>(aad.size());
+      const std::size_t first =
+          std::min<std::size_t>(kAesBlock - 2, aad.size());
+      std::memcpy(prefix_block + 2, aad.data(), first);
+      if (first + 2 == kAesBlock || first == aad.size()) {
+        for (std::size_t j = 0; j < kAesBlock; ++j) {
+          prefix_block[j] ^= mac[j];
+        }
+        aes_.encrypt_block(prefix_block, mac);
+        if (first < aad.size()) absorb(aad.subspan(first), 0);
+      }
+    }
+    absorb(pt, 0);
+  }
+
+  AesTtable aes_;
+  std::size_t key_size_;
+};
+
+}  // namespace
+
+AeadKeyPtr make_aes_ccm(BytesView key) {
+  return std::make_unique<CcmKey>(key);
+}
+
+}  // namespace emc::crypto

@@ -1,0 +1,68 @@
+#include "emc/crypto/dh.hpp"
+
+#include <stdexcept>
+
+namespace emc::crypto {
+
+const DhGroup& modp_group14() {
+  static const DhGroup group = [] {
+    DhGroup g;
+    g.name = "modp-2048 (RFC 3526 group 14)";
+    g.p = BigUint::from_hex(
+        "FFFFFFFF FFFFFFFF C90FDAA2 2168C234 C4C6628B 80DC1CD1"
+        "29024E08 8A67CC74 020BBEA6 3B139B22 514A0879 8E3404DD"
+        "EF9519B3 CD3A431B 302B0A6D F25F1437 4FE1356D 6D51C245"
+        "E485B576 625E7EC6 F44C42E9 A637ED6B 0BFF5CB6 F406B7ED"
+        "EE386BFB 5A899FA5 AE9F2411 7C4B1FE6 49286651 ECE45B3D"
+        "C2007CB8 A163BF05 98DA4836 1C55D39A 69163FA8 FD24CF5F"
+        "83655D23 DCA3AD96 1C62F356 208552BB 9ED52907 7096966D"
+        "670C354E 4ABC9804 F1746C08 CA18217C 32905E46 2E36CE3B"
+        "E39E772C 180E8603 9B2783A2 EC07A28F B5C55DF0 6F4C52C9"
+        "DE2BCBF6 95581718 3995497C EA956AE5 15D22618 98FA0510"
+        "15728E5A 8AACAA68 FFFFFFFF FFFFFFFF");
+    g.g = BigUint::from_u64(2);
+    return g;
+  }();
+  return group;
+}
+
+DhGroup generate_test_group(std::size_t bits, std::uint64_t seed) {
+  if (bits < 16) throw std::invalid_argument("test group too small");
+  // Seeded random odd starting point with the top bit set.
+  BigUint candidate = BigUint::random_below(
+      BigUint::from_u64(1).shifted_left(bits), seed);
+  candidate = candidate.add(BigUint::from_u64(1).shifted_left(bits - 1));
+  if (!candidate.is_odd()) candidate = candidate.add(BigUint::from_u64(1));
+
+  const BigUint two = BigUint::from_u64(2);
+  while (!BigUint::probably_prime(candidate, 12, seed ^ 0x9e3779b9)) {
+    candidate = candidate.add(two);
+  }
+  DhGroup g;
+  g.name = "test-modp-" + std::to_string(bits);
+  g.p = candidate;
+  g.g = BigUint::from_u64(5);
+  return g;
+}
+
+DhKeyPair dh_generate(const DhGroup& group, std::uint64_t seed) {
+  // Private key in [2, p-2].
+  const BigUint bound = group.p.sub(BigUint::from_u64(3));
+  DhKeyPair pair;
+  pair.private_key =
+      BigUint::random_below(bound, seed).add(BigUint::from_u64(2));
+  pair.public_key = BigUint::modexp(group.g, pair.private_key, group.p);
+  return pair;
+}
+
+Bytes dh_shared_secret(const DhGroup& group, const BigUint& private_key,
+                       const BigUint& peer_public) {
+  if (peer_public.is_zero() || peer_public >= group.p) {
+    throw std::invalid_argument("peer public key out of range");
+  }
+  const BigUint secret =
+      BigUint::modexp(peer_public, private_key, group.p);
+  return secret.to_bytes(group.byte_length());
+}
+
+}  // namespace emc::crypto

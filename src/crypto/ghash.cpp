@@ -1,0 +1,113 @@
+#include "emc/crypto/ghash.hpp"
+
+namespace emc::crypto {
+
+namespace {
+
+struct U128 {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+};
+
+/// Right-shift GF(2^128) multiply per SP 800-38D algorithm 1:
+/// Z = X · H with the reduction polynomial R = 0xE1 << 120.
+U128 soft_mul(U128 x, U128 h) noexcept {
+  U128 z;
+  U128 v = h;
+  for (int i = 0; i < 128; ++i) {
+    const bool bit =
+        i < 64 ? ((x.hi >> (63 - i)) & 1) != 0 : ((x.lo >> (127 - i)) & 1) != 0;
+    if (bit) {
+      z.hi ^= v.hi;
+      z.lo ^= v.lo;
+    }
+    const bool lsb = (v.lo & 1) != 0;
+    v.lo = (v.lo >> 1) | (v.hi << 63);
+    v.hi >>= 1;
+    if (lsb) v.hi ^= 0xe100000000000000ULL;
+  }
+  return z;
+}
+
+U128 load_block(const std::uint8_t b[kGhashBlock]) noexcept {
+  return U128{load_be64(b), load_be64(b + 8)};
+}
+
+void store_block(std::uint8_t b[kGhashBlock], U128 v) noexcept {
+  store_be64(b, v.hi);
+  store_be64(b + 8, v.lo);
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- GhashSoft
+
+GhashSoft::GhashSoft(const std::uint8_t h[kGhashBlock]) noexcept
+    : h_hi_(load_be64(h)), h_lo_(load_be64(h + 8)) {}
+
+void GhashSoft::mul(std::uint8_t x[kGhashBlock]) const noexcept {
+  store_block(x, soft_mul(load_block(x), U128{h_hi_, h_lo_}));
+}
+
+// ----------------------------------------------------------- GhashTable4
+
+GhashTable4::GhashTable4(const std::uint8_t h[kGhashBlock]) noexcept {
+  const U128 hv = load_block(h);
+  for (int nibble = 0; nibble < 32; ++nibble) {
+    const int byte = nibble / 2;
+    const bool high = (nibble % 2) == 0;
+    for (int v = 0; v < 16; ++v) {
+      std::uint8_t block[kGhashBlock] = {};
+      block[byte] = static_cast<std::uint8_t>(high ? v << 4 : v);
+      const U128 prod = soft_mul(load_block(block), hv);
+      auto& entry = table_[static_cast<std::size_t>(nibble)]
+                          [static_cast<std::size_t>(v)];
+      entry[0] = prod.hi;
+      entry[1] = prod.lo;
+    }
+  }
+}
+
+void GhashTable4::mul(std::uint8_t x[kGhashBlock]) const noexcept {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+  for (std::size_t byte = 0; byte < kGhashBlock; ++byte) {
+    const std::uint8_t b = x[byte];
+    const auto& hi_entry = table_[2 * byte][b >> 4];
+    const auto& lo_entry = table_[2 * byte + 1][b & 0x0f];
+    hi ^= hi_entry[0] ^ lo_entry[0];
+    lo ^= hi_entry[1] ^ lo_entry[1];
+  }
+  store_be64(x, hi);
+  store_be64(x + 8, lo);
+}
+
+// ----------------------------------------------------------- GhashTable8
+
+GhashTable8::GhashTable8(const std::uint8_t h[kGhashBlock]) noexcept {
+  const U128 hv = load_block(h);
+  for (std::size_t byte = 0; byte < kGhashBlock; ++byte) {
+    for (int v = 0; v < 256; ++v) {
+      std::uint8_t block[kGhashBlock] = {};
+      block[byte] = static_cast<std::uint8_t>(v);
+      const U128 prod = soft_mul(load_block(block), hv);
+      auto& entry = table_[byte][static_cast<std::size_t>(v)];
+      entry[0] = prod.hi;
+      entry[1] = prod.lo;
+    }
+  }
+}
+
+void GhashTable8::mul(std::uint8_t x[kGhashBlock]) const noexcept {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+  for (std::size_t byte = 0; byte < kGhashBlock; ++byte) {
+    const auto& entry = table_[byte][x[byte]];
+    hi ^= entry[0];
+    lo ^= entry[1];
+  }
+  store_be64(x, hi);
+  store_be64(x + 8, lo);
+}
+
+}  // namespace emc::crypto

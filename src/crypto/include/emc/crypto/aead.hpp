@@ -1,0 +1,44 @@
+// Authenticated-encryption interface (nonce-based AEAD, the paper's
+// Fig. 1 abstraction): Enc(K, N, A, P) -> C || T and the inverse.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "emc/common/bytes.hpp"
+
+namespace emc::crypto {
+
+inline constexpr std::size_t kGcmNonceBytes = 12;
+inline constexpr std::size_t kGcmTagBytes = 16;
+/// Per-message wire expansion of the encrypted MPI framing:
+/// 12-byte nonce + 16-byte tag (paper §IV).
+inline constexpr std::size_t kWireOverhead = kGcmNonceBytes + kGcmTagBytes;
+
+/// A ready-to-use AEAD key (key schedule + GHASH tables precomputed).
+class AeadKey {
+ public:
+  virtual ~AeadKey() = default;
+
+  /// Encrypts and authenticates: writes ciphertext || tag into @p out,
+  /// which must be exactly pt.size() + kGcmTagBytes bytes.
+  /// @p nonce must be kGcmNonceBytes long and unique per key.
+  virtual void seal(BytesView nonce, BytesView aad, BytesView pt,
+                    MutBytes out) const = 0;
+
+  /// Verifies and decrypts ct||tag; writes the plaintext into @p out
+  /// (exactly ct_tag.size() - kGcmTagBytes bytes). Returns false (and
+  /// wipes @p out) when authentication fails.
+  [[nodiscard]] virtual bool open(BytesView nonce, BytesView aad,
+                                  BytesView ct_tag, MutBytes out) const = 0;
+
+  /// Key length in bytes (16 or 32 in this study).
+  [[nodiscard]] virtual std::size_t key_size() const = 0;
+
+  /// Engine label for reports ("aes-ni+pclmul", "ttable+tab8", ...).
+  [[nodiscard]] virtual const char* engine() const = 0;
+};
+
+using AeadKeyPtr = std::unique_ptr<AeadKey>;
+
+}  // namespace emc::crypto

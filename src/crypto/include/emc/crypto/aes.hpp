@@ -1,0 +1,109 @@
+// AES block cipher cores (FIPS-197).
+//
+// GCM only needs the forward cipher, so the tuned cores implement
+// encryption only; the portable core also implements the inverse
+// cipher for the legacy ECB/CBC study modes. Three engines model the
+// implementation tiers of the benchmarked libraries:
+//   * AesPortable — straightforward byte-oriented code, no lookup-table
+//     MixColumns fusion (CryptoPP built with an old compiler).
+//   * AesTtable  — classic 4x 32-bit T-table implementation (Libsodium
+//     tier and the tuned-CryptoPP tier).
+//   * AES-NI     — hardware path, in gcm_ni.cpp (OpenSSL/BoringSSL tier).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "emc/common/bytes.hpp"
+
+namespace emc::crypto {
+
+inline constexpr std::size_t kAesBlock = 16;
+
+/// Valid AES key sizes in bytes.
+[[nodiscard]] constexpr bool valid_aes_key_size(std::size_t bytes) {
+  return bytes == 16 || bytes == 24 || bytes == 32;
+}
+
+/// Expanded round keys, shared by every software core.
+class AesKeySchedule {
+ public:
+  /// Expands a 128/192/256-bit key; throws std::invalid_argument on
+  /// other sizes.
+  explicit AesKeySchedule(BytesView key);
+
+  /// Number of rounds (10/12/14).
+  [[nodiscard]] int rounds() const noexcept { return rounds_; }
+
+  /// Round key r as 16 bytes (r in [0, rounds()]).
+  [[nodiscard]] const std::uint8_t* round_key(int r) const noexcept {
+    return bytes_.data() + static_cast<std::size_t>(r) * kAesBlock;
+  }
+
+  /// Round key words, big-endian packed (T-table and NI cores).
+  [[nodiscard]] const std::uint32_t* words() const noexcept {
+    return words_.data();
+  }
+
+ private:
+  int rounds_;
+  std::array<std::uint8_t, 15 * kAesBlock> bytes_{};
+  std::array<std::uint32_t, 60> words_{};
+};
+
+/// Byte-oriented AES (textbook structure, S-box lookups + xtime
+/// MixColumns). Implements both cipher directions.
+class AesPortable {
+ public:
+  explicit AesPortable(BytesView key) : ks_(key) {}
+
+  void encrypt_block(const std::uint8_t in[kAesBlock],
+                     std::uint8_t out[kAesBlock]) const noexcept;
+  void decrypt_block(const std::uint8_t in[kAesBlock],
+                     std::uint8_t out[kAesBlock]) const noexcept;
+
+  [[nodiscard]] const AesKeySchedule& schedule() const noexcept { return ks_; }
+
+ private:
+  AesKeySchedule ks_;
+};
+
+/// 32-bit T-table AES (encryption only; the tier used by tuned
+/// software implementations before AES-NI).
+class AesTtable {
+ public:
+  explicit AesTtable(BytesView key) : ks_(key) {}
+
+  void encrypt_block(const std::uint8_t in[kAesBlock],
+                     std::uint8_t out[kAesBlock]) const noexcept;
+
+  [[nodiscard]] const AesKeySchedule& schedule() const noexcept { return ks_; }
+
+ private:
+  AesKeySchedule ks_;
+};
+
+namespace detail {
+/// Forward S-box (exposed for the key schedule and tests).
+[[nodiscard]] const std::array<std::uint8_t, 256>& aes_sbox() noexcept;
+/// Inverse S-box.
+[[nodiscard]] const std::array<std::uint8_t, 256>& aes_inv_sbox() noexcept;
+/// GF(2^8) multiply by 2 (xtime).
+[[nodiscard]] constexpr std::uint8_t xtime(std::uint8_t x) noexcept {
+  return static_cast<std::uint8_t>(
+      static_cast<std::uint8_t>(x << 1) ^ ((x & 0x80) != 0 ? 0x1b : 0x00));
+}
+/// General GF(2^8) multiplication.
+[[nodiscard]] constexpr std::uint8_t gf_mul(std::uint8_t a,
+                                            std::uint8_t b) noexcept {
+  std::uint8_t result = 0;
+  for (int i = 0; i < 8; ++i) {
+    if ((b & 1) != 0) result = static_cast<std::uint8_t>(result ^ a);
+    a = xtime(a);
+    b = static_cast<std::uint8_t>(b >> 1);
+  }
+  return result;
+}
+}  // namespace detail
+
+}  // namespace emc::crypto

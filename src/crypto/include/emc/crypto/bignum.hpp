@@ -1,0 +1,88 @@
+// Arbitrary-precision unsigned integers for the Diffie-Hellman key
+// exchange (the key-distribution mechanism the paper's §IV leaves as
+// future work). Little-endian 64-bit limbs, schoolbook multiplication,
+// binary long division, and two modular-exponentiation paths: a
+// straightforward shift-subtract one (obviously correct, used as the
+// test oracle) and Montgomery CIOS (fast, used in production).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <string_view>
+#include <vector>
+
+#include "emc/common/bytes.hpp"
+
+namespace emc::crypto {
+
+class BigUint {
+ public:
+  BigUint() = default;  ///< zero
+
+  [[nodiscard]] static BigUint from_u64(std::uint64_t value);
+  /// Parses big-endian hex (whitespace tolerated, case-insensitive).
+  [[nodiscard]] static BigUint from_hex(std::string_view hex);
+  /// Parses big-endian bytes.
+  [[nodiscard]] static BigUint from_bytes(BytesView be);
+
+  /// Big-endian bytes, left-padded with zeros to at least @p min_len.
+  [[nodiscard]] Bytes to_bytes(std::size_t min_len = 0) const;
+  [[nodiscard]] std::string to_hex() const;
+
+  [[nodiscard]] bool is_zero() const noexcept { return limbs_.empty(); }
+  [[nodiscard]] bool is_odd() const noexcept {
+    return !limbs_.empty() && (limbs_[0] & 1) != 0;
+  }
+  /// Number of significant bits (0 for zero).
+  [[nodiscard]] std::size_t bit_length() const noexcept;
+  [[nodiscard]] bool bit(std::size_t i) const noexcept;
+
+  [[nodiscard]] int compare(const BigUint& other) const noexcept;
+  bool operator==(const BigUint& o) const noexcept { return compare(o) == 0; }
+  bool operator<(const BigUint& o) const noexcept { return compare(o) < 0; }
+  bool operator<=(const BigUint& o) const noexcept { return compare(o) <= 0; }
+  bool operator>(const BigUint& o) const noexcept { return compare(o) > 0; }
+  bool operator>=(const BigUint& o) const noexcept { return compare(o) >= 0; }
+
+  [[nodiscard]] BigUint add(const BigUint& other) const;
+  /// Requires *this >= other.
+  [[nodiscard]] BigUint sub(const BigUint& other) const;
+  [[nodiscard]] static BigUint mul(const BigUint& a, const BigUint& b);
+  [[nodiscard]] BigUint shifted_left(std::size_t bits) const;
+
+  /// {quotient, remainder} by binary long division; m must be nonzero.
+  [[nodiscard]] std::pair<BigUint, BigUint> divmod(const BigUint& m) const;
+  [[nodiscard]] BigUint mod(const BigUint& m) const;
+
+  /// base^exp mod m via square-and-multiply with division-based
+  /// reduction. The slow, transparent oracle.
+  [[nodiscard]] static BigUint modexp_slow(const BigUint& base,
+                                           const BigUint& exp,
+                                           const BigUint& m);
+
+  /// base^exp mod m via Montgomery multiplication (m must be odd).
+  [[nodiscard]] static BigUint modexp(const BigUint& base,
+                                      const BigUint& exp, const BigUint& m);
+
+  /// Miller-Rabin probabilistic primality test with @p rounds bases
+  /// drawn from the deterministic RNG seed. Used by the tests to
+  /// verify the published DH prime.
+  [[nodiscard]] static bool probably_prime(const BigUint& n, int rounds,
+                                           std::uint64_t seed);
+
+  /// Uniform value in [0, bound) from a deterministic seed.
+  [[nodiscard]] static BigUint random_below(const BigUint& bound,
+                                            std::uint64_t seed);
+
+  [[nodiscard]] const std::vector<std::uint64_t>& limbs() const noexcept {
+    return limbs_;
+  }
+
+ private:
+  void trim() noexcept;
+
+  std::vector<std::uint64_t> limbs_;  // little-endian, normalized
+};
+
+}  // namespace emc::crypto

@@ -1,0 +1,23 @@
+// AES-CCM (NIST SP 800-38C): CBC-MAC then CTR.
+//
+// The paper (§III-A) notes that among the standardized modes only GCM
+// and CCM provide both privacy and integrity, and picks GCM because it
+// is faster. This implementation exists to *measure* that claim: the
+// ablation benchmark compares AES-GCM and AES-CCM seal/open throughput
+// under identical framing (12-byte nonce, 16-byte tag), reproducing
+// the Krovetz-Rogaway observation the paper cites.
+//
+// CCM is inherently two-pass serial (CBC-MAC cannot be parallelized),
+// so even with AES-NI it trails GCM; the software core used here makes
+// the structural gap visible on any host.
+#pragma once
+
+#include "emc/crypto/aead.hpp"
+
+namespace emc::crypto {
+
+/// AES-CCM key with 12-byte nonces and 16-byte tags (the same wire
+/// framing as the AES-GCM providers). Key sizes 16/24/32.
+[[nodiscard]] AeadKeyPtr make_aes_ccm(BytesView key);
+
+}  // namespace emc::crypto

@@ -1,0 +1,49 @@
+// Finite-field Diffie-Hellman primitives for the key-distribution
+// extension (the paper's §IV future work). Groups are classic MODP
+// groups; arithmetic is the from-scratch BigUint with Montgomery
+// exponentiation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "emc/crypto/bignum.hpp"
+
+namespace emc::crypto {
+
+struct DhGroup {
+  std::string name;
+  BigUint p;  ///< prime modulus
+  BigUint g;  ///< generator
+
+  [[nodiscard]] std::size_t byte_length() const {
+    return (p.bit_length() + 7) / 8;
+  }
+};
+
+/// RFC 3526 group 14: the 2048-bit MODP group, generator 2. The test
+/// suite Miller-Rabin-verifies the modulus.
+[[nodiscard]] const DhGroup& modp_group14();
+
+/// Deterministically generates a small test group: the first probable
+/// prime at/above a seeded random @p bits-bit odd number, generator 5.
+/// For tests and fast demos — NOT for real security margins.
+[[nodiscard]] DhGroup generate_test_group(std::size_t bits,
+                                          std::uint64_t seed);
+
+struct DhKeyPair {
+  BigUint private_key;
+  BigUint public_key;  ///< g^private mod p
+};
+
+/// Deterministic keypair from @p seed (research reproducibility; a
+/// production system would draw from an OS CSPRNG).
+[[nodiscard]] DhKeyPair dh_generate(const DhGroup& group,
+                                    std::uint64_t seed);
+
+/// peer_public^private mod p, serialized big-endian at the group width.
+[[nodiscard]] Bytes dh_shared_secret(const DhGroup& group,
+                                     const BigUint& private_key,
+                                     const BigUint& peer_public);
+
+}  // namespace emc::crypto

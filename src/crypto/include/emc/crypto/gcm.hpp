@@ -1,0 +1,137 @@
+// Generic AES-GCM composition (NIST SP 800-38D §7) over any software
+// AES core and GHASH engine.
+#pragma once
+
+#include <cstring>
+#include <stdexcept>
+
+#include "emc/crypto/aead.hpp"
+#include "emc/crypto/aes.hpp"
+#include "emc/crypto/ghash.hpp"
+
+namespace emc::crypto {
+
+/// AES-GCM with compile-time chosen cipher/hash engines. Supports the
+/// standard 96-bit nonce fast path and the GHASH-derived J0 for other
+/// nonce lengths.
+template <typename Cipher, typename Ghash>
+class GcmKey final : public AeadKey {
+ public:
+  explicit GcmKey(BytesView key, const char* engine_label)
+      : cipher_(key),
+        ghash_(make_ghash(cipher_)),
+        key_size_(key.size()),
+        engine_(engine_label) {}
+
+  void seal(BytesView nonce, BytesView aad, BytesView pt,
+            MutBytes out) const override {
+    if (out.size() != pt.size() + kGcmTagBytes) {
+      throw std::invalid_argument("gcm seal: out must be pt+16 bytes");
+    }
+    std::uint8_t j0[kAesBlock];
+    derive_j0(nonce, j0);
+    MutBytes ct = out.first(pt.size());
+    ctr_crypt(j0, pt, ct);
+    compute_tag(j0, aad, ct, out.data() + pt.size());
+  }
+
+  bool open(BytesView nonce, BytesView aad, BytesView ct_tag,
+            MutBytes out) const override {
+    if (ct_tag.size() < kGcmTagBytes) return false;
+    const std::size_t ct_len = ct_tag.size() - kGcmTagBytes;
+    if (out.size() != ct_len) {
+      throw std::invalid_argument("gcm open: out must be ct-16 bytes");
+    }
+    std::uint8_t j0[kAesBlock];
+    derive_j0(nonce, j0);
+    std::uint8_t tag[kGcmTagBytes];
+    const BytesView ct = ct_tag.first(ct_len);
+    compute_tag(j0, aad, ct, tag);
+    if (!ct_equal(BytesView(tag, kGcmTagBytes), ct_tag.last(kGcmTagBytes))) {
+      secure_zero(out);
+      return false;
+    }
+    ctr_crypt(j0, ct, out);
+    return true;
+  }
+
+  [[nodiscard]] std::size_t key_size() const override { return key_size_; }
+  [[nodiscard]] const char* engine() const override { return engine_; }
+
+ private:
+  static Ghash make_ghash(const Cipher& cipher) {
+    std::uint8_t zero[kAesBlock] = {};
+    std::uint8_t h[kAesBlock];
+    cipher.encrypt_block(zero, h);
+    return Ghash(h);
+  }
+
+  void derive_j0(BytesView nonce, std::uint8_t j0[kAesBlock]) const {
+    if (nonce.size() == kGcmNonceBytes) {
+      std::memcpy(j0, nonce.data(), kGcmNonceBytes);
+      store_be32(j0 + 12, 1);
+      return;
+    }
+    // General nonce: J0 = GHASH(N || pad || [0]64 || [len(N)]64).
+    std::uint8_t y[kAesBlock] = {};
+    ghash_update(ghash_, y, nonce);
+    ghash_lengths(ghash_, y, 0, nonce.size());
+    std::memcpy(j0, y, kAesBlock);
+  }
+
+  /// CTR with the 32-bit big-endian counter in the last word,
+  /// starting from inc32(J0).
+  void ctr_crypt(const std::uint8_t j0[kAesBlock], BytesView in,
+                 MutBytes out) const noexcept {
+    std::uint8_t counter[kAesBlock];
+    std::memcpy(counter, j0, kAesBlock);
+    std::uint32_t ctr = load_be32(counter + 12);
+    std::uint8_t keystream[kAesBlock];
+    std::size_t i = 0;
+    while (i < in.size()) {
+      store_be32(counter + 12, ++ctr);
+      cipher_.encrypt_block(counter, keystream);
+      const std::size_t n =
+          in.size() - i < kAesBlock ? in.size() - i : kAesBlock;
+      for (std::size_t j = 0; j < n; ++j) {
+        out[i + j] = static_cast<std::uint8_t>(in[i + j] ^ keystream[j]);
+      }
+      i += n;
+    }
+  }
+
+  void compute_tag(const std::uint8_t j0[kAesBlock], BytesView aad,
+                   BytesView ct, std::uint8_t tag[kGcmTagBytes]) const {
+    std::uint8_t y[kAesBlock] = {};
+    ghash_update(ghash_, y, aad);
+    ghash_update(ghash_, y, ct);
+    ghash_lengths(ghash_, y, aad.size(), ct.size());
+    std::uint8_t ekj0[kAesBlock];
+    cipher_.encrypt_block(j0, ekj0);
+    for (std::size_t j = 0; j < kGcmTagBytes; ++j) {
+      tag[j] = static_cast<std::uint8_t>(y[j] ^ ekj0[j]);
+    }
+  }
+
+  Cipher cipher_;
+  Ghash ghash_;
+  std::size_t key_size_;
+  const char* engine_;
+};
+
+/// Hardware AES-GCM (AES-NI + PCLMULQDQ); defined in gcm_ni.cpp.
+/// Construction throws std::runtime_error when the host lacks the ISA
+/// extensions (check emc::has_aes_hardware() first).
+/// This is the tuned tier: 4-block interleaved CTR and 4-block
+/// aggregated-reduction GHASH (the OpenSSL/BoringSSL class).
+[[nodiscard]] AeadKeyPtr make_gcm_ni(BytesView key);
+
+/// Hardware AES-GCM with per-block GHASH reduction: same ISA, less
+/// tuning — the mid-tier hardware implementation class (the paper's
+/// Libsodium sits here: AES-NI, but not OpenSSL-grade assembly).
+[[nodiscard]] AeadKeyPtr make_gcm_ni_basic(BytesView key);
+
+/// True when make_gcm_ni can be used on this host.
+[[nodiscard]] bool gcm_ni_available() noexcept;
+
+}  // namespace emc::crypto

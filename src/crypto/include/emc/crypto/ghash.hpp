@@ -1,0 +1,85 @@
+// GHASH — the GF(2^128) universal hash of GCM (NIST SP 800-38D §6.3).
+//
+// Three software engines with different speed/precomputation
+// trade-offs (the tiers of the benchmarked libraries), plus a
+// PCLMULQDQ engine in ghash_pclmul.cpp:
+//   * GhashSoft   — bit-serial shift-and-xor, no tables (reference).
+//   * GhashTable4 — 8 KB of nibble-position tables per key.
+//   * GhashTable8 — 64 KB of byte-position tables per key.
+// The table engines exploit linearity of field multiplication: X·H is
+// the XOR over positions j of T[j][X_j] where T was filled with the
+// reference multiplier, so they are correct by construction.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "emc/common/bytes.hpp"
+
+namespace emc::crypto {
+
+inline constexpr std::size_t kGhashBlock = 16;
+
+/// Bit-serial GF(2^128) multiplier (right-shift algorithm).
+class GhashSoft {
+ public:
+  explicit GhashSoft(const std::uint8_t h[kGhashBlock]) noexcept;
+
+  /// x = x · H in GF(2^128).
+  void mul(std::uint8_t x[kGhashBlock]) const noexcept;
+
+ private:
+  std::uint64_t h_hi_;
+  std::uint64_t h_lo_;
+};
+
+/// Nibble-position tables: 32 tables of 16 entries.
+class GhashTable4 {
+ public:
+  explicit GhashTable4(const std::uint8_t h[kGhashBlock]) noexcept;
+  void mul(std::uint8_t x[kGhashBlock]) const noexcept;
+
+ private:
+  // table_[2j + (high ? 0 : 1)][v] = (v at nibble position) · H
+  std::array<std::array<std::array<std::uint64_t, 2>, 16>, 32> table_{};
+};
+
+/// Byte-position tables: 16 tables of 256 entries.
+class GhashTable8 {
+ public:
+  explicit GhashTable8(const std::uint8_t h[kGhashBlock]) noexcept;
+  void mul(std::uint8_t x[kGhashBlock]) const noexcept;
+
+ private:
+  std::array<std::array<std::array<std::uint64_t, 2>, 256>, 16> table_{};
+};
+
+/// Feeds @p data into the GHASH accumulator @p y, zero-padding the
+/// final partial block (the standard GHASH block iteration).
+template <typename Ghash>
+void ghash_update(const Ghash& ghash, std::uint8_t y[kGhashBlock],
+                  BytesView data) noexcept {
+  std::size_t i = 0;
+  while (i + kGhashBlock <= data.size()) {
+    for (std::size_t j = 0; j < kGhashBlock; ++j) y[j] ^= data[i + j];
+    ghash.mul(y);
+    i += kGhashBlock;
+  }
+  if (i < data.size()) {
+    for (std::size_t j = 0; i + j < data.size(); ++j) y[j] ^= data[i + j];
+    ghash.mul(y);
+  }
+}
+
+/// Appends the [len(A)]64 || [len(C)]64 length block (bit lengths).
+template <typename Ghash>
+void ghash_lengths(const Ghash& ghash, std::uint8_t y[kGhashBlock],
+                   std::uint64_t aad_bytes, std::uint64_t ct_bytes) noexcept {
+  std::uint8_t block[kGhashBlock];
+  store_be64(block, aad_bytes * 8);
+  store_be64(block + 8, ct_bytes * 8);
+  for (std::size_t j = 0; j < kGhashBlock; ++j) y[j] ^= block[j];
+  ghash.mul(y);
+}
+
+}  // namespace emc::crypto

@@ -1,0 +1,82 @@
+// The insecure legacy constructions the paper's Related Work (§II)
+// dissects, re-implemented so their flaws can be demonstrated
+// concretely (tests/crypto/attacks_test, examples/legacy_pitfalls):
+//
+//   * ECB mode            — ES-MPICH2's choice; leaks plaintext
+//                           structure (equal blocks -> equal blocks).
+//   * CBC mode            — privacy-only; malleable, no integrity even
+//                           with an encrypted checksum (An–Bellare).
+//   * CTR mode (raw)      — privacy-only; trivially bit-flippable.
+//   * Big-key one-time pad — VAN-MPICH2's scheme; pad reuse after
+//                           wrap-around enables two-time-pad recovery.
+//
+// None of these are used by the encrypted MPI layer; they exist purely
+// for the security study.
+#pragma once
+
+#include <cstddef>
+
+#include "emc/common/bytes.hpp"
+#include "emc/crypto/aes.hpp"
+
+namespace emc::crypto::legacy {
+
+/// ECB with PKCS#7 padding. Deterministic and structure-leaking.
+[[nodiscard]] Bytes ecb_encrypt(const AesPortable& aes, BytesView pt);
+/// Throws std::runtime_error on malformed padding.
+[[nodiscard]] Bytes ecb_decrypt(const AesPortable& aes, BytesView ct);
+
+/// CBC with PKCS#7 padding and an explicit 16-byte IV.
+[[nodiscard]] Bytes cbc_encrypt(const AesPortable& aes, BytesView iv,
+                                BytesView pt);
+[[nodiscard]] Bytes cbc_decrypt(const AesPortable& aes, BytesView iv,
+                                BytesView ct);
+
+/// Raw CTR keystream XOR (no authentication); iv is the initial
+/// 16-byte counter block. Encryption and decryption are identical.
+[[nodiscard]] Bytes ctr_crypt(const AesPortable& aes, BytesView iv,
+                              BytesView data);
+
+/// VAN-MPICH2-style encryption: one big random key K, each message
+/// XORed with the next |M| bytes of K. When the running offset wraps
+/// past the end of K, pads overlap — the exact flaw §II describes.
+class BigKeyPad {
+ public:
+  explicit BigKeyPad(Bytes big_key);
+
+  /// XORs @p msg with the next slice of the big key (wrapping).
+  [[nodiscard]] Bytes encrypt(BytesView msg);
+
+  /// Bytes of key consumed so far (not wrapped).
+  [[nodiscard]] std::size_t consumed() const noexcept { return consumed_; }
+
+  /// True once at least one pad byte has been reused.
+  [[nodiscard]] bool pad_reused() const noexcept {
+    return consumed_ > key_.size();
+  }
+
+ private:
+  Bytes key_;
+  std::size_t consumed_ = 0;
+};
+
+// --- Attack demonstrations ---------------------------------------------
+
+/// Number of ciphertext block values that occur more than once —
+/// nonzero counts reveal plaintext structure under ECB.
+[[nodiscard]] std::size_t duplicate_block_count(BytesView ct,
+                                                std::size_t block = 16);
+
+/// Two-time-pad recovery: given two ciphertexts whose pads overlap on
+/// [0, n) and the first plaintext, recovers the second plaintext
+/// (M2 = C1 XOR C2 XOR M1 on the overlap).
+[[nodiscard]] Bytes recover_second_plaintext(BytesView c1, BytesView c2,
+                                             BytesView known_m1);
+
+/// CBC bit-flip: XORs @p delta into byte @p index of ciphertext block
+/// b, which XORs delta into byte index of *plaintext* block b+1 after
+/// decryption (garbling block b). Returns the forged ciphertext.
+[[nodiscard]] Bytes cbc_bitflip(BytesView ct, std::size_t block,
+                                std::size_t index, std::uint8_t delta);
+
+}  // namespace emc::crypto::legacy

@@ -1,0 +1,53 @@
+// SHA-256 (FIPS 180-4), HMAC-SHA-256 (RFC 2104), and HKDF (RFC 5869),
+// implemented from scratch.
+//
+// These support the key-distribution extension (the paper's §IV leaves
+// key management as future work): Diffie-Hellman shared secrets are
+// fed through HKDF to derive communicator/session AES-GCM keys.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "emc/common/bytes.hpp"
+
+namespace emc::crypto {
+
+inline constexpr std::size_t kSha256Digest = 32;
+inline constexpr std::size_t kSha256Block = 64;
+
+/// Incremental SHA-256.
+class Sha256 {
+ public:
+  Sha256() noexcept;
+
+  /// Feeds more message bytes.
+  void update(BytesView data) noexcept;
+
+  /// Finalizes into @p out (32 bytes); the object must not be reused
+  /// afterwards without reset().
+  void finalize(std::uint8_t out[kSha256Digest]) noexcept;
+
+  void reset() noexcept;
+
+  /// One-shot convenience.
+  [[nodiscard]] static Bytes digest(BytesView data);
+
+ private:
+  void process_block(const std::uint8_t block[kSha256Block]) noexcept;
+
+  std::array<std::uint32_t, 8> state_{};
+  std::uint64_t total_bytes_ = 0;
+  std::array<std::uint8_t, kSha256Block> buffer_{};
+  std::size_t buffered_ = 0;
+};
+
+/// HMAC-SHA-256 of @p data under @p key (any key length).
+[[nodiscard]] Bytes hmac_sha256(BytesView key, BytesView data);
+
+/// HKDF-SHA-256 extract+expand: derives @p length bytes (<= 255*32)
+/// from input keying material, salt, and context info.
+[[nodiscard]] Bytes hkdf_sha256(BytesView ikm, BytesView salt,
+                                BytesView info, std::size_t length);
+
+}  // namespace emc::crypto

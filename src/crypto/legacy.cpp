@@ -1,0 +1,151 @@
+#include "emc/crypto/legacy.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace emc::crypto::legacy {
+
+namespace {
+
+Bytes pkcs7_pad(BytesView pt) {
+  const std::size_t pad = kAesBlock - (pt.size() % kAesBlock);
+  Bytes padded(pt.begin(), pt.end());
+  padded.insert(padded.end(), pad, static_cast<std::uint8_t>(pad));
+  return padded;
+}
+
+Bytes pkcs7_unpad(Bytes padded) {
+  if (padded.empty() || padded.size() % kAesBlock != 0) {
+    throw std::runtime_error("pkcs7: invalid ciphertext length");
+  }
+  const std::uint8_t pad = padded.back();
+  if (pad == 0 || pad > kAesBlock || pad > padded.size()) {
+    throw std::runtime_error("pkcs7: invalid padding byte");
+  }
+  for (std::size_t i = padded.size() - pad; i < padded.size(); ++i) {
+    if (padded[i] != pad) throw std::runtime_error("pkcs7: corrupt padding");
+  }
+  padded.resize(padded.size() - pad);
+  return padded;
+}
+
+void check_iv(BytesView iv) {
+  if (iv.size() != kAesBlock) {
+    throw std::invalid_argument("IV must be 16 bytes");
+  }
+}
+
+}  // namespace
+
+Bytes ecb_encrypt(const AesPortable& aes, BytesView pt) {
+  Bytes padded = pkcs7_pad(pt);
+  for (std::size_t i = 0; i < padded.size(); i += kAesBlock) {
+    aes.encrypt_block(padded.data() + i, padded.data() + i);
+  }
+  return padded;
+}
+
+Bytes ecb_decrypt(const AesPortable& aes, BytesView ct) {
+  if (ct.empty() || ct.size() % kAesBlock != 0) {
+    throw std::runtime_error("ecb: invalid ciphertext length");
+  }
+  Bytes out(ct.begin(), ct.end());
+  for (std::size_t i = 0; i < out.size(); i += kAesBlock) {
+    aes.decrypt_block(out.data() + i, out.data() + i);
+  }
+  return pkcs7_unpad(std::move(out));
+}
+
+Bytes cbc_encrypt(const AesPortable& aes, BytesView iv, BytesView pt) {
+  check_iv(iv);
+  Bytes out = pkcs7_pad(pt);
+  const std::uint8_t* chain = iv.data();
+  for (std::size_t i = 0; i < out.size(); i += kAesBlock) {
+    for (std::size_t j = 0; j < kAesBlock; ++j) out[i + j] ^= chain[j];
+    aes.encrypt_block(out.data() + i, out.data() + i);
+    chain = out.data() + i;
+  }
+  return out;
+}
+
+Bytes cbc_decrypt(const AesPortable& aes, BytesView iv, BytesView ct) {
+  check_iv(iv);
+  if (ct.empty() || ct.size() % kAesBlock != 0) {
+    throw std::runtime_error("cbc: invalid ciphertext length");
+  }
+  Bytes out(ct.size());
+  std::uint8_t chain[kAesBlock];
+  std::copy(iv.begin(), iv.end(), chain);
+  for (std::size_t i = 0; i < ct.size(); i += kAesBlock) {
+    aes.decrypt_block(ct.data() + i, out.data() + i);
+    for (std::size_t j = 0; j < kAesBlock; ++j) out[i + j] ^= chain[j];
+    std::copy(ct.begin() + static_cast<std::ptrdiff_t>(i),
+              ct.begin() + static_cast<std::ptrdiff_t>(i + kAesBlock), chain);
+  }
+  return pkcs7_unpad(std::move(out));
+}
+
+Bytes ctr_crypt(const AesPortable& aes, BytesView iv, BytesView data) {
+  check_iv(iv);
+  Bytes out(data.begin(), data.end());
+  std::uint8_t counter[kAesBlock];
+  std::copy(iv.begin(), iv.end(), counter);
+  std::uint8_t keystream[kAesBlock];
+  for (std::size_t i = 0; i < out.size(); i += kAesBlock) {
+    aes.encrypt_block(counter, keystream);
+    const std::size_t n = std::min(kAesBlock, out.size() - i);
+    for (std::size_t j = 0; j < n; ++j) out[i + j] ^= keystream[j];
+    // Increment the full counter block (big-endian).
+    for (int j = kAesBlock - 1; j >= 0; --j) {
+      if (++counter[j] != 0) break;
+    }
+  }
+  return out;
+}
+
+BigKeyPad::BigKeyPad(Bytes big_key) : key_(std::move(big_key)) {
+  if (key_.empty()) throw std::invalid_argument("big key must be non-empty");
+}
+
+Bytes BigKeyPad::encrypt(BytesView msg) {
+  Bytes out(msg.begin(), msg.end());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] ^= key_[(consumed_ + i) % key_.size()];  // wrap = pad reuse
+  }
+  consumed_ += out.size();
+  return out;
+}
+
+std::size_t duplicate_block_count(BytesView ct, std::size_t block) {
+  std::unordered_map<std::string, std::size_t> seen;
+  std::size_t duplicates = 0;
+  for (std::size_t i = 0; i + block <= ct.size(); i += block) {
+    std::string key(reinterpret_cast<const char*>(ct.data() + i), block);
+    if (++seen[key] == 2) ++duplicates;
+  }
+  return duplicates;
+}
+
+Bytes recover_second_plaintext(BytesView c1, BytesView c2,
+                               BytesView known_m1) {
+  const std::size_t n = std::min({c1.size(), c2.size(), known_m1.size()});
+  Bytes m2(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    m2[i] = static_cast<std::uint8_t>(c1[i] ^ c2[i] ^ known_m1[i]);
+  }
+  return m2;
+}
+
+Bytes cbc_bitflip(BytesView ct, std::size_t block, std::size_t index,
+                  std::uint8_t delta) {
+  const std::size_t pos = block * kAesBlock + index;
+  if (pos >= ct.size()) {
+    throw std::out_of_range("cbc_bitflip: position beyond ciphertext");
+  }
+  Bytes forged(ct.begin(), ct.end());
+  forged[pos] ^= delta;
+  return forged;
+}
+
+}  // namespace emc::crypto::legacy

@@ -1,0 +1,191 @@
+#include "emc/crypto/sha256.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace emc::crypto {
+
+namespace {
+
+// First 32 bits of the fractional parts of the cube roots of the
+// first 64 primes (FIPS 180-4 §4.2.2).
+constexpr std::uint32_t kK[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+constexpr std::uint32_t rotr(std::uint32_t x, int n) noexcept {
+  return (x >> n) | (x << (32 - n));
+}
+
+}  // namespace
+
+Sha256::Sha256() noexcept { reset(); }
+
+void Sha256::reset() noexcept {
+  state_ = {0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+            0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
+  total_bytes_ = 0;
+  buffered_ = 0;
+}
+
+void Sha256::process_block(const std::uint8_t block[kSha256Block]) noexcept {
+  std::uint32_t w[64];
+  for (int t = 0; t < 16; ++t) {
+    w[t] = load_be32(block + 4 * t);
+  }
+  for (int t = 16; t < 64; ++t) {
+    const std::uint32_t s0 =
+        rotr(w[t - 15], 7) ^ rotr(w[t - 15], 18) ^ (w[t - 15] >> 3);
+    const std::uint32_t s1 =
+        rotr(w[t - 2], 17) ^ rotr(w[t - 2], 19) ^ (w[t - 2] >> 10);
+    w[t] = w[t - 16] + s0 + w[t - 7] + s1;
+  }
+
+  std::uint32_t a = state_[0];
+  std::uint32_t b = state_[1];
+  std::uint32_t c = state_[2];
+  std::uint32_t d = state_[3];
+  std::uint32_t e = state_[4];
+  std::uint32_t f = state_[5];
+  std::uint32_t g = state_[6];
+  std::uint32_t h = state_[7];
+
+  for (int t = 0; t < 64; ++t) {
+    const std::uint32_t sigma1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
+    const std::uint32_t ch = (e & f) ^ (~e & g);
+    const std::uint32_t temp1 = h + sigma1 + ch + kK[t] + w[t];
+    const std::uint32_t sigma0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
+    const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+    const std::uint32_t temp2 = sigma0 + maj;
+    h = g;
+    g = f;
+    f = e;
+    e = d + temp1;
+    d = c;
+    c = b;
+    b = a;
+    a = temp1 + temp2;
+  }
+
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+  state_[4] += e;
+  state_[5] += f;
+  state_[6] += g;
+  state_[7] += h;
+}
+
+void Sha256::update(BytesView data) noexcept {
+  total_bytes_ += data.size();
+  std::size_t i = 0;
+  if (buffered_ > 0) {
+    const std::size_t take =
+        std::min(kSha256Block - buffered_, data.size());
+    std::memcpy(buffer_.data() + buffered_, data.data(), take);
+    buffered_ += take;
+    i = take;
+    if (buffered_ == kSha256Block) {
+      process_block(buffer_.data());
+      buffered_ = 0;
+    }
+  }
+  while (i + kSha256Block <= data.size()) {
+    process_block(data.data() + i);
+    i += kSha256Block;
+  }
+  if (i < data.size()) {
+    std::memcpy(buffer_.data(), data.data() + i, data.size() - i);
+    buffered_ = data.size() - i;
+  }
+}
+
+void Sha256::finalize(std::uint8_t out[kSha256Digest]) noexcept {
+  const std::uint64_t bit_length = total_bytes_ * 8;
+  const std::uint8_t pad_byte = 0x80;
+  update(BytesView(&pad_byte, 1));
+  const std::uint8_t zero = 0x00;
+  while (buffered_ != 56) {
+    update(BytesView(&zero, 1));
+  }
+  std::uint8_t length_block[8];
+  store_be64(length_block, bit_length);
+  update(BytesView(length_block, 8));
+  for (int i = 0; i < 8; ++i) {
+    store_be32(out + 4 * i, state_[static_cast<std::size_t>(i)]);
+  }
+}
+
+Bytes Sha256::digest(BytesView data) {
+  Sha256 hasher;
+  hasher.update(data);
+  Bytes out(kSha256Digest);
+  hasher.finalize(out.data());
+  return out;
+}
+
+Bytes hmac_sha256(BytesView key, BytesView data) {
+  std::array<std::uint8_t, kSha256Block> k_block{};
+  if (key.size() > kSha256Block) {
+    const Bytes hashed = Sha256::digest(key);
+    std::memcpy(k_block.data(), hashed.data(), hashed.size());
+  } else if (!key.empty()) {
+    std::memcpy(k_block.data(), key.data(), key.size());
+  }
+
+  std::array<std::uint8_t, kSha256Block> ipad{};
+  std::array<std::uint8_t, kSha256Block> opad{};
+  for (std::size_t i = 0; i < kSha256Block; ++i) {
+    ipad[i] = static_cast<std::uint8_t>(k_block[i] ^ 0x36);
+    opad[i] = static_cast<std::uint8_t>(k_block[i] ^ 0x5c);
+  }
+
+  Sha256 inner;
+  inner.update(ipad);
+  inner.update(data);
+  Bytes inner_digest(kSha256Digest);
+  inner.finalize(inner_digest.data());
+
+  Sha256 outer;
+  outer.update(opad);
+  outer.update(inner_digest);
+  Bytes out(kSha256Digest);
+  outer.finalize(out.data());
+  return out;
+}
+
+Bytes hkdf_sha256(BytesView ikm, BytesView salt, BytesView info,
+                  std::size_t length) {
+  if (length > 255 * kSha256Digest) {
+    throw std::invalid_argument("hkdf: requested length too large");
+  }
+  // Extract.
+  const Bytes prk = hmac_sha256(salt, ikm);
+  // Expand.
+  Bytes out;
+  out.reserve(length);
+  Bytes t;
+  std::uint8_t counter = 1;
+  while (out.size() < length) {
+    Bytes block = t;
+    block.insert(block.end(), info.begin(), info.end());
+    block.push_back(counter++);
+    t = hmac_sha256(prk, block);
+    const std::size_t take = std::min(t.size(), length - out.size());
+    out.insert(out.end(), t.begin(),
+               t.begin() + static_cast<std::ptrdiff_t>(take));
+  }
+  return out;
+}
+
+}  // namespace emc::crypto

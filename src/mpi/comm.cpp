@@ -1,0 +1,498 @@
+#include "emc/mpi/comm.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <utility>
+
+namespace emc::mpi {
+
+namespace detail {
+namespace {
+
+bool matches(const Envelope& env, const PendingRecv& pr) {
+  return (pr.want_src == kAnySource || pr.want_src == env.src) &&
+         (pr.want_tag == kAnyTag || pr.want_tag == env.tag);
+}
+
+}  // namespace
+
+/// Request state of a non-blocking send.
+struct SendState final : RequestState {
+  std::unique_ptr<RndvHandshake> handshake;  // null on the eager path
+};
+
+/// Request state of a non-blocking receive. Deregisters itself from
+/// the posted queue if the request is abandoned before matching.
+struct RecvState final : RequestState {
+  PendingRecv pr;
+  Mailbox* mailbox = nullptr;
+
+  ~RecvState() override {
+    if (mailbox != nullptr && !pr.matched) {
+      std::erase(mailbox->posted, &pr);
+    }
+  }
+};
+
+}  // namespace detail
+
+using detail::Envelope;
+using detail::PendingRecv;
+using detail::RecvState;
+using detail::RndvHandshake;
+using detail::SendState;
+
+Comm::Comm(World& world, sim::Process& proc)
+    : world_(&world), proc_(&proc) {}
+
+void Comm::check_user_tag(int tag) const {
+  if (tag < 0 || tag > kMaxUserTag) {
+    throw MpiError("user tag out of range: " + std::to_string(tag));
+  }
+}
+
+void Comm::check_peer(int peer) const {
+  if (peer < 0 || peer >= size()) {
+    throw MpiError("peer rank out of range: " + std::to_string(peer));
+  }
+}
+
+void Comm::sleep_until(double t) { proc_->advance(t - proc_->now()); }
+
+int Comm::next_coll_tag() {
+  // 64 internal tag slots per collective invocation (one per round).
+  const auto base = (std::uint32_t{1} << 28) | ((coll_seq_ << 6) & 0x0FFFFFFFu);
+  ++coll_seq_;
+  return static_cast<int>(base);
+}
+
+// ------------------------------------------------------------- matching
+
+void Comm::post_envelope(int dst, std::unique_ptr<Envelope> env) {
+  detail::Mailbox& box = world_->mailbox(dst);
+  for (auto it = box.posted.begin(); it != box.posted.end(); ++it) {
+    PendingRecv* pr = *it;
+    if (detail::matches(*env, *pr)) {
+      box.posted.erase(it);
+      pr->matched = std::move(env);
+      proc_->notify_all(pr->cond);
+      return;
+    }
+  }
+  box.unexpected.push_back(std::move(env));
+}
+
+// ------------------------------------------------------------ send side
+
+void Comm::send_internal(BytesView data, int dst, int tag) {
+  check_peer(dst);
+  const net::NetworkProfile& prof = world_->fabric().profile(rank(), dst);
+  const bool self = dst == rank();
+  const double now = proc_->now();
+
+  if (self || data.size() <= prof.eager_threshold) {
+    proc_->advance(prof.send_overhead +
+                   static_cast<double>(data.size()) / prof.copy_bandwidth);
+    auto env = std::make_unique<Envelope>();
+    env->src = rank();
+    env->tag = tag;
+    env->seq = world_->next_seq();
+    env->payload.assign(data.begin(), data.end());
+    env->arrival =
+        self ? proc_->now()
+             : world_->fabric()
+                   .reserve_path(rank(), dst, data.size(), proc_->now())
+                   .arrival;
+    post_envelope(dst, std::move(env));
+    return;
+  }
+
+  // Rendezvous: announce via RTS, wait for the receiver to pull.
+  proc_->advance(prof.send_overhead);
+  RndvHandshake handshake;
+  auto env = std::make_unique<Envelope>();
+  env->src = rank();
+  env->tag = tag;
+  env->seq = world_->next_seq();
+  env->rendezvous = true;
+  env->rndv_data = data;
+  env->handshake = &handshake;
+  env->arrival = world_->fabric()
+                     .reserve_path(rank(), dst, world_->config().ctrl_bytes,
+                                   std::max(now, proc_->now()))
+                     .arrival;
+  post_envelope(dst, std::move(env));
+  while (!handshake.completed) proc_->wait(handshake.done);
+  sleep_until(handshake.sender_complete);
+}
+
+void Comm::send(BytesView data, int dst, int tag) {
+  check_user_tag(tag);
+  send_internal(data, dst, tag);
+}
+
+Request Comm::isend_internal(BytesView data, int dst, int tag) {
+  check_peer(dst);
+  const net::NetworkProfile& prof = world_->fabric().profile(rank(), dst);
+  const bool self = dst == rank();
+  auto state = std::make_unique<SendState>();
+
+  if (self || data.size() <= prof.eager_threshold) {
+    proc_->advance(prof.send_overhead +
+                   static_cast<double>(data.size()) / prof.copy_bandwidth);
+    auto env = std::make_unique<Envelope>();
+    env->src = rank();
+    env->tag = tag;
+    env->seq = world_->next_seq();
+    env->payload.assign(data.begin(), data.end());
+    env->arrival =
+        self ? proc_->now()
+             : world_->fabric()
+                   .reserve_path(rank(), dst, data.size(), proc_->now())
+                   .arrival;
+    post_envelope(dst, std::move(env));
+    return Request(std::move(state));
+  }
+
+  proc_->advance(prof.send_overhead);
+  state->handshake = std::make_unique<RndvHandshake>();
+  auto env = std::make_unique<Envelope>();
+  env->src = rank();
+  env->tag = tag;
+  env->seq = world_->next_seq();
+  env->rendezvous = true;
+  env->rndv_data = data;
+  env->handshake = state->handshake.get();
+  env->arrival = world_->fabric()
+                     .reserve_path(rank(), dst, world_->config().ctrl_bytes,
+                                   proc_->now())
+                     .arrival;
+  post_envelope(dst, std::move(env));
+  return Request(std::move(state));
+}
+
+Request Comm::isend(BytesView data, int dst, int tag) {
+  check_user_tag(tag);
+  return isend_internal(data, dst, tag);
+}
+
+// ------------------------------------------------------------ recv side
+
+Request Comm::irecv_internal(MutBytes buf, int src, int tag) {
+  if (src != kAnySource) check_peer(src);
+  auto state = std::make_unique<RecvState>();
+  state->pr.want_src = src;
+  state->pr.want_tag = tag;
+  state->pr.buf = buf;
+
+  detail::Mailbox& box = world_->mailbox(rank());
+  for (auto it = box.unexpected.begin(); it != box.unexpected.end(); ++it) {
+    if (detail::matches(**it, state->pr)) {
+      state->pr.matched = std::move(*it);
+      box.unexpected.erase(it);
+      return Request(std::move(state));
+    }
+  }
+  state->mailbox = &box;
+  box.posted.push_back(&state->pr);
+  return Request(std::move(state));
+}
+
+Request Comm::irecv(MutBytes buf, int src, int tag) {
+  if (tag != kAnyTag) check_user_tag(tag);
+  return irecv_internal(buf, src, tag);
+}
+
+Status Comm::complete_recv(PendingRecv& pr) {
+  while (!pr.matched) proc_->wait(pr.cond);
+  Envelope& env = *pr.matched;
+  const net::NetworkProfile& prof = world_->fabric().profile(env.src, rank());
+
+  Status status;
+  status.source = env.src;
+  status.tag = env.tag;
+
+  if (!env.rendezvous) {
+    if (env.payload.size() > pr.buf.size()) {
+      throw MpiError("receive buffer too small: need " +
+                     std::to_string(env.payload.size()) + " bytes, have " +
+                     std::to_string(pr.buf.size()));
+    }
+    sleep_until(env.arrival);
+    proc_->advance(prof.recv_overhead +
+                   static_cast<double>(env.payload.size()) /
+                       prof.copy_bandwidth);
+    if (!env.payload.empty()) {
+      std::memcpy(pr.buf.data(), env.payload.data(), env.payload.size());
+    }
+    status.bytes = env.payload.size();
+  } else {
+    if (env.rndv_data.size() > pr.buf.size()) {
+      throw MpiError("receive buffer too small for rendezvous payload");
+    }
+    // CTS back to the sender, then an RDMA-style pull of the payload
+    // through the sender's egress NIC. The sender CPU does not
+    // participate (zero-copy), so only its NIC is reserved.
+    const double handshake_start = std::max(proc_->now(), env.arrival);
+    const net::PathTimes cts = world_->fabric().reserve_path(
+        rank(), env.src, world_->config().ctrl_bytes, handshake_start);
+    const net::PathTimes data = world_->fabric().reserve_path(
+        env.src, rank(), env.rndv_data.size(), cts.arrival);
+    if (!env.rndv_data.empty()) {
+      std::memcpy(pr.buf.data(), env.rndv_data.data(), env.rndv_data.size());
+    }
+    status.bytes = env.rndv_data.size();
+    env.handshake->sender_complete = data.egress_done;
+    env.handshake->completed = true;
+    proc_->notify_all(env.handshake->done);
+    sleep_until(data.arrival);
+    proc_->advance(prof.recv_overhead);
+  }
+  pr.matched.reset();
+  return status;
+}
+
+Status Comm::recv(MutBytes buf, int src, int tag) {
+  if (tag != kAnyTag) check_user_tag(tag);
+  Request request = irecv_internal(buf, src, tag);
+  return wait(request);
+}
+
+// ----------------------------------------------------------- completion
+
+Status Comm::wait(Request& request) {
+  if (!request.valid()) throw MpiError("wait on an empty request");
+  auto owned = request.take();
+  if (auto* send_state = dynamic_cast<SendState*>(owned.get())) {
+    if (send_state->handshake) {
+      while (!send_state->handshake->completed) {
+        proc_->wait(send_state->handshake->done);
+      }
+      sleep_until(send_state->handshake->sender_complete);
+    }
+    return Status{};  // send completions carry no matching info
+  }
+  if (auto* recv_state = dynamic_cast<RecvState*>(owned.get())) {
+    return complete_recv(recv_state->pr);
+  }
+  throw MpiError("request does not belong to this communicator");
+}
+
+std::vector<Status> Comm::waitall(std::span<Request> requests) {
+  std::vector<Status> statuses;
+  statuses.reserve(requests.size());
+  for (Request& r : requests) statuses.push_back(wait(r));
+  return statuses;
+}
+
+Status Comm::sendrecv(BytesView senddata, int dst, int sendtag,
+                      MutBytes recvbuf, int src, int recvtag) {
+  check_user_tag(sendtag);
+  if (recvtag != kAnyTag) check_user_tag(recvtag);
+  Request rr = irecv_internal(recvbuf, src, recvtag);
+  Request rs = isend_internal(senddata, dst, sendtag);
+  const Status status = wait(rr);
+  wait(rs);
+  return status;
+}
+
+// ----------------------------------------------------------- collectives
+
+void Comm::barrier() {
+  const int base = next_coll_tag();
+  const int n = size();
+  const int r = rank();
+  std::uint8_t token = 0;
+  std::uint8_t sink = 0;
+  int round = 0;
+  for (int k = 1; k < n; k <<= 1, ++round) {
+    const int dst = (r + k) % n;
+    const int src = (r - k + n) % n;
+    Request rr = irecv_internal(MutBytes(&sink, 1), src, base + round);
+    Request rs = isend_internal(BytesView(&token, 1), dst, base + round);
+    wait(rr);
+    wait(rs);
+  }
+}
+
+void Comm::bcast(MutBytes data, int root) {
+  check_peer(root);
+  const int base = next_coll_tag();
+  const int n = size();
+  if (n == 1) return;
+  const int vrank = (rank() - root + n) % n;
+
+  // Binomial tree: receive from the parent, then forward to children.
+  // Forward exactly the received byte count, so a non-root rank with
+  // an oversized buffer still relays the correct message.
+  std::size_t len = data.size();
+  int mask = 1;
+  while (mask < n) {
+    if ((vrank & mask) != 0) {
+      const int parent = (vrank - mask + root) % n;
+      Request rr = irecv_internal(data, parent, base);
+      len = wait(rr).bytes;
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (vrank + mask < n) {
+      const int child = (vrank + mask + root) % n;
+      send_internal(BytesView(data).first(len), child, base);
+    }
+    mask >>= 1;
+  }
+}
+
+void Comm::allgather(BytesView sendpart, MutBytes recvall) {
+  const int n = size();
+  const std::size_t block = sendpart.size();
+  if (recvall.size() != block * static_cast<std::size_t>(n)) {
+    throw MpiError("allgather: recv buffer must be size()*block bytes");
+  }
+  const int base = next_coll_tag();
+  const int r = rank();
+  if (!sendpart.empty()) {
+    std::memcpy(recvall.data() + static_cast<std::size_t>(r) * block,
+                sendpart.data(), block);
+  }
+  if (n == 1) return;
+
+  // Ring: in step s, pass along the block that originated s hops back.
+  const int right = (r + 1) % n;
+  const int left = (r - 1 + n) % n;
+  for (int s = 0; s < n - 1; ++s) {
+    const auto send_idx = static_cast<std::size_t>((r - s + n) % n);
+    const auto recv_idx = static_cast<std::size_t>((r - s - 1 + n) % n);
+    Request rr = irecv_internal(
+        recvall.subspan(recv_idx * block, block), left, base + (s & 63));
+    Request rs = isend_internal(
+        BytesView(recvall.subspan(send_idx * block, block)), right,
+        base + (s & 63));
+    wait(rr);
+    wait(rs);
+  }
+}
+
+void Comm::alltoall(BytesView sendbuf, MutBytes recvbuf, std::size_t block) {
+  const int n = size();
+  const auto total = block * static_cast<std::size_t>(n);
+  if (sendbuf.size() != total || recvbuf.size() != total) {
+    throw MpiError("alltoall: buffers must be size()*block bytes");
+  }
+  const int base = next_coll_tag();
+  const int r = rank();
+
+  // Posted-window algorithm: all receives first, then all sends,
+  // peers staggered by rank to spread NIC load.
+  std::vector<Request> requests;
+  requests.reserve(2 * static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const int peer = (r + i) % n;
+    requests.push_back(irecv_internal(
+        recvbuf.subspan(static_cast<std::size_t>(peer) * block, block), peer,
+        base));
+  }
+  for (int i = 0; i < n; ++i) {
+    const int peer = (r + i) % n;
+    requests.push_back(isend_internal(
+        sendbuf.subspan(static_cast<std::size_t>(peer) * block, block), peer,
+        base));
+  }
+  waitall(requests);
+}
+
+void Comm::alltoallv(BytesView sendbuf,
+                     std::span<const std::size_t> sendcounts,
+                     std::span<const std::size_t> senddispls, MutBytes recvbuf,
+                     std::span<const std::size_t> recvcounts,
+                     std::span<const std::size_t> recvdispls) {
+  const auto n = static_cast<std::size_t>(size());
+  if (sendcounts.size() != n || senddispls.size() != n ||
+      recvcounts.size() != n || recvdispls.size() != n) {
+    throw MpiError("alltoallv: count/displacement arrays must have size() entries");
+  }
+  const int base = next_coll_tag();
+  const int r = rank();
+
+  std::vector<Request> requests;
+  requests.reserve(2 * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto peer = static_cast<std::size_t>((static_cast<std::size_t>(r) + i) % n);
+    requests.push_back(
+        irecv_internal(recvbuf.subspan(recvdispls[peer], recvcounts[peer]),
+                       static_cast<int>(peer), base));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto peer = static_cast<std::size_t>((static_cast<std::size_t>(r) + i) % n);
+    requests.push_back(
+        isend_internal(sendbuf.subspan(senddispls[peer], sendcounts[peer]),
+                       static_cast<int>(peer), base));
+  }
+  waitall(requests);
+}
+
+void Comm::gather(BytesView sendpart, MutBytes recvall, int root) {
+  check_peer(root);
+  const int n = size();
+  const std::size_t block = sendpart.size();
+  const int base = next_coll_tag();
+  if (rank() == root) {
+    if (recvall.size() != block * static_cast<std::size_t>(n)) {
+      throw MpiError("gather: root recv buffer must be size()*block bytes");
+    }
+    std::vector<Request> requests;
+    requests.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      if (i == root) {
+        if (!sendpart.empty()) {
+          std::memcpy(recvall.data() + static_cast<std::size_t>(i) * block,
+                      sendpart.data(), block);
+        }
+        continue;
+      }
+      requests.push_back(irecv_internal(
+          recvall.subspan(static_cast<std::size_t>(i) * block, block), i,
+          base));
+    }
+    waitall(requests);
+  } else {
+    send_internal(sendpart, root, base);
+  }
+}
+
+void Comm::scatter(BytesView sendall, MutBytes recvpart, int root) {
+  check_peer(root);
+  const int n = size();
+  const std::size_t block = recvpart.size();
+  const int base = next_coll_tag();
+  if (rank() == root) {
+    if (sendall.size() != block * static_cast<std::size_t>(n)) {
+      throw MpiError("scatter: root send buffer must be size()*block bytes");
+    }
+    std::vector<Request> requests;
+    requests.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      if (i == root) {
+        if (!recvpart.empty()) {
+          std::memcpy(recvpart.data(),
+                      sendall.data() + static_cast<std::size_t>(i) * block,
+                      block);
+        }
+        continue;
+      }
+      requests.push_back(isend_internal(
+          sendall.subspan(static_cast<std::size_t>(i) * block, block), i,
+          base));
+    }
+    waitall(requests);
+  } else {
+    Request rr = irecv_internal(recvpart, root, base);
+    wait(rr);
+  }
+}
+
+}  // namespace emc::mpi

@@ -1,0 +1,77 @@
+// Plain (unencrypted) MiniMPI communicator — the baseline of the study.
+#pragma once
+
+#include "emc/mpi/communicator.hpp"
+#include "emc/mpi/world.hpp"
+#include "emc/sim/engine.hpp"
+
+namespace emc::mpi {
+
+/// Communicator bound to one rank (one simulated process) of a World.
+/// Point-to-point uses the eager protocol below the network profile's
+/// threshold and an RDMA-style RTS/CTS rendezvous above it; the
+/// collectives use the classic MPICH algorithms (binomial bcast, ring
+/// allgather, posted-window alltoall, dissemination barrier).
+class Comm final : public Communicator {
+ public:
+  Comm(World& world, sim::Process& proc);
+
+  [[nodiscard]] int rank() const override { return proc_->index(); }
+  [[nodiscard]] int size() const override { return world_->size(); }
+
+  /// Virtual time as seen by this rank.
+  [[nodiscard]] double now() const { return proc_->now(); }
+
+  /// The simulated process behind this rank; used by benches to charge
+  /// compute time (`process().advance(...)` / `process().charge(...)`).
+  [[nodiscard]] sim::Process& process() { return *proc_; }
+  [[nodiscard]] World& world() { return *world_; }
+
+  void send(BytesView data, int dst, int tag) override;
+  Status recv(MutBytes buf, int src, int tag) override;
+  Request isend(BytesView data, int dst, int tag) override;
+  Request irecv(MutBytes buf, int src, int tag) override;
+  Status wait(Request& request) override;
+  std::vector<Status> waitall(std::span<Request> requests) override;
+  Status sendrecv(BytesView senddata, int dst, int sendtag, MutBytes recvbuf,
+                  int src, int recvtag) override;
+
+  void barrier() override;
+  void bcast(MutBytes data, int root) override;
+  void allgather(BytesView sendpart, MutBytes recvall) override;
+  void alltoall(BytesView sendbuf, MutBytes recvbuf,
+                std::size_t block) override;
+  void alltoallv(BytesView sendbuf, std::span<const std::size_t> sendcounts,
+                 std::span<const std::size_t> senddispls, MutBytes recvbuf,
+                 std::span<const std::size_t> recvcounts,
+                 std::span<const std::size_t> recvdispls) override;
+  void gather(BytesView sendpart, MutBytes recvall, int root) override;
+  void scatter(BytesView sendall, MutBytes recvpart, int root) override;
+
+ private:
+  /// Posts an envelope to @p dst, matching a posted receive if one fits.
+  void post_envelope(int dst, std::unique_ptr<detail::Envelope> env);
+
+  /// Sends with internal tags allowed (collectives).
+  void send_internal(BytesView data, int dst, int tag);
+  Request isend_internal(BytesView data, int dst, int tag);
+  Request irecv_internal(MutBytes buf, int src, int tag);
+
+  /// Completes a bound receive: sleeps to arrival, charges receiver
+  /// costs, copies the payload (or executes the rendezvous pull).
+  Status complete_recv(detail::PendingRecv& pr);
+
+  void check_user_tag(int tag) const;
+  void check_peer(int peer) const;
+  void sleep_until(double t);
+
+  /// Fresh tag for the next collective (all ranks call collectives in
+  /// the same order, so the per-rank counter stays aligned).
+  int next_coll_tag();
+
+  World* world_;
+  sim::Process* proc_;
+  std::uint32_t coll_seq_ = 0;
+};
+
+}  // namespace emc::mpi

@@ -1,0 +1,84 @@
+// Abstract communicator interface.
+//
+// Both the plain MiniMPI communicator (emc::mpi::Comm) and the
+// encrypted wrapper (emc::secure::SecureComm) implement this surface,
+// so applications — the examples, the NAS kernels, the benchmark
+// harness — are written once and run over either. The routine set is
+// exactly the one the paper instruments (§IV): Send/Recv/Isend/Irecv/
+// Wait/Waitall plus Allgather, Alltoall, Alltoallv, Bcast, and the
+// Barrier every benchmark needs.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "emc/common/bytes.hpp"
+#include "emc/mpi/types.hpp"
+
+namespace emc::mpi {
+
+class Communicator {
+ public:
+  virtual ~Communicator() = default;
+
+  [[nodiscard]] virtual int rank() const = 0;
+  [[nodiscard]] virtual int size() const = 0;
+
+  // --- Point-to-point --------------------------------------------------
+  /// Blocking send of @p data to @p dst with @p tag (0 <= tag <= kMaxUserTag).
+  virtual void send(BytesView data, int dst, int tag) = 0;
+
+  /// Blocking receive into @p buf (capacity >= incoming payload).
+  /// Returns the matched source/tag and actual byte count.
+  virtual Status recv(MutBytes buf, int src, int tag) = 0;
+
+  /// Non-blocking send; @p data must stay valid until wait().
+  virtual Request isend(BytesView data, int dst, int tag) = 0;
+
+  /// Non-blocking receive; @p buf must stay valid until wait().
+  virtual Request irecv(MutBytes buf, int src, int tag) = 0;
+
+  /// Completes one request (fills receive buffers, frees send buffers).
+  virtual Status wait(Request& request) = 0;
+
+  /// Completes all requests in order of completion availability.
+  virtual std::vector<Status> waitall(std::span<Request> requests) = 0;
+
+  /// Combined blocking send + receive (deadlock-free pairwise exchange).
+  virtual Status sendrecv(BytesView senddata, int dst, int sendtag,
+                          MutBytes recvbuf, int src, int recvtag) = 0;
+
+  // --- Collectives ------------------------------------------------------
+  /// All ranks block until every rank entered.
+  virtual void barrier() = 0;
+
+  /// Root's @p data is replicated into every rank's @p data.
+  virtual void bcast(MutBytes data, int root) = 0;
+
+  /// Each rank contributes @p sendpart; @p recvall (size() * block
+  /// bytes, block == sendpart.size()) receives all contributions in
+  /// rank order.
+  virtual void allgather(BytesView sendpart, MutBytes recvall) = 0;
+
+  /// Personalized all-to-all with fixed @p block bytes per peer.
+  /// sendbuf/recvbuf hold size() consecutive blocks.
+  virtual void alltoall(BytesView sendbuf, MutBytes recvbuf,
+                        std::size_t block) = 0;
+
+  /// Vector all-to-all: block i of sendbuf (sendcounts[i] bytes at
+  /// senddispls[i]) goes to rank i; symmetric for receives.
+  virtual void alltoallv(BytesView sendbuf,
+                         std::span<const std::size_t> sendcounts,
+                         std::span<const std::size_t> senddispls,
+                         MutBytes recvbuf,
+                         std::span<const std::size_t> recvcounts,
+                         std::span<const std::size_t> recvdispls) = 0;
+
+  /// Root gathers equal-size blocks from all ranks (rank order).
+  virtual void gather(BytesView sendpart, MutBytes recvall, int root) = 0;
+
+  /// Root scatters equal-size blocks to all ranks.
+  virtual void scatter(BytesView sendall, MutBytes recvpart, int root) = 0;
+};
+
+}  // namespace emc::mpi

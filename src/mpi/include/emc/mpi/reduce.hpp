@@ -1,0 +1,89 @@
+// Typed reductions layered over the abstract Communicator interface.
+//
+// These are header-only templates built from point-to-point traffic +
+// bcast, so they work identically over the plain and the encrypted
+// communicator (the NAS kernels use them for residual/verification
+// scalars). All ranks must call them in the same order, like any MPI
+// collective.
+#pragma once
+
+#include <cstring>
+#include <functional>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "emc/mpi/communicator.hpp"
+
+namespace emc::mpi {
+
+namespace detail {
+/// Tag reserved for the typed reductions (top of the user tag space).
+inline constexpr int kReduceTag = kMaxUserTag;
+}  // namespace detail
+
+/// Element-wise reduction to @p root using a binomial tree.
+/// @p in and @p out must have equal sizes; @p out is written on every
+/// rank but only meaningful at the root.
+template <typename T, typename BinaryOp>
+void reduce(Communicator& comm, std::span<const T> in, std::span<T> out,
+            int root, BinaryOp op) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (in.size() != out.size()) throw MpiError("reduce: size mismatch");
+  const int n = comm.size();
+  const int vrank = (comm.rank() - root + n) % n;
+  std::copy(in.begin(), in.end(), out.begin());
+
+  std::vector<T> incoming(in.size());
+  const auto bytes = in.size() * sizeof(T);
+  int mask = 1;
+  while (mask < n) {
+    if ((vrank & mask) != 0) {
+      const int parent = (vrank - mask + root) % n;
+      comm.send(BytesView(reinterpret_cast<const std::uint8_t*>(out.data()),
+                          bytes),
+                parent, detail::kReduceTag);
+      break;
+    }
+    if (vrank + mask < n) {
+      const int child = (vrank + mask + root) % n;
+      comm.recv(MutBytes(reinterpret_cast<std::uint8_t*>(incoming.data()),
+                         bytes),
+                child, detail::kReduceTag);
+      for (std::size_t i = 0; i < out.size(); ++i) {
+        out[i] = op(out[i], incoming[i]);
+      }
+    }
+    mask <<= 1;
+  }
+}
+
+/// Element-wise all-reduce: binomial reduce to rank 0, then bcast.
+template <typename T, typename BinaryOp>
+void allreduce(Communicator& comm, std::span<const T> in, std::span<T> out,
+               BinaryOp op) {
+  reduce(comm, in, out, 0, op);
+  comm.bcast(MutBytes(reinterpret_cast<std::uint8_t*>(out.data()),
+                      out.size() * sizeof(T)),
+             0);
+}
+
+/// Scalar sum all-reduce convenience.
+template <typename T>
+[[nodiscard]] T allreduce_sum(Communicator& comm, T value) {
+  T out{};
+  allreduce(comm, std::span<const T>(&value, 1), std::span<T>(&out, 1),
+            std::plus<T>{});
+  return out;
+}
+
+/// Scalar max all-reduce convenience.
+template <typename T>
+[[nodiscard]] T allreduce_max(Communicator& comm, T value) {
+  T out{};
+  allreduce(comm, std::span<const T>(&value, 1), std::span<T>(&out, 1),
+            [](T a, T b) { return a > b ? a : b; });
+  return out;
+}
+
+}  // namespace emc::mpi

@@ -1,0 +1,70 @@
+// Shared types of the MiniMPI message-passing library.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+namespace emc::mpi {
+
+/// Wildcard source for receive matching (like MPI_ANY_SOURCE).
+inline constexpr int kAnySource = -1;
+/// Wildcard tag for receive matching (like MPI_ANY_TAG).
+inline constexpr int kAnyTag = -1;
+
+/// User tags must stay below this; higher tags are reserved for
+/// collective-internal traffic.
+inline constexpr int kMaxUserTag = (1 << 28) - 1;
+
+/// Completion information of a receive.
+struct Status {
+  int source = kAnySource;
+  int tag = kAnyTag;
+  std::size_t bytes = 0;
+};
+
+/// All MiniMPI usage errors surface as this exception.
+struct MpiError : std::runtime_error {
+  explicit MpiError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+/// Opaque per-request state; concrete types live with the
+/// communicator implementation that created the request.
+struct RequestState {
+  virtual ~RequestState() = default;
+};
+}  // namespace detail
+
+/// Move-only handle for a non-blocking operation. Every request must
+/// be completed with wait/waitall on the communicator that created it
+/// (the usual MPI contract).
+class Request {
+ public:
+  Request() = default;
+  explicit Request(std::unique_ptr<detail::RequestState> state)
+      : state_(std::move(state)) {}
+
+  Request(Request&&) noexcept = default;
+  Request& operator=(Request&&) noexcept = default;
+  Request(const Request&) = delete;
+  Request& operator=(const Request&) = delete;
+
+  /// True until the request has been waited on (or never held state).
+  [[nodiscard]] bool valid() const noexcept { return state_ != nullptr; }
+
+  /// Implementation access; user code never needs this.
+  [[nodiscard]] detail::RequestState* state() noexcept { return state_.get(); }
+
+  /// Releases the state (called by wait implementations).
+  std::unique_ptr<detail::RequestState> take() noexcept {
+    return std::move(state_);
+  }
+
+ private:
+  std::unique_ptr<detail::RequestState> state_;
+};
+
+}  // namespace emc::mpi

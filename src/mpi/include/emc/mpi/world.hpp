@@ -1,0 +1,112 @@
+// The simulated MPI world: owns the discrete-event engine, the network
+// fabric, and the per-rank mailboxes; `run_world` is the entry point
+// that spawns one simulated process per rank.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "emc/common/bytes.hpp"
+#include "emc/mpi/types.hpp"
+#include "emc/netsim/fabric.hpp"
+#include "emc/sim/engine.hpp"
+
+namespace emc::mpi {
+
+class Comm;
+
+namespace detail {
+
+/// Sender-owned rendezvous completion channel. The receiver fills in
+/// `sender_complete` and notifies `done`; the envelope merely points
+/// here so receiver-side teardown can never dangle the sender.
+struct RndvHandshake {
+  sim::Waitable done;
+  bool completed = false;
+  double sender_complete = 0.0;  ///< virtual time the send buffer is free
+};
+
+/// One in-flight message (eager payload or rendezvous announcement).
+struct Envelope {
+  int src = 0;
+  int tag = 0;
+  std::uint64_t seq = 0;     ///< global send order (deterministic matching)
+  double arrival = 0.0;      ///< eager: payload arrival; rndv: RTS arrival
+  bool rendezvous = false;
+  Bytes payload;             ///< eager only
+  BytesView rndv_data{};     ///< rndv: view into the sender's buffer
+  RndvHandshake* handshake = nullptr;  ///< rndv only
+};
+
+/// A posted (not yet matched) receive.
+struct PendingRecv {
+  int want_src = kAnySource;
+  int want_tag = kAnyTag;
+  MutBytes buf{};
+  std::unique_ptr<Envelope> matched;  ///< set when an envelope binds
+  sim::Waitable cond;
+};
+
+/// Per-rank matching queues. Only ever touched by the currently
+/// running simulated process (engine serialization), so lock-free.
+struct Mailbox {
+  std::deque<std::unique_ptr<Envelope>> unexpected;
+  std::deque<PendingRecv*> posted;
+};
+
+}  // namespace detail
+
+/// Configuration for one simulated world.
+struct WorldConfig {
+  net::ClusterConfig cluster;
+
+  /// Control-message size used by the rendezvous RTS/CTS handshake.
+  std::size_t ctrl_bytes = 64;
+
+  /// Simulated-CPU speed relative to the build host: every charged
+  /// host measurement (crypto, kernel compute) is multiplied by this
+  /// before entering virtual time. 1.0 = "the cluster CPUs are as
+  /// fast as this host"; benchmarks can calibrate it so the simulated
+  /// nodes match the paper's Xeon E5-2620 v4.
+  double cpu_scale = 1.0;
+};
+
+/// Shared state of a running world. Created by run_world; exposed so
+/// benchmarks can build Comm objects for sub-experiments.
+class World {
+ public:
+  explicit World(const WorldConfig& config);
+
+  [[nodiscard]] int size() const noexcept { return fabric_.config().total_ranks(); }
+  [[nodiscard]] const WorldConfig& config() const noexcept { return config_; }
+  [[nodiscard]] net::Fabric& fabric() noexcept { return fabric_; }
+  [[nodiscard]] sim::Engine& engine() noexcept { return engine_; }
+
+  [[nodiscard]] detail::Mailbox& mailbox(int rank) {
+    return mailboxes_.at(static_cast<std::size_t>(rank));
+  }
+
+  [[nodiscard]] std::uint64_t next_seq() noexcept { return seq_++; }
+
+  /// Runs @p body once per rank inside the simulation; returns the
+  /// virtual time at which the last rank finished. May be called
+  /// repeatedly; virtual time accumulates.
+  double run(const std::function<void(Comm&)>& body);
+
+ private:
+  WorldConfig config_;
+  net::Fabric fabric_;
+  sim::Engine engine_;
+  std::vector<detail::Mailbox> mailboxes_;
+  std::uint64_t seq_ = 0;
+};
+
+/// One-shot convenience: build a world and run @p body on every rank.
+/// Returns the final virtual time (seconds).
+double run_world(const WorldConfig& config,
+                 const std::function<void(Comm&)>& body);
+
+}  // namespace emc::mpi

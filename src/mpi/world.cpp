@@ -1,0 +1,28 @@
+#include "emc/mpi/world.hpp"
+
+#include "emc/mpi/comm.hpp"
+
+namespace emc::mpi {
+
+World::World(const WorldConfig& config)
+    : config_(config),
+      fabric_(config.cluster),
+      engine_(config.cluster.total_ranks()),
+      mailboxes_(static_cast<std::size_t>(config.cluster.total_ranks())) {
+  engine_.set_charge_scale(config.cpu_scale);
+}
+
+double World::run(const std::function<void(Comm&)>& body) {
+  return engine_.run([this, &body](sim::Process& proc) {
+    Comm comm(*this, proc);
+    body(comm);
+  });
+}
+
+double run_world(const WorldConfig& config,
+                 const std::function<void(Comm&)>& body) {
+  World world(config);
+  return world.run(body);
+}
+
+}  // namespace emc::mpi

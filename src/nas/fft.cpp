@@ -1,0 +1,53 @@
+#include "emc/nas/fft.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace emc::nas {
+
+void fft(std::span<Complex> data, bool inverse) {
+  const std::size_t n = data.size();
+  assert(is_pow2(n));
+  if (n <= 1) return;
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; (j & bit) != 0; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  const double sign = inverse ? 1.0 : -1.0;
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle =
+        sign * 2.0 * std::numbers::pi / static_cast<double>(len);
+    const Complex wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex u = data[i + k];
+        const Complex v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+
+  if (inverse) {
+    const double scale = 1.0 / static_cast<double>(n);
+    for (Complex& c : data) c *= scale;
+  }
+}
+
+void fft_strided(Complex* data, std::size_t n, std::size_t stride,
+                 bool inverse, std::span<Complex> scratch) {
+  assert(scratch.size() >= n);
+  for (std::size_t k = 0; k < n; ++k) scratch[k] = data[k * stride];
+  fft(scratch.first(n), inverse);
+  for (std::size_t k = 0; k < n; ++k) data[k * stride] = scratch[k];
+}
+
+}  // namespace emc::nas

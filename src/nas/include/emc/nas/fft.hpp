@@ -1,0 +1,27 @@
+// Iterative radix-2 complex FFT used by the mini-NAS FT kernel.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+
+namespace emc::nas {
+
+using Complex = std::complex<double>;
+
+/// In-place radix-2 Cooley-Tukey FFT; data.size() must be a power of
+/// two. @p inverse applies the conjugate transform with 1/N scaling.
+void fft(std::span<Complex> data, bool inverse);
+
+/// Strided in-place FFT over data[offset + k*stride], k in [0, n).
+/// Gathers into a contiguous scratch buffer (length n) and scatters
+/// back; @p scratch must have at least n elements.
+void fft_strided(Complex* data, std::size_t n, std::size_t stride,
+                 bool inverse, std::span<Complex> scratch);
+
+/// True when @p n is a power of two (and nonzero).
+[[nodiscard]] constexpr bool is_pow2(std::size_t n) noexcept {
+  return n != 0 && (n & (n - 1)) == 0;
+}
+
+}  // namespace emc::nas

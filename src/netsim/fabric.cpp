@@ -1,0 +1,77 @@
+#include "emc/netsim/fabric.hpp"
+
+#include <algorithm>
+
+namespace emc::net {
+
+Fabric::Fabric(ClusterConfig config) : config_(std::move(config)) {
+  if (config_.num_nodes < 1 || config_.ranks_per_node < 1) {
+    throw std::invalid_argument("cluster must have >=1 node and >=1 rank/node");
+  }
+  inter_nics_.resize(static_cast<std::size_t>(config_.num_nodes));
+  intra_nics_.resize(static_cast<std::size_t>(config_.num_nodes));
+}
+
+Fabric::Nic& Fabric::nic_for(int src, int dst) {
+  const auto node = static_cast<std::size_t>(node_of(src));
+  return same_node(src, dst) ? intra_nics_[node] : inter_nics_[node];
+}
+
+const Fabric::Nic& Fabric::nic_for(int src, int dst) const {
+  const auto node = static_cast<std::size_t>(src / config_.ranks_per_node);
+  return src / config_.ranks_per_node == dst / config_.ranks_per_node
+             ? intra_nics_[node]
+             : inter_nics_[node];
+}
+
+int Fabric::active_flows(int src, int dst, double at) const {
+  const Nic& nic = nic_for(src, dst);
+  std::vector<int> sources;
+  for (const auto& [source, end] : nic.active) {
+    if (end > at &&
+        std::find(sources.begin(), sources.end(), source) == sources.end()) {
+      sources.push_back(source);
+    }
+  }
+  return static_cast<int>(sources.size());
+}
+
+PathTimes Fabric::reserve_path(int src, int dst, std::size_t bytes,
+                               double earliest) {
+  check_rank(src);
+  check_rank(dst);
+  const NetworkProfile& prof = profile(src, dst);
+  Nic& nic = nic_for(src, dst);
+
+  const double start = std::max(earliest, nic.next_free);
+
+  // Contention: count distinct *flows* (source ranks) with traffic
+  // still pending when this transfer was submitted — the mechanism
+  // behind the paper's 8-pair InfiniBand throttling (Fig. 11). Window
+  // depth from a single sender does not trigger it.
+  double per_msg = prof.per_msg_nic;
+  double bandwidth = prof.bandwidth;
+  if (prof.contention_threshold > 0) {
+    std::erase_if(nic.active, [earliest](const std::pair<int, double>& e) {
+      return e.second <= earliest;
+    });
+    if (active_flows(src, dst, earliest) >= prof.contention_threshold) {
+      per_msg *= prof.contention_msg_factor;
+      bandwidth *= prof.contention_bw_factor;
+    }
+  }
+
+  const double busy = per_msg + static_cast<double>(bytes) / bandwidth;
+  nic.next_free = start + busy;
+  if (prof.contention_threshold > 0) {
+    nic.active.emplace_back(src, nic.next_free);
+  }
+
+  return PathTimes{
+      .start = start,
+      .egress_done = start + busy,
+      .arrival = start + busy + prof.latency,
+  };
+}
+
+}  // namespace emc::net

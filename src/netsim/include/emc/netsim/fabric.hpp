@@ -1,0 +1,91 @@
+// Cluster fabric: maps ranks to nodes, owns per-node NIC arbiters, and
+// computes message path timings in virtual time.
+//
+// All state is mutated only by the currently running simulated process
+// (the sim engine serializes process threads), so no locking is needed.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "emc/netsim/profile.hpp"
+
+namespace emc::net {
+
+/// Static description of the simulated cluster.
+struct ClusterConfig {
+  int num_nodes = 1;
+  int ranks_per_node = 1;
+  NetworkProfile inter = ethernet_10g();
+  NetworkProfile intra = intra_node();
+
+  [[nodiscard]] int total_ranks() const noexcept {
+    return num_nodes * ranks_per_node;
+  }
+};
+
+/// Result of reserving the egress path for one message.
+struct PathTimes {
+  double start = 0.0;        ///< when the NIC begins serializing the bytes
+  double egress_done = 0.0;  ///< when the sender-side buffer is free
+  double arrival = 0.0;      ///< when the last byte reaches the receiver
+};
+
+class Fabric {
+ public:
+  explicit Fabric(ClusterConfig config);
+
+  [[nodiscard]] const ClusterConfig& config() const noexcept {
+    return config_;
+  }
+
+  [[nodiscard]] int node_of(int rank) const {
+    check_rank(rank);
+    return rank / config_.ranks_per_node;
+  }
+
+  [[nodiscard]] bool same_node(int a, int b) const {
+    return node_of(a) == node_of(b);
+  }
+
+  /// Profile governing traffic between two ranks.
+  [[nodiscard]] const NetworkProfile& profile(int src, int dst) const {
+    return same_node(src, dst) ? config_.intra : config_.inter;
+  }
+
+  /// Reserves the sender-side NIC for a @p bytes message from @p src
+  /// to @p dst, no earlier than @p earliest, applying FIFO bandwidth
+  /// sharing and the profile's contention model. Advances the NIC
+  /// "next free" pointer; returns the path timing. CPU-side costs
+  /// (software overheads, eager copies) are charged by the caller.
+  PathTimes reserve_path(int src, int dst, std::size_t bytes, double earliest);
+
+  /// Number of distinct source ranks with transfers still in flight
+  /// through src's relevant NIC at time @p at. Exposed for tests of
+  /// the contention model.
+  [[nodiscard]] int active_flows(int src, int dst, double at) const;
+
+ private:
+  struct Nic {
+    double next_free = 0.0;
+    /// (source rank, completion time) of recent transfers; used to
+    /// count concurrent *flows* for the contention model.
+    std::vector<std::pair<int, double>> active;
+  };
+
+  void check_rank(int rank) const {
+    if (rank < 0 || rank >= config_.total_ranks()) {
+      throw std::out_of_range("rank out of range");
+    }
+  }
+
+  Nic& nic_for(int src, int dst);
+  [[nodiscard]] const Nic& nic_for(int src, int dst) const;
+
+  ClusterConfig config_;
+  std::vector<Nic> inter_nics_;  // one per node
+  std::vector<Nic> intra_nics_;  // one per node (memory bus)
+};
+
+}  // namespace emc::net

@@ -1,0 +1,109 @@
+#include "emc/secure_mpi/key_exchange.hpp"
+
+#include "emc/common/rng.hpp"
+#include "emc/crypto/provider.hpp"
+#include "emc/crypto/sha256.hpp"
+
+namespace emc::secure {
+
+namespace {
+
+constexpr int kWrapTag = 901;
+const char* kHkdfSalt = "emc-mpi-key-exchange-v1";
+const char* kConfirmLabel = "emc-key-confirmation";
+
+Bytes wrap_key_for_peer(const crypto::Provider& provider,
+                        BytesView pairwise_secret, BytesView session_key) {
+  const Bytes kek = crypto::hkdf_sha256(
+      pairwise_secret, bytes_of(kHkdfSalt), bytes_of("key-wrap"), 32);
+  const crypto::AeadKeyPtr aead = provider.make_key(kek);
+  Bytes wire(crypto::kGcmNonceBytes + session_key.size() +
+             crypto::kGcmTagBytes);
+  random_nonce(MutBytes(wire.data(), crypto::kGcmNonceBytes));
+  aead->seal(BytesView(wire.data(), crypto::kGcmNonceBytes), {}, session_key,
+             MutBytes(wire).subspan(crypto::kGcmNonceBytes));
+  return wire;
+}
+
+Bytes unwrap_key(const crypto::Provider& provider, BytesView pairwise_secret,
+                 BytesView wire, std::size_t key_bytes) {
+  const Bytes kek = crypto::hkdf_sha256(
+      pairwise_secret, bytes_of(kHkdfSalt), bytes_of("key-wrap"), 32);
+  const crypto::AeadKeyPtr aead = provider.make_key(kek);
+  Bytes session_key(key_bytes);
+  const bool ok =
+      aead->open(wire.first(crypto::kGcmNonceBytes), {},
+                 wire.subspan(crypto::kGcmNonceBytes), session_key);
+  if (!ok) {
+    throw KeyExchangeError("session-key unwrap failed (tampered handshake?)");
+  }
+  return session_key;
+}
+
+}  // namespace
+
+Bytes establish_group_key(mpi::Comm& comm, const crypto::DhGroup& group,
+                          const KeyExchangeConfig& config) {
+  const int rank = comm.rank();
+  const auto n = static_cast<std::size_t>(comm.size());
+  const std::size_t width = group.byte_length();
+  const crypto::Provider& provider = crypto::provider(config.wrap_provider);
+
+  // 1. Keypair + allgather of public keys (charged compute).
+  crypto::DhKeyPair pair;
+  comm.process().charge([&] {
+    pair = crypto::dh_generate(
+        group, config.seed * 1000003 + static_cast<std::uint64_t>(rank));
+  });
+  const Bytes my_public = pair.public_key.to_bytes(width);
+  Bytes all_publics(width * n);
+  comm.allgather(my_public, all_publics);
+
+  // 2. Rank 0 wraps a fresh session key for every peer.
+  if (rank == 0) {
+    Bytes session_key(config.key_bytes);
+    Xoshiro256 session_rng(config.seed ^ 0xA11CE);
+    session_rng.fill(session_key);
+
+    for (std::size_t peer = 1; peer < n; ++peer) {
+      Bytes wire;
+      comm.process().charge([&] {
+        const crypto::BigUint peer_public = crypto::BigUint::from_bytes(
+            BytesView(all_publics).subspan(peer * width, width));
+        const Bytes secret =
+            crypto::dh_shared_secret(group, pair.private_key, peer_public);
+        wire = wrap_key_for_peer(provider, secret, session_key);
+      });
+      comm.send(wire, static_cast<int>(peer), kWrapTag);
+    }
+
+    // 3. Key confirmation.
+    Bytes confirmation =
+        crypto::hmac_sha256(session_key, bytes_of(kConfirmLabel));
+    comm.bcast(confirmation, 0);
+    return session_key;
+  }
+
+  Bytes wire(crypto::kGcmNonceBytes + config.key_bytes +
+             crypto::kGcmTagBytes);
+  comm.recv(wire, 0, kWrapTag);
+  Bytes session_key;
+  comm.process().charge([&] {
+    const crypto::BigUint root_public = crypto::BigUint::from_bytes(
+        BytesView(all_publics).first(width));
+    const Bytes secret =
+        crypto::dh_shared_secret(group, pair.private_key, root_public);
+    session_key = unwrap_key(provider, secret, wire, config.key_bytes);
+  });
+
+  Bytes confirmation(crypto::kSha256Digest);
+  comm.bcast(confirmation, 0);
+  const Bytes expected =
+      crypto::hmac_sha256(session_key, bytes_of(kConfirmLabel));
+  if (!ct_equal(confirmation, expected)) {
+    throw KeyExchangeError("key confirmation mismatch");
+  }
+  return session_key;
+}
+
+}  // namespace emc::secure

@@ -1,0 +1,389 @@
+#include "emc/secure_mpi/secure_comm.hpp"
+
+#include <cstring>
+
+#include "emc/common/rng.hpp"
+#include "emc/common/timer.hpp"
+
+namespace emc::secure {
+
+namespace {
+
+using crypto::kGcmNonceBytes;
+using crypto::kGcmTagBytes;
+using crypto::kWireOverhead;
+
+/// Request state for a non-blocking encrypted send: keeps the wire
+/// buffer alive until completion (rendezvous references it in place).
+struct SecureSendState final : mpi::detail::RequestState {
+  Bytes wire;
+  mpi::Request inner;
+};
+
+/// Request state for a non-blocking encrypted receive: the ciphertext
+/// lands in `wire`; decryption into `user` happens inside wait().
+struct SecureRecvState final : mpi::detail::RequestState {
+  Bytes wire;
+  MutBytes user;
+  mpi::Request inner;
+};
+
+}  // namespace
+
+SecureComm::SecureComm(mpi::Comm& comm, const SecureConfig& config)
+    : comm_(&comm),
+      config_(config),
+      key_(crypto::make_aes_gcm(config.provider, config.key)) {}
+
+double SecureComm::charged(const std::function<void()>& work) {
+  if (config_.charge_crypto) return comm_->process().charge(work);
+  WallTimer timer;
+  work();
+  return timer.seconds();
+}
+
+void SecureComm::next_nonce(std::uint8_t out[kGcmNonceBytes]) {
+  if (config_.nonce_mode == NonceMode::kRandom) {
+    random_nonce(MutBytes(out, kGcmNonceBytes));
+    return;
+  }
+  store_be32(out, static_cast<std::uint32_t>(rank()));
+  store_be64(out + 4, nonce_counter_++);
+}
+
+Bytes SecureComm::p2p_aad(int src, int dst, int tag,
+                          std::uint64_t seq) const {
+  Bytes aad(24);
+  store_be32(aad.data(), static_cast<std::uint32_t>(src));
+  store_be32(aad.data() + 4, static_cast<std::uint32_t>(dst));
+  store_be32(aad.data() + 8, static_cast<std::uint32_t>(tag));
+  store_be32(aad.data() + 12, 0);  // kind: 0 = point-to-point
+  store_be64(aad.data() + 16, seq);
+  return aad;
+}
+
+namespace {
+/// AAD for a collective block: origin, destination (-1 = broadcast to
+/// all), the per-communicator collective sequence number.
+Bytes coll_aad(int src, int dst, std::uint64_t seq) {
+  Bytes aad(24);
+  store_be32(aad.data(), static_cast<std::uint32_t>(src));
+  store_be32(aad.data() + 4, static_cast<std::uint32_t>(dst));
+  store_be32(aad.data() + 8, 0);
+  store_be32(aad.data() + 12, 1);  // kind: 1 = collective
+  store_be64(aad.data() + 16, seq);
+  return aad;
+}
+}  // namespace
+
+std::uint64_t SecureComm::next_send_seq(int dst, int tag) {
+  return send_seq_[{dst, tag}]++;
+}
+
+std::uint64_t SecureComm::next_recv_seq(int src, int tag) {
+  return recv_seq_[{src, tag}]++;
+}
+
+void SecureComm::seal_into(BytesView pt, MutBytes out, BytesView aad) {
+  if (out.size() != wire_size(pt.size())) {
+    throw std::invalid_argument("seal_into: wire buffer size mismatch");
+  }
+  const double elapsed = charged([&] {
+    next_nonce(out.data());
+    key_->seal(BytesView(out.data(), kGcmNonceBytes), aad, pt,
+               out.subspan(kGcmNonceBytes));
+  });
+  ++counters_.messages_sealed;
+  counters_.bytes_sealed += pt.size();
+  counters_.seal_seconds += elapsed;
+}
+
+void SecureComm::open_into(BytesView wire, MutBytes out, BytesView aad) {
+  if (wire.size() < kWireOverhead) {
+    throw IntegrityError("received message shorter than nonce+tag framing");
+  }
+  if (out.size() != wire.size() - kWireOverhead) {
+    throw std::invalid_argument("open_into: plaintext buffer size mismatch");
+  }
+  bool ok = false;
+  const double elapsed = charged([&] {
+    ok = key_->open(wire.first(kGcmNonceBytes), aad,
+                    wire.subspan(kGcmNonceBytes), out);
+  });
+  if (!ok) {
+    throw IntegrityError(
+        "authentication tag mismatch: message was tampered with or "
+        "corrupted (rank " +
+        std::to_string(rank()) + ")");
+  }
+  ++counters_.messages_opened;
+  counters_.bytes_opened += out.size();
+  counters_.open_seconds += elapsed;
+}
+
+// ------------------------------------------------------- point-to-point
+
+void SecureComm::send(BytesView data, int dst, int tag) {
+  Bytes wire(wire_size(data.size()));
+  if (config_.bind_context) {
+    seal_into(data, wire, p2p_aad(rank(), dst, tag, next_send_seq(dst, tag)));
+  } else {
+    seal_into(data, wire);
+  }
+  comm_->send(wire, dst, tag);
+}
+
+mpi::Status SecureComm::recv(MutBytes buf, int src, int tag) {
+  Bytes wire(wire_size(buf.size()));
+  const mpi::Status wire_status = comm_->recv(wire, src, tag);
+  const std::size_t pt_len = wire_status.bytes - kWireOverhead;
+  if (config_.bind_context) {
+    open_into(BytesView(wire).first(wire_status.bytes), buf.first(pt_len),
+              p2p_aad(wire_status.source, rank(), wire_status.tag,
+                      next_recv_seq(wire_status.source, wire_status.tag)));
+  } else {
+    open_into(BytesView(wire).first(wire_status.bytes), buf.first(pt_len));
+  }
+  return mpi::Status{wire_status.source, wire_status.tag, pt_len};
+}
+
+mpi::Request SecureComm::isend(BytesView data, int dst, int tag) {
+  auto state = std::make_unique<SecureSendState>();
+  state->wire.resize(wire_size(data.size()));
+  if (config_.bind_context) {
+    seal_into(data, state->wire,
+              p2p_aad(rank(), dst, tag, next_send_seq(dst, tag)));
+  } else {
+    seal_into(data, state->wire);
+  }
+  state->inner = comm_->isend(state->wire, dst, tag);
+  return mpi::Request(std::move(state));
+}
+
+mpi::Request SecureComm::irecv(MutBytes buf, int src, int tag) {
+  auto state = std::make_unique<SecureRecvState>();
+  state->wire.resize(wire_size(buf.size()));
+  state->user = buf;
+  state->inner = comm_->irecv(state->wire, src, tag);
+  return mpi::Request(std::move(state));
+}
+
+mpi::Status SecureComm::wait(mpi::Request& request) {
+  if (!request.valid()) throw mpi::MpiError("wait on an empty request");
+  auto owned = request.take();
+  if (auto* send_state = dynamic_cast<SecureSendState*>(owned.get())) {
+    return comm_->wait(send_state->inner);
+  }
+  if (auto* recv_state = dynamic_cast<SecureRecvState*>(owned.get())) {
+    const mpi::Status wire_status = comm_->wait(recv_state->inner);
+    const std::size_t pt_len = wire_status.bytes - kWireOverhead;
+    if (config_.bind_context) {
+      open_into(BytesView(recv_state->wire).first(wire_status.bytes),
+                recv_state->user.first(pt_len),
+                p2p_aad(wire_status.source, rank(), wire_status.tag,
+                        next_recv_seq(wire_status.source, wire_status.tag)));
+    } else {
+      open_into(BytesView(recv_state->wire).first(wire_status.bytes),
+                recv_state->user.first(pt_len));
+    }
+    return mpi::Status{wire_status.source, wire_status.tag, pt_len};
+  }
+  throw mpi::MpiError("request does not belong to this secure communicator");
+}
+
+std::vector<mpi::Status> SecureComm::waitall(
+    std::span<mpi::Request> requests) {
+  std::vector<mpi::Status> statuses;
+  statuses.reserve(requests.size());
+  for (mpi::Request& r : requests) statuses.push_back(wait(r));
+  return statuses;
+}
+
+mpi::Status SecureComm::sendrecv(BytesView senddata, int dst, int sendtag,
+                                 MutBytes recvbuf, int src, int recvtag) {
+  mpi::Request rr = irecv(recvbuf, src, recvtag);
+  mpi::Request rs = isend(senddata, dst, sendtag);
+  const mpi::Status status = wait(rr);
+  wait(rs);
+  return status;
+}
+
+// ---------------------------------------------------------- collectives
+
+void SecureComm::barrier() { comm_->barrier(); }
+
+void SecureComm::bcast(MutBytes data, int root) {
+  const std::uint64_t seq = coll_seq_++;
+  const Bytes aad =
+      config_.bind_context ? coll_aad(root, -1, seq) : Bytes{};
+  Bytes wire(wire_size(data.size()));
+  if (rank() == root) seal_into(data, wire, aad);
+  comm_->bcast(wire, root);
+  if (rank() != root) open_into(wire, data, aad);
+}
+
+void SecureComm::allgather(BytesView sendpart, MutBytes recvall) {
+  const auto n = static_cast<std::size_t>(size());
+  const std::size_t block = sendpart.size();
+  if (recvall.size() != block * n) {
+    throw mpi::MpiError("allgather: recv buffer must be size()*block bytes");
+  }
+  const std::size_t wire_block = wire_size(block);
+  const std::uint64_t seq = coll_seq_++;
+  const bool bind = config_.bind_context;
+
+  Bytes wire_send(wire_block);
+  seal_into(sendpart, wire_send,
+            bind ? BytesView(coll_aad(rank(), -1, seq)) : BytesView{});
+  Bytes wire_all(wire_block * n);
+  comm_->allgather(wire_send, wire_all);
+  for (std::size_t i = 0; i < n; ++i) {
+    open_into(BytesView(wire_all).subspan(i * wire_block, wire_block),
+              recvall.subspan(i * block, block),
+              bind ? BytesView(coll_aad(static_cast<int>(i), -1, seq))
+                   : BytesView{});
+  }
+}
+
+void SecureComm::alltoall(BytesView sendbuf, MutBytes recvbuf,
+                          std::size_t block) {
+  // Algorithm 1 of the paper, verbatim structure: encrypt every block
+  // with a fresh nonce, exchange (l+28)-byte blocks with the plain
+  // alltoall, then decrypt every received block.
+  const auto n = static_cast<std::size_t>(size());
+  const auto total = block * n;
+  if (sendbuf.size() != total || recvbuf.size() != total) {
+    throw mpi::MpiError("alltoall: buffers must be size()*block bytes");
+  }
+  const std::size_t wire_block = wire_size(block);
+  const std::uint64_t seq = coll_seq_++;
+  const bool bind = config_.bind_context;
+
+  Bytes enc_sendbuf(wire_block * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    seal_into(sendbuf.subspan(i * block, block),
+              MutBytes(enc_sendbuf).subspan(i * wire_block, wire_block),
+              bind ? BytesView(coll_aad(rank(), static_cast<int>(i), seq))
+                   : BytesView{});
+  }
+  Bytes enc_recvbuf(wire_block * n);
+  comm_->alltoall(enc_sendbuf, enc_recvbuf, wire_block);
+  for (std::size_t i = 0; i < n; ++i) {
+    open_into(BytesView(enc_recvbuf).subspan(i * wire_block, wire_block),
+              recvbuf.subspan(i * block, block),
+              bind ? BytesView(coll_aad(static_cast<int>(i), rank(), seq))
+                   : BytesView{});
+  }
+}
+
+void SecureComm::alltoallv(BytesView sendbuf,
+                           std::span<const std::size_t> sendcounts,
+                           std::span<const std::size_t> senddispls,
+                           MutBytes recvbuf,
+                           std::span<const std::size_t> recvcounts,
+                           std::span<const std::size_t> recvdispls) {
+  const auto n = static_cast<std::size_t>(size());
+  if (sendcounts.size() != n || senddispls.size() != n ||
+      recvcounts.size() != n || recvdispls.size() != n) {
+    throw mpi::MpiError(
+        "alltoallv: count/displacement arrays must have size() entries");
+  }
+
+  std::vector<std::size_t> wire_sendcounts(n);
+  std::vector<std::size_t> wire_senddispls(n);
+  std::vector<std::size_t> wire_recvcounts(n);
+  std::vector<std::size_t> wire_recvdispls(n);
+  std::size_t send_total = 0;
+  std::size_t recv_total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    wire_sendcounts[i] = wire_size(sendcounts[i]);
+    wire_senddispls[i] = send_total;
+    send_total += wire_sendcounts[i];
+    wire_recvcounts[i] = wire_size(recvcounts[i]);
+    wire_recvdispls[i] = recv_total;
+    recv_total += wire_recvcounts[i];
+  }
+
+  const std::uint64_t seq = coll_seq_++;
+  const bool bind = config_.bind_context;
+  Bytes enc_sendbuf(send_total);
+  for (std::size_t i = 0; i < n; ++i) {
+    seal_into(sendbuf.subspan(senddispls[i], sendcounts[i]),
+              MutBytes(enc_sendbuf)
+                  .subspan(wire_senddispls[i], wire_sendcounts[i]),
+              bind ? BytesView(coll_aad(rank(), static_cast<int>(i), seq))
+                   : BytesView{});
+  }
+  Bytes enc_recvbuf(recv_total);
+  comm_->alltoallv(enc_sendbuf, wire_sendcounts, wire_senddispls,
+                   enc_recvbuf, wire_recvcounts, wire_recvdispls);
+  for (std::size_t i = 0; i < n; ++i) {
+    open_into(BytesView(enc_recvbuf)
+                  .subspan(wire_recvdispls[i], wire_recvcounts[i]),
+              recvbuf.subspan(recvdispls[i], recvcounts[i]),
+              bind ? BytesView(coll_aad(static_cast<int>(i), rank(), seq))
+                   : BytesView{});
+  }
+}
+
+void SecureComm::gather(BytesView sendpart, MutBytes recvall, int root) {
+  const auto n = static_cast<std::size_t>(size());
+  const std::size_t block = sendpart.size();
+  const std::size_t wire_block = wire_size(block);
+  const std::uint64_t seq = coll_seq_++;
+  const bool bind = config_.bind_context;
+
+  Bytes wire_send(wire_block);
+  seal_into(sendpart, wire_send,
+            bind ? BytesView(coll_aad(rank(), root, seq)) : BytesView{});
+  Bytes wire_all(rank() == root ? wire_block * n : 0);
+  comm_->gather(wire_send, wire_all, root);
+  if (rank() == root) {
+    if (recvall.size() != block * n) {
+      throw mpi::MpiError("gather: root recv buffer must be size()*block");
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      open_into(BytesView(wire_all).subspan(i * wire_block, wire_block),
+                recvall.subspan(i * block, block),
+                bind ? BytesView(coll_aad(static_cast<int>(i), root, seq))
+                     : BytesView{});
+    }
+  }
+}
+
+void SecureComm::scatter(BytesView sendall, MutBytes recvpart, int root) {
+  const auto n = static_cast<std::size_t>(size());
+  const std::size_t block = recvpart.size();
+  const std::size_t wire_block = wire_size(block);
+
+  const std::uint64_t seq = coll_seq_++;
+  const bool bind = config_.bind_context;
+  Bytes wire_all;
+  if (rank() == root) {
+    if (sendall.size() != block * n) {
+      throw mpi::MpiError("scatter: root send buffer must be size()*block");
+    }
+    wire_all.resize(wire_block * n);
+    for (std::size_t i = 0; i < n; ++i) {
+      seal_into(sendall.subspan(i * block, block),
+                MutBytes(wire_all).subspan(i * wire_block, wire_block),
+                bind ? BytesView(coll_aad(root, static_cast<int>(i), seq))
+                     : BytesView{});
+    }
+  }
+  Bytes wire_recv(wire_block);
+  comm_->scatter(wire_all, wire_recv, root);
+  open_into(wire_recv, recvpart,
+            bind ? BytesView(coll_aad(root, rank(), seq)) : BytesView{});
+}
+
+double run_secure_world(const mpi::WorldConfig& world_config,
+                        const SecureConfig& secure_config,
+                        const std::function<void(SecureComm&)>& body) {
+  return mpi::run_world(world_config, [&](mpi::Comm& comm) {
+    SecureComm secure(comm, secure_config);
+    body(secure);
+  });
+}
+
+}  // namespace emc::secure

@@ -1,0 +1,203 @@
+#include "emc/sim/engine.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "emc/common/timer.hpp"
+
+namespace emc::sim {
+
+// ---------------------------------------------------------------- Process
+
+Time Process::now() const noexcept { return engine_->now(); }
+
+void Process::advance(Time dt) {
+  if (dt > 0.0) engine_->proc_advance(*this, dt);
+}
+
+void Process::yield() { engine_->proc_advance(*this, 0.0); }
+
+double Process::charge_scale() const noexcept {
+  return engine_->charge_scale();
+}
+
+void Process::wait(Waitable& w) { engine_->proc_wait(*this, w); }
+
+void Process::notify_one(Waitable& w) { engine_->proc_notify(*this, w, false); }
+
+void Process::notify_all(Waitable& w) { engine_->proc_notify(*this, w, true); }
+
+double Process::charge(const std::function<void()>& work, double scale) {
+  WallTimer timer;
+  work();
+  const double elapsed = timer.seconds();
+  advance(elapsed * scale * engine_->charge_scale());
+  return elapsed;
+}
+
+// ----------------------------------------------------------------- Engine
+
+Engine::Engine(int num_processes) {
+  procs_.reserve(static_cast<std::size_t>(num_processes));
+  for (int i = 0; i < num_processes; ++i) {
+    procs_.emplace_back(std::unique_ptr<Process>(new Process(*this, i)));
+  }
+}
+
+Engine::~Engine() = default;
+
+void Engine::schedule_locked(Process& p, Time at) {
+  ready_.push(HeapEntry{std::max(at, clock_), seq_++, &p});
+}
+
+void Engine::check_abort_locked() const {
+  if (aborted_) throw Aborted{};
+}
+
+void Engine::grant_next_locked() {
+  while (!ready_.empty()) {
+    const HeapEntry next = ready_.top();
+    ready_.pop();
+    // Stale entries can remain after an abort teardown woke the
+    // process directly; skip anything already finished or granted.
+    if (next.proc->done_ || next.proc->granted_) continue;
+    clock_ = std::max(clock_, next.at);
+    next.proc->granted_ = true;
+    next.proc->cv_.notify_one();
+    return;
+  }
+  if (unfinished_ == 0) {
+    main_cv_.notify_all();
+    return;
+  }
+  if (!aborted_) {
+    // Every unfinished process is parked on a Waitable and nothing is
+    // scheduled: nobody can ever make progress.
+    first_error_ = std::make_exception_ptr(Deadlock(
+        "simulation deadlock: " + std::to_string(unfinished_) +
+        " process(es) blocked on conditions with an empty event queue"));
+    aborted_ = true;
+  }
+  // Abort teardown: wake every parked process so it unwinds.
+  for (auto& p : procs_) {
+    if (!p->done_ && !p->granted_) {
+      p->granted_ = true;
+      p->cv_.notify_one();
+    }
+  }
+}
+
+void Engine::block_self_locked(Process& self, Lock& lk) {
+  self.cv_.wait(lk, [&] { return self.granted_; });
+  self.granted_ = false;
+  check_abort_locked();
+}
+
+void Engine::finish_locked(Process& self, Lock&) {
+  self.done_ = true;
+  --unfinished_;
+  if (unfinished_ == 0) {
+    main_cv_.notify_all();
+  } else {
+    grant_next_locked();
+  }
+}
+
+void Engine::proc_advance(Process& self, Time dt) {
+  Lock lk(mu_);
+  check_abort_locked();
+  schedule_locked(self, clock_ + std::max(dt, 0.0));
+  grant_next_locked();
+  block_self_locked(self, lk);
+}
+
+void Engine::proc_wait(Process& self, Waitable& w) {
+  Lock lk(mu_);
+  check_abort_locked();
+  w.waiters_.push_back(&self);
+  ++waiting_on_conditions_;
+  grant_next_locked();
+  block_self_locked(self, lk);
+}
+
+void Engine::proc_notify(Process& self, Waitable& w, bool all) {
+  Lock lk(mu_);
+  check_abort_locked();
+  (void)self;
+  while (!w.waiters_.empty()) {
+    Process* waiter = w.waiters_.front();
+    w.waiters_.erase(w.waiters_.begin());
+    --waiting_on_conditions_;
+    schedule_locked(*waiter, clock_);
+    if (!all) break;
+  }
+  // The notifier keeps the execution token; released waiters run when
+  // it next blocks.
+}
+
+Time Engine::run(const std::function<void(Process&)>& body) {
+  {
+    Lock lk(mu_);
+    aborted_ = false;
+    first_error_ = nullptr;
+    waiting_on_conditions_ = 0;
+    unfinished_ = static_cast<int>(procs_.size());
+    for (auto& p : procs_) {
+      p->done_ = false;
+      p->granted_ = false;
+      schedule_locked(*p, clock_);
+    }
+  }
+
+  for (auto& p : procs_) {
+    Process* proc = p.get();
+    proc->thread_ = std::thread([this, proc, &body] {
+      {
+        Lock lk(mu_);
+        proc->cv_.wait(lk, [&] { return proc->granted_; });
+        proc->granted_ = false;
+        if (aborted_) {
+          finish_locked(*proc, lk);
+          return;
+        }
+      }
+      try {
+        body(*proc);
+      } catch (const Aborted&) {
+        // unwound by teardown; not an error in itself
+      } catch (...) {
+        Lock lk(mu_);
+        if (!first_error_) first_error_ = std::current_exception();
+        aborted_ = true;
+        for (auto& q : procs_) {
+          if (!q->done_ && q.get() != proc && !q->granted_) {
+            q->granted_ = true;
+            q->cv_.notify_one();
+          }
+        }
+      }
+      Lock lk(mu_);
+      finish_locked(*proc, lk);
+    });
+  }
+
+  {
+    Lock lk(mu_);
+    grant_next_locked();
+    main_cv_.wait(lk, [&] { return unfinished_ == 0; });
+  }
+  for (auto& p : procs_) {
+    if (p->thread_.joinable()) p->thread_.join();
+  }
+
+  Lock lk(mu_);
+  // Drain any leftover heap entries from an aborted run.
+  while (!ready_.empty()) ready_.pop();
+  if (first_error_) {
+    auto err = std::exchange(first_error_, nullptr);
+    std::rethrow_exception(err);
+  }
+  return clock_;
+}
+
+}  // namespace emc::sim

@@ -1,0 +1,182 @@
+// Virtual-time discrete-event engine with cooperative processes.
+//
+// Each simulated process (an MPI rank in this project) runs on its own
+// host thread, but the engine guarantees that EXACTLY ONE process
+// thread executes at any instant: whenever the running process blocks
+// (advance / wait), the scheduler hands the execution token to the
+// ready process with the smallest virtual wake-up time. This gives
+//   * deterministic virtual-time semantics independent of host core
+//     count (the build host may have a single core; the simulated
+//     cluster can have hundreds), and
+//   * clean wall-clock measurement: `Process::charge` times a closure
+//     on the host and bills that duration to the virtual clock without
+//     interference from other simulated ranks.
+//
+// The model is sequential DES with threads as continuations — the same
+// execution style SimGrid's SMPI uses for its actor contexts.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace emc::sim {
+
+/// Virtual time in seconds.
+using Time = double;
+
+class Engine;
+class Process;
+
+/// Thrown inside process bodies when the simulation is being torn
+/// down after another process failed; unwinds the thread.
+struct Aborted : std::runtime_error {
+  Aborted() : std::runtime_error("simulation aborted") {}
+};
+
+/// Thrown by the engine when no process can ever run again
+/// (all blocked on conditions, none scheduled).
+struct Deadlock : std::runtime_error {
+  explicit Deadlock(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Intrusive wait queue. Processes block on it via Process::wait and
+/// are released by Process::notify_one/notify_all. No payload: the
+/// protected state lives in the caller (engine serialization makes
+/// unsynchronized access safe).
+class Waitable {
+ public:
+  Waitable() = default;
+  Waitable(const Waitable&) = delete;
+  Waitable& operator=(const Waitable&) = delete;
+
+  [[nodiscard]] bool has_waiters() const noexcept { return !waiters_.empty(); }
+
+ private:
+  friend class Engine;
+  friend class Process;
+  std::vector<Process*> waiters_;
+};
+
+/// Handle a process body uses to interact with virtual time.
+/// Only valid on its own thread, during Engine::run.
+class Process {
+ public:
+  [[nodiscard]] int index() const noexcept { return index_; }
+
+  /// Current virtual time.
+  [[nodiscard]] Time now() const noexcept;
+
+  /// Consumes @p dt seconds of virtual time (non-preemptible compute).
+  /// Negative or zero dt is a no-op.
+  void advance(Time dt);
+
+  /// Blocks until another process calls notify on @p w.
+  void wait(Waitable& w);
+
+  /// Releases one / all waiters of @p w at the current virtual time.
+  void notify_one(Waitable& w);
+  void notify_all(Waitable& w);
+
+  /// Runs @p work on the host, measures its wall-clock duration, and
+  /// advances the virtual clock by duration * scale *
+  /// engine.charge_scale(). Returns the measured seconds. Because the
+  /// engine serializes process threads the measurement is uncontended.
+  double charge(const std::function<void()>& work, double scale = 1.0);
+
+  /// Yields without consuming time (reschedules at `now`); lets other
+  /// processes scheduled at the same instant run. Rarely needed.
+  void yield();
+
+  /// The engine's global charge multiplier (see Engine::set_charge_scale).
+  [[nodiscard]] double charge_scale() const noexcept;
+
+ private:
+  friend class Engine;
+  explicit Process(Engine& engine, int index)
+      : engine_(&engine), index_(index) {}
+
+  Engine* engine_;
+  int index_;
+  // Host-thread handoff state, guarded by the engine mutex.
+  std::condition_variable cv_;
+  bool granted_ = false;
+  bool done_ = false;
+  std::thread thread_;
+};
+
+/// The simulation engine. Construct with the number of processes,
+/// then call run() with the body each process executes.
+class Engine {
+ public:
+  explicit Engine(int num_processes);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  [[nodiscard]] int size() const noexcept {
+    return static_cast<int>(procs_.size());
+  }
+
+  /// Runs every process body to completion; returns the final virtual
+  /// time. Rethrows the first exception a process body threw.
+  /// May be called repeatedly; virtual time continues from the last run.
+  Time run(const std::function<void(Process&)>& body);
+
+  /// Virtual clock (meaningful during and after run()).
+  [[nodiscard]] Time now() const noexcept { return clock_; }
+
+  /// Global multiplier applied to Process::charge measurements. Used
+  /// to calibrate the simulated CPU speed against the host (e.g. to
+  /// model the paper's Xeon on a slower build machine). Default 1.
+  void set_charge_scale(double scale) noexcept { charge_scale_ = scale; }
+  [[nodiscard]] double charge_scale() const noexcept { return charge_scale_; }
+
+ private:
+  friend class Process;
+
+  struct HeapEntry {
+    Time at;
+    std::uint64_t seq;
+    Process* proc;
+    bool operator>(const HeapEntry& o) const noexcept {
+      return at != o.at ? at > o.at : seq > o.seq;
+    }
+  };
+
+  using Lock = std::unique_lock<std::mutex>;
+
+  // All *_locked functions require mu_ held.
+  void schedule_locked(Process& p, Time at);
+  void grant_next_locked();
+  void block_self_locked(Process& self, Lock& lk);
+  void finish_locked(Process& self, Lock& lk);
+  void check_abort_locked() const;
+
+  void proc_advance(Process& self, Time dt);
+  void proc_wait(Process& self, Waitable& w);
+  void proc_notify(Process& self, Waitable& w, bool all);
+
+  mutable std::mutex mu_;
+  std::condition_variable main_cv_;
+  std::vector<std::unique_ptr<Process>> procs_;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>
+      ready_;
+  Time clock_ = 0.0;
+  std::uint64_t seq_ = 0;
+  int unfinished_ = 0;
+  int waiting_on_conditions_ = 0;
+  bool aborted_ = false;
+  double charge_scale_ = 1.0;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace emc::sim

@@ -1,0 +1,137 @@
+// The paper's stopping rule, the table/CSV reporters, size parsing.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "emc/bench_core/args.hpp"
+#include "emc/bench_core/methodology.hpp"
+#include "emc/bench_core/report.hpp"
+#include "emc/common/rng.hpp"
+
+namespace emc::bench {
+namespace {
+
+TEST(Methodology, StableSampleStopsAtMinRuns) {
+  int calls = 0;
+  const MeasureResult result = run_until_stable([&] {
+    ++calls;
+    return 10.0;  // zero variance
+  });
+  EXPECT_TRUE(result.stable);
+  EXPECT_EQ(result.runs, 20u);  // the paper's minimum
+  EXPECT_EQ(calls, 20);
+  EXPECT_DOUBLE_EQ(result.mean, 10.0);
+}
+
+TEST(Methodology, NoisySampleRunsLonger) {
+  Xoshiro256 rng(11);
+  int calls = 0;
+  const MeasureResult result = run_until_stable([&] {
+    ++calls;
+    // ~30% relative noise: needs more than 20 runs.
+    return 100.0 + 60.0 * (rng.next_double() - 0.5);
+  });
+  EXPECT_GT(result.runs, 20u);
+  EXPECT_NEAR(result.mean, 100.0, 10.0);
+}
+
+TEST(Methodology, FallsBackToConfidenceInterval) {
+  // Noise too large for the stddev rule but the CI rule succeeds with
+  // enough samples (CI shrinks as 1/sqrt(n), stddev does not).
+  Xoshiro256 rng(12);
+  const MeasureResult result = run_until_stable([&] {
+    return 100.0 + 40.0 * (rng.next_double() - 0.5);
+  });
+  EXPECT_TRUE(result.stable);
+  EXPECT_GE(result.runs, 100u);  // reached phase 2
+  EXPECT_LE(result.runs, 300u);
+}
+
+TEST(Methodology, HardCapTerminatesPathologicalSamples) {
+  Xoshiro256 rng(13);
+  StabilityPolicy policy;
+  policy.hard_cap = 150;
+  const MeasureResult result = run_until_stable(
+      [&] { return rng.next_double() < 0.5 ? 1.0 : 1000.0; }, policy);
+  EXPECT_EQ(result.runs, 150u);
+  EXPECT_FALSE(result.stable);
+}
+
+TEST(Methodology, QuickPolicyIsCheap) {
+  int calls = 0;
+  const MeasureResult result = run_until_stable(
+      [&] {
+        ++calls;
+        return 5.0;
+      },
+      StabilityPolicy::quick());
+  EXPECT_EQ(result.runs, 3u);
+  EXPECT_TRUE(result.stable);
+}
+
+TEST(Overhead, MatchesPaperArithmetic) {
+  // BoringSSL NAS on Ethernet: 99.81s vs 88.52s baseline -> 12.75%.
+  EXPECT_NEAR(overhead_percent(88.52, 99.81), 12.75, 0.01);
+  EXPECT_DOUBLE_EQ(overhead_percent(100.0, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(overhead_percent(100.0, 50.0), -50.0);
+  EXPECT_DOUBLE_EQ(overhead_percent(0.0, 10.0), 0.0);
+}
+
+TEST(Report, TableRendersAndRejectsBadRows) {
+  Table table("Ping-pong", {"size", "MB/s"});
+  table.add_row({"1B", "0.05"});
+  table.add_row({"2MB", "1038.00"});
+  EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+
+  std::ostringstream os;
+  table.print(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("Ping-pong"), std::string::npos);
+  EXPECT_NE(text.find("1038.00"), std::string::npos);
+
+  std::ostringstream csv;
+  table.write_csv(csv);
+  EXPECT_EQ(csv.str(), "size,MB/s\n1B,0.05\n2MB,1038.00\n");
+}
+
+TEST(Report, SizeLabels) {
+  EXPECT_EQ(size_label(1), "1B");
+  EXPECT_EQ(size_label(256), "256B");
+  EXPECT_EQ(size_label(16 * 1024), "16KB");
+  EXPECT_EQ(size_label(2 * 1024 * 1024), "2MB");
+  EXPECT_EQ(size_label(1500), "1500B");  // not a clean KB multiple
+}
+
+TEST(Report, Formatting) {
+  EXPECT_EQ(fmt_mbps(1.038e9, 2), "1038.00");
+  EXPECT_EQ(fmt_us(1.96629947, 2), "1,966,299.47");
+  EXPECT_EQ(fmt_percent(78.3), "+78.3%");
+  EXPECT_EQ(fmt_percent(-5.25, 2), "-5.25%");
+}
+
+TEST(Report, ParseSize) {
+  EXPECT_EQ(parse_size("1"), 1u);
+  EXPECT_EQ(parse_size("16k"), 16u * 1024);
+  EXPECT_EQ(parse_size("16KB"), 16u * 1024);
+  EXPECT_EQ(parse_size("2m"), 2u * 1024 * 1024);
+  EXPECT_THROW((void)parse_size("2q"), std::invalid_argument);
+  EXPECT_THROW((void)parse_size(""), std::invalid_argument);
+}
+
+TEST(ArgsParser, ParsesFlagsValuesAndPositionals) {
+  const char* argv[] = {"/path/to/bench_pingpong", "--net=ib", "--quick",
+                        "--runs=7", "extra"};
+  Args args(5, const_cast<char**>(argv));
+  EXPECT_EQ(args.program(), "bench_pingpong");
+  EXPECT_TRUE(args.has("quick"));
+  EXPECT_FALSE(args.has("verbose"));
+  EXPECT_EQ(args.get("net", "eth"), "ib");
+  EXPECT_EQ(args.get("missing", "dflt"), "dflt");
+  EXPECT_EQ(args.get_int("runs", 1), 7);
+  EXPECT_EQ(args.get_int("other", 3), 3);
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "extra");
+}
+
+}  // namespace
+}  // namespace emc::bench

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "emc/common/bytes.hpp"
+
+namespace emc {
+namespace {
+
+TEST(Hex, RoundTrips) {
+  const Bytes data = {0x00, 0x01, 0xde, 0xad, 0xbe, 0xef, 0xff};
+  EXPECT_EQ(to_hex(data), "0001deadbeefff");
+  EXPECT_EQ(from_hex("0001deadbeefff"), data);
+  EXPECT_EQ(from_hex("0001DEADBEEFFF"), data);
+}
+
+TEST(Hex, EmptyIsEmpty) {
+  EXPECT_EQ(to_hex({}), "");
+  EXPECT_TRUE(from_hex("").empty());
+}
+
+TEST(Hex, RejectsMalformedInput) {
+  EXPECT_THROW((void)from_hex("abc"), std::invalid_argument);
+  EXPECT_THROW((void)from_hex("zz"), std::invalid_argument);
+  EXPECT_THROW((void)from_hex("0g"), std::invalid_argument);
+}
+
+TEST(BytesOf, CopiesAscii) {
+  const Bytes b = bytes_of("hi!");
+  ASSERT_EQ(b.size(), 3u);
+  EXPECT_EQ(b[0], 'h');
+  EXPECT_EQ(b[2], '!');
+}
+
+TEST(CtEqual, ComparesCorrectly) {
+  const Bytes a = {1, 2, 3};
+  const Bytes b = {1, 2, 3};
+  const Bytes c = {1, 2, 4};
+  const Bytes d = {1, 2};
+  EXPECT_TRUE(ct_equal(a, b));
+  EXPECT_FALSE(ct_equal(a, c));
+  EXPECT_FALSE(ct_equal(a, d));
+  EXPECT_TRUE(ct_equal({}, {}));
+}
+
+TEST(XorInto, XorsPairwise) {
+  Bytes dst = {0xff, 0x0f, 0x00};
+  const Bytes src = {0x0f, 0x0f, 0x0f};
+  xor_into(dst, src);
+  EXPECT_EQ(dst, (Bytes{0xf0, 0x00, 0x0f}));
+}
+
+TEST(SecureZero, WipesBuffer) {
+  Bytes buf = {1, 2, 3, 4};
+  secure_zero(buf);
+  EXPECT_EQ(buf, Bytes(4, 0x00));
+}
+
+TEST(Endian, Be32RoundTrips) {
+  std::uint8_t buf[4];
+  store_be32(buf, 0x01020304u);
+  EXPECT_EQ(buf[0], 0x01);
+  EXPECT_EQ(buf[3], 0x04);
+  EXPECT_EQ(load_be32(buf), 0x01020304u);
+}
+
+TEST(Endian, Be64RoundTrips) {
+  std::uint8_t buf[8];
+  store_be64(buf, 0x0102030405060708ull);
+  EXPECT_EQ(buf[0], 0x01);
+  EXPECT_EQ(buf[7], 0x08);
+  EXPECT_EQ(load_be64(buf), 0x0102030405060708ull);
+}
+
+TEST(Endian, Le64RoundTrips) {
+  std::uint8_t buf[8];
+  store_le64(buf, 0x0102030405060708ull);
+  EXPECT_EQ(buf[0], 0x08);
+  EXPECT_EQ(load_le64(buf), 0x0102030405060708ull);
+}
+
+TEST(Rotl, RotatesBits) {
+  EXPECT_EQ(rotl32(0x80000000u, 1), 0x00000001u);
+  EXPECT_EQ(rotl64(0x8000000000000000ull, 1), 1ull);
+  EXPECT_EQ(rotl32(0x12345678u, 8), 0x34567812u);
+}
+
+}  // namespace
+}  // namespace emc

@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "emc/common/rng.hpp"
+
+namespace emc {
+namespace {
+
+TEST(Xoshiro, SameSeedSameStream) {
+  Xoshiro256 a(42);
+  Xoshiro256 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro, DifferentSeedsDiverge) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Xoshiro, NextBelowStaysInRange) {
+  Xoshiro256 rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Xoshiro, NextDoubleInUnitInterval) {
+  Xoshiro256 rng(8);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.03);  // crude uniformity check
+}
+
+TEST(Xoshiro, FillCoversOddSizes) {
+  Xoshiro256 rng(9);
+  for (std::size_t n : {0u, 1u, 7u, 8u, 9u, 31u}) {
+    Bytes buf(n, 0xcc);
+    rng.fill(buf);
+    // Just shape checks; content determinism covered above.
+    EXPECT_EQ(buf.size(), n);
+  }
+}
+
+TEST(Xoshiro, BytesIsDeterministic) {
+  Xoshiro256 a(10);
+  Xoshiro256 b(10);
+  EXPECT_EQ(a.bytes(33), b.bytes(33));
+}
+
+TEST(RandomNonce, NoncesAreUnique) {
+  std::set<Bytes> seen;
+  for (int i = 0; i < 2000; ++i) {
+    Bytes nonce(12);
+    random_nonce(nonce);
+    EXPECT_TRUE(seen.insert(nonce).second) << "duplicate nonce at " << i;
+  }
+}
+
+}  // namespace
+}  // namespace emc

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "emc/common/stats.hpp"
+
+namespace emc {
+namespace {
+
+TEST(RunningStats, MeanAndStddevMatchHandComputation) {
+  RunningStats rs;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) rs.add(x);
+  EXPECT_EQ(rs.count(), 8u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  // Sample variance of this classic data set is 32/7.
+  EXPECT_NEAR(rs.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(rs.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_EQ(rs.min(), 2.0);
+  EXPECT_EQ(rs.max(), 9.0);
+}
+
+TEST(RunningStats, SingleSampleHasZeroSpread) {
+  RunningStats rs;
+  rs.add(3.5);
+  EXPECT_EQ(rs.variance(), 0.0);
+  EXPECT_EQ(rs.rel_stddev(), 0.0);
+  EXPECT_EQ(rs.ci_halfwidth(0.95), 0.0);
+}
+
+TEST(RunningStats, RelStddevIsScaleFree) {
+  RunningStats a;
+  RunningStats b;
+  for (double x : {1.0, 2.0, 3.0}) {
+    a.add(x);
+    b.add(1000 * x);
+  }
+  EXPECT_NEAR(a.rel_stddev(), b.rel_stddev(), 1e-12);
+}
+
+TEST(TCritical, MatchesTableValues) {
+  EXPECT_NEAR(t_critical(0.95, 1), 12.706, 1e-3);
+  EXPECT_NEAR(t_critical(0.95, 19), 2.093, 1e-3);
+  EXPECT_NEAR(t_critical(0.99, 19), 2.861, 1e-3);
+  EXPECT_NEAR(t_critical(0.95, 1000), 1.96, 1e-3);
+  EXPECT_NEAR(t_critical(0.99, 1000), 2.576, 1e-3);
+}
+
+TEST(TCritical, DecreasesWithDf) {
+  for (std::size_t df = 2; df < 40; ++df) {
+    EXPECT_LE(t_critical(0.95, df), t_critical(0.95, df - 1)) << df;
+  }
+}
+
+TEST(CiHalfwidth, ShrinksWithSamples) {
+  RunningStats small;
+  RunningStats large;
+  // Same alternating spread, more samples -> tighter CI.
+  for (int i = 0; i < 10; ++i) small.add(i % 2 == 0 ? 9.0 : 11.0);
+  for (int i = 0; i < 1000; ++i) large.add(i % 2 == 0 ? 9.0 : 11.0);
+  EXPECT_GT(small.ci_halfwidth(0.95), large.ci_halfwidth(0.95));
+  EXPECT_GT(large.ci_halfwidth(0.99), large.ci_halfwidth(0.95));
+}
+
+TEST(Summarize, HandlesEmptyAndFilled) {
+  EXPECT_EQ(summarize({}).count, 0u);
+  const Summary s = summarize({1.0, 2.0, 3.0});
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.0);
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.max, 3.0);
+}
+
+}  // namespace
+}  // namespace emc

@@ -1,0 +1,142 @@
+// Known-answer and property tests for the AES cores.
+#include <gtest/gtest.h>
+
+#include "emc/common/rng.hpp"
+#include "emc/crypto/aes.hpp"
+
+namespace emc::crypto {
+namespace {
+
+struct AesKat {
+  const char* key;
+  const char* pt;
+  const char* ct;
+};
+
+// FIPS-197 Appendix C example vectors.
+const AesKat kFipsVectors[] = {
+    {"000102030405060708090a0b0c0d0e0f", "00112233445566778899aabbccddeeff",
+     "69c4e0d86a7b0430d8cdb78070b4c55a"},
+    {"000102030405060708090a0b0c0d0e0f1011121314151617",
+     "00112233445566778899aabbccddeeff",
+     "dda97ca4864cdfe06eaf70a0ec0d7191"},
+    {"000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
+     "00112233445566778899aabbccddeeff",
+     "8ea2b7ca516745bfeafc49904b496089"},
+};
+
+// NIST SP 800-38A F.1 ECB single-block vectors.
+const AesKat kSp800Vectors[] = {
+    {"2b7e151628aed2a6abf7158809cf4f3c", "6bc1bee22e409f96e93d7e117393172a",
+     "3ad77bb40d7a3660a89ecaf32466ef97"},
+    {"8e73b0f7da0e6452c810f32b809079e562f8ead2522c6b7b",
+     "6bc1bee22e409f96e93d7e117393172a",
+     "bd334f1d6e45f25ff712a214571fa5cc"},
+    {"603deb1015ca71be2b73aef0857d77811f352c073b6108d72d9810a30914dff4",
+     "6bc1bee22e409f96e93d7e117393172a",
+     "f3eed1bdb5d2a03c064b5a7e3db181f8"},
+};
+
+class AesKatTest : public ::testing::TestWithParam<AesKat> {};
+
+TEST_P(AesKatTest, PortableMatchesVector) {
+  const AesKat& kat = GetParam();
+  const Bytes key = from_hex(kat.key);
+  const Bytes pt = from_hex(kat.pt);
+  AesPortable aes(key);
+  Bytes out(16);
+  aes.encrypt_block(pt.data(), out.data());
+  EXPECT_EQ(to_hex(out), kat.ct);
+}
+
+TEST_P(AesKatTest, TtableMatchesVector) {
+  const AesKat& kat = GetParam();
+  const Bytes key = from_hex(kat.key);
+  const Bytes pt = from_hex(kat.pt);
+  AesTtable aes(key);
+  Bytes out(16);
+  aes.encrypt_block(pt.data(), out.data());
+  EXPECT_EQ(to_hex(out), kat.ct);
+}
+
+TEST_P(AesKatTest, PortableDecryptInverts) {
+  const AesKat& kat = GetParam();
+  const Bytes key = from_hex(kat.key);
+  const Bytes ct = from_hex(kat.ct);
+  AesPortable aes(key);
+  Bytes out(16);
+  aes.decrypt_block(ct.data(), out.data());
+  EXPECT_EQ(to_hex(out), kat.pt);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fips197, AesKatTest,
+                         ::testing::ValuesIn(kFipsVectors));
+INSTANTIATE_TEST_SUITE_P(Sp800_38a, AesKatTest,
+                         ::testing::ValuesIn(kSp800Vectors));
+
+class AesPropertyTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AesPropertyTest, CoresAgreeOnRandomInputs) {
+  Xoshiro256 rng(GetParam());
+  const Bytes key = rng.bytes(GetParam());
+  AesPortable portable(key);
+  AesTtable ttable(key);
+  for (int i = 0; i < 200; ++i) {
+    const Bytes block = rng.bytes(16);
+    Bytes a(16);
+    Bytes b(16);
+    portable.encrypt_block(block.data(), a.data());
+    ttable.encrypt_block(block.data(), b.data());
+    ASSERT_EQ(a, b) << "block " << i << ": " << to_hex(block);
+  }
+}
+
+TEST_P(AesPropertyTest, PortableRoundTripsRandomBlocks) {
+  Xoshiro256 rng(GetParam() + 17);
+  const Bytes key = rng.bytes(GetParam());
+  AesPortable aes(key);
+  for (int i = 0; i < 200; ++i) {
+    const Bytes block = rng.bytes(16);
+    Bytes ct(16);
+    Bytes back(16);
+    aes.encrypt_block(block.data(), ct.data());
+    aes.decrypt_block(ct.data(), back.data());
+    ASSERT_EQ(back, block);
+    ASSERT_NE(ct, block);  // identity would be a catastrophic bug
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKeySizes, AesPropertyTest,
+                         ::testing::Values(16u, 24u, 32u));
+
+TEST(AesKeySchedule, RejectsBadKeySizes) {
+  for (std::size_t bad : {0u, 1u, 15u, 17u, 23u, 31u, 33u, 64u}) {
+    const Bytes key(bad, 0xab);
+    EXPECT_THROW(AesKeySchedule{key}, std::invalid_argument) << bad;
+  }
+}
+
+TEST(AesKeySchedule, RoundCountsMatchKeySize) {
+  EXPECT_EQ(AesKeySchedule(Bytes(16)).rounds(), 10);
+  EXPECT_EQ(AesKeySchedule(Bytes(24)).rounds(), 12);
+  EXPECT_EQ(AesKeySchedule(Bytes(32)).rounds(), 14);
+}
+
+TEST(AesSbox, InverseIsConsistent) {
+  const auto& sbox = detail::aes_sbox();
+  const auto& inv = detail::aes_inv_sbox();
+  for (int i = 0; i < 256; ++i) {
+    EXPECT_EQ(inv[sbox[static_cast<std::size_t>(i)]], i);
+  }
+}
+
+TEST(AesGf, MulMatchesKnownProducts) {
+  // {53} . {CA} = {01} is the classic inverse pair from FIPS-197.
+  EXPECT_EQ(detail::gf_mul(0x53, 0xca), 0x01);
+  EXPECT_EQ(detail::gf_mul(0x57, 0x13), 0xfe);  // AES spec example
+  EXPECT_EQ(detail::gf_mul(0x01, 0xff), 0xff);
+  EXPECT_EQ(detail::gf_mul(0x00, 0xff), 0x00);
+}
+
+}  // namespace
+}  // namespace emc::crypto

@@ -1,0 +1,217 @@
+// BigUint arithmetic: 64-bit reference cross-checks, algebraic
+// properties, Montgomery-vs-slow modexp agreement, Miller-Rabin, and
+// verification of the published RFC 3526 Diffie-Hellman modulus.
+#include <gtest/gtest.h>
+
+#include "emc/common/rng.hpp"
+#include "emc/crypto/bignum.hpp"
+#include "emc/crypto/dh.hpp"
+
+namespace emc::crypto {
+namespace {
+
+TEST(BigUint, HexAndBytesRoundTrip) {
+  const BigUint x = BigUint::from_hex("0123456789abcdef fedcba9876543210 42");
+  EXPECT_EQ(x.to_hex(), "123456789abcdeffedcba987654321042");
+  const Bytes be = x.to_bytes();
+  EXPECT_EQ(BigUint::from_bytes(be), x);
+  // Padding preserves value.
+  EXPECT_EQ(BigUint::from_bytes(x.to_bytes(40)), x);
+  EXPECT_EQ(x.to_bytes(40).size(), 40u);
+}
+
+TEST(BigUint, ZeroBehaves) {
+  const BigUint zero;
+  EXPECT_TRUE(zero.is_zero());
+  EXPECT_EQ(zero.bit_length(), 0u);
+  EXPECT_EQ(zero.to_hex(), "0");
+  EXPECT_EQ(BigUint::from_u64(0), zero);
+  EXPECT_EQ(zero.add(BigUint::from_u64(7)).to_hex(), "7");
+  EXPECT_TRUE(BigUint::mul(zero, BigUint::from_u64(123)).is_zero());
+}
+
+TEST(BigUint, SmallArithmeticMatchesU64) {
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t a = rng.next() >> 2;
+    const std::uint64_t b = rng.next() >> 2;
+    const BigUint ba = BigUint::from_u64(a);
+    const BigUint bb = BigUint::from_u64(b);
+    EXPECT_EQ(ba.add(bb), BigUint::from_u64(a + b));
+    if (a >= b) {
+      EXPECT_EQ(ba.sub(bb), BigUint::from_u64(a - b));
+    }
+    const auto [q, r] = ba.divmod(BigUint::from_u64(b | 1));
+    EXPECT_EQ(q, BigUint::from_u64(a / (b | 1)));
+    EXPECT_EQ(r, BigUint::from_u64(a % (b | 1)));
+  }
+}
+
+TEST(BigUint, MulMatchesU128) {
+  Xoshiro256 rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t a = rng.next();
+    const std::uint64_t b = rng.next();
+    __extension__ using u128 = unsigned __int128;
+    const u128 p = static_cast<u128>(a) * b;
+    Bytes be(16);
+    store_be64(be.data(), static_cast<std::uint64_t>(p >> 64));
+    store_be64(be.data() + 8, static_cast<std::uint64_t>(p));
+    EXPECT_EQ(BigUint::mul(BigUint::from_u64(a), BigUint::from_u64(b)),
+              BigUint::from_bytes(be));
+  }
+}
+
+TEST(BigUint, SubUnderflowThrows) {
+  EXPECT_THROW((void)BigUint::from_u64(1).sub(BigUint::from_u64(2)),
+               std::underflow_error);
+}
+
+TEST(BigUint, DivisionByZeroThrows) {
+  EXPECT_THROW((void)BigUint::from_u64(1).divmod(BigUint{}),
+               std::domain_error);
+}
+
+TEST(BigUint, MultiLimbAlgebra) {
+  // (a + b) * c == a*c + b*c on random 256-bit values.
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 50; ++i) {
+    const BigUint a = BigUint::from_bytes(rng.bytes(32));
+    const BigUint b = BigUint::from_bytes(rng.bytes(32));
+    const BigUint c = BigUint::from_bytes(rng.bytes(32));
+    EXPECT_EQ(BigUint::mul(a.add(b), c),
+              BigUint::mul(a, c).add(BigUint::mul(b, c)));
+  }
+}
+
+TEST(BigUint, DivModReconstructs) {
+  // a == q*m + r with r < m, random widths.
+  Xoshiro256 rng(4);
+  for (int i = 0; i < 50; ++i) {
+    const BigUint a = BigUint::from_bytes(rng.bytes(48));
+    const BigUint m = BigUint::from_bytes(rng.bytes(static_cast<std::size_t>(1 + i % 24)));
+    if (m.is_zero()) continue;
+    const auto [q, r] = a.divmod(m);
+    EXPECT_LT(r.compare(m), 0);
+    EXPECT_EQ(BigUint::mul(q, m).add(r), a);
+  }
+}
+
+TEST(BigUint, ShiftLeftMultipliesByPowersOfTwo) {
+  const BigUint x = BigUint::from_hex("deadbeef");
+  EXPECT_EQ(x.shifted_left(0), x);
+  EXPECT_EQ(x.shifted_left(4).to_hex(), "deadbeef0");
+  EXPECT_EQ(x.shifted_left(64).to_hex(), "deadbeef0000000000000000");
+  EXPECT_EQ(x.shifted_left(67),
+            BigUint::mul(x, BigUint::from_u64(8).shifted_left(64)));
+}
+
+TEST(BigUint, ModexpSmallKnownValues) {
+  // 3^7 mod 10 = 7 (2187), 2^10 mod 1000 = 24, 5^0 mod 7 = 1.
+  EXPECT_EQ(BigUint::modexp_slow(BigUint::from_u64(3), BigUint::from_u64(7),
+                                 BigUint::from_u64(10)),
+            BigUint::from_u64(7));
+  EXPECT_EQ(BigUint::modexp(BigUint::from_u64(2), BigUint::from_u64(10),
+                            BigUint::from_u64(1001)),
+            BigUint::from_u64(1024 % 1001));
+  EXPECT_EQ(BigUint::modexp(BigUint::from_u64(5), BigUint{},
+                            BigUint::from_u64(7)),
+            BigUint::from_u64(1));
+}
+
+TEST(BigUint, MontgomeryMatchesSlowPath) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 25; ++i) {
+    const BigUint base = BigUint::from_bytes(rng.bytes(24));
+    const BigUint exp = BigUint::from_bytes(rng.bytes(8));
+    Bytes mod_bytes = rng.bytes(24);
+    mod_bytes.back() |= 1;  // odd modulus for Montgomery
+    mod_bytes.front() |= 0x80;
+    const BigUint m = BigUint::from_bytes(mod_bytes);
+    EXPECT_EQ(BigUint::modexp(base, exp, m),
+              BigUint::modexp_slow(base, exp, m))
+        << "case " << i;
+  }
+}
+
+TEST(BigUint, FermatLittleTheoremHolds) {
+  // a^(p-1) = 1 mod p for prime p and gcd(a,p)=1.
+  const BigUint p = BigUint::from_u64(0xffffffffffffffc5ull);  // 2^64-59 prime
+  Xoshiro256 rng(6);
+  for (int i = 0; i < 10; ++i) {
+    const BigUint a = BigUint::from_u64(rng.next() | 1);
+    EXPECT_EQ(BigUint::modexp(a.mod(p), p.sub(BigUint::from_u64(1)), p),
+              BigUint::from_u64(1));
+  }
+}
+
+TEST(BigUint, MillerRabinClassifiesSmallNumbers) {
+  const std::uint64_t primes[] = {2,  3,  5,  7,  11, 13, 101,
+                                  104729, 32416190071ull};
+  for (std::uint64_t p : primes) {
+    EXPECT_TRUE(BigUint::probably_prime(BigUint::from_u64(p), 16, 99))
+        << p;
+  }
+  const std::uint64_t composites[] = {1,  4,   9,      15,  91,
+                                      561 /* Carmichael */, 104730,
+                                      32416190073ull};
+  for (std::uint64_t c : composites) {
+    EXPECT_FALSE(BigUint::probably_prime(BigUint::from_u64(c), 16, 99))
+        << c;
+  }
+}
+
+TEST(BigUint, RandomBelowStaysInRange) {
+  const BigUint bound = BigUint::from_hex("10000000000000000");  // 2^64
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    EXPECT_LT(BigUint::random_below(bound, seed).compare(bound), 0);
+  }
+}
+
+TEST(DhGroup, Rfc3526Group14ModulusIsPrime) {
+  // Verifies the transcribed constant: the 2048-bit MODP modulus must
+  // be prime (8 Miller-Rabin rounds; error probability < 4^-8).
+  const DhGroup& group = modp_group14();
+  EXPECT_EQ(group.p.bit_length(), 2048u);
+  EXPECT_TRUE(BigUint::probably_prime(group.p, 8, 0xD4));
+}
+
+TEST(DhGroup, ExchangeAgreesAndKeysDiffer) {
+  const DhGroup group = generate_test_group(192, 0xAB);
+  EXPECT_TRUE(BigUint::probably_prime(group.p, 12, 1));
+
+  const DhKeyPair alice = dh_generate(group, 1);
+  const DhKeyPair bob = dh_generate(group, 2);
+  EXPECT_NE(alice.public_key, bob.public_key);
+
+  const Bytes s1 =
+      dh_shared_secret(group, alice.private_key, bob.public_key);
+  const Bytes s2 =
+      dh_shared_secret(group, bob.private_key, alice.public_key);
+  EXPECT_EQ(s1, s2);
+  EXPECT_EQ(s1.size(), group.byte_length());
+
+  // A third party derives something different.
+  const DhKeyPair eve = dh_generate(group, 3);
+  EXPECT_NE(dh_shared_secret(group, eve.private_key, bob.public_key), s1);
+}
+
+TEST(DhGroup, RejectsOutOfRangePublics) {
+  const DhGroup group = generate_test_group(128, 0xCD);
+  const DhKeyPair pair = dh_generate(group, 4);
+  EXPECT_THROW(
+      (void)dh_shared_secret(group, pair.private_key, BigUint{}),
+      std::invalid_argument);
+  EXPECT_THROW((void)dh_shared_secret(group, pair.private_key, group.p),
+               std::invalid_argument);
+}
+
+TEST(DhGroup, Deterministic) {
+  const DhGroup g1 = generate_test_group(128, 7);
+  const DhGroup g2 = generate_test_group(128, 7);
+  EXPECT_EQ(g1.p, g2.p);
+  EXPECT_EQ(dh_generate(g1, 9).public_key, dh_generate(g2, 9).public_key);
+}
+
+}  // namespace
+}  // namespace emc::crypto

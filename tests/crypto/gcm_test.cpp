@@ -1,0 +1,257 @@
+// AES-GCM known-answer vectors (McGrew–Viega / NIST) and AEAD
+// properties across every provider tier, including cross-provider
+// ciphertext equality — four independently built engines must agree
+// on every byte.
+#include <gtest/gtest.h>
+
+#include "emc/common/rng.hpp"
+#include "emc/crypto/gcm.hpp"
+#include "emc/crypto/provider.hpp"
+
+namespace emc::crypto {
+namespace {
+
+struct GcmKat {
+  const char* key;
+  const char* nonce;
+  const char* aad;
+  const char* pt;
+  const char* ct;
+  const char* tag;
+};
+
+// Test cases 1-4 (AES-128) and 13-15 (AES-256) of the GCM spec.
+const GcmKat kGcmVectors[] = {
+    {"00000000000000000000000000000000", "000000000000000000000000", "", "",
+     "", "58e2fccefa7e3061367f1d57a4e7455a"},
+    {"00000000000000000000000000000000", "000000000000000000000000", "",
+     "00000000000000000000000000000000", "0388dace60b6a392f328c2b971b2fe78",
+     "ab6e47d42cec13bdf53a67b21257bddf"},
+    {"feffe9928665731c6d6a8f9467308308", "cafebabefacedbaddecaf888", "",
+     "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72"
+     "1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b391aafd255",
+     "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e"
+     "21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091473f5985",
+     "4d5c2af327cd64a62cf35abd2ba6fab4"},
+    {"feffe9928665731c6d6a8f9467308308", "cafebabefacedbaddecaf888",
+     "feedfacedeadbeeffeedfacedeadbeefabaddad2",
+     "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72"
+     "1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39",
+     "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e"
+     "21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091",
+     "5bc94fbc3221a5db94fae95ae7121a47"},
+    {"0000000000000000000000000000000000000000000000000000000000000000",
+     "000000000000000000000000", "", "", "",
+     "530f8afbc74536b9a963b4f1c4cb738b"},
+    {"0000000000000000000000000000000000000000000000000000000000000000",
+     "000000000000000000000000", "", "00000000000000000000000000000000",
+     "cea7403d4d606b6e074ec5d3baf39d18", "d0d1c8a799996bf0265b98b5d48ab919"},
+    {"feffe9928665731c6d6a8f9467308308feffe9928665731c6d6a8f9467308308",
+     "cafebabefacedbaddecaf888", "",
+     "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72"
+     "1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b391aafd255",
+     "522dc1f099567d07f47f37a32a84427d643a8cdcbfe5c0c97598a2bd2555d1aa"
+     "8cb08e48590dbb3da7b08b1056828838c5f61e6393ba7a0abcc9f662898015ad",
+     "b094dac5d93471bdec1a502270e3cc6c"},
+};
+
+std::vector<std::string> all_provider_names() {
+  std::vector<std::string> names;
+  for (const Provider& p : providers()) names.push_back(p.name);
+  return names;
+}
+
+using KatCase = std::tuple<std::string, int>;
+
+class GcmKatTest : public ::testing::TestWithParam<KatCase> {};
+
+TEST_P(GcmKatTest, MatchesSpecVector) {
+  const auto& [provider_name, index] = GetParam();
+  const GcmKat& kat = kGcmVectors[static_cast<std::size_t>(index)];
+  const Provider& p = provider(provider_name);
+  const Bytes key = from_hex(kat.key);
+  if (!p.supports_key_size(key.size())) {
+    GTEST_SKIP() << provider_name << " does not support this key size";
+  }
+  const Bytes nonce = from_hex(kat.nonce);
+  const Bytes aad = from_hex(kat.aad);
+  const Bytes pt = from_hex(kat.pt);
+
+  const AeadKeyPtr k = p.make_key(key);
+  Bytes out(pt.size() + kGcmTagBytes);
+  k->seal(nonce, aad, pt, out);
+  EXPECT_EQ(to_hex(BytesView(out).first(pt.size())), kat.ct);
+  EXPECT_EQ(to_hex(BytesView(out).last(kGcmTagBytes)), kat.tag);
+
+  Bytes round(pt.size());
+  ASSERT_TRUE(k->open(nonce, aad, out, round));
+  EXPECT_EQ(round, pt);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProvidersAllVectors, GcmKatTest,
+    ::testing::Combine(::testing::ValuesIn(all_provider_names()),
+                       ::testing::Range(0, 7)),
+    [](const ::testing::TestParamInfo<KatCase>& info) {
+      std::string name = std::get<0>(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name + "_tc" + std::to_string(std::get<1>(info.param));
+    });
+
+struct RoundtripCase {
+  std::string provider;
+  std::size_t size;
+};
+
+class GcmRoundtripTest : public ::testing::TestWithParam<RoundtripCase> {};
+
+TEST_P(GcmRoundtripTest, SealOpenRoundtrip) {
+  const auto& param = GetParam();
+  Xoshiro256 rng(0xD00D + param.size);
+  const AeadKeyPtr k = make_aes_gcm(param.provider, demo_key(32));
+  const Bytes pt = rng.bytes(param.size);
+  const Bytes nonce = rng.bytes(kGcmNonceBytes);
+  const Bytes aad = rng.bytes(13);
+
+  Bytes wire(pt.size() + kGcmTagBytes);
+  k->seal(nonce, aad, pt, wire);
+  Bytes back(pt.size());
+  ASSERT_TRUE(k->open(nonce, aad, wire, back));
+  EXPECT_EQ(back, pt);
+}
+
+TEST_P(GcmRoundtripTest, TamperingAnywhereIsDetected) {
+  const auto& param = GetParam();
+  if (param.size > 4096) GTEST_SKIP() << "bit-flip sweep kept small";
+  Xoshiro256 rng(0xBEEF + param.size);
+  const AeadKeyPtr k = make_aes_gcm(param.provider, demo_key(32));
+  const Bytes pt = rng.bytes(param.size);
+  const Bytes nonce = rng.bytes(kGcmNonceBytes);
+
+  Bytes wire(pt.size() + kGcmTagBytes);
+  k->seal(nonce, {}, pt, wire);
+  Bytes sink(pt.size());
+
+  // Flip one random bit in each 16-byte window plus every tag byte.
+  for (std::size_t pos = 0; pos < wire.size();
+       pos += (pos < pt.size() ? 16 : 1)) {
+    Bytes tampered = wire;
+    tampered[pos] ^= static_cast<std::uint8_t>(1u << (pos % 8));
+    EXPECT_FALSE(k->open(nonce, {}, tampered, sink)) << "position " << pos;
+  }
+
+  // Wrong nonce and wrong AAD must also fail.
+  Bytes bad_nonce = nonce;
+  bad_nonce[0] ^= 1;
+  EXPECT_FALSE(k->open(bad_nonce, {}, wire, sink));
+  const Bytes aad = bytes_of("header");
+  EXPECT_FALSE(k->open(nonce, aad, wire, sink));
+}
+
+std::vector<RoundtripCase> roundtrip_cases() {
+  std::vector<RoundtripCase> cases;
+  for (const std::string& name : all_provider_names()) {
+    for (std::size_t size :
+         {0u, 1u, 15u, 16u, 17u, 255u, 1024u, 65536u, 100000u}) {
+      cases.push_back({name, size});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GcmRoundtripTest, ::testing::ValuesIn(roundtrip_cases()),
+    [](const ::testing::TestParamInfo<RoundtripCase>& info) {
+      std::string name = info.param.provider;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name + "_" + std::to_string(info.param.size) + "b";
+    });
+
+TEST(GcmCrossProvider, AllTiersProduceIdenticalWire) {
+  // Four independently implemented engines agreeing on every byte is
+  // the strongest internal correctness check we have.
+  Xoshiro256 rng(0xC0FFEE);
+  const Bytes key = demo_key(32);
+  std::vector<AeadKeyPtr> keys;
+  for (const Provider& p : providers()) keys.push_back(p.make_key(key));
+
+  for (std::size_t size : {0u, 1u, 16u, 33u, 1000u, 65536u, 70000u}) {
+    const Bytes pt = rng.bytes(size);
+    const Bytes nonce = rng.bytes(kGcmNonceBytes);
+    const Bytes aad = rng.bytes(7);
+    Bytes reference;
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      Bytes wire(size + kGcmTagBytes);
+      keys[i]->seal(nonce, aad, pt, wire);
+      if (i == 0) {
+        reference = wire;
+      } else {
+        ASSERT_EQ(wire, reference)
+            << providers()[i].name << " diverges at size " << size;
+      }
+    }
+  }
+}
+
+TEST(GcmNonce, NonStandardNonceLengthsSupported) {
+  // The GHASH-derived J0 path (|IV| != 96 bits).
+  Xoshiro256 rng(0xABCD);
+  const GcmKey<AesPortable, GhashTable4> k(demo_key(32), "test");
+  const GcmKey<AesTtable, GhashTable8> k2(demo_key(32), "test");
+  for (std::size_t nonce_len : {1u, 8u, 16u, 60u}) {
+    const Bytes nonce = rng.bytes(nonce_len);
+    const Bytes pt = rng.bytes(100);
+    Bytes w1(pt.size() + kGcmTagBytes);
+    Bytes w2(pt.size() + kGcmTagBytes);
+    k.seal(nonce, {}, pt, w1);
+    k2.seal(nonce, {}, pt, w2);
+    ASSERT_EQ(w1, w2);
+    Bytes back(pt.size());
+    ASSERT_TRUE(k.open(nonce, {}, w1, back));
+    ASSERT_EQ(back, pt);
+  }
+}
+
+TEST(GcmNonce, DifferentNoncesGiveDifferentCiphertexts) {
+  const AeadKeyPtr k = make_aes_gcm("libsodium-sim", demo_key(32));
+  const Bytes pt = bytes_of("same message, different nonce");
+  Bytes w1(pt.size() + kGcmTagBytes);
+  Bytes w2(pt.size() + kGcmTagBytes);
+  k->seal(from_hex("000000000000000000000001"), {}, pt, w1);
+  k->seal(from_hex("000000000000000000000002"), {}, pt, w2);
+  EXPECT_NE(w1, w2);
+}
+
+TEST(GcmErrors, WrongBufferSizesThrow) {
+  const AeadKeyPtr k = make_aes_gcm("cryptopp-sim", demo_key(32));
+  const Bytes nonce(kGcmNonceBytes, 0);
+  const Bytes pt(10, 0);
+  Bytes small(10);  // needs 26
+  EXPECT_THROW(k->seal(nonce, {}, pt, small), std::invalid_argument);
+
+  Bytes wire(26);
+  k->seal(nonce, {}, pt, wire);
+  Bytes wrong(11);
+  EXPECT_THROW((void)k->open(nonce, {}, wire, wrong), std::invalid_argument);
+}
+
+TEST(GcmErrors, TruncatedWireFailsCleanly) {
+  const AeadKeyPtr k = make_aes_gcm("cryptopp-sim", demo_key(32));
+  Bytes sink;
+  EXPECT_FALSE(k->open(Bytes(12, 0), {}, Bytes(5, 0), sink));
+}
+
+TEST(GcmNi, AvailabilityMatchesCpuid) {
+  if (gcm_ni_available()) {
+    EXPECT_NO_THROW((void)make_gcm_ni(demo_key(32)));
+  } else {
+    EXPECT_THROW((void)make_gcm_ni(demo_key(32)), std::runtime_error);
+  }
+}
+
+}  // namespace
+}  // namespace emc::crypto

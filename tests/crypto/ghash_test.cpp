@@ -1,0 +1,132 @@
+// Cross-engine agreement and algebraic properties of the GHASH cores.
+// The bit-serial engine is the reference; the table engines are built
+// from it by linearity, and the PCLMUL engine (exercised through the
+// hardware GCM key in gcm_test) must match it bit for bit.
+#include <gtest/gtest.h>
+
+#include "emc/common/rng.hpp"
+#include "emc/crypto/ghash.hpp"
+
+namespace emc::crypto {
+namespace {
+
+Bytes mul_with(const auto& engine, BytesView x) {
+  Bytes out(x.begin(), x.end());
+  engine.mul(out.data());
+  return out;
+}
+
+class GhashAgreementTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GhashAgreementTest, TableEnginesMatchReference) {
+  Xoshiro256 rng(GetParam());
+  const Bytes h = rng.bytes(16);
+  const GhashSoft soft(h.data());
+  const GhashTable4 t4(h.data());
+  const GhashTable8 t8(h.data());
+  for (int i = 0; i < 300; ++i) {
+    const Bytes x = rng.bytes(16);
+    const Bytes expect = mul_with(soft, x);
+    ASSERT_EQ(mul_with(t4, x), expect) << to_hex(x);
+    ASSERT_EQ(mul_with(t8, x), expect) << to_hex(x);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GhashAgreementTest,
+                         ::testing::Values(1u, 2u, 3u, 42u, 1234567u));
+
+TEST(GhashAlgebra, MultiplyByZeroIsZero) {
+  Xoshiro256 rng(7);
+  const Bytes h = rng.bytes(16);
+  const GhashSoft soft(h.data());
+  const Bytes zero(16, 0x00);
+  EXPECT_EQ(mul_with(soft, zero), zero);
+}
+
+TEST(GhashAlgebra, ZeroHashKeyAnnihilates) {
+  const Bytes h(16, 0x00);
+  const GhashSoft soft(h.data());
+  Xoshiro256 rng(8);
+  const Bytes x = rng.bytes(16);
+  EXPECT_EQ(mul_with(soft, x), Bytes(16, 0x00));
+}
+
+TEST(GhashAlgebra, DistributesOverXor) {
+  // (a ^ b) . H == (a . H) ^ (b . H) — linearity, the property the
+  // table engines rely on.
+  Xoshiro256 rng(9);
+  const Bytes h = rng.bytes(16);
+  const GhashSoft soft(h.data());
+  for (int i = 0; i < 100; ++i) {
+    const Bytes a = rng.bytes(16);
+    const Bytes b = rng.bytes(16);
+    Bytes ab(16);
+    for (int j = 0; j < 16; ++j) {
+      ab[static_cast<std::size_t>(j)] = static_cast<std::uint8_t>(
+          a[static_cast<std::size_t>(j)] ^ b[static_cast<std::size_t>(j)]);
+    }
+    const Bytes lhs = mul_with(soft, ab);
+    const Bytes ra = mul_with(soft, a);
+    const Bytes rb = mul_with(soft, b);
+    Bytes rhs(16);
+    for (int j = 0; j < 16; ++j) {
+      rhs[static_cast<std::size_t>(j)] = static_cast<std::uint8_t>(
+          ra[static_cast<std::size_t>(j)] ^ rb[static_cast<std::size_t>(j)]);
+    }
+    ASSERT_EQ(lhs, rhs);
+  }
+}
+
+TEST(GhashAlgebra, MultiplicationByOneElement) {
+  // The field's multiplicative identity in GCM bit order is 0x80 0x00...
+  Bytes one(16, 0x00);
+  one[0] = 0x80;
+  const GhashSoft as_h(one.data());
+  Xoshiro256 rng(10);
+  for (int i = 0; i < 50; ++i) {
+    const Bytes x = rng.bytes(16);
+    ASSERT_EQ(mul_with(as_h, x), x);
+  }
+}
+
+TEST(GhashUpdate, PartialBlockIsZeroPadded) {
+  Xoshiro256 rng(11);
+  const Bytes h = rng.bytes(16);
+  const GhashSoft soft(h.data());
+
+  const Bytes data = rng.bytes(20);  // one full block + 4 bytes
+  std::uint8_t y1[16] = {};
+  ghash_update(soft, y1, data);
+
+  Bytes padded(data.begin(), data.end());
+  padded.resize(32, 0x00);
+  std::uint8_t y2[16] = {};
+  ghash_update(soft, y2, padded);
+
+  EXPECT_EQ(Bytes(y1, y1 + 16), Bytes(y2, y2 + 16));
+}
+
+TEST(GhashUpdate, EmptyInputLeavesAccumulator) {
+  Xoshiro256 rng(12);
+  const Bytes h = rng.bytes(16);
+  const GhashSoft soft(h.data());
+  std::uint8_t y[16];
+  const Bytes init = rng.bytes(16);
+  std::copy(init.begin(), init.end(), y);
+  ghash_update(soft, y, {});
+  EXPECT_EQ(Bytes(y, y + 16), init);
+}
+
+TEST(GhashLengths, EncodesBitLengths) {
+  // With H = identity element the length block passes through XOR.
+  Bytes one(16, 0x00);
+  one[0] = 0x80;
+  const GhashSoft as_h(one.data());
+  std::uint8_t y[16] = {};
+  ghash_lengths(as_h, y, /*aad_bytes=*/2, /*ct_bytes=*/3);
+  EXPECT_EQ(load_be64(y), 16u);       // 2 bytes = 16 bits
+  EXPECT_EQ(load_be64(y + 8), 24u);   // 3 bytes = 24 bits
+}
+
+}  // namespace
+}  // namespace emc::crypto

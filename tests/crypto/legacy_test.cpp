@@ -1,0 +1,99 @@
+// Functional tests of the legacy (insecure) modes plus SP 800-38A
+// known answers for CBC and CTR.
+#include <gtest/gtest.h>
+
+#include "emc/common/rng.hpp"
+#include "emc/crypto/legacy.hpp"
+#include "emc/crypto/provider.hpp"
+
+namespace emc::crypto::legacy {
+namespace {
+
+const char* kSpKey128 = "2b7e151628aed2a6abf7158809cf4f3c";
+const char* kSpBlock1 = "6bc1bee22e409f96e93d7e117393172a";
+
+TEST(LegacyCbc, MatchesSp800_38aFirstBlock) {
+  const AesPortable aes(from_hex(kSpKey128));
+  const Bytes iv = from_hex("000102030405060708090a0b0c0d0e0f");
+  const Bytes ct = cbc_encrypt(aes, iv, from_hex(kSpBlock1));
+  // Padding appends one extra block; the first matches the vector.
+  ASSERT_GE(ct.size(), 32u);
+  EXPECT_EQ(to_hex(BytesView(ct).first(16)),
+            "7649abac8119b246cee98e9b12e9197d");
+}
+
+TEST(LegacyCtr, MatchesSp800_38aFirstBlock) {
+  const AesPortable aes(from_hex(kSpKey128));
+  const Bytes iv = from_hex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff");
+  const Bytes ct = ctr_crypt(aes, iv, from_hex(kSpBlock1));
+  EXPECT_EQ(to_hex(ct), "874d6191b620e3261bef6864990db6ce");
+}
+
+TEST(LegacyCtr, IsItsOwnInverse) {
+  Xoshiro256 rng(21);
+  const AesPortable aes(demo_key(32));
+  const Bytes iv = rng.bytes(16);
+  for (std::size_t size : {0u, 1u, 16u, 17u, 333u}) {
+    const Bytes pt = rng.bytes(size);
+    EXPECT_EQ(ctr_crypt(aes, iv, ctr_crypt(aes, iv, pt)), pt);
+  }
+}
+
+class LegacyRoundtripTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LegacyRoundtripTest, EcbRoundtrips) {
+  Xoshiro256 rng(GetParam());
+  const AesPortable aes(demo_key(16));
+  const Bytes pt = rng.bytes(GetParam());
+  const Bytes ct = ecb_encrypt(aes, pt);
+  EXPECT_EQ(ct.size() % 16, 0u);
+  EXPECT_GT(ct.size(), pt.size());  // PKCS#7 always pads
+  EXPECT_EQ(ecb_decrypt(aes, ct), pt);
+}
+
+TEST_P(LegacyRoundtripTest, CbcRoundtrips) {
+  Xoshiro256 rng(GetParam() + 99);
+  const AesPortable aes(demo_key(32));
+  const Bytes iv = rng.bytes(16);
+  const Bytes pt = rng.bytes(GetParam());
+  EXPECT_EQ(cbc_decrypt(aes, iv, cbc_encrypt(aes, iv, pt)), pt);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LegacyRoundtripTest,
+                         ::testing::Values(0u, 1u, 15u, 16u, 17u, 100u,
+                                           4096u));
+
+TEST(LegacyPadding, CorruptPaddingThrows) {
+  const AesPortable aes(demo_key(16));
+  Bytes ct = ecb_encrypt(aes, bytes_of("hello"));
+  EXPECT_THROW((void)ecb_decrypt(aes, BytesView(ct).first(8)),
+               std::runtime_error);
+  EXPECT_THROW((void)ecb_decrypt(aes, Bytes{}), std::runtime_error);
+}
+
+TEST(BigKeyPad, RoundtripsViaSecondPad) {
+  Xoshiro256 rng(5);
+  Bytes big_key = rng.bytes(1024);
+  BigKeyPad enc(big_key);
+  BigKeyPad dec(big_key);
+  const Bytes m1 = rng.bytes(100);
+  const Bytes m2 = rng.bytes(200);
+  EXPECT_EQ(dec.encrypt(enc.encrypt(m1)), m1);
+  EXPECT_EQ(dec.encrypt(enc.encrypt(m2)), m2);
+}
+
+TEST(BigKeyPad, ReportsPadReuseAfterWrap) {
+  Xoshiro256 rng(6);
+  BigKeyPad pad(rng.bytes(256));
+  (void)pad.encrypt(rng.bytes(200));
+  EXPECT_FALSE(pad.pad_reused());
+  (void)pad.encrypt(rng.bytes(100));  // 300 > 256: wrapped
+  EXPECT_TRUE(pad.pad_reused());
+}
+
+TEST(BigKeyPad, EmptyKeyRejected) {
+  EXPECT_THROW(BigKeyPad{Bytes{}}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace emc::crypto::legacy

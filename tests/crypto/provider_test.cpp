@@ -1,0 +1,104 @@
+// Provider registry behaviour: lookup, capability restrictions,
+// self-tests, and the CryptoPP build-profile dispatcher.
+#include <gtest/gtest.h>
+
+#include "emc/common/rng.hpp"
+#include "emc/crypto/provider.hpp"
+
+namespace emc::crypto {
+namespace {
+
+TEST(ProviderRegistry, ContainsTheFourStudiedLibraries) {
+  const auto& all = providers();
+  ASSERT_EQ(all.size(), 5u);  // four libraries + the Fig. 9 CryptoPP build
+  EXPECT_NO_THROW((void)provider("boringssl-sim"));
+  EXPECT_NO_THROW((void)provider("openssl-sim"));
+  EXPECT_NO_THROW((void)provider("libsodium-sim"));
+  EXPECT_NO_THROW((void)provider("cryptopp-sim"));
+  EXPECT_NO_THROW((void)provider("cryptopp-opt-sim"));
+}
+
+TEST(ProviderRegistry, UnknownNameThrows) {
+  EXPECT_THROW((void)provider("wolfssl"), std::invalid_argument);
+  EXPECT_THROW((void)make_aes_gcm("", demo_key(32)), std::invalid_argument);
+}
+
+TEST(ProviderRegistry, ReportedProvidersMatchPaper) {
+  const auto gcc48 = reported_providers(/*optimized_cryptopp=*/false);
+  ASSERT_EQ(gcc48.size(), 3u);
+  EXPECT_EQ(gcc48[0]->name, "boringssl-sim");
+  EXPECT_EQ(gcc48[1]->name, "libsodium-sim");
+  EXPECT_EQ(gcc48[2]->name, "cryptopp-sim");
+
+  const auto mvapich = reported_providers(/*optimized_cryptopp=*/true);
+  EXPECT_EQ(mvapich[2]->name, "cryptopp-opt-sim");
+}
+
+TEST(ProviderRegistry, LibsodiumOnlySupportsAes256) {
+  // Mirrors the real library's API limitation noted in §III-B.
+  const Provider& sodium = provider("libsodium-sim");
+  EXPECT_FALSE(sodium.supports_key_size(16));
+  EXPECT_FALSE(sodium.supports_key_size(24));
+  EXPECT_TRUE(sodium.supports_key_size(32));
+  EXPECT_THROW((void)sodium.make_key(demo_key(16)), std::invalid_argument);
+  EXPECT_NO_THROW((void)sodium.make_key(demo_key(32)));
+}
+
+TEST(ProviderRegistry, HwTierSupportsBothStudiedKeySizes) {
+  // The paper benchmarks 128- and 256-bit keys (§III-A).
+  for (const char* name : {"boringssl-sim", "openssl-sim"}) {
+    const Provider& p = provider(name);
+    EXPECT_TRUE(p.supports_key_size(16)) << name;
+    EXPECT_TRUE(p.supports_key_size(32)) << name;
+  }
+}
+
+class ProviderSelfTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ProviderSelfTest, PassesKatAndTamperCheck) {
+  EXPECT_TRUE(self_test(provider(GetParam())));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, ProviderSelfTest,
+    ::testing::Values("boringssl-sim", "openssl-sim", "libsodium-sim",
+                      "cryptopp-sim", "cryptopp-opt-sim"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(CryptoppOpt, TierSwitchIsTransparent) {
+  // The Fig. 9 dispatcher must produce wire bytes identical to the
+  // other tiers on both sides of the 64 KB threshold.
+  Xoshiro256 rng(0xFEED);
+  const AeadKeyPtr opt = make_aes_gcm("cryptopp-opt-sim", demo_key(32));
+  const AeadKeyPtr plain = make_aes_gcm("cryptopp-sim", demo_key(32));
+  for (std::size_t size : {1024u, 65535u, 65536u, 262144u}) {
+    const Bytes pt = rng.bytes(size);
+    const Bytes nonce = rng.bytes(kGcmNonceBytes);
+    Bytes w1(size + kGcmTagBytes);
+    Bytes w2(size + kGcmTagBytes);
+    opt->seal(nonce, {}, pt, w1);
+    plain->seal(nonce, {}, pt, w2);
+    ASSERT_EQ(w1, w2) << size;
+    Bytes back(size);
+    ASSERT_TRUE(opt->open(nonce, {}, w1, back));
+    ASSERT_EQ(back, pt);
+  }
+}
+
+TEST(DemoKey, IsDeterministicAndSized) {
+  EXPECT_EQ(demo_key(32).size(), 32u);
+  EXPECT_EQ(demo_key(16).size(), 16u);
+  EXPECT_EQ(demo_key(32), demo_key(32));
+  const Bytes k32 = demo_key(32);
+  const Bytes k16 = demo_key(16);
+  EXPECT_TRUE(std::equal(k16.begin(), k16.end(), k32.begin()));
+}
+
+}  // namespace
+}  // namespace emc::crypto

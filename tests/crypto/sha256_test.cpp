@@ -1,0 +1,121 @@
+// SHA-256 / HMAC / HKDF against published vectors (FIPS 180-4,
+// RFC 4231, RFC 5869) plus streaming-interface properties.
+#include <gtest/gtest.h>
+
+#include "emc/common/rng.hpp"
+#include "emc/crypto/sha256.hpp"
+
+namespace emc::crypto {
+namespace {
+
+TEST(Sha256, Fips180Vectors) {
+  EXPECT_EQ(to_hex(Sha256::digest({})),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(to_hex(Sha256::digest(bytes_of("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(
+      to_hex(Sha256::digest(bytes_of(
+          "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 hasher;
+  const Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) hasher.update(chunk);
+  Bytes out(kSha256Digest);
+  hasher.finalize(out.data());
+  EXPECT_EQ(to_hex(out),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, StreamingEqualsOneShot) {
+  Xoshiro256 rng(3);
+  const Bytes data = rng.bytes(10'000);
+  // Feed in awkward chunk sizes crossing block boundaries.
+  Sha256 hasher;
+  std::size_t i = 0;
+  std::size_t chunk = 1;
+  while (i < data.size()) {
+    const std::size_t take = std::min(chunk, data.size() - i);
+    hasher.update(BytesView(data).subspan(i, take));
+    i += take;
+    chunk = (chunk * 7 + 3) % 200 + 1;
+  }
+  Bytes streamed(kSha256Digest);
+  hasher.finalize(streamed.data());
+  EXPECT_EQ(streamed, Sha256::digest(data));
+}
+
+TEST(Sha256, ResetAllowsReuse) {
+  Sha256 hasher;
+  hasher.update(bytes_of("ignore me"));
+  hasher.reset();
+  hasher.update(bytes_of("abc"));
+  Bytes out(kSha256Digest);
+  hasher.finalize(out.data());
+  EXPECT_EQ(out, Sha256::digest(bytes_of("abc")));
+}
+
+TEST(Sha256, PaddingBoundaries) {
+  // Lengths around the 56-byte padding cut and the 64-byte block.
+  for (std::size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u}) {
+    const Bytes data(len, 0x61);
+    const Bytes once = Sha256::digest(data);
+    Sha256 h;
+    h.update(BytesView(data).first(len / 2));
+    h.update(BytesView(data).subspan(len / 2));
+    Bytes out(kSha256Digest);
+    h.finalize(out.data());
+    EXPECT_EQ(out, once) << "length " << len;
+  }
+}
+
+TEST(HmacSha256, Rfc4231Vectors) {
+  // Test case 1.
+  EXPECT_EQ(to_hex(hmac_sha256(Bytes(20, 0x0b), bytes_of("Hi There"))),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+  // Test case 2.
+  EXPECT_EQ(to_hex(hmac_sha256(bytes_of("Jefe"),
+                               bytes_of("what do ya want for nothing?"))),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacSha256, LongKeysAreHashedDown) {
+  // Keys longer than the block size must behave like their digest.
+  Xoshiro256 rng(4);
+  const Bytes long_key = rng.bytes(200);
+  const Bytes data = bytes_of("payload");
+  EXPECT_EQ(hmac_sha256(long_key, data),
+            hmac_sha256(Sha256::digest(long_key), data));
+}
+
+TEST(HkdfSha256, Rfc5869TestCase1) {
+  const Bytes ikm(22, 0x0b);
+  const Bytes salt = from_hex("000102030405060708090a0b0c");
+  const Bytes info = from_hex("f0f1f2f3f4f5f6f7f8f9");
+  const Bytes okm = hkdf_sha256(ikm, salt, info, 42);
+  EXPECT_EQ(to_hex(okm),
+            "3cb25f25faacd57a90434f64d0362f2a"
+            "2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865");
+}
+
+TEST(HkdfSha256, LengthsAndDomainSeparation) {
+  const Bytes ikm = bytes_of("input keying material");
+  EXPECT_EQ(hkdf_sha256(ikm, {}, {}, 16).size(), 16u);
+  EXPECT_EQ(hkdf_sha256(ikm, {}, {}, 100).size(), 100u);
+  EXPECT_THROW((void)hkdf_sha256(ikm, {}, {}, 255 * 32 + 1),
+               std::invalid_argument);
+  // Different info strings must derive unrelated keys.
+  EXPECT_NE(hkdf_sha256(ikm, {}, bytes_of("a"), 32),
+            hkdf_sha256(ikm, {}, bytes_of("b"), 32));
+  // A prefix of a longer expansion equals the shorter expansion.
+  const Bytes long_okm = hkdf_sha256(ikm, {}, bytes_of("x"), 64);
+  const Bytes short_okm = hkdf_sha256(ikm, {}, bytes_of("x"), 32);
+  EXPECT_TRUE(std::equal(short_okm.begin(), short_okm.end(),
+                         long_okm.begin()));
+}
+
+}  // namespace
+}  // namespace emc::crypto

@@ -1,0 +1,104 @@
+// FFT utility correctness: known transforms, inverse, Parseval.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "emc/common/rng.hpp"
+#include "emc/nas/fft.hpp"
+
+namespace emc::nas {
+namespace {
+
+TEST(Fft, DeltaTransformsToConstant) {
+  std::vector<Complex> data(8, Complex(0, 0));
+  data[0] = Complex(1, 0);
+  fft(data, false);
+  for (const Complex& c : data) {
+    EXPECT_NEAR(c.real(), 1.0, 1e-12);
+    EXPECT_NEAR(c.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, SingleToneLandsInOneBin) {
+  constexpr std::size_t kN = 64;
+  std::vector<Complex> data(kN);
+  const int tone = 5;
+  for (std::size_t i = 0; i < kN; ++i) {
+    const double phase = 2.0 * std::numbers::pi * tone *
+                         static_cast<double>(i) / kN;
+    data[i] = Complex(std::cos(phase), std::sin(phase));
+  }
+  fft(data, false);
+  for (std::size_t k = 0; k < kN; ++k) {
+    const double expected = k == static_cast<std::size_t>(tone) ? kN : 0.0;
+    EXPECT_NEAR(std::abs(data[k]), expected, 1e-9) << "bin " << k;
+  }
+}
+
+class FftRoundtripTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftRoundtripTest, InverseRecovers) {
+  Xoshiro256 rng(GetParam());
+  std::vector<Complex> data(GetParam());
+  for (Complex& c : data) {
+    c = Complex(rng.next_double() - 0.5, rng.next_double() - 0.5);
+  }
+  const std::vector<Complex> original = data;
+  fft(data, false);
+  fft(data, true);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(data[i].real(), original[i].real(), 1e-10);
+    EXPECT_NEAR(data[i].imag(), original[i].imag(), 1e-10);
+  }
+}
+
+TEST_P(FftRoundtripTest, ParsevalHolds) {
+  Xoshiro256 rng(GetParam() + 1);
+  std::vector<Complex> data(GetParam());
+  for (Complex& c : data) {
+    c = Complex(rng.next_double() - 0.5, rng.next_double() - 0.5);
+  }
+  double time_energy = 0.0;
+  for (const Complex& c : data) time_energy += std::norm(c);
+  fft(data, false);
+  double freq_energy = 0.0;
+  for (const Complex& c : data) freq_energy += std::norm(c);
+  EXPECT_NEAR(freq_energy / static_cast<double>(data.size()), time_energy,
+              1e-8 * time_energy);
+}
+
+INSTANTIATE_TEST_SUITE_P(Pow2Sizes, FftRoundtripTest,
+                         ::testing::Values(1u, 2u, 4u, 16u, 128u, 1024u));
+
+TEST(FftStrided, MatchesContiguous) {
+  constexpr std::size_t kN = 32;
+  constexpr std::size_t kStride = 7;
+  Xoshiro256 rng(3);
+  std::vector<Complex> strided(kN * kStride, Complex(9, 9));
+  std::vector<Complex> reference(kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    const Complex v(rng.next_double(), rng.next_double());
+    strided[i * kStride] = v;
+    reference[i] = v;
+  }
+  std::vector<Complex> scratch(kN);
+  fft_strided(strided.data(), kN, kStride, false, scratch);
+  fft(reference, false);
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_NEAR(std::abs(strided[i * kStride] - reference[i]), 0.0, 1e-12);
+  }
+  // Elements off the stride grid are untouched.
+  EXPECT_EQ(strided[1], Complex(9, 9));
+}
+
+TEST(FftUtil, IsPow2) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_FALSE(is_pow2(96));
+}
+
+}  // namespace
+}  // namespace emc::nas

@@ -1,0 +1,161 @@
+// Network fabric model: profile math, NIC FIFO sharing, contention.
+#include <gtest/gtest.h>
+
+#include "emc/netsim/fabric.hpp"
+
+namespace emc::net {
+namespace {
+
+ClusterConfig two_nodes(NetworkProfile inter) {
+  ClusterConfig config;
+  config.num_nodes = 2;
+  config.ranks_per_node = 8;
+  config.inter = std::move(inter);
+  return config;
+}
+
+TEST(Profiles, BuiltinsHaveSaneShapes) {
+  const NetworkProfile eth = ethernet_10g();
+  const NetworkProfile ib = infiniband_qdr_40g();
+  const NetworkProfile shm = intra_node();
+  EXPECT_LT(ib.latency, eth.latency);      // IB is lower latency
+  EXPECT_GT(ib.bandwidth, eth.bandwidth);  // and higher bandwidth
+  EXPECT_LT(shm.latency, ib.latency);
+  EXPECT_GT(eth.eager_threshold, 0u);
+  EXPECT_EQ(ib.contention_threshold, 5);  // Fig. 11 throttling model
+  EXPECT_EQ(eth.contention_threshold, 0);
+}
+
+TEST(Profiles, LookupByName) {
+  EXPECT_EQ(profile_by_name("eth").name, "ethernet-10g");
+  EXPECT_EQ(profile_by_name("ib").name, "infiniband-qdr-40g");
+  EXPECT_EQ(profile_by_name("shm").name, "intra-node-shm");
+  EXPECT_THROW((void)profile_by_name("token-ring"), std::invalid_argument);
+}
+
+TEST(Fabric, RankToNodeMapping) {
+  Fabric fabric(two_nodes(ethernet_10g()));
+  EXPECT_EQ(fabric.node_of(0), 0);
+  EXPECT_EQ(fabric.node_of(7), 0);
+  EXPECT_EQ(fabric.node_of(8), 1);
+  EXPECT_EQ(fabric.node_of(15), 1);
+  EXPECT_TRUE(fabric.same_node(0, 7));
+  EXPECT_FALSE(fabric.same_node(7, 8));
+  EXPECT_THROW((void)fabric.node_of(16), std::out_of_range);
+  EXPECT_THROW((void)fabric.node_of(-1), std::out_of_range);
+}
+
+TEST(Fabric, ProfileSelectionByLocality) {
+  Fabric fabric(two_nodes(ethernet_10g()));
+  EXPECT_EQ(fabric.profile(0, 1).name, "intra-node-shm");
+  EXPECT_EQ(fabric.profile(0, 8).name, "ethernet-10g");
+}
+
+TEST(Fabric, SingleTransferTiming) {
+  NetworkProfile prof = ethernet_10g();
+  Fabric fabric(two_nodes(prof));
+  const std::size_t bytes = 1'000'000;
+  const PathTimes t = fabric.reserve_path(0, 8, bytes, 0.0);
+  const double wire = static_cast<double>(bytes) / prof.bandwidth;
+  EXPECT_DOUBLE_EQ(t.start, 0.0);
+  EXPECT_NEAR(t.egress_done, prof.per_msg_nic + wire, 1e-12);
+  EXPECT_NEAR(t.arrival, t.egress_done + prof.latency, 1e-12);
+}
+
+TEST(Fabric, NicSerializesConcurrentTransfers) {
+  // Two messages reserved at the same instant leave back to back:
+  // FIFO bandwidth sharing, the mechanism behind Fig. 5/6 saturation.
+  Fabric fabric(two_nodes(ethernet_10g()));
+  const std::size_t bytes = 2'000'000;
+  const PathTimes first = fabric.reserve_path(0, 8, bytes, 0.0);
+  const PathTimes second = fabric.reserve_path(1, 9, bytes, 0.0);
+  EXPECT_DOUBLE_EQ(second.start, first.egress_done);
+  EXPECT_GT(second.arrival, first.arrival);
+}
+
+TEST(Fabric, IndependentNicsDoNotInterfere) {
+  // Opposite directions use different egress NICs.
+  Fabric fabric(two_nodes(ethernet_10g()));
+  const PathTimes a = fabric.reserve_path(0, 8, 1'000'000, 0.0);
+  const PathTimes b = fabric.reserve_path(8, 0, 1'000'000, 0.0);
+  EXPECT_DOUBLE_EQ(a.start, 0.0);
+  EXPECT_DOUBLE_EQ(b.start, 0.0);
+}
+
+TEST(Fabric, IntraAndInterNicsAreSeparate) {
+  Fabric fabric(two_nodes(ethernet_10g()));
+  const PathTimes inter = fabric.reserve_path(0, 8, 1'000'000, 0.0);
+  const PathTimes intra = fabric.reserve_path(0, 1, 1'000'000, 0.0);
+  EXPECT_DOUBLE_EQ(inter.start, 0.0);
+  EXPECT_DOUBLE_EQ(intra.start, 0.0);
+}
+
+TEST(Fabric, LateEarliestDelaysStart) {
+  Fabric fabric(two_nodes(ethernet_10g()));
+  const PathTimes t = fabric.reserve_path(0, 8, 1000, 5.0);
+  EXPECT_DOUBLE_EQ(t.start, 5.0);
+}
+
+TEST(Fabric, GapLeavesNicIdle) {
+  Fabric fabric(two_nodes(ethernet_10g()));
+  (void)fabric.reserve_path(0, 8, 1000, 0.0);
+  const PathTimes later = fabric.reserve_path(0, 8, 1000, 10.0);
+  EXPECT_DOUBLE_EQ(later.start, 10.0);  // no carry-over of idle time
+}
+
+TEST(Fabric, ContentionCountsDistinctFlowsNotWindowDepth) {
+  // A deep window from ONE sender must not trigger the contention
+  // penalty (the paper's Fig. 11 throttling is a multi-flow effect).
+  NetworkProfile ib = infiniband_qdr_40g();
+  Fabric fabric(two_nodes(ib));
+  const std::size_t bytes = 1'000'000;
+
+  double single_flow_busy = 0.0;
+  for (int i = 0; i < 64; ++i) {
+    const PathTimes t = fabric.reserve_path(0, 8, bytes, 0.0);
+    single_flow_busy = t.egress_done - t.start;
+  }
+  EXPECT_EQ(fabric.active_flows(0, 8, 0.0), 1);
+  const double expected = ib.per_msg_nic + 1'000'000.0 / ib.bandwidth;
+  EXPECT_NEAR(single_flow_busy, expected, 1e-9);
+}
+
+TEST(Fabric, ContentionInflatesBeyondFlowThreshold) {
+  NetworkProfile ib = infiniband_qdr_40g();
+  Fabric fabric(two_nodes(ib));
+  const std::size_t bytes = 1'000'000;
+
+  // Five distinct senders (threshold 5) overlapping at t=0.
+  for (int src = 0; src < 5; ++src) {
+    (void)fabric.reserve_path(src, 8 + src, bytes, 0.0);
+  }
+  EXPECT_EQ(fabric.active_flows(0, 8, 0.0), 5);
+
+  const PathTimes contended = fabric.reserve_path(5, 13, bytes, 0.0);
+  const double contended_busy = contended.egress_done - contended.start;
+  const double plain_busy = ib.per_msg_nic + 1'000'000.0 / ib.bandwidth;
+  EXPECT_GT(contended_busy, plain_busy * 1.05);
+}
+
+TEST(Fabric, ContentionExpiresWithTime) {
+  NetworkProfile ib = infiniband_qdr_40g();
+  Fabric fabric(two_nodes(ib));
+  for (int src = 0; src < 6; ++src) {
+    (void)fabric.reserve_path(src, 8, 1'000'000, 0.0);
+  }
+  // Far in the future all transfers completed; contention resets.
+  const PathTimes t = fabric.reserve_path(0, 8, 1'000'000, 1e6);
+  const double busy = t.egress_done - t.start;
+  const double expected =
+      ib.per_msg_nic + 1'000'000.0 / ib.bandwidth;
+  EXPECT_NEAR(busy, expected, 1e-9);
+}
+
+TEST(Fabric, RejectsDegenerateClusters) {
+  ClusterConfig config;
+  config.num_nodes = 0;
+  EXPECT_THROW(Fabric{config}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace emc::net
