@@ -62,7 +62,15 @@ void Comm::sleep_until(double t) { proc_->advance(t - proc_->now()); }
 
 int Comm::next_coll_tag() {
   // 64 internal tag slots per collective invocation (one per round).
-  const auto base = (std::uint32_t{1} << 28) | ((coll_seq_ << 6) & 0x0FFFFFFFu);
+  // The sequence walks the whole [2^28, 2^31) internal-tag range and
+  // fails loudly when it runs out: a silent wrap would let tags of
+  // long-separated collectives collide and cross-match.
+  if (coll_seq_ >= kMaxCollectives) {
+    throw MpiError("collective tag space exhausted after " +
+                   std::to_string(coll_seq_) +
+                   " collectives on this communicator");
+  }
+  const auto base = (std::uint32_t{1} << 28) + coll_seq_ * 64;
   ++coll_seq_;
   return static_cast<int>(base);
 }
@@ -81,6 +89,40 @@ void Comm::post_envelope(int dst, std::unique_ptr<Envelope> env) {
     }
   }
   box.unexpected.push_back(std::move(env));
+}
+
+void Comm::deliver_eager(int dst, std::unique_ptr<Envelope> env) {
+  net::FaultInjector* faults = world_->fabric().faults();
+  if (faults == nullptr || dst == rank()) {
+    post_envelope(dst, std::move(env));
+    return;
+  }
+  const net::FaultDecision d = faults->next(rank(), dst, env->payload.size());
+  switch (d.kind) {
+    case net::FaultKind::kDrop:
+      return;  // the wire ate it; nothing ever arrives
+    case net::FaultKind::kCorrupt:
+      env->payload[d.position] ^= d.flip_mask;
+      break;
+    case net::FaultKind::kTruncate:
+      env->payload.resize(d.new_length);
+      break;
+    case net::FaultKind::kDuplicate: {
+      auto copy = std::make_unique<Envelope>(*env);
+      copy->seq = world_->next_seq();
+      // The duplicate crosses the wire again behind the original.
+      copy->arrival = world_->fabric()
+                          .reserve_path(rank(), dst, copy->payload.size(),
+                                        env->arrival)
+                          .arrival;
+      post_envelope(dst, std::move(env));
+      post_envelope(dst, std::move(copy));
+      return;
+    }
+    case net::FaultKind::kNone:
+      break;
+  }
+  post_envelope(dst, std::move(env));
 }
 
 // ------------------------------------------------------------ send side
@@ -104,7 +146,7 @@ void Comm::send_internal(BytesView data, int dst, int tag) {
              : world_->fabric()
                    .reserve_path(rank(), dst, data.size(), proc_->now())
                    .arrival;
-    post_envelope(dst, std::move(env));
+    deliver_eager(dst, std::move(env));
     return;
   }
 
@@ -151,7 +193,7 @@ Request Comm::isend_internal(BytesView data, int dst, int tag) {
              : world_->fabric()
                    .reserve_path(rank(), dst, data.size(), proc_->now())
                    .arrival;
-    post_envelope(dst, std::move(env));
+    deliver_eager(dst, std::move(env));
     return Request(std::move(state));
   }
 
@@ -205,7 +247,15 @@ Request Comm::irecv(MutBytes buf, int src, int tag) {
 }
 
 Status Comm::complete_recv(PendingRecv& pr) {
-  while (!pr.matched) proc_->wait(pr.cond);
+  const double timeout = world_->config().recv_timeout;
+  while (!pr.matched) {
+    if (timeout <= 0.0) {
+      proc_->wait(pr.cond);
+    } else if (!proc_->wait_for(pr.cond, timeout)) {
+      throw MpiError("receive timed out after " + std::to_string(timeout) +
+                     " virtual seconds (message dropped or sender failed)");
+    }
+  }
   Envelope& env = *pr.matched;
   const net::NetworkProfile& prof = world_->fabric().profile(env.src, rank());
 
@@ -239,10 +289,23 @@ Status Comm::complete_recv(PendingRecv& pr) {
         rank(), env.src, world_->config().ctrl_bytes, handshake_start);
     const net::PathTimes data = world_->fabric().reserve_path(
         env.src, rank(), env.rndv_data.size(), cts.arrival);
-    if (!env.rndv_data.empty()) {
-      std::memcpy(pr.buf.data(), env.rndv_data.data(), env.rndv_data.size());
+    // Fault the pulled data in place. Losing the transfer outright
+    // would leave the sender parked on the handshake, so the injector
+    // degrades drop/duplicate to corruption on this path.
+    std::size_t deliver_len = env.rndv_data.size();
+    net::FaultDecision fault;
+    if (net::FaultInjector* faults = world_->fabric().faults();
+        faults != nullptr && env.src != rank()) {
+      fault = faults->next(env.src, rank(), deliver_len, /*allow_loss=*/false);
     }
-    status.bytes = env.rndv_data.size();
+    if (fault.kind == net::FaultKind::kTruncate) deliver_len = fault.new_length;
+    if (deliver_len > 0) {
+      std::memcpy(pr.buf.data(), env.rndv_data.data(), deliver_len);
+    }
+    if (fault.kind == net::FaultKind::kCorrupt) {
+      pr.buf[fault.position] ^= fault.flip_mask;
+    }
+    status.bytes = deliver_len;
     env.handshake->sender_complete = data.egress_done;
     env.handshake->completed = true;
     proc_->notify_all(env.handshake->done);

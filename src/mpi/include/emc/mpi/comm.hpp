@@ -36,6 +36,20 @@ class Comm final : public Communicator {
   Status sendrecv(BytesView senddata, int dst, int sendtag, MutBytes recvbuf,
                   int src, int recvtag) override;
 
+  /// Hard ceiling on collectives per communicator: the internal tag
+  /// space above kMaxUserTag fits this many 64-slot collective
+  /// invocations; next_coll_tag throws MpiError once it is exhausted
+  /// (tags never silently wrap into reuse).
+  static constexpr std::uint32_t kMaxCollectives =
+      ((std::uint32_t{1} << 31) - (std::uint32_t{1} << 28)) / 64;
+
+  /// Test hook: burns @p n collective-tag slots as if n collectives
+  /// had run, to exercise the exhaustion guard without running them.
+  void consume_coll_tags(std::uint32_t n) noexcept {
+    coll_seq_ = n > kMaxCollectives - coll_seq_ ? kMaxCollectives
+                                                : coll_seq_ + n;
+  }
+
   void barrier() override;
   void bcast(MutBytes data, int root) override;
   void allgather(BytesView sendpart, MutBytes recvall) override;
@@ -51,6 +65,11 @@ class Comm final : public Communicator {
  private:
   /// Posts an envelope to @p dst, matching a posted receive if one fits.
   void post_envelope(int dst, std::unique_ptr<detail::Envelope> env);
+
+  /// Runs an eager envelope through the fabric's fault injector (if
+  /// any) before posting: may corrupt or truncate the payload, post a
+  /// duplicate, or drop the envelope entirely.
+  void deliver_eager(int dst, std::unique_ptr<detail::Envelope> env);
 
   /// Sends with internal tags allowed (collectives).
   void send_internal(BytesView data, int dst, int tag);

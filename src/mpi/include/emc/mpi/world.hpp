@@ -66,6 +66,12 @@ struct WorldConfig {
   /// Control-message size used by the rendezvous RTS/CTS handshake.
   std::size_t ctrl_bytes = 64;
 
+  /// Delivery timeout for blocking/waited receives, in virtual
+  /// seconds; a receive with no matching message after this long
+  /// throws MpiError instead of blocking forever. 0 = wait forever.
+  /// Required for progress when the fault plan drops messages.
+  double recv_timeout = 0.0;
+
   /// Simulated-CPU speed relative to the build host: every charged
   /// host measurement (crypto, kernel compute) is multiplied by this
   /// before entering virtual time. 1.0 = "the cluster CPUs are as

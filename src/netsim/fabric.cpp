@@ -1,6 +1,7 @@
 #include "emc/netsim/fabric.hpp"
 
 #include <algorithm>
+#include <utility>
 
 namespace emc::net {
 
@@ -10,18 +11,20 @@ Fabric::Fabric(ClusterConfig config) : config_(std::move(config)) {
   }
   inter_nics_.resize(static_cast<std::size_t>(config_.num_nodes));
   intra_nics_.resize(static_cast<std::size_t>(config_.num_nodes));
+  set_fault_plan(config_.faults);
 }
 
-Fabric::Nic& Fabric::nic_for(int src, int dst) {
+void Fabric::set_fault_plan(const FaultPlan& plan) {
+  injector_ = plan.enabled() ? std::make_unique<FaultInjector>(plan) : nullptr;
+}
+
+const Fabric::Nic& Fabric::nic_for(int src, int dst) const {
   const auto node = static_cast<std::size_t>(node_of(src));
   return same_node(src, dst) ? intra_nics_[node] : inter_nics_[node];
 }
 
-const Fabric::Nic& Fabric::nic_for(int src, int dst) const {
-  const auto node = static_cast<std::size_t>(src / config_.ranks_per_node);
-  return src / config_.ranks_per_node == dst / config_.ranks_per_node
-             ? intra_nics_[node]
-             : inter_nics_[node];
+Fabric::Nic& Fabric::nic_for(int src, int dst) {
+  return const_cast<Nic&>(std::as_const(*this).nic_for(src, dst));
 }
 
 int Fabric::active_flows(int src, int dst, double at) const {

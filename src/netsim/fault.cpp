@@ -1,0 +1,123 @@
+#include "emc/netsim/fault.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace emc::net {
+
+namespace {
+
+/// SplitMix64 finalizer — the avalanche step that makes the decision
+/// stream a pure function of (seed, link, message index).
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+constexpr std::uint64_t link_key(int src, int dst) noexcept {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst));
+}
+
+/// Uniform double in [0, 1) from 53 high bits.
+constexpr double unit_double(std::uint64_t h) noexcept {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+void check_probability(double p, const char* name) {
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument(std::string("FaultPlan: ") + name +
+                                " must be in [0, 1]");
+  }
+}
+
+}  // namespace
+
+void FaultPlan::validate() const {
+  check_probability(p_corrupt, "p_corrupt");
+  check_probability(p_truncate, "p_truncate");
+  check_probability(p_duplicate, "p_duplicate");
+  check_probability(p_drop, "p_drop");
+  if (p_corrupt + p_truncate + p_duplicate + p_drop > 1.0) {
+    throw std::invalid_argument(
+        "FaultPlan: fault probabilities must sum to at most 1");
+  }
+}
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
+  plan_.validate();
+}
+
+FaultDecision FaultInjector::next(int src, int dst, std::size_t bytes,
+                                  bool allow_loss) {
+  const std::uint64_t n = link_count_[{src, dst}]++;
+  ++stats_.messages_seen;
+
+  FaultKind kind = FaultKind::kNone;
+  std::size_t trigger_length = FaultTrigger::kAutoLength;
+  for (const FaultTrigger& t : plan_.triggers) {
+    if ((t.src < 0 || t.src == src) && (t.dst < 0 || t.dst == dst) &&
+        t.nth == n) {
+      kind = t.kind;
+      trigger_length = t.new_length;
+      break;
+    }
+  }
+
+  const std::uint64_t draw = mix64(plan_.seed ^ mix64(link_key(src, dst) ^
+                                                      mix64(n)));
+  if (kind == FaultKind::kNone) {
+    const double u = unit_double(draw);
+    if (u < plan_.p_drop) {
+      kind = FaultKind::kDrop;
+    } else if (u < plan_.p_drop + plan_.p_truncate) {
+      kind = FaultKind::kTruncate;
+    } else if (u < plan_.p_drop + plan_.p_truncate + plan_.p_corrupt) {
+      kind = FaultKind::kCorrupt;
+    } else if (u <
+               plan_.p_drop + plan_.p_truncate + plan_.p_corrupt +
+                   plan_.p_duplicate) {
+      kind = FaultKind::kDuplicate;
+    }
+  }
+
+  if (!allow_loss &&
+      (kind == FaultKind::kDrop || kind == FaultKind::kDuplicate)) {
+    kind = FaultKind::kCorrupt;  // losing an RDMA pull would deadlock
+  }
+  if (bytes == 0 &&
+      (kind == FaultKind::kCorrupt || kind == FaultKind::kTruncate)) {
+    kind = FaultKind::kNone;  // nothing to damage
+  }
+
+  FaultDecision d;
+  d.kind = kind;
+  const std::uint64_t aux = mix64(draw);
+  switch (kind) {
+    case FaultKind::kCorrupt:
+      d.position = static_cast<std::size_t>(aux % bytes);
+      d.flip_mask = static_cast<std::uint8_t>(1u << ((aux >> 32) % 8));
+      ++stats_.corrupted;
+      break;
+    case FaultKind::kTruncate:
+      d.new_length = trigger_length != FaultTrigger::kAutoLength
+                         ? (trigger_length < bytes ? trigger_length
+                                                   : bytes - 1)
+                         : static_cast<std::size_t>(aux % bytes);
+      ++stats_.truncated;
+      break;
+    case FaultKind::kDuplicate:
+      ++stats_.duplicated;
+      break;
+    case FaultKind::kDrop:
+      ++stats_.dropped;
+      break;
+    case FaultKind::kNone:
+      break;
+  }
+  return d;
+}
+
+}  // namespace emc::net

@@ -6,9 +6,11 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <stdexcept>
 #include <vector>
 
+#include "emc/netsim/fault.hpp"
 #include "emc/netsim/profile.hpp"
 
 namespace emc::net {
@@ -19,6 +21,9 @@ struct ClusterConfig {
   int ranks_per_node = 1;
   NetworkProfile inter = ethernet_10g();
   NetworkProfile intra = intra_node();
+
+  /// Wire fault model (disabled unless probabilities/triggers are set).
+  FaultPlan faults;
 
   [[nodiscard]] int total_ranks() const noexcept {
     return num_nodes * ranks_per_node;
@@ -66,6 +71,13 @@ class Fabric {
   /// the contention model.
   [[nodiscard]] int active_flows(int src, int dst, double at) const;
 
+  /// Installs @p plan, replacing any active injector (a plan with no
+  /// probabilities and no triggers uninstalls it).
+  void set_fault_plan(const FaultPlan& plan);
+
+  /// The active fault injector, or nullptr when the wire is reliable.
+  [[nodiscard]] FaultInjector* faults() noexcept { return injector_.get(); }
+
  private:
   struct Nic {
     double next_free = 0.0;
@@ -86,6 +98,7 @@ class Fabric {
   ClusterConfig config_;
   std::vector<Nic> inter_nics_;  // one per node
   std::vector<Nic> intra_nics_;  // one per node (memory bus)
+  std::unique_ptr<FaultInjector> injector_;
 };
 
 }  // namespace emc::net

@@ -1,0 +1,117 @@
+// Deterministic fault injection for the simulated fabric.
+//
+// A FaultPlan describes the adversarial (or just lossy) behaviour of
+// the wire: per-link probabilities for bit-flip corruption,
+// truncation, duplication, and message drop, plus scripted triggers
+// that fire a specific fault on the Nth message of a link. Every
+// decision is a pure function of (seed, link, per-link message index),
+// so the same seed reproduces the exact same fault schedule no matter
+// how the simulation interleaves — the property Hunold-style
+// reproducible fault campaigns need.
+//
+// The injector only *decides*; applying the damage to an envelope is
+// the communicator's job (src/mpi/comm.cpp), and surviving it is the
+// secure layer's (src/secure_mpi/).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace emc::net {
+
+enum class FaultKind : std::uint8_t {
+  kNone,       ///< deliver untouched
+  kCorrupt,    ///< flip one bit of the payload
+  kTruncate,   ///< deliver only a prefix of the payload
+  kDuplicate,  ///< deliver the message twice
+  kDrop,       ///< never deliver
+};
+
+/// Scripted fault: fire @p kind on the @p nth message (0-based count
+/// of fault-eligible messages) crossing the (src, dst) link. A
+/// negative src/dst matches any rank. Triggers take precedence over
+/// the probabilistic draws and fire at most once each.
+struct FaultTrigger {
+  int src = -1;
+  int dst = -1;
+  std::uint64_t nth = 0;
+  FaultKind kind = FaultKind::kCorrupt;
+  /// For kTruncate: delivered prefix length, or kAutoLength to pick a
+  /// seeded-random strictly-shorter length.
+  std::size_t new_length = kAutoLength;
+
+  static constexpr std::size_t kAutoLength = static_cast<std::size_t>(-1);
+};
+
+/// Seeded description of how unreliable every link is. All
+/// probabilities are per-message and must sum to at most 1.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  double p_corrupt = 0.0;
+  double p_truncate = 0.0;
+  double p_duplicate = 0.0;
+  double p_drop = 0.0;
+  std::vector<FaultTrigger> triggers;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return p_corrupt > 0.0 || p_truncate > 0.0 || p_duplicate > 0.0 ||
+           p_drop > 0.0 || !triggers.empty();
+  }
+
+  /// Throws std::invalid_argument on negative or over-unity
+  /// probabilities.
+  void validate() const;
+};
+
+/// One resolved decision: what to do to the message at hand. Position
+/// and lengths are already reduced modulo the payload size.
+struct FaultDecision {
+  FaultKind kind = FaultKind::kNone;
+  std::size_t position = 0;      ///< kCorrupt: byte index to damage
+  std::uint8_t flip_mask = 0;    ///< kCorrupt: single-bit XOR mask
+  std::size_t new_length = 0;    ///< kTruncate: delivered prefix length
+};
+
+/// Cumulative injection accounting (decisions actually handed out).
+struct FaultStats {
+  std::uint64_t messages_seen = 0;
+  std::uint64_t corrupted = 0;
+  std::uint64_t truncated = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t dropped = 0;
+
+  [[nodiscard]] std::uint64_t total_injected() const noexcept {
+    return corrupted + truncated + duplicated + dropped;
+  }
+  friend bool operator==(const FaultStats&, const FaultStats&) = default;
+};
+
+class FaultInjector {
+ public:
+  /// Validates and captures @p plan.
+  explicit FaultInjector(FaultPlan plan);
+
+  /// Decides the fate of the next message on the (src, dst) link.
+  /// @p bytes is the payload size; zero-byte payloads are never
+  /// corrupted or truncated. When @p allow_loss is false (RDMA-style
+  /// pulls, where losing the transfer would deadlock the sender),
+  /// drop and duplicate decisions degrade to corruption.
+  FaultDecision next(int src, int dst, std::size_t bytes,
+                     bool allow_loss = true);
+
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+  [[nodiscard]] const FaultStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = {}; }
+
+ private:
+  FaultPlan plan_;
+  FaultStats stats_;
+  /// Per-link count of fault-eligible messages, the `nth` coordinate
+  /// of both triggers and the deterministic probability draws.
+  std::map<std::pair<int, int>, std::uint64_t> link_count_;
+};
+
+}  // namespace emc::net

@@ -54,6 +54,15 @@ struct SecureConfig {
   /// so replayed, re-routed, or re-ordered ciphertexts are rejected.
   bool bind_context = false;
 
+  /// Sliding acceptance window over the per-channel sequence numbers
+  /// (requires bind_context). 0 keeps the strict in-order behaviour:
+  /// exactly the next sequence number authenticates. A window of W
+  /// additionally (a) accepts a message up to W-1 sequence numbers
+  /// ahead, so the channel recovers after dropped or damaged traffic,
+  /// and (b) trial-authenticates up to W numbers behind to classify a
+  /// duplicate as a replay (rejected, counted in replays_rejected).
+  std::size_t replay_window = 0;
+
   /// When true (default), the wall-clock cost of every seal/open is
   /// charged to the rank's virtual clock. Disable only in functional
   /// tests that want timing-independent determinism.
@@ -69,6 +78,15 @@ struct CryptoCounters {
   std::uint64_t bytes_opened = 0;    ///< plaintext bytes out of open
   double seal_seconds = 0.0;         ///< measured host time in seal
   double open_seconds = 0.0;         ///< measured host time in open
+
+  // Fault detections (each increments exactly once per IntegrityError).
+  std::uint64_t auth_failures = 0;    ///< tag mismatch: tampered/spliced
+  std::uint64_t length_failures = 0;  ///< wire shorter than nonce+tag framing
+  std::uint64_t replays_rejected = 0; ///< authenticated but already delivered
+
+  [[nodiscard]] std::uint64_t faults_detected() const noexcept {
+    return auth_failures + length_failures + replays_rejected;
+  }
 };
 
 class SecureComm final : public mpi::Communicator {
@@ -123,13 +141,29 @@ class SecureComm final : public mpi::Communicator {
   /// @p wire is nonce||ct||tag; @p out receives wire.size()-28 bytes.
   void open_into(BytesView wire, MutBytes out, BytesView aad = {});
 
+  /// Non-throwing open: true and plaintext in @p out on success.
+  /// Charges crypto time; the caller accounts accepted messages.
+  [[nodiscard]] bool try_open_into(BytesView wire, MutBytes out,
+                                   BytesView aad);
+
+  /// Validates a received wire length BEFORE any size arithmetic:
+  /// anything outside [kWireOverhead, wire_size(capacity)] throws
+  /// IntegrityError (counted in length_failures). Returns the
+  /// plaintext length.
+  std::size_t checked_pt_len(std::size_t wire_bytes, std::size_t capacity);
+
+  /// Shared completion of a point-to-point receive: length check,
+  /// open (with the sliding replay window when configured), status
+  /// rewrite to plaintext size.
+  mpi::Status open_p2p(BytesView wire_buf, const mpi::Status& wire_status,
+                       MutBytes user);
+
   /// Context AAD helpers (replay-protection extension). The 28-byte
   /// AAD layout is src(4) || dst(4) || tag(4) || kind(8) || seq(8).
   [[nodiscard]] Bytes p2p_aad(int src, int dst, int tag,
                               std::uint64_t seq) const;
-  /// Next sequence number for the (peer, tag) send/receive channel.
+  /// Next sequence number for the (peer, tag) send channel.
   [[nodiscard]] std::uint64_t next_send_seq(int dst, int tag);
-  [[nodiscard]] std::uint64_t next_recv_seq(int src, int tag);
 
   /// Charges @p work's measured wall time to the virtual clock when
   /// configured; returns measured seconds.

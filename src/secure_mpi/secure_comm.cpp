@@ -33,7 +33,13 @@ struct SecureRecvState final : mpi::detail::RequestState {
 SecureComm::SecureComm(mpi::Comm& comm, const SecureConfig& config)
     : comm_(&comm),
       config_(config),
-      key_(crypto::make_aes_gcm(config.provider, config.key)) {}
+      key_(crypto::make_aes_gcm(config.provider, config.key)) {
+  if (config_.replay_window > 0 && !config_.bind_context) {
+    throw std::invalid_argument(
+        "SecureConfig: replay_window requires bind_context (the window "
+        "slides over the authenticated per-channel sequence numbers)");
+  }
+}
 
 double SecureComm::charged(const std::function<void()>& work) {
   if (config_.charge_crypto) return comm_->process().charge(work);
@@ -80,10 +86,6 @@ std::uint64_t SecureComm::next_send_seq(int dst, int tag) {
   return send_seq_[{dst, tag}]++;
 }
 
-std::uint64_t SecureComm::next_recv_seq(int src, int tag) {
-  return recv_seq_[{src, tag}]++;
-}
-
 void SecureComm::seal_into(BytesView pt, MutBytes out, BytesView aad) {
   if (out.size() != wire_size(pt.size())) {
     throw std::invalid_argument("seal_into: wire buffer size mismatch");
@@ -98,19 +100,26 @@ void SecureComm::seal_into(BytesView pt, MutBytes out, BytesView aad) {
   counters_.seal_seconds += elapsed;
 }
 
-void SecureComm::open_into(BytesView wire, MutBytes out, BytesView aad) {
-  if (wire.size() < kWireOverhead) {
-    throw IntegrityError("received message shorter than nonce+tag framing");
-  }
-  if (out.size() != wire.size() - kWireOverhead) {
-    throw std::invalid_argument("open_into: plaintext buffer size mismatch");
-  }
+bool SecureComm::try_open_into(BytesView wire, MutBytes out, BytesView aad) {
   bool ok = false;
   const double elapsed = charged([&] {
     ok = key_->open(wire.first(kGcmNonceBytes), aad,
                     wire.subspan(kGcmNonceBytes), out);
   });
-  if (!ok) {
+  counters_.open_seconds += elapsed;
+  return ok;
+}
+
+void SecureComm::open_into(BytesView wire, MutBytes out, BytesView aad) {
+  if (wire.size() < kWireOverhead) {
+    ++counters_.length_failures;
+    throw IntegrityError("received message shorter than nonce+tag framing");
+  }
+  if (out.size() != wire.size() - kWireOverhead) {
+    throw std::invalid_argument("open_into: plaintext buffer size mismatch");
+  }
+  if (!try_open_into(wire, out, aad)) {
+    ++counters_.auth_failures;
     throw IntegrityError(
         "authentication tag mismatch: message was tampered with or "
         "corrupted (rank " +
@@ -118,7 +127,69 @@ void SecureComm::open_into(BytesView wire, MutBytes out, BytesView aad) {
   }
   ++counters_.messages_opened;
   counters_.bytes_opened += out.size();
-  counters_.open_seconds += elapsed;
+}
+
+std::size_t SecureComm::checked_pt_len(std::size_t wire_bytes,
+                                       std::size_t capacity) {
+  if (wire_bytes < kWireOverhead || wire_bytes > wire_size(capacity)) {
+    ++counters_.length_failures;
+    throw IntegrityError(
+        "wire message of " + std::to_string(wire_bytes) +
+        " bytes outside the valid [" + std::to_string(kWireOverhead) + ", " +
+        std::to_string(wire_size(capacity)) +
+        "] range for this receive: truncated or oversized in transit (rank " +
+        std::to_string(rank()) + ")");
+  }
+  return wire_bytes - kWireOverhead;
+}
+
+mpi::Status SecureComm::open_p2p(BytesView wire_buf,
+                                 const mpi::Status& wire_status,
+                                 MutBytes user) {
+  const std::size_t pt_len = checked_pt_len(wire_status.bytes, user.size());
+  const BytesView wire = wire_buf.first(wire_status.bytes);
+  const MutBytes out = user.first(pt_len);
+  const mpi::Status status{wire_status.source, wire_status.tag, pt_len};
+  if (!config_.bind_context) {
+    open_into(wire, out);
+    return status;
+  }
+
+  // The channel counter advances only when a message authenticates,
+  // so damaged traffic cannot desynchronize honest traffic behind it.
+  // With a replay window, sequence numbers slightly ahead (dropped
+  // predecessors) still authenticate, and numbers behind are trial-
+  // checked to classify duplicates as replays.
+  const int src = wire_status.source;
+  const int tag = wire_status.tag;
+  std::uint64_t& expected = recv_seq_[{src, tag}];
+  const std::uint64_t ahead =
+      config_.replay_window > 0 ? config_.replay_window : 1;
+  for (std::uint64_t k = 0; k < ahead; ++k) {
+    if (try_open_into(wire, out, p2p_aad(src, rank(), tag, expected + k))) {
+      expected += k + 1;
+      ++counters_.messages_opened;
+      counters_.bytes_opened += out.size();
+      return status;
+    }
+  }
+  for (std::uint64_t back = 1;
+       back <= config_.replay_window && back <= expected; ++back) {
+    if (try_open_into(wire, out, p2p_aad(src, rank(), tag, expected - back))) {
+      ++counters_.replays_rejected;
+      secure_zero(out);  // never hand a replayed plaintext to the caller
+      throw IntegrityError(
+          "replayed message rejected: sequence " +
+          std::to_string(expected - back) + " from rank " +
+          std::to_string(src) + " was already delivered (rank " +
+          std::to_string(rank()) + ")");
+    }
+  }
+  ++counters_.auth_failures;
+  throw IntegrityError(
+      "authentication tag mismatch: message was tampered with, corrupted, "
+      "or spliced from another channel (rank " +
+      std::to_string(rank()) + ")");
 }
 
 // ------------------------------------------------------- point-to-point
@@ -136,15 +207,7 @@ void SecureComm::send(BytesView data, int dst, int tag) {
 mpi::Status SecureComm::recv(MutBytes buf, int src, int tag) {
   Bytes wire(wire_size(buf.size()));
   const mpi::Status wire_status = comm_->recv(wire, src, tag);
-  const std::size_t pt_len = wire_status.bytes - kWireOverhead;
-  if (config_.bind_context) {
-    open_into(BytesView(wire).first(wire_status.bytes), buf.first(pt_len),
-              p2p_aad(wire_status.source, rank(), wire_status.tag,
-                      next_recv_seq(wire_status.source, wire_status.tag)));
-  } else {
-    open_into(BytesView(wire).first(wire_status.bytes), buf.first(pt_len));
-  }
-  return mpi::Status{wire_status.source, wire_status.tag, pt_len};
+  return open_p2p(wire, wire_status, buf);
 }
 
 mpi::Request SecureComm::isend(BytesView data, int dst, int tag) {
@@ -176,26 +239,27 @@ mpi::Status SecureComm::wait(mpi::Request& request) {
   }
   if (auto* recv_state = dynamic_cast<SecureRecvState*>(owned.get())) {
     const mpi::Status wire_status = comm_->wait(recv_state->inner);
-    const std::size_t pt_len = wire_status.bytes - kWireOverhead;
-    if (config_.bind_context) {
-      open_into(BytesView(recv_state->wire).first(wire_status.bytes),
-                recv_state->user.first(pt_len),
-                p2p_aad(wire_status.source, rank(), wire_status.tag,
-                        next_recv_seq(wire_status.source, wire_status.tag)));
-    } else {
-      open_into(BytesView(recv_state->wire).first(wire_status.bytes),
-                recv_state->user.first(pt_len));
-    }
-    return mpi::Status{wire_status.source, wire_status.tag, pt_len};
+    return open_p2p(recv_state->wire, wire_status, recv_state->user);
   }
   throw mpi::MpiError("request does not belong to this secure communicator");
 }
 
 std::vector<mpi::Status> SecureComm::waitall(
     std::span<mpi::Request> requests) {
-  std::vector<mpi::Status> statuses;
-  statuses.reserve(requests.size());
-  for (mpi::Request& r : requests) statuses.push_back(wait(r));
+  // Every inner request is drained even when a decryption fails:
+  // abandoning the rest would leave rendezvous senders parked on
+  // their handshakes and deadlock the simulation. The first failure
+  // is rethrown once all completions have run.
+  std::vector<mpi::Status> statuses(requests.size());
+  std::exception_ptr first_error;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    try {
+      statuses[i] = wait(requests[i]);
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
   return statuses;
 }
 

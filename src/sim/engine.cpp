@@ -23,6 +23,10 @@ double Process::charge_scale() const noexcept {
 
 void Process::wait(Waitable& w) { engine_->proc_wait(*this, w); }
 
+bool Process::wait_for(Waitable& w, Time timeout) {
+  return engine_->proc_wait_for(*this, w, timeout);
+}
+
 void Process::notify_one(Waitable& w) { engine_->proc_notify(*this, w, false); }
 
 void Process::notify_all(Waitable& w) { engine_->proc_notify(*this, w, true); }
@@ -47,7 +51,7 @@ Engine::Engine(int num_processes) {
 Engine::~Engine() = default;
 
 void Engine::schedule_locked(Process& p, Time at) {
-  ready_.push(HeapEntry{std::max(at, clock_), seq_++, &p});
+  ready_.push(HeapEntry{std::max(at, clock_), seq_++, &p, p.wake_epoch_});
 }
 
 void Engine::check_abort_locked() const {
@@ -59,9 +63,15 @@ void Engine::grant_next_locked() {
     const HeapEntry next = ready_.top();
     ready_.pop();
     // Stale entries can remain after an abort teardown woke the
-    // process directly; skip anything already finished or granted.
-    if (next.proc->done_ || next.proc->granted_) continue;
+    // process directly, or when a wait_for was both notified and
+    // scheduled a timeout wake-up (the loser keeps the old epoch);
+    // skip anything finished, granted, or from a previous epoch.
+    if (next.proc->done_ || next.proc->granted_ ||
+        next.epoch != next.proc->wake_epoch_) {
+      continue;
+    }
     clock_ = std::max(clock_, next.at);
+    ++next.proc->wake_epoch_;
     next.proc->granted_ = true;
     next.proc->cv_.notify_one();
     return;
@@ -118,6 +128,23 @@ void Engine::proc_wait(Process& self, Waitable& w) {
   ++waiting_on_conditions_;
   grant_next_locked();
   block_self_locked(self, lk);
+}
+
+bool Engine::proc_wait_for(Process& self, Waitable& w, Time timeout) {
+  Lock lk(mu_);
+  check_abort_locked();
+  w.waiters_.push_back(&self);
+  ++waiting_on_conditions_;
+  // Also schedule a timeout wake-up; whichever fires first wins and
+  // the loser's heap entry goes stale via the epoch bump on grant.
+  schedule_locked(self, clock_ + std::max(timeout, 0.0));
+  grant_next_locked();
+  block_self_locked(self, lk);
+  const auto it = std::find(w.waiters_.begin(), w.waiters_.end(), &self);
+  if (it == w.waiters_.end()) return true;  // a notify released us first
+  w.waiters_.erase(it);
+  --waiting_on_conditions_;
+  return false;  // timed out
 }
 
 void Engine::proc_notify(Process& self, Waitable& w, bool all) {

@@ -81,6 +81,12 @@ class Process {
   /// Blocks until another process calls notify on @p w.
   void wait(Waitable& w);
 
+  /// Blocks until another process calls notify on @p w or @p timeout
+  /// virtual seconds elapse, whichever comes first. Returns true when
+  /// notified, false on timeout (the process is deregistered from the
+  /// waitable before returning, so a later notify cannot touch it).
+  bool wait_for(Waitable& w, Time timeout);
+
   /// Releases one / all waiters of @p w at the current virtual time.
   void notify_one(Waitable& w);
   void notify_all(Waitable& w);
@@ -109,6 +115,10 @@ class Process {
   std::condition_variable cv_;
   bool granted_ = false;
   bool done_ = false;
+  /// Bumped every time the process is granted the execution token;
+  /// heap entries carrying an older epoch are stale (e.g. the unused
+  /// timeout wake-up of a wait_for that was notified first).
+  std::uint64_t wake_epoch_ = 0;
   std::thread thread_;
 };
 
@@ -147,6 +157,7 @@ class Engine {
     Time at;
     std::uint64_t seq;
     Process* proc;
+    std::uint64_t epoch;  ///< proc->wake_epoch_ at schedule time
     bool operator>(const HeapEntry& o) const noexcept {
       return at != o.at ? at > o.at : seq > o.seq;
     }
@@ -163,6 +174,7 @@ class Engine {
 
   void proc_advance(Process& self, Time dt);
   void proc_wait(Process& self, Waitable& w);
+  bool proc_wait_for(Process& self, Waitable& w, Time timeout);
   void proc_notify(Process& self, Waitable& w, bool all);
 
   mutable std::mutex mu_;

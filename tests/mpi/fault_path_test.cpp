@@ -1,0 +1,212 @@
+// Plain MiniMPI under an adversarial fabric: the baseline layer must
+// keep functioning but has no integrity story — corruption is
+// delivered silently, truncation shrinks the status, drops surface
+// only through the receive timeout. Also covers the collective-tag
+// exhaustion guard (regression for the old silent 28-bit wraparound).
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "emc/mpi/comm.hpp"
+
+namespace emc::mpi {
+namespace {
+
+WorldConfig faulty_world(int nodes, int rpn, const net::FaultPlan& plan,
+                         double recv_timeout = 0.0) {
+  WorldConfig config;
+  config.cluster.num_nodes = nodes;
+  config.cluster.ranks_per_node = rpn;
+  config.cluster.inter = net::ethernet_10g();
+  config.cluster.faults = plan;
+  config.recv_timeout = recv_timeout;
+  return config;
+}
+
+net::FaultPlan nth_fault(net::FaultKind kind, std::uint64_t nth = 0) {
+  net::FaultPlan plan;
+  plan.triggers.push_back({.src = 0, .dst = 1, .nth = nth, .kind = kind});
+  return plan;
+}
+
+TEST(FaultPath, CollTagExhaustionThrowsInsteadOfWrapping) {
+  // The old code masked the collective tag to 28 bits, silently
+  // re-entering the user tag range (and reusing tags) after 2^22
+  // collectives. Now the counter walks the whole internal range and
+  // the communicator fails loudly when it is exhausted.
+  EXPECT_THROW(
+      run_world(faulty_world(2, 1, {}),
+                [](Comm& comm) {
+                  comm.consume_coll_tags(Comm::kMaxCollectives - 2);
+                  comm.barrier();  // two slots left: fine
+                  comm.barrier();  // last slot: fine
+                  comm.barrier();  // exhausted: must throw, not wrap
+                }),
+      MpiError);
+}
+
+TEST(FaultPath, CollTagsStayAboveUserRange) {
+  // Even deep into the sequence, internal collective tags never
+  // collide with user tags (the failure mode of the old wraparound).
+  run_world(faulty_world(2, 1, {}), [](Comm& comm) {
+    comm.consume_coll_tags(Comm::kMaxCollectives - 1);
+    const int peer = 1 - comm.rank();
+    Bytes mine = bytes_of("user-traffic");
+    Bytes theirs(mine.size());
+    // A user-tagged exchange interleaved with the very last collective
+    // must not cross-match with its internal tags.
+    comm.sendrecv(mine, peer, kMaxUserTag, theirs, peer, kMaxUserTag);
+    EXPECT_EQ(std::string(theirs.begin(), theirs.end()), "user-traffic");
+    comm.barrier();
+  });
+}
+
+TEST(FaultPath, RecvTimeoutThrowsInsteadOfDeadlocking) {
+  EXPECT_THROW(
+      run_world(faulty_world(2, 1, {}, /*recv_timeout=*/0.5),
+                [](Comm& comm) {
+                  if (comm.rank() == 1) {
+                    Bytes buf(8);
+                    comm.recv(buf, 0, 3);  // nobody ever sends this
+                  }
+                }),
+      MpiError);
+}
+
+TEST(FaultPath, RecvTimeoutLeavesHealthyTrafficAlone) {
+  run_world(faulty_world(2, 1, {}, /*recv_timeout=*/10.0), [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(bytes_of("on time"), 1, 1);
+    } else {
+      Bytes buf(16);
+      const Status st = comm.recv(buf, 0, 1);
+      EXPECT_EQ(st.bytes, 7u);
+    }
+  });
+}
+
+TEST(FaultPath, CorruptedEagerPayloadIsDeliveredSilently) {
+  // The indictment of the plain baseline: a flipped bit arrives as
+  // ordinary data, with no error surfaced anywhere.
+  run_world(faulty_world(2, 1, nth_fault(net::FaultKind::kCorrupt)),
+            [](Comm& comm) {
+              const std::size_t n = 64;
+              if (comm.rank() == 0) {
+                comm.send(Bytes(n, 0x00), 1, 1);
+              } else {
+                Bytes buf(n, 0x00);
+                const Status st = comm.recv(buf, 0, 1);
+                EXPECT_EQ(st.bytes, n);
+                int flipped_bits = 0;
+                for (std::uint8_t byte : buf) {
+                  flipped_bits += std::popcount(byte);
+                }
+                EXPECT_EQ(flipped_bits, 1);  // exactly one bit damaged
+              }
+            });
+}
+
+TEST(FaultPath, TruncatedEagerPayloadShrinksStatus) {
+  net::FaultPlan plan;
+  plan.triggers.push_back({.src = 0,
+                           .dst = 1,
+                           .nth = 0,
+                           .kind = net::FaultKind::kTruncate,
+                           .new_length = 10});
+  run_world(faulty_world(2, 1, plan), [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(Bytes(64, 0xAB), 1, 1);
+    } else {
+      Bytes buf(64, 0x00);
+      const Status st = comm.recv(buf, 0, 1);
+      EXPECT_EQ(st.bytes, 10u);  // silently shorter, no error
+      for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(buf[i], 0xAB);
+    }
+  });
+}
+
+TEST(FaultPath, DuplicatedEagerPayloadArrivesTwice) {
+  run_world(faulty_world(2, 1, nth_fault(net::FaultKind::kDuplicate)),
+            [](Comm& comm) {
+              if (comm.rank() == 0) {
+                comm.send(bytes_of("echo"), 1, 1);
+              } else {
+                for (int i = 0; i < 2; ++i) {
+                  Bytes buf(8);
+                  const Status st = comm.recv(buf, 0, 1);
+                  EXPECT_EQ(st.bytes, 4u);
+                  EXPECT_EQ(std::string(buf.begin(), buf.begin() + 4),
+                            "echo");
+                }
+              }
+            });
+}
+
+TEST(FaultPath, DroppedMessageSurfacesAsTimeout) {
+  EXPECT_THROW(
+      run_world(faulty_world(2, 1, nth_fault(net::FaultKind::kDrop),
+                             /*recv_timeout=*/0.5),
+                [](Comm& comm) {
+                  if (comm.rank() == 0) {
+                    comm.send(Bytes(32, 0x11), 1, 1);
+                  } else {
+                    Bytes buf(32);
+                    comm.recv(buf, 0, 1);  // the wire ate it
+                  }
+                }),
+      MpiError);
+}
+
+TEST(FaultPath, RendezvousPullIsCorruptedInPlace) {
+  // 128 KiB over ethernet is above the eager threshold, so the fault
+  // hits the RDMA-style pull instead of the eager envelope.
+  run_world(faulty_world(2, 1, nth_fault(net::FaultKind::kCorrupt)),
+            [](Comm& comm) {
+              const std::size_t n = 128 * 1024;
+              if (comm.rank() == 0) {
+                comm.send(Bytes(n, 0x00), 1, 1);
+              } else {
+                Bytes buf(n, 0x00);
+                const Status st = comm.recv(buf, 0, 1);
+                EXPECT_EQ(st.bytes, n);
+                int flipped_bits = 0;
+                for (std::uint8_t byte : buf) {
+                  flipped_bits += std::popcount(byte);
+                }
+                EXPECT_EQ(flipped_bits, 1);
+              }
+            });
+}
+
+TEST(FaultPath, RendezvousNeverDropsEvenUnderCertainDrop) {
+  // Dropping the rendezvous pull would leave the sender parked on the
+  // handshake forever; the injector degrades it to corruption, so the
+  // transfer completes (damaged) and both ranks make progress.
+  net::FaultPlan plan;
+  plan.p_drop = 1.0;
+  run_world(faulty_world(2, 1, plan, /*recv_timeout=*/5.0), [](Comm& comm) {
+    const std::size_t n = 128 * 1024;
+    if (comm.rank() == 0) {
+      comm.send(Bytes(n, 0x00), 1, 1);
+    } else {
+      Bytes buf(n, 0x00);
+      const Status st = comm.recv(buf, 0, 1);
+      EXPECT_EQ(st.bytes, n);
+    }
+  });
+}
+
+TEST(FaultPath, SelfSendsBypassTheInjector) {
+  net::FaultPlan plan;
+  plan.p_drop = 1.0;
+  run_world(faulty_world(1, 1, plan), [](Comm& comm) {
+    Bytes buf(4);
+    Request rx = comm.irecv(buf, 0, 1);
+    comm.send(bytes_of("self"), 0, 1);
+    const Status st = comm.wait(rx);
+    EXPECT_EQ(st.bytes, 4u);  // loopback traffic is never faulted
+  });
+}
+
+}  // namespace
+}  // namespace emc::mpi

@@ -1,0 +1,233 @@
+// Fault-injection fabric: seeded determinism, probability behaviour,
+// scripted triggers, loss degradation, and Fabric plan installation.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "emc/netsim/fabric.hpp"
+#include "emc/netsim/fault.hpp"
+
+namespace emc::net {
+namespace {
+
+std::vector<FaultDecision> decision_stream(const FaultPlan& plan, int n) {
+  FaultInjector injector(plan);
+  std::vector<FaultDecision> out;
+  for (int i = 0; i < n; ++i) {
+    out.push_back(injector.next(0, 1, 256));
+  }
+  return out;
+}
+
+bool same_stream(const std::vector<FaultDecision>& a,
+                 const std::vector<FaultDecision>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].kind != b[i].kind || a[i].position != b[i].position ||
+        a[i].flip_mask != b[i].flip_mask ||
+        a[i].new_length != b[i].new_length) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(FaultPlan, ValidatesProbabilities) {
+  FaultPlan plan;
+  plan.p_corrupt = -0.1;
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+  plan.p_corrupt = 1.5;
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+  plan.p_corrupt = 0.6;
+  plan.p_drop = 0.6;  // sum over unity
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+  plan.p_drop = 0.4;
+  EXPECT_NO_THROW(plan.validate());
+  FaultPlan bad;
+  bad.p_drop = 2.0;
+  EXPECT_THROW(FaultInjector{bad}, std::invalid_argument);
+}
+
+TEST(FaultPlan, EnabledOnlyWithFaultsConfigured) {
+  EXPECT_FALSE(FaultPlan{}.enabled());
+  EXPECT_TRUE((FaultPlan{.p_corrupt = 0.1}.enabled()));
+  FaultPlan scripted;
+  scripted.triggers.push_back({.nth = 0, .kind = FaultKind::kDrop});
+  EXPECT_TRUE(scripted.enabled());
+}
+
+TEST(FaultInjector, SameSeedReproducesIdenticalDecisions) {
+  FaultPlan plan;
+  plan.seed = 42;
+  plan.p_corrupt = 0.2;
+  plan.p_truncate = 0.2;
+  plan.p_duplicate = 0.1;
+  plan.p_drop = 0.1;
+  EXPECT_TRUE(same_stream(decision_stream(plan, 500),
+                          decision_stream(plan, 500)));
+}
+
+TEST(FaultInjector, DifferentSeedsDiverge) {
+  FaultPlan a;
+  a.seed = 42;
+  a.p_corrupt = 0.5;
+  FaultPlan b = a;
+  b.seed = 43;
+  EXPECT_FALSE(same_stream(decision_stream(a, 500), decision_stream(b, 500)));
+}
+
+TEST(FaultInjector, DecisionsIndependentOfLinkInterleaving) {
+  // The same (link, message-index) coordinate must draw the same fate
+  // no matter what the other links did in between — the property that
+  // keeps a fault campaign reproducible across scheduling orders.
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.p_corrupt = 0.3;
+  plan.p_drop = 0.3;
+
+  FaultInjector alone(plan);
+  std::vector<FaultDecision> solo;
+  for (int i = 0; i < 50; ++i) solo.push_back(alone.next(2, 5, 128));
+
+  FaultInjector mixed(plan);
+  std::vector<FaultDecision> interleaved;
+  for (int i = 0; i < 50; ++i) {
+    (void)mixed.next(0, 1, 128);  // traffic on an unrelated link
+    interleaved.push_back(mixed.next(2, 5, 128));
+    (void)mixed.next(5, 2, 128);  // reverse direction is its own link
+  }
+  EXPECT_TRUE(same_stream(solo, interleaved));
+}
+
+TEST(FaultInjector, CertainDropDropsEverything) {
+  FaultInjector injector(FaultPlan{.seed = 1, .p_drop = 1.0});
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(injector.next(0, 1, 64).kind, FaultKind::kDrop);
+  }
+  EXPECT_EQ(injector.stats().dropped, 100u);
+  EXPECT_EQ(injector.stats().messages_seen, 100u);
+  EXPECT_EQ(injector.stats().total_injected(), 100u);
+}
+
+TEST(FaultInjector, CorruptionPicksValidBitInsidePayload) {
+  FaultInjector injector(FaultPlan{.seed = 9, .p_corrupt = 1.0});
+  for (int i = 0; i < 200; ++i) {
+    const FaultDecision d = injector.next(0, 1, 17);
+    ASSERT_EQ(d.kind, FaultKind::kCorrupt);
+    EXPECT_LT(d.position, 17u);
+    // Exactly one bit set in the mask.
+    EXPECT_NE(d.flip_mask, 0);
+    EXPECT_EQ(d.flip_mask & (d.flip_mask - 1), 0);
+  }
+}
+
+TEST(FaultInjector, TruncationAlwaysShortens) {
+  FaultInjector injector(FaultPlan{.seed = 3, .p_truncate = 1.0});
+  for (int i = 0; i < 200; ++i) {
+    const FaultDecision d = injector.next(0, 1, 64);
+    ASSERT_EQ(d.kind, FaultKind::kTruncate);
+    EXPECT_LT(d.new_length, 64u);
+  }
+}
+
+TEST(FaultInjector, TriggerFiresOnExactLinkAndIndex) {
+  FaultPlan plan;
+  plan.triggers.push_back({.src = 0,
+                           .dst = 1,
+                           .nth = 2,
+                           .kind = FaultKind::kTruncate,
+                           .new_length = 5});
+  FaultInjector injector(plan);
+  // Wrong link: never fires, even at index 2.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(injector.next(1, 0, 32).kind, FaultKind::kNone);
+  }
+  // Right link: fires exactly on the third message, with the scripted
+  // truncation length, then never again.
+  EXPECT_EQ(injector.next(0, 1, 32).kind, FaultKind::kNone);
+  EXPECT_EQ(injector.next(0, 1, 32).kind, FaultKind::kNone);
+  const FaultDecision hit = injector.next(0, 1, 32);
+  EXPECT_EQ(hit.kind, FaultKind::kTruncate);
+  EXPECT_EQ(hit.new_length, 5u);
+  EXPECT_EQ(injector.next(0, 1, 32).kind, FaultKind::kNone);
+  EXPECT_EQ(injector.stats().truncated, 1u);
+}
+
+TEST(FaultInjector, WildcardTriggerMatchesEveryLink) {
+  FaultPlan plan;
+  plan.triggers.push_back({.nth = 0, .kind = FaultKind::kDrop});
+  FaultInjector injector(plan);
+  EXPECT_EQ(injector.next(0, 1, 8).kind, FaultKind::kDrop);
+  EXPECT_EQ(injector.next(3, 7, 8).kind, FaultKind::kDrop);
+  EXPECT_EQ(injector.next(0, 1, 8).kind, FaultKind::kNone);
+}
+
+TEST(FaultInjector, LossForbiddenDegradesToCorruption) {
+  // On rendezvous pulls, dropping or duplicating the transfer would
+  // wedge the parked sender, so those fates become corruption.
+  FaultInjector drops(FaultPlan{.seed = 1, .p_drop = 1.0});
+  const FaultDecision d = drops.next(0, 1, 64, /*allow_loss=*/false);
+  EXPECT_EQ(d.kind, FaultKind::kCorrupt);
+  EXPECT_LT(d.position, 64u);
+
+  FaultInjector dups(FaultPlan{.seed = 1, .p_duplicate = 1.0});
+  EXPECT_EQ(dups.next(0, 1, 64, /*allow_loss=*/false).kind,
+            FaultKind::kCorrupt);
+  EXPECT_EQ(dups.stats().corrupted, 1u);
+  EXPECT_EQ(dups.stats().duplicated, 0u);
+}
+
+TEST(FaultInjector, EmptyPayloadsAreNeverDamagedInPlace) {
+  FaultInjector injector(FaultPlan{.seed = 1, .p_corrupt = 1.0});
+  EXPECT_EQ(injector.next(0, 1, 0).kind, FaultKind::kNone);
+  FaultInjector trunc(FaultPlan{.seed = 1, .p_truncate = 1.0});
+  EXPECT_EQ(trunc.next(0, 1, 0).kind, FaultKind::kNone);
+}
+
+TEST(FaultInjector, ResetStatsClearsCounters) {
+  FaultInjector injector(FaultPlan{.seed = 1, .p_drop = 1.0});
+  (void)injector.next(0, 1, 8);
+  EXPECT_EQ(injector.stats().dropped, 1u);
+  injector.reset_stats();
+  EXPECT_EQ(injector.stats(), FaultStats{});
+}
+
+TEST(Fabric, FaultPlanInstallsAndClears) {
+  ClusterConfig config;
+  config.num_nodes = 2;
+  config.ranks_per_node = 1;
+  config.inter = ethernet_10g();
+  Fabric fabric(config);
+  EXPECT_EQ(fabric.faults(), nullptr);  // default plan: no injector
+
+  FaultPlan plan;
+  plan.p_drop = 0.5;
+  fabric.set_fault_plan(plan);
+  ASSERT_NE(fabric.faults(), nullptr);
+  EXPECT_DOUBLE_EQ(fabric.faults()->plan().p_drop, 0.5);
+
+  fabric.set_fault_plan(FaultPlan{});  // benign plan removes the hook
+  EXPECT_EQ(fabric.faults(), nullptr);
+}
+
+TEST(Fabric, ClusterConfigCarriesFaultPlan) {
+  ClusterConfig config;
+  config.num_nodes = 2;
+  config.ranks_per_node = 1;
+  config.inter = ethernet_10g();
+  config.faults.p_corrupt = 0.25;
+  Fabric fabric(config);
+  ASSERT_NE(fabric.faults(), nullptr);
+  EXPECT_DOUBLE_EQ(fabric.faults()->plan().p_corrupt, 0.25);
+}
+
+TEST(Fabric, InvalidFaultPlanRejectedAtConstruction) {
+  ClusterConfig config;
+  config.num_nodes = 2;
+  config.ranks_per_node = 1;
+  config.faults.p_drop = 1.5;
+  EXPECT_THROW(Fabric{config}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace emc::net

@@ -221,5 +221,80 @@ TEST(Engine, ManyProcessesScale) {
   EXPECT_EQ(switches.load(), 64 * 50);
 }
 
+TEST(Engine, WaitForReturnsTrueWhenNotifiedBeforeDeadline) {
+  Engine engine(2);
+  Waitable ready;
+  bool notified = false;
+  engine.run([&](Process& p) {
+    if (p.index() == 0) {
+      p.advance(1.0);
+      p.notify_all(ready);
+    } else {
+      notified = p.wait_for(ready, 10.0);
+      EXPECT_DOUBLE_EQ(p.now(), 1.0);  // resumed at notify time
+    }
+  });
+  EXPECT_TRUE(notified);
+}
+
+TEST(Engine, WaitForTimesOutAtDeadline) {
+  Engine engine(2);
+  Waitable never;
+  bool notified = true;
+  engine.run([&](Process& p) {
+    if (p.index() == 0) {
+      p.advance(5.0);  // keeps the world alive past the deadline
+    } else {
+      notified = p.wait_for(never, 2.5);
+      EXPECT_DOUBLE_EQ(p.now(), 2.5);  // woke exactly at the deadline
+    }
+  });
+  EXPECT_FALSE(notified);
+}
+
+TEST(Engine, WaitForTimeoutDeregistersWaiter) {
+  // After a timeout the process must be off the waiter list: a later
+  // notify_all must not try to wake it a second time.
+  Engine engine(2);
+  Waitable cond;
+  int wakeups = 0;
+  engine.run([&](Process& p) {
+    if (p.index() == 0) {
+      p.advance(4.0);
+      p.notify_all(cond);  // fires long after the waiter gave up
+      p.advance(1.0);
+    } else {
+      if (!p.wait_for(cond, 1.0)) ++wakeups;
+      p.advance(10.0);  // keep running; a stale wake would corrupt state
+    }
+  });
+  EXPECT_EQ(wakeups, 1);
+}
+
+TEST(Engine, StaleTimeoutDoesNotRewakeNotifiedProcess) {
+  // Notified before the deadline: the abandoned timeout entry still
+  // sits in the ready heap at t=50.5 and must be skipped (epoch
+  // guard), not grant the parked process a bogus second wake.
+  Engine engine(2);
+  Waitable ready;
+  std::vector<double> resumes;
+  engine.run([&](Process& p) {
+    if (p.index() == 0) {
+      p.advance(0.5);
+      p.notify_all(ready);
+      p.advance(100.0);     // outlive the stale timeout entry
+      p.notify_all(ready);  // the only legitimate second wake
+    } else {
+      EXPECT_TRUE(p.wait_for(ready, 50.0));
+      resumes.push_back(p.now());
+      p.wait(ready);  // park again; only a real notify may wake us
+      resumes.push_back(p.now());
+    }
+  });
+  ASSERT_EQ(resumes.size(), 2u);
+  EXPECT_DOUBLE_EQ(resumes[0], 0.5);
+  EXPECT_DOUBLE_EQ(resumes[1], 100.5);  // not 50.5: stale entry ignored
+}
+
 }  // namespace
 }  // namespace emc::sim
