@@ -139,7 +139,9 @@ int main(int argc, char** argv) {
     overhead_table.print(std::cout);
     const std::string csv =
         std::string("collective_") + name + "_" + net_tag + ".csv";
-    if (table.save_csv(csv)) std::cout << "csv: " << csv << "\n";
+    if (const auto saved = table.save_csv(csv)) {
+      std::cout << "csv: " << *saved << "\n";
+    }
   };
 
   if (which == "bcast" || which == "both") run_op(Op::kBcast, "Bcast");

@@ -91,6 +91,8 @@ int main(int argc, char** argv) {
 
   table.print(std::cout);
   const std::string csv = "encdec_" + compiler + ".csv";
-  if (table.save_csv(csv)) std::cout << "csv: " << csv << "\n";
+  if (const auto saved = table.save_csv(csv)) {
+    std::cout << "csv: " << *saved << "\n";
+  }
   return 0;
 }

@@ -63,6 +63,10 @@ CampaignResult run_campaign(bool secured, std::size_t msg_bytes,
   config.cluster.inter = net::ethernet_10g();
   config.cluster.faults = plan;
   config.recv_timeout = 1.0;  // virtual seconds; dwarfs any send gap
+  // The campaign doubles as a false-positive check for the correctness
+  // verifier: with fail_fast on (the default), any spurious diagnostic
+  // under injected faults aborts the bench loudly.
+  config.verify.enabled = true;
 
   mpi::World world(config);
   CampaignResult r;
@@ -186,6 +190,8 @@ int main(int argc, char** argv) {
             << " (end time " << a.end << "s)\n";
 
   table.print(std::cout);
-  if (table.save_csv("faults.csv")) std::cout << "csv: faults.csv\n";
+  if (const auto saved = table.save_csv("faults.csv")) {
+    std::cout << "csv: " << *saved << "\n";
+  }
   return 0;
 }

@@ -133,8 +133,8 @@ int main(int argc, char** argv) {
   }
 
   table.print(std::cout);
-  if (table.save_csv("legacy_attacks.csv")) {
-    std::cout << "csv: legacy_attacks.csv\n";
+  if (const auto saved = table.save_csv("legacy_attacks.csv")) {
+    std::cout << "csv: " << *saved << "\n";
   }
   return 0;
 }

@@ -114,7 +114,9 @@ int main(int argc, char** argv) {
     table.print(std::cout);
     const std::string csv = "multipair_" + std::string(eth ? "eth" : "ib") +
                             "_" + size_label(size) + ".csv";
-    if (table.save_csv(csv)) std::cout << "csv: " << csv << "\n";
+    if (const auto saved = table.save_csv(csv)) {
+      std::cout << "csv: " << *saved << "\n";
+    }
   }
   return 0;
 }

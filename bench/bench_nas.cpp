@@ -108,6 +108,8 @@ int main(int argc, char** argv) {
                     ? "all kernels verified\n"
                     : "WARNING: some kernels failed verification (!)\n");
   const std::string csv = std::string("nas_") + (eth ? "eth" : "ib") + ".csv";
-  if (table.save_csv(csv)) std::cout << "csv: " << csv << "\n";
+  if (const auto saved = table.save_csv(csv)) {
+    std::cout << "csv: " << *saved << "\n";
+  }
   return everything_verified ? 0 : 1;
 }

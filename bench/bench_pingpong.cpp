@@ -106,7 +106,9 @@ int main(int argc, char** argv) {
       table.add_row(std::move(row));
     }
     table.print(std::cout);
-    if (table.save_csv(csv)) std::cout << "csv: " << csv << "\n";
+    if (const auto saved = table.save_csv(csv)) {
+      std::cout << "csv: " << *saved << "\n";
+    }
   };
 
   const std::string net_tag = eth ? "eth" : "ib";

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Full local gate: configure, build, and run the test suite under both
+# the Release preset and the ASan+UBSan preset. Run from the repo root:
+#
+#   scripts/check.sh            # both presets
+#   scripts/check.sh default    # Release only
+#   scripts/check.sh sanitize   # sanitizers only
+#
+# Exits non-zero on the first configure/build/test failure.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+presets=("$@")
+if [ ${#presets[@]} -eq 0 ]; then
+  presets=(default sanitize)
+fi
+
+jobs=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
+
+for preset in "${presets[@]}"; do
+  echo "==> [$preset] configure"
+  cmake --preset "$preset"
+  echo "==> [$preset] build"
+  cmake --build --preset "$preset" -j "$jobs"
+  echo "==> [$preset] test"
+  ctest --preset "$preset" -j "$jobs"
+done
+
+echo "==> all presets green: ${presets[*]}"

@@ -5,6 +5,7 @@
 
 #include <cstddef>
 #include <iosfwd>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -23,8 +24,12 @@ class Table {
   /// Comma-separated form (header + rows) for post-processing.
   void write_csv(std::ostream& os) const;
 
-  /// Writes CSV to @p path (creates/truncates); returns success.
-  bool save_csv(const std::string& path) const;
+  /// Writes CSV to @p path (creates/truncates). A bare filename is
+  /// redirected into ./results/ when that directory exists, so bench
+  /// binaries run from the repo root land their CSVs next to the
+  /// committed reference outputs instead of littering the CWD.
+  /// Returns the path actually written, or nullopt on failure.
+  std::optional<std::string> save_csv(const std::string& path) const;
 
  private:
   std::string title_;

@@ -1,6 +1,7 @@
 #include "emc/bench_core/report.hpp"
 
 #include <algorithm>
+#include <filesystem>
 #include <fstream>
 #include <iomanip>
 #include <ostream>
@@ -55,11 +56,19 @@ void Table::write_csv(std::ostream& os) const {
   for (const auto& row : rows_) emit(row);
 }
 
-bool Table::save_csv(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out) return false;
+std::optional<std::string> Table::save_csv(const std::string& path) const {
+  std::filesystem::path target(path);
+  if (!target.has_parent_path()) {
+    std::error_code ec;
+    if (std::filesystem::is_directory("results", ec)) {
+      target = std::filesystem::path("results") / target;
+    }
+  }
+  std::ofstream out(target);
+  if (!out) return std::nullopt;
   write_csv(out);
-  return static_cast<bool>(out);
+  if (!out) return std::nullopt;
+  return target.string();
 }
 
 std::string size_label(std::size_t bytes) {

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cstring>
+#include <exception>
 #include <memory>
 #include <utility>
+
+#include "emc/mpi/validate.hpp"
 
 namespace emc::mpi {
 
@@ -15,11 +18,31 @@ bool matches(const Envelope& env, const PendingRecv& pr) {
          (pr.want_tag == kAnyTag || pr.want_tag == env.tag);
 }
 
+/// Shared teardown reporting of both request kinds: a request
+/// destroyed without ever being waited on is a leak — unless the
+/// stack is unwinding (simulation teardown or a caller exception), in
+/// which case the verifier is only told to drop its tracking entry.
+void finish_tracked_request(verify::Verifier* vrf, std::uint64_t vid,
+                            bool waited) {
+  if (vrf == nullptr || vid == 0) return;
+  vrf->on_request_finish(vid, waited || std::uncaught_exceptions() > 0
+                                  ? verify::ReqFinish::kDropped
+                                  : verify::ReqFinish::kLeaked);
+}
+
 }  // namespace
 
 /// Request state of a non-blocking send.
 struct SendState final : RequestState {
   std::unique_ptr<RndvHandshake> handshake;  // null on the eager path
+  int dst = 0;
+  int tag = 0;
+  // Verification bookkeeping (vrf null when verification is off).
+  verify::Verifier* vrf = nullptr;
+  std::uint64_t vid = 0;
+  bool waited = false;
+
+  ~SendState() override { finish_tracked_request(vrf, vid, waited); }
 };
 
 /// Request state of a non-blocking receive. Deregisters itself from
@@ -27,11 +50,15 @@ struct SendState final : RequestState {
 struct RecvState final : RequestState {
   PendingRecv pr;
   Mailbox* mailbox = nullptr;
+  verify::Verifier* vrf = nullptr;
+  std::uint64_t vid = 0;
+  bool waited = false;
 
   ~RecvState() override {
     if (mailbox != nullptr && !pr.matched) {
       std::erase(mailbox->posted, &pr);
     }
+    finish_tracked_request(vrf, vid, waited);
   }
 };
 
@@ -44,21 +71,14 @@ using detail::RndvHandshake;
 using detail::SendState;
 
 Comm::Comm(World& world, sim::Process& proc)
-    : world_(&world), proc_(&proc) {}
-
-void Comm::check_user_tag(int tag) const {
-  if (tag < 0 || tag > kMaxUserTag) {
-    throw MpiError("user tag out of range: " + std::to_string(tag));
-  }
-}
-
-void Comm::check_peer(int peer) const {
-  if (peer < 0 || peer >= size()) {
-    throw MpiError("peer rank out of range: " + std::to_string(peer));
-  }
-}
+    : world_(&world), proc_(&proc), vrf_(world.verifier()) {}
 
 void Comm::sleep_until(double t) { proc_->advance(t - proc_->now()); }
+
+void Comm::note_collective(verify::CollKind kind, int root,
+                           std::size_t bytes) {
+  if (vrf_ != nullptr) vrf_->on_collective(rank(), coll_seq_, kind, root, bytes);
+}
 
 int Comm::next_coll_tag() {
   // 64 internal tag slots per collective invocation (one per round).
@@ -128,7 +148,7 @@ void Comm::deliver_eager(int dst, std::unique_ptr<Envelope> env) {
 // ------------------------------------------------------------ send side
 
 void Comm::send_internal(BytesView data, int dst, int tag) {
-  check_peer(dst);
+  validate_peer(dst, size());
   const net::NetworkProfile& prof = world_->fabric().profile(rank(), dst);
   const bool self = dst == rank();
   const double now = proc_->now();
@@ -165,20 +185,31 @@ void Comm::send_internal(BytesView data, int dst, int tag) {
                                    std::max(now, proc_->now()))
                      .arrival;
   post_envelope(dst, std::move(env));
-  while (!handshake.completed) proc_->wait(handshake.done);
+  {
+    const verify::Verifier::BlockScope block(
+        vrf_, rank(), {verify::BlockKind::kRndvSend, dst, tag});
+    while (!handshake.completed) proc_->wait(handshake.done);
+  }
   sleep_until(handshake.sender_complete);
 }
 
 void Comm::send(BytesView data, int dst, int tag) {
-  check_user_tag(tag);
+  validate_user_tag(tag);
   send_internal(data, dst, tag);
 }
 
 Request Comm::isend_internal(BytesView data, int dst, int tag) {
-  check_peer(dst);
+  validate_peer(dst, size());
   const net::NetworkProfile& prof = world_->fabric().profile(rank(), dst);
   const bool self = dst == rank();
   auto state = std::make_unique<SendState>();
+  state->dst = dst;
+  state->tag = tag;
+  if (vrf_ != nullptr) {
+    state->vrf = vrf_;
+    state->vid = vrf_->on_request_start(rank(), verify::ReqKind::kSend, dst,
+                                        tag, data.data(), data.size());
+  }
 
   if (self || data.size() <= prof.eager_threshold) {
     proc_->advance(prof.send_overhead +
@@ -215,45 +246,58 @@ Request Comm::isend_internal(BytesView data, int dst, int tag) {
 }
 
 Request Comm::isend(BytesView data, int dst, int tag) {
-  check_user_tag(tag);
+  validate_user_tag(tag);
   return isend_internal(data, dst, tag);
 }
 
 // ------------------------------------------------------------ recv side
 
 Request Comm::irecv_internal(MutBytes buf, int src, int tag) {
-  if (src != kAnySource) check_peer(src);
+  validate_recv_peer(src, size());
   auto state = std::make_unique<RecvState>();
   state->pr.want_src = src;
   state->pr.want_tag = tag;
   state->pr.buf = buf;
 
   detail::Mailbox& box = world_->mailbox(rank());
+  bool matched = false;
   for (auto it = box.unexpected.begin(); it != box.unexpected.end(); ++it) {
     if (detail::matches(**it, state->pr)) {
       state->pr.matched = std::move(*it);
       box.unexpected.erase(it);
-      return Request(std::move(state));
+      matched = true;
+      break;
     }
   }
-  state->mailbox = &box;
-  box.posted.push_back(&state->pr);
+  if (!matched) {
+    state->mailbox = &box;
+    box.posted.push_back(&state->pr);
+  }
+  if (vrf_ != nullptr) {
+    state->vrf = vrf_;
+    state->vid = vrf_->on_request_start(rank(), verify::ReqKind::kRecv, src,
+                                        tag, buf.data(), buf.size());
+  }
   return Request(std::move(state));
 }
 
 Request Comm::irecv(MutBytes buf, int src, int tag) {
-  if (tag != kAnyTag) check_user_tag(tag);
+  validate_recv_tag(tag);
   return irecv_internal(buf, src, tag);
 }
 
 Status Comm::complete_recv(PendingRecv& pr) {
   const double timeout = world_->config().recv_timeout;
-  while (!pr.matched) {
-    if (timeout <= 0.0) {
-      proc_->wait(pr.cond);
-    } else if (!proc_->wait_for(pr.cond, timeout)) {
-      throw MpiError("receive timed out after " + std::to_string(timeout) +
-                     " virtual seconds (message dropped or sender failed)");
+  {
+    const verify::Verifier::BlockScope block(
+        vrf_, rank(), {verify::BlockKind::kRecv, pr.want_src, pr.want_tag});
+    while (!pr.matched) {
+      if (timeout <= 0.0) {
+        proc_->wait(pr.cond);
+      } else if (!proc_->wait_for(pr.cond, timeout)) {
+        throw MpiError("receive timed out after " + std::to_string(timeout) +
+                       " virtual seconds (message dropped or sender failed)");
+      }
     }
   }
   Envelope& env = *pr.matched;
@@ -317,7 +361,7 @@ Status Comm::complete_recv(PendingRecv& pr) {
 }
 
 Status Comm::recv(MutBytes buf, int src, int tag) {
-  if (tag != kAnyTag) check_user_tag(tag);
+  validate_recv_tag(tag);
   Request request = irecv_internal(buf, src, tag);
   return wait(request);
 }
@@ -325,19 +369,35 @@ Status Comm::recv(MutBytes buf, int src, int tag) {
 // ----------------------------------------------------------- completion
 
 Status Comm::wait(Request& request) {
-  if (!request.valid()) throw MpiError("wait on an empty request");
+  if (!request.valid()) throw_invalid_wait(vrf_, rank(), request);
   auto owned = request.take();
   if (auto* send_state = dynamic_cast<SendState*>(owned.get())) {
+    send_state->waited = true;
     if (send_state->handshake) {
-      while (!send_state->handshake->completed) {
-        proc_->wait(send_state->handshake->done);
+      {
+        const verify::Verifier::BlockScope block(
+            vrf_, rank(),
+            {verify::BlockKind::kRndvSend, send_state->dst, send_state->tag});
+        while (!send_state->handshake->completed) {
+          proc_->wait(send_state->handshake->done);
+        }
       }
       sleep_until(send_state->handshake->sender_complete);
+    }
+    if (vrf_ != nullptr) {
+      vrf_->on_request_finish(send_state->vid, verify::ReqFinish::kCompleted);
+      send_state->vid = 0;
     }
     return Status{};  // send completions carry no matching info
   }
   if (auto* recv_state = dynamic_cast<RecvState*>(owned.get())) {
-    return complete_recv(recv_state->pr);
+    recv_state->waited = true;
+    const Status status = complete_recv(recv_state->pr);
+    if (vrf_ != nullptr) {
+      vrf_->on_request_finish(recv_state->vid, verify::ReqFinish::kCompleted);
+      recv_state->vid = 0;
+    }
+    return status;
   }
   throw MpiError("request does not belong to this communicator");
 }
@@ -351,8 +411,8 @@ std::vector<Status> Comm::waitall(std::span<Request> requests) {
 
 Status Comm::sendrecv(BytesView senddata, int dst, int sendtag,
                       MutBytes recvbuf, int src, int recvtag) {
-  check_user_tag(sendtag);
-  if (recvtag != kAnyTag) check_user_tag(recvtag);
+  validate_user_tag(sendtag);
+  validate_recv_tag(recvtag);
   Request rr = irecv_internal(recvbuf, src, recvtag);
   Request rs = isend_internal(senddata, dst, sendtag);
   const Status status = wait(rr);
@@ -363,6 +423,7 @@ Status Comm::sendrecv(BytesView senddata, int dst, int sendtag,
 // ----------------------------------------------------------- collectives
 
 void Comm::barrier() {
+  note_collective(verify::CollKind::kBarrier, -1, 0);
   const int base = next_coll_tag();
   const int n = size();
   const int r = rank();
@@ -380,7 +441,8 @@ void Comm::barrier() {
 }
 
 void Comm::bcast(MutBytes data, int root) {
-  check_peer(root);
+  validate_peer(root, size());
+  note_collective(verify::CollKind::kBcast, root, data.size());
   const int base = next_coll_tag();
   const int n = size();
   if (n == 1) return;
@@ -416,6 +478,7 @@ void Comm::allgather(BytesView sendpart, MutBytes recvall) {
   if (recvall.size() != block * static_cast<std::size_t>(n)) {
     throw MpiError("allgather: recv buffer must be size()*block bytes");
   }
+  note_collective(verify::CollKind::kAllgather, -1, block);
   const int base = next_coll_tag();
   const int r = rank();
   if (!sendpart.empty()) {
@@ -446,6 +509,7 @@ void Comm::alltoall(BytesView sendbuf, MutBytes recvbuf, std::size_t block) {
   if (sendbuf.size() != total || recvbuf.size() != total) {
     throw MpiError("alltoall: buffers must be size()*block bytes");
   }
+  note_collective(verify::CollKind::kAlltoall, -1, block);
   const int base = next_coll_tag();
   const int r = rank();
 
@@ -478,6 +542,7 @@ void Comm::alltoallv(BytesView sendbuf,
       recvcounts.size() != n || recvdispls.size() != n) {
     throw MpiError("alltoallv: count/displacement arrays must have size() entries");
   }
+  note_collective(verify::CollKind::kAlltoallv, -1, 0);
   const int base = next_coll_tag();
   const int r = rank();
 
@@ -499,9 +564,10 @@ void Comm::alltoallv(BytesView sendbuf,
 }
 
 void Comm::gather(BytesView sendpart, MutBytes recvall, int root) {
-  check_peer(root);
+  validate_peer(root, size());
   const int n = size();
   const std::size_t block = sendpart.size();
+  note_collective(verify::CollKind::kGather, root, block);
   const int base = next_coll_tag();
   if (rank() == root) {
     if (recvall.size() != block * static_cast<std::size_t>(n)) {
@@ -528,9 +594,10 @@ void Comm::gather(BytesView sendpart, MutBytes recvall, int root) {
 }
 
 void Comm::scatter(BytesView sendall, MutBytes recvpart, int root) {
-  check_peer(root);
+  validate_peer(root, size());
   const int n = size();
   const std::size_t block = recvpart.size();
+  note_collective(verify::CollKind::kScatter, root, block);
   const int base = next_coll_tag();
   if (rank() == root) {
     if (sendall.size() != block * static_cast<std::size_t>(n)) {

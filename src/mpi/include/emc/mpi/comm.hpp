@@ -80,16 +80,19 @@ class Comm final : public Communicator {
   /// costs, copies the payload (or executes the rendezvous pull).
   Status complete_recv(detail::PendingRecv& pr);
 
-  void check_user_tag(int tag) const;
-  void check_peer(int peer) const;
   void sleep_until(double t);
 
   /// Fresh tag for the next collective (all ranks call collectives in
   /// the same order, so the per-rank counter stays aligned).
   int next_coll_tag();
 
+  /// Reports this rank's entry into the collective the next
+  /// next_coll_tag() call will number (no-op without verification).
+  void note_collective(verify::CollKind kind, int root, std::size_t bytes);
+
   World* world_;
   sim::Process* proc_;
+  verify::Verifier* vrf_;  ///< null unless WorldConfig::verify.enabled
   std::uint32_t coll_seq_ = 0;
 };
 

@@ -6,6 +6,7 @@
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 namespace emc::mpi {
 
@@ -47,24 +48,37 @@ class Request {
   explicit Request(std::unique_ptr<detail::RequestState> state)
       : state_(std::move(state)) {}
 
-  Request(Request&&) noexcept = default;
-  Request& operator=(Request&&) noexcept = default;
+  Request(Request&& other) noexcept
+      : state_(std::move(other.state_)),
+        consumed_(std::exchange(other.consumed_, false)) {}
+  Request& operator=(Request&& other) noexcept {
+    state_ = std::move(other.state_);
+    consumed_ = std::exchange(other.consumed_, false);
+    return *this;
+  }
   Request(const Request&) = delete;
   Request& operator=(const Request&) = delete;
 
   /// True until the request has been waited on (or never held state).
   [[nodiscard]] bool valid() const noexcept { return state_ != nullptr; }
 
+  /// True when this request once held state that wait() has since
+  /// consumed — distinguishes a double wait (a verifier diagnostic)
+  /// from a wait on a never-initialized request.
+  [[nodiscard]] bool consumed() const noexcept { return consumed_; }
+
   /// Implementation access; user code never needs this.
   [[nodiscard]] detail::RequestState* state() noexcept { return state_.get(); }
 
   /// Releases the state (called by wait implementations).
   std::unique_ptr<detail::RequestState> take() noexcept {
+    consumed_ = state_ != nullptr;
     return std::move(state_);
   }
 
  private:
   std::unique_ptr<detail::RequestState> state_;
+  bool consumed_ = false;
 };
 
 }  // namespace emc::mpi

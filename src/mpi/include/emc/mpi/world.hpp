@@ -13,6 +13,7 @@
 #include "emc/mpi/types.hpp"
 #include "emc/netsim/fabric.hpp"
 #include "emc/sim/engine.hpp"
+#include "emc/verify/verifier.hpp"
 
 namespace emc::mpi {
 
@@ -78,6 +79,13 @@ struct WorldConfig {
   /// fast as this host"; benchmarks can calibrate it so the simulated
   /// nodes match the paper's Xeon E5-2620 v4.
   double cpu_scale = 1.0;
+
+  /// Opt-in runtime correctness analysis (deadlock cycles, request
+  /// lifecycle, collective call order, unmatched messages). Disabled
+  /// by default: no verifier is constructed and the hot paths skip
+  /// every hook. Verification never advances virtual time, so an
+  /// enabled run replays the disabled one exactly.
+  verify::Config verify;
 };
 
 /// Shared state of a running world. Created by run_world; exposed so
@@ -97,9 +105,18 @@ class World {
 
   [[nodiscard]] std::uint64_t next_seq() noexcept { return seq_++; }
 
+  /// The correctness verifier, or null when config.verify.enabled is
+  /// false. Valid for the lifetime of the World.
+  [[nodiscard]] verify::Verifier* verifier() noexcept {
+    return verifier_.get();
+  }
+
   /// Runs @p body once per rank inside the simulation; returns the
   /// virtual time at which the last rank finished. May be called
-  /// repeatedly; virtual time accumulates.
+  /// repeatedly; virtual time accumulates. With verification enabled,
+  /// the unmatched-message audit runs after every successful run and
+  /// (in fail-fast mode) pending error diagnostics are thrown as
+  /// verify::VerifyError.
   double run(const std::function<void(Comm&)>& body);
 
  private:
@@ -108,11 +125,32 @@ class World {
   sim::Engine engine_;
   std::vector<detail::Mailbox> mailboxes_;
   std::uint64_t seq_ = 0;
+  std::unique_ptr<verify::Verifier> verifier_;  ///< after engine_ (attaches)
 };
 
 /// One-shot convenience: build a world and run @p body on every rank.
 /// Returns the final virtual time (seconds).
 double run_world(const WorldConfig& config,
                  const std::function<void(Comm&)>& body);
+
+/// Outcome of one schedule-perturbation run (see run_perturbed).
+struct PerturbedRun {
+  std::uint64_t salt = 0;    ///< engine tie-break salt of this run
+  bool failed = false;       ///< an exception escaped World::run
+  std::string error;         ///< its what() when failed
+  double end_time = 0.0;     ///< final virtual time (0 when failed)
+  std::vector<verify::Diagnostic> diagnostics;
+};
+
+/// Schedule-perturbation mode: runs @p body under @p runs different
+/// engine tie-break orders (run 0 uses the baseline FIFO order, later
+/// runs use salts derived from @p seed), each in a fresh fully
+/// verified World, and reports per-run diagnostics. Deterministic for
+/// a fixed (config, seed): wildcard-receive matches or collective
+/// orderings that only hold under one tie-break order show up as
+/// failures or diagnostics in some perturbed run.
+std::vector<PerturbedRun> run_perturbed(const WorldConfig& config,
+                                        const std::function<void(Comm&)>& body,
+                                        int runs, std::uint64_t seed = 1);
 
 }  // namespace emc::mpi

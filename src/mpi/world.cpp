@@ -10,19 +10,68 @@ World::World(const WorldConfig& config)
       engine_(config.cluster.total_ranks()),
       mailboxes_(static_cast<std::size_t>(config.cluster.total_ranks())) {
   engine_.set_charge_scale(config.cpu_scale);
+  if (config_.verify.enabled) {
+    verifier_ = std::make_unique<verify::Verifier>(config_.verify, engine_);
+  }
 }
 
 double World::run(const std::function<void(Comm&)>& body) {
-  return engine_.run([this, &body](sim::Process& proc) {
+  if (verifier_ != nullptr) verifier_->begin_run();
+  const double end = engine_.run([this, &body](sim::Process& proc) {
     Comm comm(*this, proc);
     body(comm);
   });
+  if (verifier_ != nullptr) {
+    // Shutdown audit: anything still sitting in a mailbox was sent or
+    // posted but never consumed by the program that just finished.
+    for (int rank = 0; rank < size(); ++rank) {
+      const detail::Mailbox& box = mailbox(rank);
+      for (const auto& env : box.unexpected) {
+        verifier_->on_unmatched_envelope(
+            rank, env->src, env->tag,
+            env->rendezvous ? env->rndv_data.size() : env->payload.size());
+      }
+      for (const detail::PendingRecv* pr : box.posted) {
+        verifier_->on_unmatched_posted(rank, pr->want_src, pr->want_tag);
+      }
+    }
+    verifier_->finish_run();
+  }
+  return end;
 }
 
 double run_world(const WorldConfig& config,
                  const std::function<void(Comm&)>& body) {
   World world(config);
   return world.run(body);
+}
+
+std::vector<PerturbedRun> run_perturbed(const WorldConfig& config,
+                                        const std::function<void(Comm&)>& body,
+                                        int runs, std::uint64_t seed) {
+  std::vector<PerturbedRun> results;
+  results.reserve(static_cast<std::size_t>(runs));
+  for (int i = 0; i < runs; ++i) {
+    WorldConfig perturbed = config;
+    perturbed.verify.enabled = true;
+    // Run 0 keeps the baseline FIFO tie-break so the unperturbed
+    // behaviour is always part of the report.
+    perturbed.verify.schedule_salt =
+        i == 0 ? 0 : verify::splitmix64(seed + static_cast<std::uint64_t>(i));
+
+    PerturbedRun result;
+    result.salt = perturbed.verify.schedule_salt;
+    World world(perturbed);
+    try {
+      result.end_time = world.run(body);
+    } catch (const std::exception& e) {
+      result.failed = true;
+      result.error = e.what();
+    }
+    result.diagnostics = world.verifier()->diagnostics();
+    results.push_back(std::move(result));
+  }
+  return results;
 }
 
 }  // namespace emc::mpi

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "emc/common/rng.hpp"
+#include "emc/mpi/validate.hpp"
 #include "emc/common/timer.hpp"
 
 namespace emc::secure {
@@ -195,6 +196,9 @@ mpi::Status SecureComm::open_p2p(BytesView wire_buf,
 // ------------------------------------------------------- point-to-point
 
 void SecureComm::send(BytesView data, int dst, int tag) {
+  // Reject bad arguments before spending crypto time on the payload.
+  mpi::validate_user_tag(tag);
+  mpi::validate_peer(dst, size());
   Bytes wire(wire_size(data.size()));
   if (config_.bind_context) {
     seal_into(data, wire, p2p_aad(rank(), dst, tag, next_send_seq(dst, tag)));
@@ -205,12 +209,16 @@ void SecureComm::send(BytesView data, int dst, int tag) {
 }
 
 mpi::Status SecureComm::recv(MutBytes buf, int src, int tag) {
+  mpi::validate_recv_tag(tag);
+  mpi::validate_recv_peer(src, size());
   Bytes wire(wire_size(buf.size()));
   const mpi::Status wire_status = comm_->recv(wire, src, tag);
   return open_p2p(wire, wire_status, buf);
 }
 
 mpi::Request SecureComm::isend(BytesView data, int dst, int tag) {
+  mpi::validate_user_tag(tag);
+  mpi::validate_peer(dst, size());
   auto state = std::make_unique<SecureSendState>();
   state->wire.resize(wire_size(data.size()));
   if (config_.bind_context) {
@@ -224,6 +232,8 @@ mpi::Request SecureComm::isend(BytesView data, int dst, int tag) {
 }
 
 mpi::Request SecureComm::irecv(MutBytes buf, int src, int tag) {
+  mpi::validate_recv_tag(tag);
+  mpi::validate_recv_peer(src, size());
   auto state = std::make_unique<SecureRecvState>();
   state->wire.resize(wire_size(buf.size()));
   state->user = buf;
@@ -232,7 +242,9 @@ mpi::Request SecureComm::irecv(MutBytes buf, int src, int tag) {
 }
 
 mpi::Status SecureComm::wait(mpi::Request& request) {
-  if (!request.valid()) throw mpi::MpiError("wait on an empty request");
+  if (!request.valid()) {
+    mpi::throw_invalid_wait(comm_->world().verifier(), rank(), request);
+  }
   auto owned = request.take();
   if (auto* send_state = dynamic_cast<SecureSendState*>(owned.get())) {
     return comm_->wait(send_state->inner);
@@ -277,6 +289,7 @@ mpi::Status SecureComm::sendrecv(BytesView senddata, int dst, int sendtag,
 void SecureComm::barrier() { comm_->barrier(); }
 
 void SecureComm::bcast(MutBytes data, int root) {
+  mpi::validate_peer(root, size());
   const std::uint64_t seq = coll_seq_++;
   const Bytes aad =
       config_.bind_context ? coll_aad(root, -1, seq) : Bytes{};
@@ -391,6 +404,7 @@ void SecureComm::alltoallv(BytesView sendbuf,
 }
 
 void SecureComm::gather(BytesView sendpart, MutBytes recvall, int root) {
+  mpi::validate_peer(root, size());
   const auto n = static_cast<std::size_t>(size());
   const std::size_t block = sendpart.size();
   const std::size_t wire_block = wire_size(block);
@@ -416,6 +430,7 @@ void SecureComm::gather(BytesView sendpart, MutBytes recvall, int root) {
 }
 
 void SecureComm::scatter(BytesView sendall, MutBytes recvpart, int root) {
+  mpi::validate_peer(root, size());
   const auto n = static_cast<std::size_t>(size());
   const std::size_t block = recvpart.size();
   const std::size_t wire_block = wire_size(block);

@@ -50,8 +50,22 @@ Engine::Engine(int num_processes) {
 
 Engine::~Engine() = default;
 
+namespace {
+/// SplitMix64 finalizer: bijective, so distinct sequence numbers keep
+/// distinct (but permuted) tie-break keys under any salt.
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
 void Engine::schedule_locked(Process& p, Time at) {
-  ready_.push(HeapEntry{std::max(at, clock_), seq_++, &p, p.wake_epoch_});
+  const std::uint64_t seq = seq_++;
+  const std::uint64_t order =
+      tiebreak_salt_ == 0 ? seq : mix64(seq ^ tiebreak_salt_);
+  ready_.push(HeapEntry{std::max(at, clock_), order, &p, p.wake_epoch_});
 }
 
 void Engine::check_abort_locked() const {
@@ -83,9 +97,20 @@ void Engine::grant_next_locked() {
   if (!aborted_) {
     // Every unfinished process is parked on a Waitable and nothing is
     // scheduled: nobody can ever make progress.
-    first_error_ = std::make_exception_ptr(Deadlock(
+    std::string what =
         "simulation deadlock: " + std::to_string(unfinished_) +
-        " process(es) blocked on conditions with an empty event queue"));
+        " process(es) blocked on conditions with an empty event queue";
+    if (deadlock_explainer_) {
+      // The explainer (the correctness verifier) reconstructs who
+      // waits on what; every process is parked, so its state is
+      // frozen. Failures in the explainer must not mask the deadlock.
+      try {
+        const std::string extra = deadlock_explainer_();
+        if (!extra.empty()) what += "\n" + extra;
+      } catch (...) {
+      }
+    }
+    first_error_ = std::make_exception_ptr(Deadlock(what));
     aborted_ = true;
   }
   // Abort teardown: wake every parked process so it unwinds.

@@ -16,6 +16,7 @@
 // execution style SimGrid's SMPI uses for its actor contexts.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -150,16 +151,46 @@ class Engine {
   void set_charge_scale(double scale) noexcept { charge_scale_ = scale; }
   [[nodiscard]] double charge_scale() const noexcept { return charge_scale_; }
 
+  /// Perturbs the tie-break order of events scheduled at the same
+  /// virtual time: 0 (default) keeps FIFO scheduling order; any other
+  /// value orders same-time events by a seeded bijective mix of the
+  /// scheduling sequence number. Each salt is fully deterministic —
+  /// the verification layer reruns programs under several salts to
+  /// flush schedule-dependent message matches. Takes effect for
+  /// events scheduled after the call; set it before run().
+  void set_tiebreak_salt(std::uint64_t salt) noexcept {
+    tiebreak_salt_ = salt;
+  }
+  [[nodiscard]] std::uint64_t tiebreak_salt() const noexcept {
+    return tiebreak_salt_;
+  }
+
+  /// Installs a callback invoked when the engine detects a global
+  /// deadlock (every live process parked on a Waitable, empty event
+  /// queue); its return value is appended to the sim::Deadlock
+  /// message. Runs on a process thread with the scheduler lock held:
+  /// it must not call back into this engine's scheduling API (reading
+  /// now()/size() is fine). Exceptions it throws are swallowed.
+  void set_deadlock_explainer(std::function<std::string()> explainer) {
+    deadlock_explainer_ = std::move(explainer);
+  }
+
+  /// True once the current run began tearing down after an error or
+  /// deadlock (process bodies unwind concurrently from that point).
+  [[nodiscard]] bool aborted() const noexcept {
+    return aborted_.load(std::memory_order_relaxed);
+  }
+
  private:
   friend class Process;
 
   struct HeapEntry {
     Time at;
-    std::uint64_t seq;
+    std::uint64_t order;  ///< seq, or its salted mix (tie-break key)
     Process* proc;
     std::uint64_t epoch;  ///< proc->wake_epoch_ at schedule time
     bool operator>(const HeapEntry& o) const noexcept {
-      return at != o.at ? at > o.at : seq > o.seq;
+      return at != o.at ? at > o.at : order > o.order;
     }
   };
 
@@ -186,8 +217,10 @@ class Engine {
   std::uint64_t seq_ = 0;
   int unfinished_ = 0;
   int waiting_on_conditions_ = 0;
-  bool aborted_ = false;
+  std::atomic<bool> aborted_{false};
   double charge_scale_ = 1.0;
+  std::uint64_t tiebreak_salt_ = 0;
+  std::function<std::string()> deadlock_explainer_;
   std::exception_ptr first_error_;
 };
 

@@ -1,0 +1,59 @@
+// Structured correctness diagnostics emitted by the MiniMPI verifier.
+//
+// Every checker reports through one record type so tests, benches, and
+// tools can match on the check kind instead of parsing prose. A
+// Diagnostic names the ranks involved and the virtual time at which
+// the misuse was observed; `format()` renders the canonical one-line
+// form used in exception messages and logs.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace emc::verify {
+
+/// Which checker produced a diagnostic.
+enum class Check {
+  kDeadlock,            ///< wait-for-graph cycle at global block
+  kRequestLeak,         ///< isend/irecv request destroyed without wait
+  kDoubleWait,          ///< wait on an already-completed request
+  kSendBufferMutated,   ///< send buffer changed between isend and wait
+  kOverlappingReceives, ///< two in-flight irecv buffers alias
+  kCollectiveMismatch,  ///< ranks diverge on op kind / root / byte count
+  kUnmatchedMessage,    ///< envelope or posted receive never consumed
+};
+
+enum class Severity {
+  kWarning,  ///< collected, never aborts the run
+  kError,    ///< thrown as VerifyError when Config::fail_fast is set
+};
+
+[[nodiscard]] const char* to_string(Check check) noexcept;
+[[nodiscard]] const char* to_string(Severity severity) noexcept;
+
+/// One verifier finding.
+struct Diagnostic {
+  Check check = Check::kDeadlock;
+  Severity severity = Severity::kError;
+  /// Ranks involved; the first entry is the detecting / diverging rank
+  /// (for kDeadlock: the cycle in wait-for order).
+  std::vector<int> ranks;
+  /// Virtual time at which the condition was observed.
+  double time = 0.0;
+  std::string message;
+
+  /// "[error] collective-mismatch @ t=0.0012s ranks {0,2}: ..."
+  [[nodiscard]] std::string format() const;
+};
+
+/// Thrown (fail-fast mode) when a checker records an error-severity
+/// diagnostic; carries the full structured record.
+struct VerifyError : std::runtime_error {
+  explicit VerifyError(Diagnostic d)
+      : std::runtime_error(d.format()), diagnostic(std::move(d)) {}
+  Diagnostic diagnostic;
+};
+
+}  // namespace emc::verify

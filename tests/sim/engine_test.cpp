@@ -296,5 +296,55 @@ TEST(Engine, StaleTimeoutDoesNotRewakeNotifiedProcess) {
   EXPECT_DOUBLE_EQ(resumes[1], 100.5);  // not 50.5: stale entry ignored
 }
 
+// Order in which four processes (all scheduled at t=0) first run,
+// under a given same-time tie-break salt.
+std::vector<int> start_order(std::uint64_t salt) {
+  Engine engine(4);
+  engine.set_tiebreak_salt(salt);
+  std::vector<int> order;
+  engine.run([&order](Process& p) { order.push_back(p.index()); });
+  return order;
+}
+
+TEST(Engine, TiebreakSaltZeroKeepsFifoOrderAndIsDeterministic) {
+  EXPECT_EQ(start_order(0), (std::vector<int>{0, 1, 2, 3}));
+  for (const std::uint64_t salt : {1ULL, 7ULL, 1234567ULL}) {
+    EXPECT_EQ(start_order(salt), start_order(salt)) << "salt " << salt;
+  }
+}
+
+TEST(Engine, SomeSaltPerturbsSameTimeOrdering) {
+  // The salts exist to flush order-dependence out of same-time events;
+  // at least one small salt must produce a non-FIFO start order.
+  const auto baseline = start_order(0);
+  bool differs = false;
+  for (std::uint64_t salt = 1; salt <= 8 && !differs; ++salt) {
+    differs = start_order(salt) != baseline;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Engine, DeadlockExplainerTextIsAppended) {
+  Engine engine(2);
+  engine.set_deadlock_explainer([] { return std::string("extra context"); });
+  Waitable never;
+  try {
+    engine.run([&never](Process& p) { p.wait(never); });
+    FAIL() << "expected Deadlock";
+  } catch (const Deadlock& e) {
+    EXPECT_NE(std::string(e.what()).find("extra context"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Engine, ThrowingDeadlockExplainerIsSwallowed) {
+  // A broken explainer must not mask the Deadlock report itself.
+  Engine engine(1);
+  engine.set_deadlock_explainer(
+      []() -> std::string { throw std::runtime_error("broken explainer"); });
+  Waitable never;
+  EXPECT_THROW(engine.run([&never](Process& p) { p.wait(never); }), Deadlock);
+}
+
 }  // namespace
 }  // namespace emc::sim
