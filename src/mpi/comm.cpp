@@ -71,9 +71,20 @@ using detail::RndvHandshake;
 using detail::SendState;
 
 Comm::Comm(World& world, sim::Process& proc)
-    : world_(&world), proc_(&proc), vrf_(world.verifier()) {}
+    : world_(&world),
+      proc_(&proc),
+      vrf_(world.verifier()),
+      arq_(world.reliability()) {}
 
 void Comm::sleep_until(double t) { proc_->advance(t - proc_->now()); }
+
+void Comm::wait_timer(double dt) {
+  if (dt <= 0.0) return;
+  // A private waitable nobody notifies: wait_for always times out, so
+  // this is a pure virtual-time timer (the ARQ backoff clock).
+  sim::Waitable timer;
+  (void)proc_->wait_for(timer, dt);
+}
 
 void Comm::note_collective(verify::CollKind kind, int root,
                            std::size_t bytes) {
@@ -117,6 +128,10 @@ void Comm::deliver_eager(int dst, std::unique_ptr<Envelope> env) {
     post_envelope(dst, std::move(env));
     return;
   }
+  if (arq_ != nullptr) {
+    deliver_reliable(dst, std::move(env));
+    return;
+  }
   const net::FaultDecision d = faults->next(rank(), dst, env->payload.size());
   switch (d.kind) {
     case net::FaultKind::kDrop:
@@ -139,10 +154,57 @@ void Comm::deliver_eager(int dst, std::unique_ptr<Envelope> env) {
       post_envelope(dst, std::move(copy));
       return;
     }
+    case net::FaultKind::kDelay:
+      env->arrival += d.delay_seconds;
+      break;
     case net::FaultKind::kNone:
       break;
   }
   post_envelope(dst, std::move(env));
+}
+
+void Comm::deliver_reliable(int dst, std::unique_ptr<Envelope> env) {
+  if (arq_->link_dead(rank(), dst)) {
+    throw reliable::PeerUnreachable(rank(), dst, 0);
+  }
+  // Collective-internal traffic (tags >= 2^28) is link-checksummed, so
+  // corruption is caught and retransmitted below the MPI layer; user
+  // point-to-point payloads defer integrity to the upper layer.
+  const bool checksummed = env->tag >= (1 << 28);
+  const reliable::Delivery d =
+      arq_->deliver(rank(), dst, env->payload.size(), proc_->now(),
+                    env->arrival, checksummed);
+  env->arq_seq = d.seq;
+  env->arq_transmissions = d.transmissions;
+  switch (d.result) {
+    case reliable::Delivery::Result::kDelivered:
+      env->arrival = d.arrival;
+      post_envelope(dst, std::move(env));
+      return;
+    case reliable::Delivery::Result::kDeliveredDamaged:
+      // The payload stays clean in the mailbox (it doubles as the
+      // sender's retransmit buffer); the damage is applied when the
+      // receiver copies it out, and undone again if the upper layer
+      // NACKs (Comm::recover_damaged_recv).
+      env->arrival = d.arrival;
+      env->damage = d.damage;
+      post_envelope(dst, std::move(env));
+      return;
+    case reliable::Delivery::Result::kDeadLink: {
+      // Graceful degradation: tell the verifier, leave a tombstone so
+      // the receiver fails fast instead of timing out, and raise the
+      // structured error on the sender.
+      if (vrf_ != nullptr) {
+        vrf_->on_peer_unreachable(rank(), dst, d.transmissions);
+      }
+      const int src = rank();
+      const std::uint32_t attempts = d.transmissions;
+      env->poisoned = true;
+      env->payload.clear();
+      post_envelope(dst, std::move(env));
+      throw reliable::PeerUnreachable(src, dst, attempts);
+    }
+  }
 }
 
 // ------------------------------------------------------------ send side
@@ -307,6 +369,16 @@ Status Comm::complete_recv(PendingRecv& pr) {
   status.source = env.src;
   status.tag = env.tag;
 
+  if (env.poisoned) {
+    // Dead-link tombstone: the sender's retry budget ran out mid-
+    // delivery. Fail the receive fast with the structured error
+    // instead of letting it block until the timeout.
+    const int src = env.src;
+    const std::uint64_t attempts = env.arq_transmissions;
+    pr.matched.reset();
+    throw reliable::PeerUnreachable(src, rank(), attempts);
+  }
+
   if (!env.rendezvous) {
     if (env.payload.size() > pr.buf.size()) {
       throw MpiError("receive buffer too small: need " +
@@ -321,6 +393,23 @@ Status Comm::complete_recv(PendingRecv& pr) {
       std::memcpy(pr.buf.data(), env.payload.data(), env.payload.size());
     }
     status.bytes = env.payload.size();
+    if (arq_ != nullptr && env.damage.kind == net::FaultKind::kCorrupt) {
+      // Apply the in-flight damage at copy-out and stash the clean
+      // payload: it models the sender's retransmit buffer, which
+      // end-to-end NACK recovery (recover_damaged_recv) replays from.
+      pr.buf[env.damage.position] ^= env.damage.flip_mask;
+      reliable::RetransmitStash& st = arq_->stash(rank());
+      st.valid = true;
+      st.src = env.src;
+      st.tag = env.tag;
+      st.seq = env.arq_seq;
+      st.transmissions = env.arq_transmissions;
+      st.clean = std::move(env.payload);
+    }
+  } else if (arq_ != nullptr && env.src != rank() &&
+             world_->fabric().faults() != nullptr) {
+    status = complete_rndv_reliable(pr);
+    return status;
   } else {
     if (env.rndv_data.size() > pr.buf.size()) {
       throw MpiError("receive buffer too small for rendezvous payload");
@@ -353,11 +442,168 @@ Status Comm::complete_recv(PendingRecv& pr) {
     env.handshake->sender_complete = data.egress_done;
     env.handshake->completed = true;
     proc_->notify_all(env.handshake->done);
-    sleep_until(data.arrival);
+    // A latency spike on the pull delays the receiver, not the sender
+    // (whose NIC finished at egress_done either way).
+    sleep_until(fault.kind == net::FaultKind::kDelay
+                    ? data.arrival + fault.delay_seconds
+                    : data.arrival);
     proc_->advance(prof.recv_overhead);
   }
   pr.matched.reset();
   return status;
+}
+
+Status Comm::complete_rndv_reliable(PendingRecv& pr) {
+  Envelope& env = *pr.matched;
+  const net::NetworkProfile& prof = world_->fabric().profile(env.src, rank());
+  Status status;
+  status.source = env.src;
+  status.tag = env.tag;
+  if (env.rndv_data.size() > pr.buf.size()) {
+    throw MpiError("receive buffer too small for rendezvous payload");
+  }
+  const std::size_t len = env.rndv_data.size();
+  net::FaultInjector* faults = world_->fabric().faults();
+  reliable::ReliabilityStats& st = arq_->stats_mut();
+
+  if (arq_->link_dead(env.src, rank())) {
+    // The pull link is already dead: unpark the sender (its buffer is
+    // free — nothing will ever read it) and fail the receive.
+    env.handshake->sender_complete = proc_->now();
+    env.handshake->completed = true;
+    proc_->notify_all(env.handshake->done);
+    const int src = env.src;
+    pr.matched.reset();
+    throw reliable::PeerUnreachable(src, rank(), 0);
+  }
+
+  // Receiver-driven ARQ over the RDMA pull: the CTS names the pull
+  // sequence; lost pulls are re-issued when the receiver's timer
+  // fires (wait_for — real virtual-time waiting, since this loop runs
+  // on the receiving rank), truncated pulls are NACKed to the
+  // sender's NIC, corrupted pulls are delivered damaged with the
+  // clean bytes stashed for end-to-end recovery.
+  const double handshake_start = std::max(proc_->now(), env.arrival);
+  const net::PathTimes cts = world_->fabric().reserve_path(
+      rank(), env.src, world_->config().ctrl_bytes, handshake_start);
+  double pull_start = cts.arrival;
+  // Move this rank's clock to the handshake so the retransmission
+  // timers below measure real waiting, not a stale local time.
+  sleep_until(handshake_start);
+
+  const auto budget = static_cast<std::uint32_t>(arq_->config().max_retries);
+  std::uint32_t attempts = 0;
+  net::PathTimes data{};
+  net::FaultDecision fault{};
+  bool delivered = false;
+  for (int attempt = 0; attempts <= budget; ++attempt) {
+    ++attempts;
+    ++st.data_frames;
+    if (attempt > 0) ++st.retransmits;
+    data = world_->fabric().reserve_path(env.src, rank(), len, pull_start);
+    fault = faults->next(env.src, rank(), len, /*allow_loss=*/true);
+    if (fault.kind == net::FaultKind::kDrop) {
+      // The pull vanished: wait out the retransmission timer on this
+      // rank, then re-issue the pull.
+      ++st.rto_expirations;
+      wait_timer(arq_->rto(env.src, rank(), env.seq, attempt));
+      pull_start = std::max(proc_->now(), pull_start);
+      continue;
+    }
+    if (fault.kind == net::FaultKind::kTruncate ||
+        (fault.kind == net::FaultKind::kCorrupt &&
+         env.tag >= (1 << 28))) {
+      // Link NACK back to the sender's NIC; it replays the pull.
+      // Corruption only qualifies on link-checksummed collective-
+      // internal frames — user payloads defer integrity upward.
+      ++st.link_nacks;
+      pull_start = world_->fabric()
+                       .reserve_path(rank(), env.src,
+                                     arq_->config().ctrl_bytes, data.arrival)
+                       .arrival;
+      continue;
+    }
+    delivered = true;
+    break;
+  }
+
+  if (!delivered) {
+    // Budget exhausted. Complete the handshake first so the sender
+    // unparks, then degrade: mark the link dead, tell the verifier,
+    // raise the structured error on this rank.
+    env.handshake->sender_complete = proc_->now();
+    env.handshake->completed = true;
+    proc_->notify_all(env.handshake->done);
+    arq_->mark_link_dead(env.src, rank());
+    if (vrf_ != nullptr) {
+      vrf_->on_peer_unreachable(rank(), env.src, attempts);
+    }
+    const int src = env.src;
+    pr.matched.reset();
+    throw reliable::PeerUnreachable(src, rank(), attempts);
+  }
+
+  double arrival = data.arrival;
+  if (fault.kind == net::FaultKind::kDuplicate) {
+    // The extra copy still crosses the wire before the window drops it.
+    (void)world_->fabric().reserve_path(env.src, rank(), len, data.arrival);
+    ++st.duplicates_suppressed;
+  } else if (fault.kind == net::FaultKind::kDelay) {
+    arrival += fault.delay_seconds;
+    ++st.delays_absorbed;
+  }
+
+  if (len > 0) {
+    std::memcpy(pr.buf.data(), env.rndv_data.data(), len);
+  }
+  if (fault.kind == net::FaultKind::kCorrupt) {
+    // Deliver damaged; keep the clean copy (still valid here — the
+    // sender is parked on the handshake) for end-to-end recovery.
+    pr.buf[fault.position] ^= fault.flip_mask;
+    ++st.damaged_deliveries;
+    reliable::RetransmitStash& stash = arq_->stash(rank());
+    stash.valid = true;
+    stash.src = env.src;
+    stash.tag = env.tag;
+    stash.seq = env.seq;
+    stash.transmissions = attempts;
+    stash.clean.assign(env.rndv_data.begin(), env.rndv_data.end());
+  }
+  ++st.deliveries;
+  if (attempts > 1) {
+    ++st.recoveries;
+    st.recovery_delay_total += arrival - cts.arrival;
+  }
+  status.bytes = len;
+  env.handshake->sender_complete = data.egress_done;
+  env.handshake->completed = true;
+  proc_->notify_all(env.handshake->done);
+  sleep_until(arrival);
+  proc_->advance(prof.recv_overhead);
+  pr.matched.reset();
+  return status;
+}
+
+bool Comm::recover_damaged_recv(MutBytes wire, int src, int tag) {
+  if (arq_ == nullptr) return false;
+  reliable::RetransmitStash& st = arq_->stash(rank());
+  if (!st.valid || st.src != src || st.tag != tag ||
+      st.clean.size() != wire.size()) {
+    return false;  // no fabric stash: genuine attack, not line damage
+  }
+  // Replay the NACK + retransmission dialogue in virtual time: the
+  // channel resolves the clean copy's arrival, this rank waits for it
+  // on a timer, and the retransmitted bytes replace the damaged ones.
+  const double t =
+      arq_->e2e_recover(src, rank(), wire.size(), proc_->now(),
+                        st.transmissions);
+  wait_timer(t - proc_->now());
+  if (!wire.empty()) {
+    std::memcpy(wire.data(), st.clean.data(), wire.size());
+  }
+  st.valid = false;
+  st.clean.clear();
+  return true;
 }
 
 Status Comm::recv(MutBytes buf, int src, int tag) {

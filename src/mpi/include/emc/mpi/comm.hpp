@@ -50,6 +50,17 @@ class Comm final : public Communicator {
                                                 : coll_seq_ + n;
   }
 
+  /// End-to-end NACK hook for upper layers that authenticate payloads
+  /// (reliability only). When the most recent completed receive on
+  /// this rank was damaged in flight by the fabric, simulates the
+  /// NACK + retransmission dialogue in virtual time (wait_for-based
+  /// backoff timers), rewrites @p wire with the clean retransmitted
+  /// copy, and returns true. Returns false when the damage did not
+  /// come from the fabric (a real attacker — the caller should keep
+  /// treating it as an integrity failure) or reliability is off.
+  /// Throws reliable::PeerUnreachable when the retry budget runs out.
+  bool recover_damaged_recv(MutBytes wire, int src, int tag);
+
   void barrier() override;
   void bcast(MutBytes data, int root) override;
   void allgather(BytesView sendpart, MutBytes recvall) override;
@@ -68,8 +79,23 @@ class Comm final : public Communicator {
 
   /// Runs an eager envelope through the fabric's fault injector (if
   /// any) before posting: may corrupt or truncate the payload, post a
-  /// duplicate, or drop the envelope entirely.
+  /// duplicate, or drop the envelope entirely. With the reliability
+  /// layer enabled the ARQ dialogue is resolved here instead
+  /// (deliver_reliable) and only drops caused by a dead link survive.
   void deliver_eager(int dst, std::unique_ptr<detail::Envelope> env);
+
+  /// ARQ delivery of an eager envelope (reliability enabled): resolves
+  /// retransmissions/backoff via the channel, suppresses duplicates,
+  /// stashes clean copies of damaged payloads for end-to-end NACK
+  /// recovery, and converts retry-budget exhaustion into a tombstone
+  /// plus a thrown reliable::PeerUnreachable.
+  void deliver_reliable(int dst, std::unique_ptr<detail::Envelope> env);
+
+  /// Receiver-driven ARQ loop for the rendezvous pull: retries
+  /// dropped or truncated pulls with wait_for-based backoff timers,
+  /// delivers corrupted pulls damaged (stashing the clean bytes), and
+  /// throws reliable::PeerUnreachable on budget exhaustion.
+  Status complete_rndv_reliable(detail::PendingRecv& pr);
 
   /// Sends with internal tags allowed (collectives).
   void send_internal(BytesView data, int dst, int tag);
@@ -90,9 +116,14 @@ class Comm final : public Communicator {
   /// next_coll_tag() call will number (no-op without verification).
   void note_collective(verify::CollKind kind, int root, std::size_t bytes);
 
+  /// Parks this rank for @p dt virtual seconds on a private waitable —
+  /// a pure virtual-time timer (sim wait_for), used by the ARQ backoff.
+  void wait_timer(double dt);
+
   World* world_;
   sim::Process* proc_;
   verify::Verifier* vrf_;  ///< null unless WorldConfig::verify.enabled
+  reliable::Channel* arq_; ///< null unless WorldConfig::reliability.enabled
   std::uint32_t coll_seq_ = 0;
 };
 

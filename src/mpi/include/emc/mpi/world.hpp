@@ -12,6 +12,7 @@
 #include "emc/common/bytes.hpp"
 #include "emc/mpi/types.hpp"
 #include "emc/netsim/fabric.hpp"
+#include "emc/reliable/reliable.hpp"
 #include "emc/sim/engine.hpp"
 #include "emc/verify/verifier.hpp"
 
@@ -40,6 +41,16 @@ struct Envelope {
   Bytes payload;             ///< eager only
   BytesView rndv_data{};     ///< rndv: view into the sender's buffer
   RndvHandshake* handshake = nullptr;  ///< rndv only
+  // Reliability-layer bookkeeping (only set when the ARQ channel is
+  // active). With reliability on, `payload` stays clean in the mailbox
+  // (the sender's retransmit buffer); `damage` is applied at delivery
+  // so the link layer can redeliver the clean copy on an end-to-end
+  // NACK. A poisoned envelope is a dead-link tombstone: receiving it
+  // raises reliable::PeerUnreachable instead of blocking forever.
+  std::uint64_t arq_seq = 0;
+  std::uint32_t arq_transmissions = 0;  ///< retry budget spent in flight
+  net::FaultDecision damage{};
+  bool poisoned = false;
 };
 
 /// A posted (not yet matched) receive.
@@ -69,8 +80,10 @@ struct WorldConfig {
 
   /// Delivery timeout for blocking/waited receives, in virtual
   /// seconds; a receive with no matching message after this long
-  /// throws MpiError instead of blocking forever. 0 = wait forever.
-  /// Required for progress when the fault plan drops messages.
+  /// throws MpiError instead of blocking forever. 0.0 means wait
+  /// forever; negative values are rejected at World construction.
+  /// Required for progress when the fault plan drops messages and the
+  /// reliability layer is off.
   double recv_timeout = 0.0;
 
   /// Simulated-CPU speed relative to the build host: every charged
@@ -86,6 +99,11 @@ struct WorldConfig {
   /// every hook. Verification never advances virtual time, so an
   /// enabled run replays the disabled one exactly.
   verify::Config verify;
+
+  /// Opt-in ARQ reliability layer between the communicators and the
+  /// fabric (see docs/RESILIENCE.md). Disabled by default: no channel
+  /// is constructed and every wire path replays bit-exact.
+  reliable::Config reliability;
 };
 
 /// Shared state of a running world. Created by run_world; exposed so
@@ -111,6 +129,12 @@ class World {
     return verifier_.get();
   }
 
+  /// The ARQ reliability channel, or null when config.reliability is
+  /// disabled. Valid for the lifetime of the World.
+  [[nodiscard]] reliable::Channel* reliability() noexcept {
+    return channel_.get();
+  }
+
   /// Runs @p body once per rank inside the simulation; returns the
   /// virtual time at which the last rank finished. May be called
   /// repeatedly; virtual time accumulates. With verification enabled,
@@ -126,6 +150,7 @@ class World {
   std::vector<detail::Mailbox> mailboxes_;
   std::uint64_t seq_ = 0;
   std::unique_ptr<verify::Verifier> verifier_;  ///< after engine_ (attaches)
+  std::unique_ptr<reliable::Channel> channel_;  ///< after fabric_ (attaches)
 };
 
 /// One-shot convenience: build a world and run @p body on every rank.

@@ -9,9 +9,19 @@ World::World(const WorldConfig& config)
       fabric_(config.cluster),
       engine_(config.cluster.total_ranks()),
       mailboxes_(static_cast<std::size_t>(config.cluster.total_ranks())) {
+  if (config_.recv_timeout < 0.0) {
+    throw std::invalid_argument(
+        "WorldConfig: recv_timeout must be non-negative (0.0 = wait "
+        "forever), got " + std::to_string(config_.recv_timeout));
+  }
+  config_.reliability.validate();
   engine_.set_charge_scale(config.cpu_scale);
   if (config_.verify.enabled) {
     verifier_ = std::make_unique<verify::Verifier>(config_.verify, engine_);
+  }
+  if (config_.reliability.enabled) {
+    channel_ = std::make_unique<reliable::Channel>(config_.reliability,
+                                                   fabric_);
   }
 }
 

@@ -40,9 +40,14 @@ void FaultPlan::validate() const {
   check_probability(p_truncate, "p_truncate");
   check_probability(p_duplicate, "p_duplicate");
   check_probability(p_drop, "p_drop");
-  if (p_corrupt + p_truncate + p_duplicate + p_drop > 1.0) {
+  check_probability(p_delay, "p_delay");
+  if (p_corrupt + p_truncate + p_duplicate + p_drop + p_delay > 1.0) {
     throw std::invalid_argument(
         "FaultPlan: fault probabilities must sum to at most 1");
+  }
+  if (p_delay > 0.0 && delay_seconds <= 0.0) {
+    throw std::invalid_argument(
+        "FaultPlan: delay_seconds must be positive when p_delay is set");
   }
 }
 
@@ -57,11 +62,13 @@ FaultDecision FaultInjector::next(int src, int dst, std::size_t bytes,
 
   FaultKind kind = FaultKind::kNone;
   std::size_t trigger_length = FaultTrigger::kAutoLength;
+  double trigger_delay = FaultTrigger::kAutoDelay;
   for (const FaultTrigger& t : plan_.triggers) {
     if ((t.src < 0 || t.src == src) && (t.dst < 0 || t.dst == dst) &&
         t.nth == n) {
       kind = t.kind;
       trigger_length = t.new_length;
+      trigger_delay = t.delay_seconds;
       break;
     }
   }
@@ -80,6 +87,9 @@ FaultDecision FaultInjector::next(int src, int dst, std::size_t bytes,
                plan_.p_drop + plan_.p_truncate + plan_.p_corrupt +
                    plan_.p_duplicate) {
       kind = FaultKind::kDuplicate;
+    } else if (u < plan_.p_drop + plan_.p_truncate + plan_.p_corrupt +
+                       plan_.p_duplicate + plan_.p_delay) {
+      kind = FaultKind::kDelay;
     }
   }
 
@@ -113,6 +123,15 @@ FaultDecision FaultInjector::next(int src, int dst, std::size_t bytes,
       break;
     case FaultKind::kDrop:
       ++stats_.dropped;
+      break;
+    case FaultKind::kDelay:
+      // Seeded spike, uniform in (0, delay_seconds] so a delay never
+      // degenerates to an on-time delivery.
+      d.delay_seconds = trigger_delay >= 0.0
+                            ? trigger_delay
+                            : plan_.delay_seconds *
+                                  (1.0 - unit_double(aux) * 0.999);
+      ++stats_.delayed;
       break;
     case FaultKind::kNone:
       break;

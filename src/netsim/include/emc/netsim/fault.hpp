@@ -28,6 +28,7 @@ enum class FaultKind : std::uint8_t {
   kTruncate,   ///< deliver only a prefix of the payload
   kDuplicate,  ///< deliver the message twice
   kDrop,       ///< never deliver
+  kDelay,      ///< deliver intact, but late (seeded latency spike)
 };
 
 /// Scripted fault: fire @p kind on the @p nth message (0-based count
@@ -43,7 +44,12 @@ struct FaultTrigger {
   /// seeded-random strictly-shorter length.
   std::size_t new_length = kAutoLength;
 
+  /// For kDelay: extra latency in virtual seconds, or kAutoDelay to
+  /// pick a seeded-random spike within the plan's delay_seconds.
+  double delay_seconds = kAutoDelay;
+
   static constexpr std::size_t kAutoLength = static_cast<std::size_t>(-1);
+  static constexpr double kAutoDelay = -1.0;
 };
 
 /// Seeded description of how unreliable every link is. All
@@ -54,11 +60,15 @@ struct FaultPlan {
   double p_truncate = 0.0;
   double p_duplicate = 0.0;
   double p_drop = 0.0;
+  double p_delay = 0.0;
+  /// Upper bound of the seeded latency spike a kDelay draw adds, in
+  /// virtual seconds (each spike is uniform in (0, delay_seconds]).
+  double delay_seconds = 1e-3;
   std::vector<FaultTrigger> triggers;
 
   [[nodiscard]] bool enabled() const noexcept {
     return p_corrupt > 0.0 || p_truncate > 0.0 || p_duplicate > 0.0 ||
-           p_drop > 0.0 || !triggers.empty();
+           p_drop > 0.0 || p_delay > 0.0 || !triggers.empty();
   }
 
   /// Throws std::invalid_argument on negative or over-unity
@@ -73,6 +83,7 @@ struct FaultDecision {
   std::size_t position = 0;      ///< kCorrupt: byte index to damage
   std::uint8_t flip_mask = 0;    ///< kCorrupt: single-bit XOR mask
   std::size_t new_length = 0;    ///< kTruncate: delivered prefix length
+  double delay_seconds = 0.0;    ///< kDelay: extra latency before arrival
 };
 
 /// Cumulative injection accounting (decisions actually handed out).
@@ -82,9 +93,10 @@ struct FaultStats {
   std::uint64_t truncated = 0;
   std::uint64_t duplicated = 0;
   std::uint64_t dropped = 0;
+  std::uint64_t delayed = 0;
 
   [[nodiscard]] std::uint64_t total_injected() const noexcept {
-    return corrupted + truncated + duplicated + dropped;
+    return corrupted + truncated + duplicated + dropped + delayed;
   }
   friend bool operator==(const FaultStats&, const FaultStats&) = default;
 };

@@ -1,0 +1,257 @@
+#include "emc/reliable/reliable.hpp"
+
+#include <algorithm>
+
+namespace emc::reliable {
+
+namespace {
+
+/// SplitMix64 finalizer — same avalanche the fault injector uses, so
+/// the jitter stream is a pure function of (seed, link, seq, attempt).
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+constexpr double unit_double(std::uint64_t h) noexcept {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+constexpr std::uint64_t link_key(int src, int dst) noexcept {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst));
+}
+
+void check_positive(double v, const char* name) {
+  if (v <= 0.0) {
+    throw std::invalid_argument(std::string("reliable::Config: ") + name +
+                                " must be positive");
+  }
+}
+
+}  // namespace
+
+void Config::validate() const {
+  if (!enabled) return;
+  if (max_retries < 1) {
+    throw std::invalid_argument(
+        "reliable::Config: max_retries must be at least 1");
+  }
+  check_positive(rto_initial, "rto_initial");
+  check_positive(rto_max, "rto_max");
+  if (rto_max < rto_initial) {
+    throw std::invalid_argument(
+        "reliable::Config: rto_max must be >= rto_initial");
+  }
+  if (backoff < 1.0) {
+    throw std::invalid_argument("reliable::Config: backoff must be >= 1");
+  }
+  if (jitter < 0.0 || jitter >= 1.0) {
+    throw std::invalid_argument(
+        "reliable::Config: jitter must be in [0, 1)");
+  }
+  if (ctrl_bytes == 0) {
+    throw std::invalid_argument(
+        "reliable::Config: ctrl_bytes must be positive");
+  }
+}
+
+Channel::Channel(const Config& config, net::Fabric& fabric)
+    : config_(config),
+      fabric_(&fabric),
+      stash_(static_cast<std::size_t>(fabric.config().total_ranks())) {
+  config_.validate();
+}
+
+double Channel::rto(int src, int dst, std::uint64_t seq, int attempt) const {
+  double base = config_.rto_initial;
+  for (int k = 0; k < attempt; ++k) {
+    base = std::min(base * config_.backoff, config_.rto_max);
+  }
+  base = std::min(base, config_.rto_max);
+  if (config_.jitter == 0.0) return base;
+  const std::uint64_t h =
+      mix64(config_.seed ^ mix64(link_key(src, dst) ^ mix64(seq) ^
+                                 static_cast<std::uint64_t>(attempt)));
+  const double factor = 1.0 + config_.jitter * (2.0 * unit_double(h) - 1.0);
+  return base * factor;
+}
+
+Delivery Channel::deliver(int src, int dst, std::size_t bytes,
+                          double send_time, double first_arrival,
+                          bool frame_checksummed) {
+  Delivery out;
+  out.seq = next_seq(src, dst);
+
+  if (link_dead(src, dst)) {
+    out.result = Delivery::Result::kDeadLink;
+    return out;
+  }
+
+  net::FaultInjector* faults = fabric_->faults();
+  double t_send = send_time;
+  double arrival = first_arrival;
+
+  for (int attempt = 0; attempt <= config_.max_retries; ++attempt) {
+    ++out.transmissions;
+    ++stats_.data_frames;
+    if (attempt > 0) {
+      ++stats_.retransmits;
+      arrival = fabric_->reserve_path(src, dst, bytes, t_send).arrival;
+    }
+    const net::FaultDecision d =
+        faults != nullptr ? faults->next(src, dst, bytes)
+                          : net::FaultDecision{};
+
+    switch (d.kind) {
+      case net::FaultKind::kNone:
+        out.arrival = arrival;
+        break;
+      case net::FaultKind::kDelay: {
+        // The copy is intact but late. If the spike outlives the RTO
+        // the sender retransmits spuriously; the earlier arrival wins
+        // and the other copy is absorbed by the sequence window.
+        const double delayed = arrival + d.delay_seconds;
+        const double timer = rto(src, dst, out.seq, attempt);
+        if (d.delay_seconds > timer) {
+          ++out.transmissions;
+          ++stats_.data_frames;
+          ++stats_.spurious_retransmits;
+          ++stats_.duplicates_suppressed;
+          const double copy_arrival =
+              fabric_->reserve_path(src, dst, bytes, t_send + timer).arrival;
+          out.arrival = std::min(delayed, copy_arrival);
+        } else {
+          out.arrival = delayed;
+        }
+        ++stats_.delays_absorbed;
+        break;
+      }
+      case net::FaultKind::kDuplicate: {
+        // Both copies cross the wire; the second is suppressed by the
+        // receiver's sequence window (it still occupies the NIC).
+        (void)fabric_->reserve_path(src, dst, bytes, arrival);
+        ++stats_.duplicates_suppressed;
+        out.arrival = arrival;
+        break;
+      }
+      case net::FaultKind::kDrop: {
+        // Nothing arrives; the sender's RTO fires and the frame is
+        // retransmitted after the backoff interval.
+        ++stats_.rto_expirations;
+        t_send += rto(src, dst, out.seq, attempt);
+        continue;
+      }
+      case net::FaultKind::kTruncate: {
+        // The header length field exposes the truncation at the
+        // receiving link layer, which NACKs; the sender retransmits
+        // as soon as the NACK lands.
+        ++stats_.link_nacks;
+        t_send = fabric_->reserve_path(dst, src, config_.ctrl_bytes, arrival)
+                     .arrival;
+        continue;
+      }
+      case net::FaultKind::kCorrupt: {
+        if (frame_checksummed) {
+          // Collective-internal frames carry a link checksum: the
+          // corruption is caught on arrival and NACKed like a
+          // truncation.
+          ++stats_.link_nacks;
+          t_send =
+              fabric_->reserve_path(dst, src, config_.ctrl_bytes, arrival)
+                  .arrival;
+          continue;
+        }
+        // Point-to-point payloads defer integrity to the upper layer:
+        // the damaged copy is delivered and, if the upper layer
+        // authenticates, recovered through e2e_recover.
+        ++stats_.damaged_deliveries;
+        out.result = Delivery::Result::kDeliveredDamaged;
+        out.damage = d;
+        out.arrival = arrival;
+        break;
+      }
+    }
+
+    // Delivered (clean or damaged).
+    ++stats_.deliveries;
+    if (attempt > 0) {
+      ++stats_.recoveries;
+      stats_.recovery_delay_total += out.arrival - first_arrival;
+    }
+    return out;
+  }
+
+  mark_link_dead(src, dst);
+  out.result = Delivery::Result::kDeadLink;
+  return out;
+}
+
+double Channel::e2e_recover(int src, int dst, std::size_t bytes, double now,
+                            std::uint32_t already_spent) {
+  if (link_dead(src, dst)) throw PeerUnreachable(src, dst, already_spent);
+
+  net::FaultInjector* faults = fabric_->faults();
+  std::uint32_t attempts = already_spent;
+  double t = now;
+
+  // Outer loop: one end-to-end NACK round per upper-layer detection.
+  // Inner loop: the sender's retransmissions until a copy arrives.
+  for (;;) {
+    ++stats_.e2e_nacks;
+    double t_send =
+        fabric_->reserve_path(dst, src, config_.ctrl_bytes, t).arrival;
+    for (int attempt = 0;; ++attempt) {
+      if (attempts >= static_cast<std::uint32_t>(config_.max_retries) + 1) {
+        mark_link_dead(src, dst);
+        throw PeerUnreachable(src, dst, attempts);
+      }
+      ++attempts;
+      ++stats_.data_frames;
+      ++stats_.retransmits;
+      const net::PathTimes path =
+          fabric_->reserve_path(src, dst, bytes, t_send);
+      const net::FaultDecision d =
+          faults != nullptr ? faults->next(src, dst, bytes)
+                            : net::FaultDecision{};
+      switch (d.kind) {
+        case net::FaultKind::kDrop:
+          ++stats_.rto_expirations;
+          t_send += rto(src, dst, /*seq=*/attempts, attempt);
+          continue;
+        case net::FaultKind::kTruncate:
+          ++stats_.link_nacks;
+          t_send = fabric_
+                       ->reserve_path(dst, src, config_.ctrl_bytes,
+                                      path.arrival)
+                       .arrival;
+          continue;
+        case net::FaultKind::kCorrupt:
+          // Damaged again: the upper layer will fail authentication at
+          // arrival and issue the next NACK round.
+          t = path.arrival;
+          break;
+        case net::FaultKind::kDuplicate:
+          (void)fabric_->reserve_path(src, dst, bytes, path.arrival);
+          ++stats_.duplicates_suppressed;
+          ++stats_.recoveries;
+          stats_.recovery_delay_total += path.arrival - now;
+          return path.arrival;
+        case net::FaultKind::kDelay:
+          ++stats_.delays_absorbed;
+          ++stats_.recoveries;
+          stats_.recovery_delay_total += path.arrival + d.delay_seconds - now;
+          return path.arrival + d.delay_seconds;
+        case net::FaultKind::kNone:
+          ++stats_.recoveries;
+          stats_.recovery_delay_total += path.arrival - now;
+          return path.arrival;
+      }
+      break;  // kCorrupt: back to the outer NACK loop
+    }
+  }
+}
+
+}  // namespace emc::reliable

@@ -1,0 +1,215 @@
+// Reliable delivery over the faulty fabric: a sequence-numbered ARQ
+// channel layered between the MPI communicators and the network.
+//
+// The fault injector (src/netsim/fault.hpp) decides the fate of every
+// frame as a pure function of (seed, link, per-link frame index), so
+// the whole retransmission dialogue — RTO expirations, link NACKs,
+// exponential backoff with seeded jitter, duplicate suppression — can
+// be resolved deterministically at the moment a frame is handed to the
+// wire. The channel plays that dialogue out in virtual time:
+//
+//   * every frame carries a per-link sequence number and a header
+//     length field; truncated frames are NACKed by the receiving link
+//     layer and retransmitted,
+//   * dropped frames are retransmitted when the sender's RTO fires
+//     (exponential backoff, seeded jitter, capped at rto_max),
+//   * fabric-duplicated frames are suppressed by the receiver's
+//     sequence window (distinct from — and below — the secure layer's
+//     anti-replay window),
+//   * delayed frames that outlive the RTO provoke a spurious
+//     retransmission whose extra copy is suppressed like a duplicate,
+//   * corrupted frames on user point-to-point traffic are delivered
+//     (the link header CRC covers only the header); integrity is the
+//     upper layer's job, and SecureComm turns an authentication
+//     failure into an end-to-end NACK + retransmit through
+//     Channel::e2e_recover instead of a thrown IntegrityError.
+//     Collective-internal frames are checksummed by the link layer and
+//     recovered transparently (see docs/RESILIENCE.md).
+//
+// A bounded retry budget degrades gracefully: when it is exhausted the
+// link is marked dead, the failing operation raises a structured
+// PeerUnreachable (never a hang, never an uncaught IntegrityError),
+// and surviving ranks keep running.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "emc/common/bytes.hpp"
+#include "emc/netsim/fabric.hpp"
+
+namespace emc::reliable {
+
+/// Reliability knobs; embedded in mpi::WorldConfig as `reliability`.
+/// Every default is tuned for the simulated 10 GbE / IB profiles:
+/// the full backoff ladder resolves well inside a one-second
+/// recv_timeout.
+struct Config {
+  /// Master switch. Off = no channel is constructed; every send/recv
+  /// path replays the unreliable wire bit-exact.
+  bool enabled = false;
+
+  /// Retransmissions allowed per delivery (beyond the first copy).
+  /// Exhaustion marks the link dead and raises PeerUnreachable.
+  int max_retries = 8;
+
+  /// Retransmission timer: attempt k waits rto_initial * backoff^k
+  /// (capped at rto_max), multiplied by a seeded jitter factor in
+  /// [1 - jitter, 1 + jitter].
+  double rto_initial = 200e-6;
+  double rto_max = 20e-3;
+  double backoff = 2.0;
+  double jitter = 0.2;
+
+  /// Wire size of ACK/NACK control frames.
+  std::size_t ctrl_bytes = 32;
+
+  /// Seed for the jitter stream (independent of the FaultPlan seed).
+  std::uint64_t seed = 1;
+
+  /// Throws std::invalid_argument on out-of-range values.
+  void validate() const;
+};
+
+/// Cumulative ARQ accounting across all links of one world.
+struct ReliabilityStats {
+  std::uint64_t data_frames = 0;        ///< frames put on the wire (incl. rexmit)
+  std::uint64_t deliveries = 0;         ///< payloads handed up intact-or-damaged
+  std::uint64_t retransmits = 0;        ///< RTO- or NACK-driven resends
+  std::uint64_t rto_expirations = 0;    ///< sender timer fired (frame lost)
+  std::uint64_t link_nacks = 0;         ///< receiver link layer rejected a frame
+  std::uint64_t e2e_nacks = 0;          ///< upper-layer integrity NACKs
+  std::uint64_t duplicates_suppressed = 0;  ///< fabric copies absorbed by seq window
+  std::uint64_t spurious_retransmits = 0;   ///< RTO fired on a delayed (not lost) frame
+  std::uint64_t delays_absorbed = 0;    ///< latency spikes survived without loss
+  std::uint64_t damaged_deliveries = 0; ///< corrupt payloads handed to the upper layer
+  std::uint64_t recoveries = 0;         ///< deliveries that needed >1 attempt
+  double recovery_delay_total = 0.0;    ///< extra virtual seconds those waited
+  std::uint64_t links_dead = 0;         ///< retry budgets exhausted
+
+  friend bool operator==(const ReliabilityStats&,
+                         const ReliabilityStats&) = default;
+};
+
+/// Structured graceful-degradation error: the retry budget for the
+/// (src -> dst) link is exhausted (or the link was already declared
+/// dead). Raised on the sender for failed transmissions and on the
+/// receiver for tombstoned or unrecoverable receives.
+struct PeerUnreachable : std::runtime_error {
+  PeerUnreachable(int src_rank, int dst_rank, std::uint64_t attempts_made)
+      : std::runtime_error(
+            "peer unreachable: link " + std::to_string(src_rank) + " -> " +
+            std::to_string(dst_rank) + " declared dead after " +
+            std::to_string(attempts_made) + " transmission attempts"),
+        src(src_rank),
+        dst(dst_rank),
+        attempts(attempts_made) {}
+  int src;
+  int dst;
+  std::uint64_t attempts;
+};
+
+/// Outcome of one ARQ delivery resolved at send time.
+struct Delivery {
+  enum class Result {
+    kDelivered,        ///< clean payload arrives at `arrival`
+    kDeliveredDamaged, ///< payload arrives with `damage` applied
+    kDeadLink,         ///< retry budget exhausted; nothing arrives
+  };
+  Result result = Result::kDelivered;
+  double arrival = 0.0;           ///< virtual time the accepted copy lands
+  net::FaultDecision damage;      ///< valid when kDeliveredDamaged
+  std::uint64_t seq = 0;          ///< ARQ sequence number of the payload
+  std::uint32_t transmissions = 0;///< frames this delivery put on the wire
+};
+
+/// Clean-payload retransmit buffer entry for one receiving rank: the
+/// sender-side copy of the most recent damaged delivery, used by
+/// end-to-end NACK recovery to materialize the retransmitted frame.
+struct RetransmitStash {
+  bool valid = false;
+  int src = -1;
+  int tag = -1;
+  std::uint64_t seq = 0;
+  std::uint32_t transmissions = 0;  ///< budget already spent on this payload
+  Bytes clean;
+};
+
+class Channel {
+ public:
+  /// Validates @p config and attaches to @p fabric (whose fault
+  /// injector drives every per-attempt decision). The fabric must
+  /// outlive the channel.
+  Channel(const Config& config, net::Fabric& fabric);
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+  [[nodiscard]] const ReliabilityStats& stats() const noexcept {
+    return stats_;
+  }
+
+  /// Mutable accounting for the receiver-driven parts of the ARQ
+  /// (the rendezvous pull retry loop runs on the receiving rank, in
+  /// mpi::Comm, outside deliver()).
+  [[nodiscard]] ReliabilityStats& stats_mut() noexcept { return stats_; }
+
+  /// Resolves the full ARQ dialogue for one payload frame from @p src
+  /// to @p dst. @p send_time is when the first copy left the sender,
+  /// @p first_arrival its already-reserved arrival. When
+  /// @p frame_checksummed is true (collective-internal traffic) the
+  /// link layer detects corruption and recovers it; otherwise a
+  /// corrupted copy is delivered damaged and recovery is left to the
+  /// upper layer (e2e_recover).
+  Delivery deliver(int src, int dst, std::size_t bytes, double send_time,
+                   double first_arrival, bool frame_checksummed);
+
+  /// End-to-end recovery: the upper layer on rank @p dst detected an
+  /// integrity failure at @p now for a frame from @p src. Simulates
+  /// the NACK control frame plus the sender's retransmissions until a
+  /// clean copy arrives; returns its arrival time. Throws
+  /// PeerUnreachable (and marks the link dead) when the remaining
+  /// retry budget is exhausted.
+  double e2e_recover(int src, int dst, std::size_t bytes, double now,
+                     std::uint32_t already_spent);
+
+  /// True once the (src -> dst) retry budget has been exhausted.
+  [[nodiscard]] bool link_dead(int src, int dst) const {
+    return dead_links_.contains({src, dst});
+  }
+  void mark_link_dead(int src, int dst) {
+    if (dead_links_.insert({src, dst}).second) ++stats_.links_dead;
+  }
+
+  /// Retransmit-buffer slot for deliveries damaged in flight, one per
+  /// receiving rank (the upper layer NACKs immediately after the
+  /// damaged receive, so one slot suffices).
+  [[nodiscard]] RetransmitStash& stash(int dst_rank) {
+    return stash_.at(static_cast<std::size_t>(dst_rank));
+  }
+
+  /// Retransmission timer for attempt @p attempt on (src, dst, seq):
+  /// exponential backoff with seeded jitter. Exposed for tests.
+  [[nodiscard]] double rto(int src, int dst, std::uint64_t seq,
+                           int attempt) const;
+
+ private:
+  [[nodiscard]] std::uint64_t next_seq(int src, int dst) {
+    return seq_[{src, dst}]++;
+  }
+
+  Config config_;
+  net::Fabric* fabric_;
+  ReliabilityStats stats_;
+  /// Per-link ARQ sequence counters (send side).
+  std::map<std::pair<int, int>, std::uint64_t> seq_;
+  /// Links whose retry budget has been exhausted.
+  std::set<std::pair<int, int>> dead_links_;
+  std::vector<RetransmitStash> stash_;
+};
+
+}  // namespace emc::reliable

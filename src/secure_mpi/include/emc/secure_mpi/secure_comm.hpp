@@ -17,8 +17,10 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <stdexcept>
 #include <string>
+#include <tuple>
 #include <utility>
 
 #include "emc/crypto/provider.hpp"
@@ -82,7 +84,21 @@ struct CryptoCounters {
   // Fault detections (each increments exactly once per IntegrityError).
   std::uint64_t auth_failures = 0;    ///< tag mismatch: tampered/spliced
   std::uint64_t length_failures = 0;  ///< wire shorter than nonce+tag framing
-  std::uint64_t replays_rejected = 0; ///< authenticated but already delivered
+  std::uint64_t replays_rejected = 0; ///< repeated re-injection of a delivered seq
+
+  // Benign-anomaly accounting, kept strictly apart from the attack
+  // counters above: a fabric-duplicated frame authenticates as an
+  // already-delivered sequence number exactly once and is absorbed
+  // silently (the receive loops for the next message). Only a second
+  // copy of the same sequence number is classified as a replay attack
+  // and rejected.
+  std::uint64_t duplicates_suppressed = 0;  ///< first extra copy of a seq
+
+  // End-to-end recovery accounting (reliability layer enabled): an
+  // authentication failure whose damage the ARQ stash can explain is
+  // NACKed and retransmitted instead of thrown.
+  std::uint64_t nacks_sent = 0;             ///< integrity NACKs issued
+  std::uint64_t retransmits_recovered = 0;  ///< opens salvaged by retransmit
 
   [[nodiscard]] std::uint64_t faults_detected() const noexcept {
     return auth_failures + length_failures + replays_rejected;
@@ -154,9 +170,15 @@ class SecureComm final : public mpi::Communicator {
 
   /// Shared completion of a point-to-point receive: length check,
   /// open (with the sliding replay window when configured), status
-  /// rewrite to plaintext size.
-  mpi::Status open_p2p(BytesView wire_buf, const mpi::Status& wire_status,
-                       MutBytes user);
+  /// rewrite to plaintext size. Returns std::nullopt when the message
+  /// was a benign fabric duplicate absorbed by the window — the caller
+  /// must loop and receive the next message. When the reliability
+  /// layer is on, an authentication failure that the ARQ stash can
+  /// explain is NACKed and retransmitted in place (@p wire_buf is
+  /// rewritten with the clean copy) instead of thrown.
+  std::optional<mpi::Status> open_p2p(MutBytes wire_buf,
+                                      const mpi::Status& wire_status,
+                                      MutBytes user);
 
   /// Context AAD helpers (replay-protection extension). The 28-byte
   /// AAD layout is src(4) || dst(4) || tag(4) || kind(8) || seq(8).
@@ -179,6 +201,9 @@ class SecureComm final : public mpi::Communicator {
   // Replay-protection channel counters (only used with bind_context).
   std::map<std::pair<int, int>, std::uint64_t> send_seq_;
   std::map<std::pair<int, int>, std::uint64_t> recv_seq_;
+  /// Extra copies seen per already-delivered (src, tag, seq): copy 1
+  /// is a benign fabric duplicate, copy 2+ is a replay attack.
+  std::map<std::tuple<int, int, std::uint64_t>, std::uint32_t> extra_copies_;
   std::uint64_t coll_seq_ = 0;
 };
 

@@ -23,9 +23,13 @@ struct SecureSendState final : mpi::detail::RequestState {
 
 /// Request state for a non-blocking encrypted receive: the ciphertext
 /// lands in `wire`; decryption into `user` happens inside wait().
+/// `src`/`tag` are kept so wait() can re-post the inner receive after
+/// absorbing a benign fabric duplicate.
 struct SecureRecvState final : mpi::detail::RequestState {
   Bytes wire;
   MutBytes user;
+  int src = mpi::kAnySource;
+  int tag = mpi::kAnyTag;
   mpi::Request inner;
 };
 
@@ -144,53 +148,80 @@ std::size_t SecureComm::checked_pt_len(std::size_t wire_bytes,
   return wire_bytes - kWireOverhead;
 }
 
-mpi::Status SecureComm::open_p2p(BytesView wire_buf,
-                                 const mpi::Status& wire_status,
-                                 MutBytes user) {
+std::optional<mpi::Status> SecureComm::open_p2p(
+    MutBytes wire_buf, const mpi::Status& wire_status, MutBytes user) {
   const std::size_t pt_len = checked_pt_len(wire_status.bytes, user.size());
-  const BytesView wire = wire_buf.first(wire_status.bytes);
+  const MutBytes wire = wire_buf.first(wire_status.bytes);
   const MutBytes out = user.first(pt_len);
   const mpi::Status status{wire_status.source, wire_status.tag, pt_len};
-  if (!config_.bind_context) {
-    open_into(wire, out);
-    return status;
-  }
-
-  // The channel counter advances only when a message authenticates,
-  // so damaged traffic cannot desynchronize honest traffic behind it.
-  // With a replay window, sequence numbers slightly ahead (dropped
-  // predecessors) still authenticate, and numbers behind are trial-
-  // checked to classify duplicates as replays.
   const int src = wire_status.source;
   const int tag = wire_status.tag;
-  std::uint64_t& expected = recv_seq_[{src, tag}];
-  const std::uint64_t ahead =
-      config_.replay_window > 0 ? config_.replay_window : 1;
-  for (std::uint64_t k = 0; k < ahead; ++k) {
-    if (try_open_into(wire, out, p2p_aad(src, rank(), tag, expected + k))) {
-      expected += k + 1;
-      ++counters_.messages_opened;
-      counters_.bytes_opened += out.size();
-      return status;
+
+  // Up to two authentication rounds: if the first fails and the ARQ
+  // stash can prove the damage happened on the wire, the clean copy is
+  // NACKed back in (recover_damaged_recv rewrites `wire`) and
+  // authentication runs once more. A second failure — or any failure
+  // the stash cannot explain — is a genuine integrity error.
+  for (int round = 0;; ++round) {
+    if (!config_.bind_context) {
+      if (try_open_into(wire, out, {})) {
+        ++counters_.messages_opened;
+        counters_.bytes_opened += out.size();
+        return status;
+      }
+    } else {
+      // The channel counter advances only when a message
+      // authenticates, so damaged traffic cannot desynchronize honest
+      // traffic behind it. With a replay window, sequence numbers
+      // slightly ahead (dropped predecessors) still authenticate, and
+      // numbers behind are trial-checked to separate benign fabric
+      // duplicates from replay attacks.
+      std::uint64_t& expected = recv_seq_[{src, tag}];
+      const std::uint64_t ahead =
+          config_.replay_window > 0 ? config_.replay_window : 1;
+      for (std::uint64_t k = 0; k < ahead; ++k) {
+        if (try_open_into(wire, out,
+                          p2p_aad(src, rank(), tag, expected + k))) {
+          expected += k + 1;
+          ++counters_.messages_opened;
+          counters_.bytes_opened += out.size();
+          return status;
+        }
+      }
+      for (std::uint64_t back = 1;
+           back <= config_.replay_window && back <= expected; ++back) {
+        if (try_open_into(wire, out,
+                          p2p_aad(src, rank(), tag, expected - back))) {
+          secure_zero(out);  // never hand a repeated plaintext to the caller
+          const std::uint64_t seq = expected - back;
+          const std::uint32_t copies = ++extra_copies_[{src, tag, seq}];
+          if (copies == 1) {
+            // First extra copy: the fabric duplicated the frame. Absorb
+            // it silently; the caller loops for the next real message.
+            ++counters_.duplicates_suppressed;
+            return std::nullopt;
+          }
+          // The same sequence number injected yet again: an attacker
+          // replaying captured traffic, not a duplicating wire.
+          ++counters_.replays_rejected;
+          throw IntegrityError(
+              "replayed message rejected: sequence " + std::to_string(seq) +
+              " from rank " + std::to_string(src) +
+              " was already delivered (rank " + std::to_string(rank()) + ")");
+        }
+      }
     }
-  }
-  for (std::uint64_t back = 1;
-       back <= config_.replay_window && back <= expected; ++back) {
-    if (try_open_into(wire, out, p2p_aad(src, rank(), tag, expected - back))) {
-      ++counters_.replays_rejected;
-      secure_zero(out);  // never hand a replayed plaintext to the caller
-      throw IntegrityError(
-          "replayed message rejected: sequence " +
-          std::to_string(expected - back) + " from rank " +
-          std::to_string(src) + " was already delivered (rank " +
-          std::to_string(rank()) + ")");
+    if (round == 0 && comm_->recover_damaged_recv(wire, src, tag)) {
+      ++counters_.nacks_sent;
+      ++counters_.retransmits_recovered;
+      continue;
     }
+    ++counters_.auth_failures;
+    throw IntegrityError(
+        "authentication tag mismatch: message was tampered with, corrupted, "
+        "or spliced from another channel (rank " +
+        std::to_string(rank()) + ")");
   }
-  ++counters_.auth_failures;
-  throw IntegrityError(
-      "authentication tag mismatch: message was tampered with, corrupted, "
-      "or spliced from another channel (rank " +
-      std::to_string(rank()) + ")");
 }
 
 // ------------------------------------------------------- point-to-point
@@ -212,8 +243,13 @@ mpi::Status SecureComm::recv(MutBytes buf, int src, int tag) {
   mpi::validate_recv_tag(tag);
   mpi::validate_recv_peer(src, size());
   Bytes wire(wire_size(buf.size()));
-  const mpi::Status wire_status = comm_->recv(wire, src, tag);
-  return open_p2p(wire, wire_status, buf);
+  for (;;) {
+    const mpi::Status wire_status = comm_->recv(wire, src, tag);
+    if (const auto status = open_p2p(wire, wire_status, buf)) {
+      return *status;
+    }
+    // Benign fabric duplicate absorbed: wait for the next message.
+  }
 }
 
 mpi::Request SecureComm::isend(BytesView data, int dst, int tag) {
@@ -237,6 +273,8 @@ mpi::Request SecureComm::irecv(MutBytes buf, int src, int tag) {
   auto state = std::make_unique<SecureRecvState>();
   state->wire.resize(wire_size(buf.size()));
   state->user = buf;
+  state->src = src;
+  state->tag = tag;
   state->inner = comm_->irecv(state->wire, src, tag);
   return mpi::Request(std::move(state));
 }
@@ -250,8 +288,17 @@ mpi::Status SecureComm::wait(mpi::Request& request) {
     return comm_->wait(send_state->inner);
   }
   if (auto* recv_state = dynamic_cast<SecureRecvState*>(owned.get())) {
-    const mpi::Status wire_status = comm_->wait(recv_state->inner);
-    return open_p2p(recv_state->wire, wire_status, recv_state->user);
+    mpi::Status wire_status = comm_->wait(recv_state->inner);
+    for (;;) {
+      if (const auto status =
+              open_p2p(recv_state->wire, wire_status, recv_state->user)) {
+        return *status;
+      }
+      // Benign fabric duplicate absorbed: re-post and wait again.
+      recv_state->inner =
+          comm_->irecv(recv_state->wire, recv_state->src, recv_state->tag);
+      wire_status = comm_->wait(recv_state->inner);
+    }
   }
   throw mpi::MpiError("request does not belong to this secure communicator");
 }

@@ -23,6 +23,7 @@ enum class Check {
   kOverlappingReceives, ///< two in-flight irecv buffers alias
   kCollectiveMismatch,  ///< ranks diverge on op kind / root / byte count
   kUnmatchedMessage,    ///< envelope or posted receive never consumed
+  kPeerUnreachable,     ///< ARQ retry budget exhausted; link declared dead
 };
 
 enum class Severity {

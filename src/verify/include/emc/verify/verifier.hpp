@@ -170,6 +170,11 @@ class Verifier {
   void on_unmatched_envelope(int rank, int src, int tag, std::size_t bytes);
   void on_unmatched_posted(int rank, int want_src, int want_tag);
 
+  /// The ARQ channel on @p rank exhausted its retry budget for the
+  /// link to @p peer (graceful degradation). Recorded as a warning —
+  /// an environment fault must not abort the surviving ranks.
+  void on_peer_unreachable(int rank, int peer, std::uint64_t attempts);
+
   /// RAII wrapper for on_block/on_unblock; no-op when @p vrf is null.
   class BlockScope {
    public:

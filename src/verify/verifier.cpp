@@ -56,6 +56,7 @@ const char* to_string(Check check) noexcept {
     case Check::kOverlappingReceives: return "overlapping-receives";
     case Check::kCollectiveMismatch: return "collective-mismatch";
     case Check::kUnmatchedMessage: return "unmatched-message";
+    case Check::kPeerUnreachable: return "peer-unreachable";
   }
   return "unknown";
 }
@@ -416,6 +417,22 @@ void Verifier::on_unmatched_envelope(int rank, int src, int tag,
   d.message = "message from rank " + std::to_string(src) + " (tag " +
               tag_label(tag) + ", " + std::to_string(bytes) +
               "B) was never received by rank " + std::to_string(rank);
+  record(std::move(d), /*throwable=*/false);
+}
+
+void Verifier::on_peer_unreachable(int rank, int peer,
+                                   std::uint64_t attempts) {
+  // Environment degradation, not program misuse: recorded as a warning
+  // so fail-fast mode never turns graceful degradation into an abort.
+  Diagnostic d;
+  d.check = Check::kPeerUnreachable;
+  d.severity = Severity::kWarning;
+  d.ranks = {rank, peer};
+  d.time = engine_->now();
+  d.message = "rank " + std::to_string(rank) + " declared the link to rank " +
+              std::to_string(peer) + " dead after " +
+              std::to_string(attempts) +
+              " transmission attempts (retry budget exhausted)";
   record(std::move(d), /*throwable=*/false);
 }
 

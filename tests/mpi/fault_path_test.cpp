@@ -196,6 +196,53 @@ TEST(FaultPath, RendezvousNeverDropsEvenUnderCertainDrop) {
   });
 }
 
+TEST(FaultPath, DelayedEagerPayloadArrivesIntactButLate) {
+  // A latency spike postpones the arrival without touching the bytes;
+  // the plain layer just sees a slow message.
+  net::FaultPlan plan;
+  plan.triggers.push_back({.src = 0,
+                           .dst = 1,
+                           .nth = 0,
+                           .kind = net::FaultKind::kDelay,
+                           .delay_seconds = 0.25});
+  const double end =
+      run_world(faulty_world(2, 1, plan), [](Comm& comm) {
+        if (comm.rank() == 0) {
+          comm.send(bytes_of("slow"), 1, 1);
+        } else {
+          Bytes buf(8);
+          const Status st = comm.recv(buf, 0, 1);
+          EXPECT_EQ(st.bytes, 4u);
+          EXPECT_EQ(std::string(buf.begin(), buf.begin() + 4), "slow");
+          EXPECT_GE(comm.now(), 0.25);
+        }
+      });
+  EXPECT_GE(end, 0.25);
+}
+
+TEST(FaultPath, DelayedRendezvousPullArrivesIntactButLate) {
+  net::FaultPlan plan;
+  plan.triggers.push_back({.src = 0,
+                           .dst = 1,
+                           .nth = 0,
+                           .kind = net::FaultKind::kDelay,
+                           .delay_seconds = 0.25});
+  const double end =
+      run_world(faulty_world(2, 1, plan), [](Comm& comm) {
+        const std::size_t n = 128 * 1024;  // above the eager threshold
+        if (comm.rank() == 0) {
+          comm.send(Bytes(n, 0x5A), 1, 1);
+        } else {
+          Bytes buf(n, 0x00);
+          const Status st = comm.recv(buf, 0, 1);
+          EXPECT_EQ(st.bytes, n);
+          EXPECT_EQ(buf, Bytes(n, 0x5A));
+          EXPECT_GE(comm.now(), 0.25);
+        }
+      });
+  EXPECT_GE(end, 0.25);
+}
+
 TEST(FaultPath, SelfSendsBypassTheInjector) {
   net::FaultPlan plan;
   plan.p_drop = 1.0;

@@ -177,6 +177,67 @@ TEST(FaultInjector, LossForbiddenDegradesToCorruption) {
   EXPECT_EQ(dups.stats().duplicated, 0u);
 }
 
+TEST(FaultPlan, DelayRequiresPositiveSpikeAndValidProbability) {
+  FaultPlan plan;
+  plan.p_delay = -0.1;
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+  plan.p_delay = 0.3;
+  plan.delay_seconds = 0.0;  // a zero-length spike is meaningless
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+  plan.delay_seconds = 1e-3;
+  EXPECT_NO_THROW(plan.validate());
+  EXPECT_TRUE(plan.enabled());
+  plan.p_drop = 0.8;  // sum over unity including p_delay
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+}
+
+TEST(FaultInjector, DelaySpikeIsSeededPositiveAndBounded) {
+  FaultPlan plan;
+  plan.seed = 11;
+  plan.p_delay = 1.0;
+  plan.delay_seconds = 2e-3;
+  FaultInjector injector(plan);
+  std::vector<double> spikes;
+  for (int i = 0; i < 200; ++i) {
+    const FaultDecision d = injector.next(0, 1, 64);
+    ASSERT_EQ(d.kind, FaultKind::kDelay);
+    EXPECT_GT(d.delay_seconds, 0.0);
+    EXPECT_LE(d.delay_seconds, 2e-3);
+    spikes.push_back(d.delay_seconds);
+  }
+  EXPECT_EQ(injector.stats().delayed, 200u);
+  EXPECT_EQ(injector.stats().total_injected(), 200u);
+  // Same seed replays the exact spike magnitudes.
+  FaultInjector again(plan);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(again.next(0, 1, 64).delay_seconds,
+              spikes[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(FaultInjector, DelayTriggerUsesScriptedSpike) {
+  FaultPlan plan;
+  plan.triggers.push_back({.src = 0,
+                           .dst = 1,
+                           .nth = 1,
+                           .kind = FaultKind::kDelay,
+                           .delay_seconds = 5e-3});
+  FaultInjector injector(plan);
+  EXPECT_EQ(injector.next(0, 1, 32).kind, FaultKind::kNone);
+  const FaultDecision hit = injector.next(0, 1, 32);
+  EXPECT_EQ(hit.kind, FaultKind::kDelay);
+  EXPECT_DOUBLE_EQ(hit.delay_seconds, 5e-3);
+}
+
+TEST(FaultInjector, DelaySurvivesLossForbiddenPaths) {
+  // A latency spike is not loss: it must pass through allow_loss=false
+  // untouched (the rendezvous pull just lands late).
+  FaultInjector injector(FaultPlan{.seed = 4, .p_delay = 1.0});
+  const FaultDecision d = injector.next(0, 1, 64, /*allow_loss=*/false);
+  EXPECT_EQ(d.kind, FaultKind::kDelay);
+  EXPECT_GT(d.delay_seconds, 0.0);
+}
+
 TEST(FaultInjector, EmptyPayloadsAreNeverDamagedInPlace) {
   FaultInjector injector(FaultPlan{.seed = 1, .p_corrupt = 1.0});
   EXPECT_EQ(injector.next(0, 1, 0).kind, FaultKind::kNone);
