@@ -2,8 +2,12 @@
 #pragma once
 
 #include <algorithm>
+#include <filesystem>
+#include <fstream>
 #include <functional>
 #include <iostream>
+#include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -15,6 +19,7 @@
 #include "emc/mpi/comm.hpp"
 #include "emc/netsim/profile.hpp"
 #include "emc/secure_mpi/secure_comm.hpp"
+#include "emc/trace/export.hpp"
 
 namespace emc::bench {
 
@@ -122,6 +127,86 @@ inline secure::SecureConfig secure_config_for(const LibraryConfig& lib) {
   config.provider = lib.provider;
   config.key = crypto::demo_key(32);
   return config;
+}
+
+/// Paper-anchored analytic crypto timing for a provider tier, used by
+/// the deterministic traced bench runs: per-byte costs from the
+/// enc+dec throughputs of Fig. 2 at 2 MB (BoringSSL 1381 MB/s,
+/// Libsodium 583, CryptoPP 273; the optimized CryptoPP tier scaled by
+/// its Table V gain), per-op costs from the small-buffer latencies the
+/// same figure implies. Splitting the enc+dec rate evenly gives each
+/// direction per_byte = 1 / (2 * mbps * 1e6).
+inline secure::CryptoCostModel nominal_cost_model(
+    const std::string& provider) {
+  double mbps = 1381.0;    // boringssl-sim / openssl-sim tier
+  double per_op = 0.3e-6;
+  if (provider == "libsodium-sim") {
+    mbps = 583.0;
+    per_op = 0.4e-6;
+  } else if (provider == "cryptopp-sim") {
+    mbps = 273.0;
+    per_op = 1.5e-6;
+  } else if (provider == "cryptopp-opt-sim") {
+    mbps = 400.0;
+    per_op = 1.5e-6;
+  }
+  secure::CryptoCostModel m;
+  m.seal_per_op = m.open_per_op = per_op;
+  m.seal_per_byte = m.open_per_byte = 1.0 / (2.0 * mbps * 1e6);
+  return m;
+}
+
+/// One traced configuration: label shown in Perfetto and the
+/// attribution CSV, the world to build, and the per-rank body.
+struct TraceRun {
+  std::string label;
+  mpi::WorldConfig world;
+  std::function<void(mpi::Comm&)> body;
+};
+
+/// Runs every configuration once with a fresh TraceRecorder attached,
+/// streaming all of them into one Chrome trace JSON at
+/// args.trace_path() (one "process" per configuration) and an
+/// attribution CSV at results/attribution_<tag>.csv (falling back to
+/// the CWD when no results/ directory exists). cpu_scale is pinned to
+/// 1.0: traced runs are meant to be analytic and byte-identical
+/// across invocations, not host-calibrated. No-op without --trace.
+inline void emit_attribution_traces(const Args& args, const std::string& tag,
+                                    std::vector<TraceRun> runs) {
+  const std::string json_path = args.trace_path();
+  if (json_path.empty()) return;
+  std::ofstream json(json_path, std::ios::binary);
+  if (!json) {
+    std::cerr << "cannot open trace output " << json_path << "\n";
+    return;
+  }
+  trace::ChromeTraceWriter writer(json);
+  std::ostringstream csv;
+  bool header = true;
+  int pid = 0;
+  for (TraceRun& run : runs) {
+    auto rec = std::make_shared<trace::TraceRecorder>(
+        trace::Config{}, run.world.cluster.total_ranks());
+    run.world.trace = rec;
+    run.world.cpu_scale = 1.0;
+    mpi::World world(run.world);
+    world.run(run.body);
+    writer.add_world(*rec, run.label, pid++);
+    const trace::Summary summary = trace::Summary::from(*rec);
+    trace::write_attribution_csv(csv, summary, run.label, header);
+    header = false;
+    trace::print_summary(std::cout, summary, "trace: " + run.label);
+  }
+  writer.finish();
+
+  std::string csv_path = "attribution_" + tag + ".csv";
+  if (std::filesystem::is_directory("results")) {
+    csv_path = "results/" + csv_path;
+  }
+  std::ofstream out(csv_path, std::ios::binary);
+  out << csv.str();
+  std::cout << "trace json: " << json_path << "\n"
+            << "attribution csv: " << csv_path << "\n";
 }
 
 inline void print_header(const std::string& what, const Args& args) {

@@ -3,7 +3,11 @@
 // including the 8-pair throttling).
 //
 //   bench_multipair [--net=eth|ib] [--quick|--paper] [--window=64]
-//                   [--iters=N]
+//                   [--iters=N] [--trace=<file.json>]
+//
+// With --trace, deterministic attribution runs (16 KB messages, 1 and
+// 4 pairs, unencrypted vs BoringSSL with the analytic cost model)
+// write Chrome trace JSON plus results/attribution_multipair_<net>.csv.
 //
 // Protocol (OSU multiple-pair, paper §V): N sender ranks on node 0
 // communicate with N receiver ranks on node 1; per iteration each
@@ -70,6 +74,60 @@ double multipair_throughput(const net::NetworkProfile& profile,
   return result.mean;
 }
 
+/// Deterministic attribution run: same window protocol, fixed
+/// iteration count, counter nonces + analytic crypto costs.
+TraceRun traced_multipair(const net::NetworkProfile& profile,
+                          const LibraryConfig& lib, int pairs,
+                          std::size_t size, int window, int iters) {
+  TraceRun run;
+  run.label = lib.label + " " + size_label(size) + " x" +
+              std::to_string(pairs) + (pairs == 1 ? "pair" : "pairs");
+  run.world.cluster.num_nodes = 2;
+  run.world.cluster.ranks_per_node = pairs;
+  run.world.cluster.inter = profile;
+
+  secure::SecureConfig scfg;
+  const bool encrypted = lib.encrypted();
+  if (encrypted) {
+    scfg = secure_config_for(lib);
+    scfg.nonce_mode = secure::NonceMode::kCounter;
+    scfg.cost_model = nominal_cost_model(lib.provider);
+  }
+  run.body = [pairs, size, window, iters, encrypted, scfg](mpi::Comm& plain) {
+    std::unique_ptr<secure::SecureComm> secure_comm;
+    mpi::Communicator* comm = &plain;
+    if (encrypted) {
+      secure_comm = std::make_unique<secure::SecureComm>(plain, scfg);
+      comm = secure_comm.get();
+    }
+    const int me = plain.rank();
+    const bool sender = me < pairs;
+    const int peer = sender ? me + pairs : me - pairs;
+    Bytes payload(size, 0x77);
+    std::vector<Bytes> bufs(static_cast<std::size_t>(window), Bytes(size));
+    Bytes ack(1);
+    for (int it = 0; it < iters; ++it) {
+      std::vector<mpi::Request> requests;
+      requests.reserve(static_cast<std::size_t>(window));
+      if (sender) {
+        for (int w = 0; w < window; ++w) {
+          requests.push_back(comm->isend(payload, peer, w));
+        }
+        comm->waitall(requests);
+        comm->recv(ack, peer, 9999);
+      } else {
+        for (int w = 0; w < window; ++w) {
+          requests.push_back(
+              comm->irecv(bufs[static_cast<std::size_t>(w)], peer, w));
+        }
+        comm->waitall(requests);
+        comm->send(ack, peer, 9999);
+      }
+    }
+  };
+  return run;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -117,6 +175,23 @@ int main(int argc, char** argv) {
     if (const auto saved = table.save_csv(csv)) {
       std::cout << "csv: " << *saved << "\n";
     }
+  }
+
+  if (!args.trace_path().empty()) {
+    // Attribution at 16 KB (NIC arbitration visible as nic_queue time
+    // once several pairs share the node-0 NIC), 1 vs 4 pairs.
+    std::vector<TraceRun> runs;
+    const LibraryConfig plain_row{"Unencrypted", ""};
+    const LibraryConfig boring_row{"BoringSSL", "boringssl-sim"};
+    for (const int pairs : {1, 4}) {
+      for (const LibraryConfig& lib : {plain_row, boring_row}) {
+        runs.push_back(traced_multipair(profile, lib, pairs, 16 * 1024,
+                                        /*window=*/8, /*iters=*/2));
+      }
+    }
+    emit_attribution_traces(args, std::string("multipair_") +
+                                      (eth ? "eth" : "ib"),
+                            std::move(runs));
   }
   return 0;
 }

@@ -6,6 +6,13 @@
 //
 //   bench_nas [--net=eth|ib] [--class=S|W|A] [--nodes=8]
 //             [--ranks-per-node=8] [--quick|--paper]
+//             [--trace=<file.json>]
+//
+// With --trace, one attribution run of the CG kernel (class S,
+// unencrypted vs BoringSSL) writes Chrome trace JSON plus
+// results/attribution_nas_<net>.csv. Unlike the p2p benches, NAS
+// compute is charged from measured host time, so traced NAS timelines
+// vary run to run in the compute spans (see docs/TRACING.md).
 #include "bench_common.hpp"
 
 #include "emc/nas/nas.hpp"
@@ -110,6 +117,39 @@ int main(int argc, char** argv) {
   const std::string csv = std::string("nas_") + (eth ? "eth" : "ib") + ".csv";
   if (const auto saved = table.save_csv(csv)) {
     std::cout << "csv: " << *saved << "\n";
+  }
+
+  if (!args.trace_path().empty()) {
+    std::vector<TraceRun> runs;
+    const LibraryConfig rows[] = {{"Unencrypted", ""},
+                                  {"BoringSSL", "boringssl-sim"}};
+    for (const LibraryConfig& lib : rows) {
+      TraceRun run;
+      run.label = lib.label + " CG-S";
+      run.world.cluster.num_nodes = nodes;
+      run.world.cluster.ranks_per_node = rpn;
+      run.world.cluster.inter = profile;
+      secure::SecureConfig scfg;
+      const bool encrypted = lib.encrypted();
+      if (encrypted) {
+        scfg = secure_config_for(lib);
+        scfg.nonce_mode = secure::NonceMode::kCounter;
+        scfg.cost_model = nominal_cost_model(lib.provider);
+      }
+      run.body = [encrypted, scfg](mpi::Comm& plain) {
+        std::unique_ptr<secure::SecureComm> secure_comm;
+        mpi::Communicator* comm = &plain;
+        if (encrypted) {
+          secure_comm = std::make_unique<secure::SecureComm>(plain, scfg);
+          comm = secure_comm.get();
+        }
+        (void)nas::run_kernel(nas::Kernel::kCG, *comm, plain.process(),
+                              nas::ProblemClass::kS);
+      };
+      runs.push_back(std::move(run));
+    }
+    emit_attribution_traces(args, std::string("nas_") + (eth ? "eth" : "ib"),
+                            std::move(runs));
   }
   return everything_verified ? 0 : 1;
 }

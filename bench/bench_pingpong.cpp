@@ -4,6 +4,12 @@
 // cryptographic libraries with 256-bit keys.
 //
 //   bench_pingpong [--net=eth|ib] [--quick|--paper] [--iters=N]
+//                  [--trace=<file.json>]
+//
+// With --trace, an extra set of deterministic attribution runs (16 KB
+// and 2 MB per library, analytic crypto cost models) writes a Chrome
+// trace_event JSON plus results/attribution_pingpong_<net>.csv — the
+// crypto/wire/wait decomposition of docs/TRACING.md.
 //
 // Protocol (paper §V): the two processes bounce a message of the
 // designated size back and forth; uni-directional throughput is
@@ -17,6 +23,48 @@ namespace {
 
 using namespace emc;
 using namespace emc::bench;
+
+/// Body of one traced attribution run: same protocol as the measured
+/// ping-pong, but a fixed iteration count and (for encrypted rows)
+/// counter nonces + the analytic cost model, so the virtual timeline
+/// is a pure function of the configuration.
+TraceRun traced_pingpong(const net::NetworkProfile& profile,
+                         const LibraryConfig& lib, std::size_t size,
+                         int iters) {
+  TraceRun run;
+  run.label = lib.label + " " + size_label(size);
+  run.world.cluster.num_nodes = 2;
+  run.world.cluster.ranks_per_node = 1;
+  run.world.cluster.inter = profile;
+
+  secure::SecureConfig scfg;
+  const bool encrypted = lib.encrypted();
+  if (encrypted) {
+    scfg = secure_config_for(lib);
+    scfg.nonce_mode = secure::NonceMode::kCounter;
+    scfg.cost_model = nominal_cost_model(lib.provider);
+  }
+  run.body = [size, iters, encrypted, scfg](mpi::Comm& plain) {
+    std::unique_ptr<secure::SecureComm> secure_comm;
+    mpi::Communicator* comm = &plain;
+    if (encrypted) {
+      secure_comm = std::make_unique<secure::SecureComm>(plain, scfg);
+      comm = secure_comm.get();
+    }
+    Bytes payload(size, 0x5a);
+    Bytes buf(size);
+    for (int i = 0; i < iters; ++i) {
+      if (plain.rank() == 0) {
+        comm->send(payload, 1, 1);
+        comm->recv(buf, 1, 2);
+      } else {
+        comm->recv(buf, 0, 1);
+        comm->send(payload, 0, 2);
+      }
+    }
+  };
+  return run;
+}
 
 double pingpong_throughput(const net::NetworkProfile& profile,
                            const LibraryConfig& lib, std::size_t size,
@@ -116,5 +164,18 @@ int main(int argc, char** argv) {
             "pingpong_small_" + net_tag + ".csv");
   run_table("Ping-pong throughput (MB/s), medium/large messages",
             large_sizes, "pingpong_large_" + net_tag + ".csv");
+
+  if (!args.trace_path().empty()) {
+    // Attribution runs at the paper's crypto-bound (16 KB) and
+    // wire-bound (2 MB) operating points, every library row.
+    std::vector<TraceRun> runs;
+    for (const std::size_t size :
+         {std::size_t{16} * 1024, std::size_t{2} * 1024 * 1024}) {
+      for (const LibraryConfig& lib : libs) {
+        runs.push_back(traced_pingpong(profile, lib, size, /*iters=*/10));
+      }
+    }
+    emit_attribution_traces(args, "pingpong_" + net_tag, std::move(runs));
+  }
   return 0;
 }

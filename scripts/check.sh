@@ -1,12 +1,13 @@
 #!/usr/bin/env bash
 # Full local gate: configure, build, and run the test suite under both
-# the Release preset and the ASan+UBSan preset. Run from the repo root:
+# the Release preset and the ASan+UBSan preset, then lint the docs
+# (dangling relative links). Run from the repo root:
 #
-#   scripts/check.sh            # both presets
-#   scripts/check.sh default    # Release only
-#   scripts/check.sh sanitize   # sanitizers only
+#   scripts/check.sh            # both presets + docs
+#   scripts/check.sh default    # Release only (+ docs)
+#   scripts/check.sh sanitize   # sanitizers only (+ docs)
 #
-# Exits non-zero on the first configure/build/test failure.
+# Exits non-zero on the first configure/build/test/docs failure.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -26,5 +27,8 @@ for preset in "${presets[@]}"; do
   echo "==> [$preset] test"
   ctest --preset "$preset" -j "$jobs"
 done
+
+echo "==> docs"
+scripts/check_docs.sh
 
 echo "==> all presets green: ${presets[*]}"

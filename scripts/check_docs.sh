@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Docs gate: fail on dangling relative links in README.md and
+# docs/*.md. A link is every "](target)" occurrence; http(s)/mailto
+# targets and pure in-page anchors are skipped, "#section" suffixes
+# are stripped, and the rest must exist relative to the linking file.
+#
+#   scripts/check_docs.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+failures=0
+files=(README.md docs/*.md)
+
+for file in "${files[@]}"; do
+  dir=$(dirname "$file")
+  # Extract inline-link targets: "](...)" up to the closing paren.
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|"#"*) continue ;;
+    esac
+    path="${target%%#*}"            # drop any #anchor suffix
+    [ -n "$path" ] || continue
+    # Badge/workflow links like ../../actions/... resolve on GitHub,
+    # not in the tree; anything escaping the repo root is skipped.
+    case "$(realpath -m "$dir/$path")" in
+      "$PWD"/*) ;;
+      *) continue ;;
+    esac
+    if [ ! -e "$dir/$path" ]; then
+      echo "dangling link in $file: $target" >&2
+      failures=$((failures + 1))
+    fi
+  done < <(awk '/^[[:space:]]*```/ { fence = !fence; next } !fence' "$file" \
+             | grep -oE '\]\([^)]+\)' | sed -E 's/^\]\(//; s/\)$//')
+done
+
+if [ "$failures" -gt 0 ]; then
+  echo "==> docs check failed: $failures dangling link(s)" >&2
+  exit 1
+fi
+echo "==> docs check: all relative links in ${files[*]} resolve"

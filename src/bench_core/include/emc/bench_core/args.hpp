@@ -19,6 +19,11 @@ class Args {
                                 const std::string& fallback) const;
   [[nodiscard]] long get_int(const std::string& name, long fallback) const;
 
+  /// Path of --trace=<file>: where a bench writes its Chrome
+  /// trace_event JSON (and emits the attribution CSV alongside).
+  /// Empty when tracing was not requested.
+  [[nodiscard]] std::string trace_path() const { return get("trace", ""); }
+
   /// Program name (argv[0] basename).
   [[nodiscard]] const std::string& program() const { return program_; }
 

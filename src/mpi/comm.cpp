@@ -74,16 +74,43 @@ Comm::Comm(World& world, sim::Process& proc)
     : world_(&world),
       proc_(&proc),
       vrf_(world.verifier()),
-      arq_(world.reliability()) {}
+      arq_(world.reliability()),
+      trc_(world.trace()) {}
 
 void Comm::sleep_until(double t) { proc_->advance(t - proc_->now()); }
 
+void Comm::trace_span(trace::Category cat, double begin, int peer,
+                      std::uint64_t bytes) {
+  if (trc_ != nullptr && proc_->now() > begin) {
+    trc_->record(rank(), cat, begin, proc_->now(), peer, bytes);
+  }
+}
+
+void Comm::sleep_traced(double arrival, double queue_delay,
+                        trace::Category cat, int peer, std::uint64_t bytes) {
+  if (trc_ == nullptr) {
+    sleep_until(arrival);
+    return;
+  }
+  const double begin = proc_->now();
+  sleep_until(arrival);
+  if (arrival <= begin) return;
+  const double mid =
+      queue_delay > 0.0 ? std::min(arrival, begin + queue_delay) : begin;
+  if (mid > begin) {
+    trc_->record(rank(), trace::Category::kNicQueue, begin, mid, peer, bytes);
+  }
+  if (arrival > mid) trc_->record(rank(), cat, mid, arrival, peer, bytes);
+}
+
 void Comm::wait_timer(double dt) {
   if (dt <= 0.0) return;
+  const double begin = proc_->now();
   // A private waitable nobody notifies: wait_for always times out, so
   // this is a pure virtual-time timer (the ARQ backoff clock).
   sim::Waitable timer;
   (void)proc_->wait_for(timer, dt);
+  trace_span(trace::Category::kArqRetransmit, begin);
 }
 
 void Comm::note_collective(verify::CollKind kind, int root,
@@ -218,22 +245,28 @@ void Comm::send_internal(BytesView data, int dst, int tag) {
   if (self || data.size() <= prof.eager_threshold) {
     proc_->advance(prof.send_overhead +
                    static_cast<double>(data.size()) / prof.copy_bandwidth);
+    trace_span(trace::Category::kCopy, now, dst, data.size());
     auto env = std::make_unique<Envelope>();
     env->src = rank();
     env->tag = tag;
     env->seq = world_->next_seq();
     env->payload.assign(data.begin(), data.end());
-    env->arrival =
-        self ? proc_->now()
-             : world_->fabric()
-                   .reserve_path(rank(), dst, data.size(), proc_->now())
-                   .arrival;
+    if (self) {
+      env->arrival = proc_->now();
+    } else {
+      const net::PathTimes path =
+          world_->fabric().reserve_path(rank(), dst, data.size(),
+                                        proc_->now());
+      env->arrival = path.arrival;
+      env->nic_queue = path.queue_delay;
+    }
     deliver_eager(dst, std::move(env));
     return;
   }
 
   // Rendezvous: announce via RTS, wait for the receiver to pull.
   proc_->advance(prof.send_overhead);
+  trace_span(trace::Category::kCopy, now, dst, data.size());
   RndvHandshake handshake;
   auto env = std::make_unique<Envelope>();
   env->src = rank();
@@ -247,12 +280,17 @@ void Comm::send_internal(BytesView data, int dst, int tag) {
                                    std::max(now, proc_->now()))
                      .arrival;
   post_envelope(dst, std::move(env));
+  const double wait_begin = proc_->now();
   {
     const verify::Verifier::BlockScope block(
         vrf_, rank(), {verify::BlockKind::kRndvSend, dst, tag});
     while (!handshake.completed) proc_->wait(handshake.done);
   }
+  trace_span(trace::Category::kSyncWait, wait_begin, dst, data.size());
+  const double drain_begin = proc_->now();
   sleep_until(handshake.sender_complete);
+  // Time the sender's NIC still needs to drain the pulled payload.
+  trace_span(trace::Category::kNicQueue, drain_begin, dst, data.size());
 }
 
 void Comm::send(BytesView data, int dst, int tag) {
@@ -273,24 +311,31 @@ Request Comm::isend_internal(BytesView data, int dst, int tag) {
                                         tag, data.data(), data.size());
   }
 
+  const double begin = proc_->now();
   if (self || data.size() <= prof.eager_threshold) {
     proc_->advance(prof.send_overhead +
                    static_cast<double>(data.size()) / prof.copy_bandwidth);
+    trace_span(trace::Category::kCopy, begin, dst, data.size());
     auto env = std::make_unique<Envelope>();
     env->src = rank();
     env->tag = tag;
     env->seq = world_->next_seq();
     env->payload.assign(data.begin(), data.end());
-    env->arrival =
-        self ? proc_->now()
-             : world_->fabric()
-                   .reserve_path(rank(), dst, data.size(), proc_->now())
-                   .arrival;
+    if (self) {
+      env->arrival = proc_->now();
+    } else {
+      const net::PathTimes path =
+          world_->fabric().reserve_path(rank(), dst, data.size(),
+                                        proc_->now());
+      env->arrival = path.arrival;
+      env->nic_queue = path.queue_delay;
+    }
     deliver_eager(dst, std::move(env));
     return Request(std::move(state));
   }
 
   proc_->advance(prof.send_overhead);
+  trace_span(trace::Category::kCopy, begin, dst, data.size());
   state->handshake = std::make_unique<RndvHandshake>();
   auto env = std::make_unique<Envelope>();
   env->src = rank();
@@ -350,6 +395,7 @@ Request Comm::irecv(MutBytes buf, int src, int tag) {
 
 Status Comm::complete_recv(PendingRecv& pr) {
   const double timeout = world_->config().recv_timeout;
+  const double wait_begin = proc_->now();
   {
     const verify::Verifier::BlockScope block(
         vrf_, rank(), {verify::BlockKind::kRecv, pr.want_src, pr.want_tag});
@@ -362,6 +408,7 @@ Status Comm::complete_recv(PendingRecv& pr) {
       }
     }
   }
+  trace_span(trace::Category::kSyncWait, wait_begin, pr.want_src);
   Envelope& env = *pr.matched;
   const net::NetworkProfile& prof = world_->fabric().profile(env.src, rank());
 
@@ -385,10 +432,23 @@ Status Comm::complete_recv(PendingRecv& pr) {
                      std::to_string(env.payload.size()) + " bytes, have " +
                      std::to_string(pr.buf.size()));
     }
-    sleep_until(env.arrival);
+    if (env.arq_transmissions > 1) {
+      // The wire time includes at least one ARQ retransmission
+      // dialogue; attribute the whole parked interval to recovery.
+      const double begin = proc_->now();
+      sleep_until(env.arrival);
+      trace_span(trace::Category::kArqRetransmit, begin, env.src,
+                 env.payload.size());
+    } else {
+      sleep_traced(env.arrival, env.nic_queue, trace::Category::kWire,
+                   env.src, env.payload.size());
+    }
+    const double copy_begin = proc_->now();
     proc_->advance(prof.recv_overhead +
                    static_cast<double>(env.payload.size()) /
                        prof.copy_bandwidth);
+    trace_span(trace::Category::kCopy, copy_begin, env.src,
+               env.payload.size());
     if (!env.payload.empty()) {
       std::memcpy(pr.buf.data(), env.payload.data(), env.payload.size());
     }
@@ -443,11 +503,17 @@ Status Comm::complete_recv(PendingRecv& pr) {
     env.handshake->completed = true;
     proc_->notify_all(env.handshake->done);
     // A latency spike on the pull delays the receiver, not the sender
-    // (whose NIC finished at egress_done either way).
-    sleep_until(fault.kind == net::FaultKind::kDelay
-                    ? data.arrival + fault.delay_seconds
-                    : data.arrival);
+    // (whose NIC finished at egress_done either way). Fault delays are
+    // attributed to the wire span like the latency they model.
+    sleep_traced(fault.kind == net::FaultKind::kDelay
+                     ? data.arrival + fault.delay_seconds
+                     : data.arrival,
+                 cts.queue_delay + data.queue_delay, trace::Category::kWire,
+                 env.src, env.rndv_data.size());
+    const double copy_begin = proc_->now();
     proc_->advance(prof.recv_overhead);
+    trace_span(trace::Category::kCopy, copy_begin, env.src,
+               env.rndv_data.size());
   }
   pr.matched.reset();
   return status;
@@ -489,7 +555,9 @@ Status Comm::complete_rndv_reliable(PendingRecv& pr) {
   double pull_start = cts.arrival;
   // Move this rank's clock to the handshake so the retransmission
   // timers below measure real waiting, not a stale local time.
+  const double rts_begin = proc_->now();
   sleep_until(handshake_start);
+  trace_span(trace::Category::kWire, rts_begin, env.src, len);
 
   const auto budget = static_cast<std::uint32_t>(arq_->config().max_retries);
   std::uint32_t attempts = 0;
@@ -578,8 +646,19 @@ Status Comm::complete_rndv_reliable(PendingRecv& pr) {
   env.handshake->sender_complete = data.egress_done;
   env.handshake->completed = true;
   proc_->notify_all(env.handshake->done);
-  sleep_until(arrival);
+  if (attempts > 1) {
+    // A recovered pull: the remaining park includes the retransmitted
+    // transfer, so the whole interval is ARQ recovery time.
+    const double begin = proc_->now();
+    sleep_until(arrival);
+    trace_span(trace::Category::kArqRetransmit, begin, env.src, len);
+  } else {
+    sleep_traced(arrival, cts.queue_delay + data.queue_delay,
+                 trace::Category::kWire, env.src, len);
+  }
+  const double copy_begin = proc_->now();
   proc_->advance(prof.recv_overhead);
+  trace_span(trace::Category::kCopy, copy_begin, env.src, len);
   pr.matched.reset();
   return status;
 }
@@ -620,6 +699,7 @@ Status Comm::wait(Request& request) {
   if (auto* send_state = dynamic_cast<SendState*>(owned.get())) {
     send_state->waited = true;
     if (send_state->handshake) {
+      const double wait_begin = proc_->now();
       {
         const verify::Verifier::BlockScope block(
             vrf_, rank(),
@@ -628,7 +708,10 @@ Status Comm::wait(Request& request) {
           proc_->wait(send_state->handshake->done);
         }
       }
+      trace_span(trace::Category::kSyncWait, wait_begin, send_state->dst);
+      const double drain_begin = proc_->now();
       sleep_until(send_state->handshake->sender_complete);
+      trace_span(trace::Category::kNicQueue, drain_begin, send_state->dst);
     }
     if (vrf_ != nullptr) {
       vrf_->on_request_finish(send_state->vid, verify::ReqFinish::kCompleted);

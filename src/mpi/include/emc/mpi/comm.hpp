@@ -108,6 +108,17 @@ class Comm final : public Communicator {
 
   void sleep_until(double t);
 
+  /// Records the attribution span [@p begin, now] when tracing is on
+  /// (and the span is non-empty). Observation only.
+  void trace_span(trace::Category cat, double begin, int peer = -1,
+                  std::uint64_t bytes = 0);
+
+  /// sleep_until(@p arrival), attributing the parked interval as a
+  /// kNicQueue prefix of up to @p queue_delay seconds (time the
+  /// message spent queued behind a busy NIC) followed by @p cat.
+  void sleep_traced(double arrival, double queue_delay, trace::Category cat,
+                    int peer, std::uint64_t bytes);
+
   /// Fresh tag for the next collective (all ranks call collectives in
   /// the same order, so the per-rank counter stays aligned).
   int next_coll_tag();
@@ -124,6 +135,7 @@ class Comm final : public Communicator {
   sim::Process* proc_;
   verify::Verifier* vrf_;  ///< null unless WorldConfig::verify.enabled
   reliable::Channel* arq_; ///< null unless WorldConfig::reliability.enabled
+  trace::TraceRecorder* trc_;  ///< null unless WorldConfig::trace is set
   std::uint32_t coll_seq_ = 0;
 };
 

@@ -14,6 +14,7 @@
 #include "emc/netsim/fabric.hpp"
 #include "emc/reliable/reliable.hpp"
 #include "emc/sim/engine.hpp"
+#include "emc/trace/trace.hpp"
 #include "emc/verify/verifier.hpp"
 
 namespace emc::mpi {
@@ -51,6 +52,10 @@ struct Envelope {
   std::uint32_t arq_transmissions = 0;  ///< retry budget spent in flight
   net::FaultDecision damage{};
   bool poisoned = false;
+  /// NIC queue delay of the (last) transmission that produced this
+  /// envelope; lets the receiver split its arrival sleep into
+  /// nic_queue + wire trace spans.
+  double nic_queue = 0.0;
 };
 
 /// A posted (not yet matched) receive.
@@ -104,6 +109,15 @@ struct WorldConfig {
   /// fabric (see docs/RESILIENCE.md). Disabled by default: no channel
   /// is constructed and every wire path replays bit-exact.
   reliable::Config reliability;
+
+  /// Opt-in virtual-time tracing (see docs/TRACING.md). When set, the
+  /// recorder must be constructed with this world's rank count; the
+  /// World installs the engine charge observer and every layer records
+  /// attribution spans into it. Null (the default) keeps every
+  /// instrumentation site on the single-branch fast path — no recorder
+  /// is allocated and traced state is never touched. Shared so copies
+  /// of a config (e.g. benchmark sweeps) observe one recorder.
+  std::shared_ptr<trace::TraceRecorder> trace;
 };
 
 /// Shared state of a running world. Created by run_world; exposed so
@@ -133,6 +147,11 @@ class World {
   /// disabled. Valid for the lifetime of the World.
   [[nodiscard]] reliable::Channel* reliability() noexcept {
     return channel_.get();
+  }
+
+  /// The attached trace recorder, or null when tracing is off.
+  [[nodiscard]] trace::TraceRecorder* trace() noexcept {
+    return config_.trace.get();
   }
 
   /// Runs @p body once per rank inside the simulation; returns the

@@ -23,13 +23,33 @@ World::World(const WorldConfig& config)
     channel_ = std::make_unique<reliable::Channel>(config_.reliability,
                                                    fabric_);
   }
+  if (config_.trace != nullptr) {
+    if (config_.trace->num_ranks() != size()) {
+      throw std::invalid_argument(
+          "WorldConfig: trace recorder built for " +
+          std::to_string(config_.trace->num_ranks()) +
+          " ranks attached to a world of " + std::to_string(size()));
+    }
+    // Attribute every Process::charge interval. SecureComm retags the
+    // next charge (crypto encrypt/decrypt) via set_charge_category;
+    // everything else — NAS kernels, application compute — defaults
+    // to kCompute.
+    trace::TraceRecorder* rec = config_.trace.get();
+    engine_.set_charge_observer([rec](int rank, double begin, double end) {
+      rec->record(rank, rec->take_charge_category(rank), begin, end);
+    });
+  }
 }
 
 double World::run(const std::function<void(Comm&)>& body) {
   if (verifier_ != nullptr) verifier_->begin_run();
+  if (config_.trace != nullptr) config_.trace->begin_run(engine_.now());
   const double end = engine_.run([this, &body](sim::Process& proc) {
     Comm comm(*this, proc);
     body(comm);
+    if (config_.trace != nullptr) {
+      config_.trace->note_rank_done(proc.index(), proc.now());
+    }
   });
   if (verifier_ != nullptr) {
     // Shutdown audit: anything still sitting in a mailbox was sent or

@@ -74,6 +74,7 @@ PathTimes Fabric::reserve_path(int src, int dst, std::size_t bytes,
       .start = start,
       .egress_done = start + busy,
       .arrival = start + busy + prof.latency,
+      .queue_delay = start - earliest,
   };
 }
 

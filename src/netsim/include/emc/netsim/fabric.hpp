@@ -35,6 +35,7 @@ struct PathTimes {
   double start = 0.0;        ///< when the NIC begins serializing the bytes
   double egress_done = 0.0;  ///< when the sender-side buffer is free
   double arrival = 0.0;      ///< when the last byte reaches the receiver
+  double queue_delay = 0.0;  ///< start - earliest: time queued at the NIC
 };
 
 class Fabric {

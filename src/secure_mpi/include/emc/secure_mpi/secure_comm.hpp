@@ -40,6 +40,23 @@ enum class NonceMode {
   kCounter,  ///< rank || message counter (deterministic, still unique)
 };
 
+/// Analytic crypto timing: virtual seconds a seal/open costs as an
+/// affine function of the plaintext size (per_op + bytes * per_byte).
+/// When installed on SecureConfig::cost_model it replaces wall-clock
+/// charging: the crypto still really executes (ciphertexts, tags and
+/// integrity semantics are unchanged) but the virtual clock advances
+/// by the model instead of the measured host time, making encrypted
+/// timelines fully deterministic — the mode traced benchmark runs use
+/// so same-seed traces are byte-identical. Model values are virtual
+/// seconds of the simulated CPU; WorldConfig::cpu_scale is NOT
+/// applied on top.
+struct CryptoCostModel {
+  double seal_per_op = 0.0;    ///< fixed cost per encryption
+  double seal_per_byte = 0.0;  ///< per plaintext byte encrypted
+  double open_per_op = 0.0;    ///< fixed cost per decryption attempt
+  double open_per_byte = 0.0;  ///< per plaintext byte decrypted
+};
+
 struct SecureConfig {
   /// Registry name of the cryptographic library tier to use.
   std::string provider = "boringssl-sim";
@@ -69,6 +86,10 @@ struct SecureConfig {
   /// charged to the rank's virtual clock. Disable only in functional
   /// tests that want timing-independent determinism.
   bool charge_crypto = true;
+
+  /// Optional analytic crypto timing (see CryptoCostModel). Only
+  /// meaningful while charge_crypto is true; ignored otherwise.
+  std::optional<CryptoCostModel> cost_model;
 };
 
 /// Cumulative per-rank crypto accounting (drives the overhead
@@ -187,9 +208,14 @@ class SecureComm final : public mpi::Communicator {
   /// Next sequence number for the (peer, tag) send channel.
   [[nodiscard]] std::uint64_t next_send_seq(int dst, int tag);
 
-  /// Charges @p work's measured wall time to the virtual clock when
-  /// configured; returns measured seconds.
-  double charged(const std::function<void()>& work);
+  /// Runs @p work (a seal when @p encrypt, else an open of @p bytes
+  /// plaintext bytes) and bills its cost to the virtual clock when
+  /// charge_crypto is on — measured wall time by default, the analytic
+  /// cost_model when one is configured. Tags the billed interval for
+  /// the tracing layer (crypto_encrypt / crypto_decrypt). Returns the
+  /// measured host seconds.
+  double charged_crypto(const std::function<void()>& work, std::size_t bytes,
+                        bool encrypt);
 
   void next_nonce(std::uint8_t out[crypto::kGcmNonceBytes]);
 

@@ -46,11 +46,40 @@ SecureComm::SecureComm(mpi::Comm& comm, const SecureConfig& config)
   }
 }
 
-double SecureComm::charged(const std::function<void()>& work) {
-  if (config_.charge_crypto) return comm_->process().charge(work);
-  WallTimer timer;
-  work();
-  return timer.seconds();
+double SecureComm::charged_crypto(const std::function<void()>& work,
+                                  std::size_t bytes, bool encrypt) {
+  const auto category = encrypt ? trace::Category::kCryptoEncrypt
+                                : trace::Category::kCryptoDecrypt;
+  if (!config_.charge_crypto) {
+    WallTimer timer;
+    work();
+    return timer.seconds();
+  }
+  if (config_.cost_model) {
+    // Analytic billing: the crypto really executes (semantics and
+    // counters unchanged) but virtual time advances by the model, so
+    // encrypted timelines are deterministic.
+    WallTimer timer;
+    work();
+    const double elapsed = timer.seconds();
+    const CryptoCostModel& m = *config_.cost_model;
+    const double cost =
+        encrypt ? m.seal_per_op + static_cast<double>(bytes) * m.seal_per_byte
+                : m.open_per_op + static_cast<double>(bytes) * m.open_per_byte;
+    sim::Process& proc = comm_->process();
+    const double begin = proc.now();
+    proc.advance(cost);
+    if (trace::TraceRecorder* rec = comm_->world().trace()) {
+      rec->record(rank(), category, begin, proc.now(), -1, bytes);
+    }
+    return elapsed;
+  }
+  // Wall-clock billing: the engine charge observer records the span;
+  // retag it from the default kCompute before charging.
+  if (trace::TraceRecorder* rec = comm_->world().trace()) {
+    rec->set_charge_category(rank(), category);
+  }
+  return comm_->process().charge(work);
 }
 
 void SecureComm::next_nonce(std::uint8_t out[kGcmNonceBytes]) {
@@ -95,11 +124,13 @@ void SecureComm::seal_into(BytesView pt, MutBytes out, BytesView aad) {
   if (out.size() != wire_size(pt.size())) {
     throw std::invalid_argument("seal_into: wire buffer size mismatch");
   }
-  const double elapsed = charged([&] {
-    next_nonce(out.data());
-    key_->seal(BytesView(out.data(), kGcmNonceBytes), aad, pt,
-               out.subspan(kGcmNonceBytes));
-  });
+  const double elapsed = charged_crypto(
+      [&] {
+        next_nonce(out.data());
+        key_->seal(BytesView(out.data(), kGcmNonceBytes), aad, pt,
+                   out.subspan(kGcmNonceBytes));
+      },
+      pt.size(), /*encrypt=*/true);
   ++counters_.messages_sealed;
   counters_.bytes_sealed += pt.size();
   counters_.seal_seconds += elapsed;
@@ -107,10 +138,12 @@ void SecureComm::seal_into(BytesView pt, MutBytes out, BytesView aad) {
 
 bool SecureComm::try_open_into(BytesView wire, MutBytes out, BytesView aad) {
   bool ok = false;
-  const double elapsed = charged([&] {
-    ok = key_->open(wire.first(kGcmNonceBytes), aad,
-                    wire.subspan(kGcmNonceBytes), out);
-  });
+  const double elapsed = charged_crypto(
+      [&] {
+        ok = key_->open(wire.first(kGcmNonceBytes), aad,
+                        wire.subspan(kGcmNonceBytes), out);
+      },
+      out.size(), /*encrypt=*/false);
   counters_.open_seconds += elapsed;
   return ok;
 }

@@ -33,9 +33,13 @@ void Process::notify_all(Waitable& w) { engine_->proc_notify(*this, w, true); }
 
 double Process::charge(const std::function<void()>& work, double scale) {
   WallTimer timer;
+  const Time begin = now();
   work();
   const double elapsed = timer.seconds();
   advance(elapsed * scale * engine_->charge_scale());
+  if (engine_->charge_observer_) {
+    engine_->charge_observer_(index_, begin, now());
+  }
   return elapsed;
 }
 

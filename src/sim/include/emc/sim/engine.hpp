@@ -165,6 +165,17 @@ class Engine {
     return tiebreak_salt_;
   }
 
+  /// Installs an observer invoked after every Process::charge bills
+  /// the virtual clock, with (process index, virtual begin, virtual
+  /// end) of the billed interval. Observation only: runs on the
+  /// charging process thread after the advance completed and must not
+  /// call back into the scheduling API. Used by the tracing layer to
+  /// attribute charged compute/crypto time; pass an empty function to
+  /// uninstall. Set it before run().
+  void set_charge_observer(std::function<void(int, Time, Time)> observer) {
+    charge_observer_ = std::move(observer);
+  }
+
   /// Installs a callback invoked when the engine detects a global
   /// deadlock (every live process parked on a Waitable, empty event
   /// queue); its return value is appended to the sim::Deadlock
@@ -221,6 +232,7 @@ class Engine {
   double charge_scale_ = 1.0;
   std::uint64_t tiebreak_salt_ = 0;
   std::function<std::string()> deadlock_explainer_;
+  std::function<void(int, Time, Time)> charge_observer_;
   std::exception_ptr first_error_;
 };
 

@@ -1,0 +1,182 @@
+#include "emc/trace/export.hpp"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace emc::trace {
+
+namespace {
+
+/// Virtual seconds -> trace_event microseconds with fixed 3-digit
+/// fraction, computed through integer nanoseconds so the text is a
+/// deterministic function of the double (no locale, no shortest-form
+/// ambiguity).
+std::string us_fixed(double seconds) {
+  const auto ns = static_cast<long long>(std::llround(seconds * 1e9));
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%lld.%03lld", ns / 1000,
+                ns < 0 ? -(ns % 1000) : ns % 1000);
+  return buf;
+}
+
+std::string sec_fixed(double seconds) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9f", seconds);
+  return buf;
+}
+
+std::string pct_fixed(double pct) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.3f", pct);
+  return buf;
+}
+
+/// Minimal JSON string escaping (labels are ASCII identifiers, but
+/// stay safe on quotes/backslashes).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) < 0x20) continue;
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+// -------------------------------------------------------- Chrome JSON
+
+ChromeTraceWriter::ChromeTraceWriter(std::ostream& os) : os_(&os) {
+  *os_ << "[";
+}
+
+void ChromeTraceWriter::add_world(const TraceRecorder& rec,
+                                  const std::string& process_name, int pid) {
+  auto emit = [&](const std::string& line) {
+    if (!first_) *os_ << ",";
+    first_ = false;
+    *os_ << "\n" << line;
+  };
+  emit("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" +
+       std::to_string(pid) + ",\"tid\":0,\"args\":{\"name\":\"" +
+       json_escape(process_name) + "\"}}");
+  for (int rank = 0; rank < rec.num_ranks(); ++rank) {
+    emit("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" +
+         std::to_string(pid) + ",\"tid\":" + std::to_string(rank) +
+         ",\"args\":{\"name\":\"rank " + std::to_string(rank) + "\"}}");
+    for (const Event& e : rec.events(rank)) {
+      const char* cat = category_name(e.category);
+      std::string line = "{\"name\":\"";
+      line += cat;
+      line += "\",\"cat\":\"";
+      line += cat;
+      line += "\",\"ph\":\"X\",\"ts\":" + us_fixed(e.begin) +
+              ",\"dur\":" + us_fixed(e.end - e.begin) +
+              ",\"pid\":" + std::to_string(pid) +
+              ",\"tid\":" + std::to_string(rank) + ",\"args\":{\"bytes\":" +
+              std::to_string(e.bytes) +
+              ",\"peer\":" + std::to_string(e.peer) + "}}";
+      emit(line);
+    }
+  }
+}
+
+void ChromeTraceWriter::finish() {
+  if (finished_) return;
+  finished_ = true;
+  *os_ << "\n]\n";
+}
+
+// ------------------------------------------------------------ Summary
+
+double SummaryRow::crypto_pct() const noexcept {
+  if (total <= 0.0) return 0.0;
+  return 100.0 *
+         (seconds[static_cast<std::size_t>(Category::kCryptoEncrypt)] +
+          seconds[static_cast<std::size_t>(Category::kCryptoDecrypt)]) /
+         total;
+}
+
+double SummaryRow::wire_pct() const noexcept {
+  if (total <= 0.0) return 0.0;
+  return 100.0 * (seconds[static_cast<std::size_t>(Category::kWire)] +
+                  seconds[static_cast<std::size_t>(Category::kNicQueue)] +
+                  seconds[static_cast<std::size_t>(Category::kCopy)]) /
+         total;
+}
+
+double SummaryRow::wait_pct() const noexcept {
+  if (total <= 0.0) return 0.0;
+  return 100.0 *
+         (seconds[static_cast<std::size_t>(Category::kSyncWait)] +
+          seconds[static_cast<std::size_t>(Category::kArqRetransmit)]) /
+         total;
+}
+
+Summary Summary::from(const TraceRecorder& rec) {
+  Summary summary;
+  summary.rows.reserve(static_cast<std::size_t>(rec.num_ranks()));
+  for (int rank = 0; rank < rec.num_ranks(); ++rank) {
+    SummaryRow row;
+    row.rank = rank;
+    row.total = rec.rank_end(rank) - rec.run_begin();
+    row.seconds = rec.category_seconds(rank);
+    double covered = 0.0;
+    for (const double s : row.seconds) covered += s;
+    row.idle = row.total - covered;
+    summary.rows.push_back(row);
+  }
+  return summary;
+}
+
+SummaryRow Summary::aggregate() const {
+  SummaryRow agg;
+  agg.rank = -1;
+  for (const SummaryRow& row : rows) {
+    agg.total += row.total;
+    agg.idle += row.idle;
+    for (std::size_t c = 0; c < kNumCategories; ++c) {
+      agg.seconds[c] += row.seconds[c];
+    }
+  }
+  return agg;
+}
+
+void write_attribution_csv(std::ostream& os, const Summary& summary,
+                           const std::string& config, bool header) {
+  if (header) {
+    os << "config,rank,total_s";
+    for (std::size_t c = 0; c < kNumCategories; ++c) {
+      os << "," << category_name(static_cast<Category>(c)) << "_s";
+    }
+    os << ",idle_s,crypto_pct,wire_pct,wait_pct\n";
+  }
+  auto emit = [&](const SummaryRow& row, const std::string& rank_label) {
+    os << config << "," << rank_label << "," << sec_fixed(row.total);
+    for (const double s : row.seconds) os << "," << sec_fixed(s);
+    os << "," << sec_fixed(row.idle) << "," << pct_fixed(row.crypto_pct())
+       << "," << pct_fixed(row.wire_pct()) << ","
+       << pct_fixed(row.wait_pct()) << "\n";
+  };
+  for (const SummaryRow& row : summary.rows) {
+    emit(row, std::to_string(row.rank));
+  }
+  emit(summary.aggregate(), "all");
+}
+
+void print_summary(std::ostream& os, const Summary& summary,
+                   const std::string& title) {
+  os << title << "\n";
+  const SummaryRow agg = summary.aggregate();
+  os << "  total " << sec_fixed(agg.total) << " s over "
+     << summary.rows.size() << " rank(s): crypto "
+     << pct_fixed(agg.crypto_pct()) << "%, wire/copy "
+     << pct_fixed(agg.wire_pct()) << "%, wait "
+     << pct_fixed(agg.wait_pct()) << "%\n";
+}
+
+}  // namespace emc::trace

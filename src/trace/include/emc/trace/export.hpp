@@ -1,0 +1,86 @@
+// Trace exporters: Chrome trace_event JSON (loadable in Perfetto /
+// chrome://tracing) and the per-rank overhead-attribution summary
+// that reproduces the paper's crypto-vs-wire-vs-wait decomposition.
+//
+// Both exporters format numbers deterministically (integer
+// nanoseconds for timestamps, fixed 9-digit seconds for the summary),
+// so two runs with identical virtual timelines produce byte-identical
+// files — the property the determinism tests and the traced bench
+// acceptance check assert.
+#pragma once
+
+#include <array>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "emc/trace/trace.hpp"
+
+namespace emc::trace {
+
+/// Streams one or more traced worlds into a single Chrome trace_event
+/// JSON array: one "process" (pid) per world, one "thread" (tid) per
+/// rank, complete ("X") events carrying category/bytes/peer args.
+/// Load the file in https://ui.perfetto.dev or chrome://tracing.
+class ChromeTraceWriter {
+ public:
+  /// Starts the JSON array on @p os (kept by reference; must outlive
+  /// the writer and finish() must be called before it is read).
+  explicit ChromeTraceWriter(std::ostream& os);
+
+  /// Appends every retained event of @p rec as pid=@p pid, plus
+  /// process/thread metadata naming it @p process_name.
+  void add_world(const TraceRecorder& rec, const std::string& process_name,
+                 int pid);
+
+  /// Closes the JSON array. Idempotent.
+  void finish();
+
+ private:
+  std::ostream* os_;
+  bool first_ = true;
+  bool finished_ = false;
+};
+
+/// Per-rank decomposition of a traced run: where every virtual second
+/// went. `idle` is the residual total - sum(seconds); with complete
+/// instrumentation it is zero (asserted by tests for the p2p paths)
+/// and it guarantees the rows always sum to the rank total exactly.
+struct SummaryRow {
+  int rank = 0;
+  double total = 0.0;  ///< rank end - run begin (virtual seconds)
+  std::array<double, kNumCategories> seconds{};
+  double idle = 0.0;
+
+  /// Grouped percentages of total (0 when total is 0): the paper's
+  /// three-way split. crypto = encrypt+decrypt; wire = wire +
+  /// nic_queue + copy (bytes moving); wait = sync_wait +
+  /// arq_retransmit (concurrency + recovery).
+  [[nodiscard]] double crypto_pct() const noexcept;
+  [[nodiscard]] double wire_pct() const noexcept;
+  [[nodiscard]] double wait_pct() const noexcept;
+};
+
+/// Attribution summary over all ranks of one traced run window.
+struct Summary {
+  std::vector<SummaryRow> rows;
+
+  [[nodiscard]] static Summary from(const TraceRecorder& rec);
+
+  /// Whole-run totals (sum over ranks).
+  [[nodiscard]] SummaryRow aggregate() const;
+};
+
+/// Writes @p summary as CSV rows labelled @p config (one row per rank
+/// plus an "all"-ranks aggregate), with a header when @p header is
+/// true. Columns: config,rank,total_s,<the eight categories>_s,
+/// idle_s,crypto_pct,wire_pct,wait_pct. Seconds use fixed 9-digit
+/// formatting (deterministic); percentages 3 digits.
+void write_attribution_csv(std::ostream& os, const Summary& summary,
+                           const std::string& config, bool header);
+
+/// Renders the summary as a human-readable table (for bench stdout).
+void print_summary(std::ostream& os, const Summary& summary,
+                   const std::string& title);
+
+}  // namespace emc::trace
