@@ -5,12 +5,20 @@
 // IntegrityError (or a replay rejection) and never hands silently
 // corrupted bytes to the application.
 //
+// The closing campaign kills ranks outright: scripted node crashes
+// mid-collective and mid-NAS-kernel, swept over crash time x crash
+// rank, with the ULFM-style revoke/agree/shrink (+ rekey) recovery
+// measured in virtual time (results/ft_recovery.csv).
+//
 //   bench_faults [--messages=N] [--rndv-messages=N] [--seed=S]
 #include <algorithm>
 #include <iostream>
+#include <optional>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "emc/ft/recover.hpp"
+#include "emc/nas/nas.hpp"
 #include "emc/netsim/fault.hpp"
 #include "emc/reliable/reliable.hpp"
 
@@ -191,6 +199,173 @@ RecoveryResult run_recovery(std::size_t msg_bytes, std::uint32_t messages,
   return r;
 }
 
+// ------------------------------------------------- rank-crash campaign
+
+/// One cell of the ULFM recovery campaign: a scripted rank crash mid
+/// workload, measured from crash to full recovery in virtual time.
+/// Every field is derived from virtual-time observations, so two runs
+/// of the same cell must compare equal bit for bit.
+struct FtCell {
+  double crash_at = 0.0;
+  double revoked_at = 0.0;    ///< identical on every survivor
+  double agree_done = 0.0;    ///< last survivor leaves ft::agree
+  double recover_done = 0.0;  ///< last survivor holds the new comm
+  double end = 0.0;
+  std::uint64_t mask = 0;     ///< committed survivor bitmask
+  std::uint64_t epoch = 0;    ///< fresh epoch of the shrunken comm
+  std::uint64_t rekeys = 0;   ///< summed over survivors (secure cells)
+  int survivors = 0;
+  bool consistent = false;  ///< identical mask/epoch/revocation everywhere
+  bool data_ok = false;     ///< post-recovery workload verified everywhere
+
+  friend bool operator==(const FtCell&, const FtCell&) = default;
+};
+
+std::string mask_bits(std::uint64_t mask, int ranks) {
+  std::string s = "0b";
+  for (int r = ranks - 1; r >= 0; --r) {
+    s += ((mask >> r) & 1) != 0 ? '1' : '0';
+  }
+  return s;
+}
+
+/// Kills @p crash_rank at @p crash_at while every rank runs the
+/// workload (a 4 KiB allgather flood or repeated mini-NAS CG), then
+/// drives the survivors through revoke -> agree -> shrink (plus a
+/// fresh group key exchange and rekey on the secure cells) and
+/// finishes the workload on the recovered communicator.
+FtCell run_ft_cell(bool nas_workload, bool secured, int ranks,
+                   int crash_rank, double crash_at) {
+  mpi::WorldConfig config;
+  config.cluster.num_nodes = ranks;
+  config.cluster.ranks_per_node = 1;
+  config.cluster.inter = net::ethernet_10g();
+  config.cluster.faults.crashes = {{.rank = crash_rank, .at = crash_at}};
+  config.verify.enabled = true;
+  // The rekey runs a real DH exchange whose modexp cost is wall-clock
+  // measured; zero the compute charge so every timeline is pure
+  // protocol + wire virtual time and the CSV replays byte-identical.
+  // Crypto stays visible on the secure cells through the analytic
+  // cost model, which advances the clock directly (unscaled).
+  config.cpu_scale = 0.0;
+
+  static const crypto::DhGroup dh = crypto::generate_test_group(192, 42);
+
+  const auto n = static_cast<std::size_t>(ranks);
+  std::vector<double> revoked(n, -1.0);
+  std::vector<double> agreed(n, -1.0);
+  std::vector<double> recovered(n, -1.0);
+  std::vector<std::uint64_t> masks(n, 0);
+  std::vector<std::uint64_t> epochs(n, 0);
+  std::vector<std::uint64_t> rekeys(n, 0);
+  std::vector<char> workload_ok(n, 0);
+
+  mpi::World world(config);
+  FtCell cell;
+  cell.crash_at = crash_at;
+  cell.end = world.run([&](mpi::Comm& comm) {
+    const auto me = static_cast<std::size_t>(comm.rank());
+
+    std::optional<secure::SecureComm> sec;
+    if (secured) {
+      secure::SecureConfig sc;
+      sc.provider = "boringssl-sim";
+      sc.key = crypto::demo_key(32);
+      sc.nonce_mode = secure::NonceMode::kCounter;
+      sc.cost_model = bench::nominal_cost_model(sc.provider);
+      sec.emplace(comm, sc);
+    }
+    mpi::Communicator& pre =
+        sec ? static_cast<mpi::Communicator&>(*sec) : comm;
+
+    // One workload step on @p ch; returns whether its result verified.
+    const auto step = [&](mpi::Communicator& ch, sim::Process& proc) {
+      if (nas_workload) {
+        return nas::run_cg(ch, proc, nas::ProblemClass::kS).verified;
+      }
+      Bytes part(4 * 1024, static_cast<std::uint8_t>(0x30 + ch.rank()));
+      Bytes all(part.size() * static_cast<std::size_t>(ch.size()));
+      ch.allgather(part, all);
+      bool good = true;
+      for (int r = 0; r < ch.size(); ++r) {
+        const std::uint8_t* row =
+            all.data() + static_cast<std::size_t>(r) * part.size();
+        for (std::size_t b = 0; b < part.size(); ++b) {
+          good &= row[b] == static_cast<std::uint8_t>(0x30 + r);
+        }
+      }
+      return good;
+    };
+
+    // The crashed rank dies mid step; every survivor fails over into
+    // recovery. The loop bound only guards a broken revocation path.
+    bool revoked_seen = false;
+    for (int it = 0; it < 100000 && !revoked_seen; ++it) {
+      try {
+        (void)step(pre, comm.process());
+      } catch (const ft::RevokedError& e) {
+        revoked[me] = e.revoked_at;
+        revoked_seen = true;
+      }
+    }
+    if (!revoked_seen) {
+      throw std::runtime_error("ft campaign: revocation never arrived");
+    }
+
+    const std::uint64_t mask = ft::agree(comm);
+    masks[me] = mask;
+    agreed[me] = comm.process().now();
+
+    std::unique_ptr<mpi::Comm> plain_next;
+    ft::SecureRecovery rec;
+    mpi::Comm* next = nullptr;
+    mpi::Communicator* post = nullptr;
+    if (secured) {
+      rec = ft::shrink_secure(comm, mask, sec->config(), dh);
+      next = rec.comm.get();
+      post = rec.secure.get();
+      rekeys[me] = rec.secure->counters().rekeys;
+    } else {
+      plain_next = ft::shrink(comm, mask);
+      next = plain_next.get();
+      post = plain_next.get();
+    }
+    recovered[me] = comm.process().now();
+    epochs[me] = next->epoch();
+
+    // Finish the workload on the recovered communicator; every
+    // survivor must verify it end to end with zero data errors.
+    bool good = true;
+    const int rounds = nas_workload ? 1 : 4;
+    for (int i = 0; i < rounds; ++i) good &= step(*post, next->process());
+    workload_ok[me] = good ? 1 : 0;
+  });
+
+  // Host-side reduction: the survivors must have observed identical
+  // revocation, mask, and epoch; recovery cost is the latest survivor.
+  bool all_data_ok = true;
+  cell.consistent = true;
+  for (int r = 0; r < ranks; ++r) {
+    const auto i = static_cast<std::size_t>(r);
+    if (recovered[i] < 0.0) continue;  // the crashed rank never recovers
+    if (cell.survivors == 0) {
+      cell.revoked_at = revoked[i];
+      cell.mask = masks[i];
+      cell.epoch = epochs[i];
+    } else {
+      cell.consistent &= revoked[i] == cell.revoked_at &&
+                         masks[i] == cell.mask && epochs[i] == cell.epoch;
+    }
+    ++cell.survivors;
+    cell.agree_done = std::max(cell.agree_done, agreed[i]);
+    cell.recover_done = std::max(cell.recover_done, recovered[i]);
+    cell.rekeys += rekeys[i];
+    all_data_ok &= workload_ok[i] != 0;
+  }
+  cell.data_ok = cell.survivors > 0 && all_data_ok;
+  return cell;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -345,6 +520,79 @@ int main(int argc, char** argv) {
   std::cout << "    determinism: identical recovery rerun for seed " << seed
             << " (end time " << ra.end << "s)\n";
   if (const auto saved = recovery.save_csv("reliability.csv")) {
+    std::cout << "csv: " << *saved << "\n";
+  }
+
+  // ------------------------------------------------ rank-crash campaign
+  // Rank crashes are not wire damage: the ARQ cannot retransmit around
+  // a dead endpoint. This campaign kills one rank mid-collective and
+  // mid-NAS-iteration and measures the ULFM-style recovery — revoke,
+  // survivor agreement, shrink, and (encrypted cells) the fresh group
+  // key exchange + rekey — entirely in virtual time.
+  std::cout << "\n### Rank-crash recovery campaign (revoke/agree/shrink"
+               " + rekey)\n"
+            << "    4 ranks, one scripted crash; sweep crash rank x crash"
+               " time, mid-allgather and mid-NAS-CG\n";
+
+  Table ft_table("Virtual-time cost of ULFM-style recovery",
+                 {"workload", "transport", "crash rank", "crash t",
+                  "survivor mask", "revoke delay", "agree", "shrink+rekey",
+                  "total recovery", "rekeys", "end t", "workload ok"});
+
+  const int ft_ranks = 4;
+  bool ft_clean = true;
+  for (const bool nas_workload : {false, true}) {
+    for (const bool secured : {false, true}) {
+      for (const int crash_rank : {0, 1, 3}) {
+        for (const double crash_at : {1.5e-4, 4.5e-4}) {
+          const FtCell c = run_ft_cell(nas_workload, secured, ft_ranks,
+                                       crash_rank, crash_at);
+          ft_table.add_row(
+              {nas_workload ? "NAS CG (S)" : "allgather 4KB",
+               secured ? "AES-GCM + rekey" : "plain",
+               std::to_string(crash_rank), bench::fmt_us(c.crash_at),
+               mask_bits(c.mask, ft_ranks),
+               bench::fmt_us(c.revoked_at - c.crash_at),
+               bench::fmt_us(c.agree_done - c.revoked_at),
+               bench::fmt_us(c.recover_done - c.agree_done),
+               bench::fmt_us(c.recover_done - c.crash_at), u64(c.rekeys),
+               bench::fmt_us(c.end), c.data_ok ? "yes" : "NO"});
+          // Gate: exactly the crashed rank died, every survivor agreed
+          // on the same mask/epoch/revocation, the post-recovery
+          // workload verified everywhere, and encrypted cells rekeyed
+          // exactly once per survivor.
+          const std::uint64_t want_mask =
+              ((std::uint64_t{1} << ft_ranks) - 1) &
+              ~(std::uint64_t{1} << crash_rank);
+          const std::uint64_t want_rekeys =
+              secured ? static_cast<std::uint64_t>(c.survivors) : 0;
+          if (!c.consistent || !c.data_ok || c.survivors != ft_ranks - 1 ||
+              c.mask != want_mask || c.rekeys != want_rekeys) {
+            ft_clean = false;
+          }
+        }
+      }
+    }
+  }
+  ft_table.print(std::cout);
+  if (!ft_clean) {
+    std::cout << "!! rank-crash recovery left errors or disagreement\n";
+    return 1;
+  }
+
+  // Reproducibility gate: crash recovery — including the rekey's group
+  // key exchange — must replay bit-exact for both workload shapes.
+  const FtCell fa = run_ft_cell(false, true, ft_ranks, 3, 1.5e-4);
+  const FtCell fb = run_ft_cell(false, true, ft_ranks, 3, 1.5e-4);
+  const FtCell ga = run_ft_cell(true, true, ft_ranks, 1, 4.5e-4);
+  const FtCell gb = run_ft_cell(true, true, ft_ranks, 1, 4.5e-4);
+  if (!(fa == fb) || !(ga == gb)) {
+    std::cout << "!! rank-crash recovery is not deterministic\n";
+    return 1;
+  }
+  std::cout << "    determinism: identical recovery reruns (end times "
+            << fa.end << "s / " << ga.end << "s)\n";
+  if (const auto saved = ft_table.save_csv("ft_recovery.csv")) {
     std::cout << "csv: " << *saved << "\n";
   }
   return 0;

@@ -45,10 +45,24 @@ void Table::print(std::ostream& os) const {
 }
 
 void Table::write_csv(std::ostream& os) const {
-  const auto emit = [&os](const std::vector<std::string>& cells) {
+  // RFC 4180 quoting: cells with separators (fmt_us's thousands
+  // grouping, free-text labels) must not shift the column structure.
+  const auto field = [&os](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) {
+      os << cell;
+      return;
+    }
+    os << '"';
+    for (const char ch : cell) {
+      if (ch == '"') os << '"';
+      os << ch;
+    }
+    os << '"';
+  };
+  const auto emit = [&field, &os](const std::vector<std::string>& cells) {
     for (std::size_t c = 0; c < cells.size(); ++c) {
       if (c != 0) os << ',';
-      os << cells[c];
+      field(cells[c]);
     }
     os << '\n';
   };

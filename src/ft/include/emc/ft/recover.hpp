@@ -1,0 +1,69 @@
+// ULFM-style recovery protocol: agree on the survivor set of a
+// revoked communicator, shrink to a fresh re-ranked communicator over
+// it, and (for encrypted runs) re-key so post-recovery traffic never
+// reuses the pre-crash key/nonce stream.
+//
+// The protocol runs over an internal *recovery communicator* — same
+// group as the revoked parent, epoch recovery_epoch(parent), marked
+// recovery so its operations bypass the revocation guard and poll the
+// failure detector instead of blocking on dead peers. Agreement is a
+// log-structured all-reduce of survivor bitmasks: the lowest-ranked
+// survivor coordinates, collects every reachable rank's view of the
+// alive set, intersects, and commits the result to the shared decision
+// board (the commit point). Coordinator death mid-protocol promotes
+// the next survivor; the board's first-commit-wins semantics guarantee
+// every rank — including followers of a dead coordinator rescued by
+// the board — returns the identical mask.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "emc/crypto/dh.hpp"
+#include "emc/ft/state.hpp"
+#include "emc/mpi/comm.hpp"
+#include "emc/secure_mpi/key_exchange.hpp"
+#include "emc/secure_mpi/secure_comm.hpp"
+
+namespace emc::ft {
+
+/// Fault-tolerant agreement over the survivors of @p parent's epoch.
+/// Collective among survivors; tolerates further crashes while it
+/// runs. Returns the committed survivor bitmask — bit i = parent-local
+/// rank i — identical on every surviving rank. Requires the ft layer
+/// (throws mpi::MpiError otherwise) and parent.size() <= 64.
+[[nodiscard]] std::uint64_t agree(mpi::Comm& parent);
+
+/// Builds the re-ranked communicator over the agreed survivor set
+/// (@p mask as returned by agree, bit i = parent-local rank i). Local
+/// and collective: the caller's bit must be set (an alive rank that
+/// the agreement declared dead cannot continue — throws
+/// mpi::MpiError), and every survivor must call it with the identical
+/// mask. The new communicator gets the fresh epoch assigned at the
+/// commit point, so stragglers of the revoked epoch can never match
+/// into it.
+[[nodiscard]] std::unique_ptr<mpi::Comm> shrink(mpi::Comm& parent,
+                                                std::uint64_t mask);
+
+/// A recovered encrypted communicator: the shrunken plain comm plus a
+/// SecureComm re-keyed over it. The comm must outlive the secure
+/// wrapper (members are declared in that order).
+struct SecureRecovery {
+  std::unique_ptr<mpi::Comm> comm;
+  std::unique_ptr<secure::SecureComm> secure;
+};
+
+/// shrink + fresh group key exchange for encrypted runs. The key
+/// exchange seed is mixed with the shrunken communicator's fresh epoch
+/// so the recovered session key — and with it the AES-GCM nonce
+/// stream — can never collide with pre-crash traffic, and the new
+/// SecureComm starts from nonce counter zero with counters().rekeys
+/// == 1. @p secure_config is typically the parent SecureComm's
+/// config() (its pre-crash key is replaced by the freshly exchanged
+/// one).
+[[nodiscard]] SecureRecovery shrink_secure(
+    mpi::Comm& parent, std::uint64_t mask,
+    const secure::SecureConfig& secure_config, const crypto::DhGroup& dh,
+    secure::KeyExchangeConfig kx = {});
+
+}  // namespace emc::ft

@@ -1,0 +1,206 @@
+// Fault-tolerance core state — ULFM-style communicator revocation.
+//
+// One ft::State per World (constructed when the fault plan scripts
+// rank crashes or WorldConfig::ft.enabled is set) holds everything the
+// recovery protocol shares across ranks:
+//
+//   * the failure detector — crash times are scripted in the seeded
+//     FaultPlan, so "is rank r detectably dead at virtual time t" is a
+//     pure function (crash_at[r] + detect_timeout <= t). The detector
+//     is perfect (no false suspicion: a suspected rank really is dead
+//     in virtual time) and deterministic, which keeps every recovery
+//     schedule byte-reproducible.
+//   * per-epoch revocation records — the first operation that observes
+//     a dead peer revokes the communicator epoch; every later or
+//     pending operation on that epoch fails fast with RevokedError.
+//   * the agreement decision board — the durable commit point of
+//     ft::agree (see recover.hpp): once any coordinator commits a
+//     survivor mask for a revoked epoch, every rank — including ranks
+//     that only learn of the decision after the coordinator died —
+//     adopts the identical mask. The per-attempt log is kept for
+//     introspection (the "log-structured" view of the all-reduce).
+//
+// All members are only touched from simulated-process context; the
+// engine serializes those, so no locking is needed.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace emc::ft {
+
+/// Fault-tolerance knobs; embedded in mpi::WorldConfig as `ft`.
+struct Config {
+  /// Activates revoke/agree/shrink support even without scripted
+  /// crashes (e.g. to recover from ARQ dead links). Scripted crashes
+  /// in the fault plan activate the layer regardless.
+  bool enabled = false;
+
+  /// Failure-suspicion delay in virtual seconds: a crashed rank
+  /// becomes detectable this long after its crash time, and bounded
+  /// waits poll revocation/detection state at this granularity.
+  /// Must be positive.
+  double detect_timeout = 250e-6;
+};
+
+/// Structured failure of an operation on a revoked communicator
+/// epoch. Carries enough context to drive recovery: the epoch, the
+/// world rank whose death triggered the revocation (-1 when the
+/// trigger was a dead link rather than a known crash), and the virtual
+/// time of the revocation.
+struct RevokedError : std::runtime_error {
+  RevokedError(std::uint64_t epoch_, int dead_rank_, double revoked_at_)
+      : std::runtime_error(
+            "communicator epoch " + std::to_string(epoch_) +
+            " revoked at t=" + std::to_string(revoked_at_) +
+            (dead_rank_ >= 0
+                 ? " after rank " + std::to_string(dead_rank_) + " died"
+                 : " after a peer became unreachable")),
+        epoch(epoch_),
+        dead_rank(dead_rank_),
+        revoked_at(revoked_at_) {}
+
+  std::uint64_t epoch;
+  int dead_rank;
+  double revoked_at;
+};
+
+/// One attempt of the agreement protocol, kept for introspection and
+/// tests: which coordinator proposed which mask, and whether that
+/// attempt reached the commit point.
+struct AgreeLogEntry {
+  std::uint64_t epoch = 0;  ///< revoked epoch being recovered
+  int attempt = 0;
+  int coordinator = -1;     ///< world rank
+  std::uint64_t mask = 0;   ///< survivor bitmask (bit i = parent-local rank i)
+  bool committed = false;
+};
+
+/// A committed agreement: the survivor mask every rank returns from
+/// ft::agree for one revoked epoch, plus the fresh epoch assigned to
+/// the shrunken communicator built from it.
+struct Decision {
+  std::uint64_t mask = 0;
+  std::uint64_t next_epoch = 0;
+};
+
+class State {
+ public:
+  /// @p crash_at has one entry per world rank: the virtual crash time,
+  /// or +infinity for ranks that never crash.
+  State(const Config& config, std::vector<double> crash_at)
+      : config_(config), crash_at_(std::move(crash_at)) {}
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+  [[nodiscard]] int num_ranks() const noexcept {
+    return static_cast<int>(crash_at_.size());
+  }
+
+  /// Scripted crash time of @p world_rank (+infinity = never).
+  [[nodiscard]] double crash_time(int world_rank) const {
+    return crash_at_.at(static_cast<std::size_t>(world_rank));
+  }
+
+  /// Ground truth: has @p world_rank crashed by virtual time @p t?
+  /// Used for memory safety (a dead rank's buffers are gone — never
+  /// dereference its rendezvous state), independent of the detector.
+  [[nodiscard]] bool crashed_by(int world_rank, double t) const {
+    return crash_time(world_rank) <= t;
+  }
+
+  /// Failure detector: is @p world_rank's crash detectable at @p t?
+  /// Perfect but delayed by detect_timeout.
+  [[nodiscard]] bool detectable(int world_rank, double t) const {
+    return crash_time(world_rank) + config_.detect_timeout <= t;
+  }
+
+  // --- Revocation ------------------------------------------------------
+
+  [[nodiscard]] bool revoked(std::uint64_t epoch) const {
+    return revoked_.contains(epoch);
+  }
+
+  /// Revokes @p epoch (idempotent; the first revocation wins). Every
+  /// surviving rank's pending and future operations on the epoch fail
+  /// with RevokedError from this virtual time on.
+  void revoke(std::uint64_t epoch, int dead_rank, double at) {
+    revoked_.try_emplace(epoch, RevokeRecord{dead_rank, at, {}});
+  }
+
+  [[noreturn]] void throw_revoked(std::uint64_t epoch) const {
+    const RevokeRecord& rec = revoked_.at(epoch);
+    throw RevokedError(epoch, rec.dead_rank, rec.at);
+  }
+
+  /// World rank that triggered the revocation of @p epoch (-1 when
+  /// unknown); only valid while revoked(epoch).
+  [[nodiscard]] int dead_rank(std::uint64_t epoch) const {
+    return revoked_.at(epoch).dead_rank;
+  }
+
+  /// Records that @p world_rank posted a new operation on revoked
+  /// @p epoch; returns how many such posts it has made (1 = the post
+  /// that first observed the revocation — expected; 2+ = the rank is
+  /// ignoring the revocation and keeps posting).
+  std::uint64_t note_post_after_revoke(std::uint64_t epoch, int world_rank) {
+    return ++revoked_.at(epoch).posts[world_rank];
+  }
+
+  // --- Agreement decision board ---------------------------------------
+
+  /// The committed decision for @p epoch, or null if no coordinator
+  /// reached the commit point yet.
+  [[nodiscard]] const Decision* decision(std::uint64_t epoch) const {
+    const auto it = decisions_.find(epoch);
+    return it == decisions_.end() ? nullptr : &it->second;
+  }
+
+  /// Commits @p mask as the survivor set for @p epoch and assigns the
+  /// shrunken communicator's fresh epoch. Idempotent: the first commit
+  /// wins and later calls return it unchanged — that is the agreement
+  /// guarantee when a dying coordinator races a successor.
+  const Decision& commit_decision(std::uint64_t epoch, std::uint64_t mask) {
+    const auto [it, inserted] =
+        decisions_.try_emplace(epoch, Decision{mask, 0});
+    if (inserted) it->second.next_epoch = next_epoch_++;
+    return it->second;
+  }
+
+  void log_append(const AgreeLogEntry& entry) { log_.push_back(entry); }
+
+  [[nodiscard]] const std::vector<AgreeLogEntry>& agree_log() const noexcept {
+    return log_;
+  }
+
+  /// Epoch of the internal recovery communicator that runs the
+  /// agreement for revoked @p epoch. The high bit keeps the recovery
+  /// tag/epoch space disjoint from application epochs.
+  [[nodiscard]] static constexpr std::uint64_t recovery_epoch(
+      std::uint64_t epoch) noexcept {
+    return epoch | (std::uint64_t{1} << 63);
+  }
+
+ private:
+  struct RevokeRecord {
+    int dead_rank = -1;
+    double at = 0.0;
+    /// Per-world-rank count of new operations posted on the epoch
+    /// after revocation (drives the keeps-posting diagnostic).
+    std::map<int, std::uint64_t> posts;
+  };
+
+  Config config_;
+  std::vector<double> crash_at_;
+  std::map<std::uint64_t, RevokeRecord> revoked_;
+  std::map<std::uint64_t, Decision> decisions_;
+  std::vector<AgreeLogEntry> log_;
+  std::uint64_t next_epoch_ = 1;  ///< epoch 0 is the world communicator
+};
+
+}  // namespace emc::ft

@@ -1,0 +1,185 @@
+#include "emc/ft/recover.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "emc/reliable/reliable.hpp"
+#include "emc/verify/verifier.hpp"
+
+namespace emc::ft {
+
+namespace {
+
+constexpr std::uint64_t bit(int i) noexcept {
+  return std::uint64_t{1} << i;
+}
+
+void put_u64(std::uint8_t* p, std::uint64_t v) noexcept {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) noexcept {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t{p[i]} << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+std::uint64_t agree(mpi::Comm& parent) {
+  State* st = parent.world().ft_state();
+  if (st == nullptr) {
+    throw mpi::MpiError("ft::agree requires the fault-tolerance layer");
+  }
+  const int n = parent.size();
+  if (n > 64) {
+    throw mpi::MpiError("ft::agree supports at most 64 ranks, got " +
+                        std::to_string(n));
+  }
+  const std::uint64_t epoch = parent.epoch();
+  if (const Decision* d = st->decision(epoch)) return d->mask;
+
+  // The internal recovery communicator: same group as the parent, a
+  // disjoint (high-bit) epoch and tag space, revocation guard off, and
+  // detector-polling receives.
+  std::vector<int> group(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    group[static_cast<std::size_t>(i)] = parent.to_world(i);
+  }
+  mpi::Comm rc(parent.world(), parent.process(), group,
+               State::recovery_epoch(epoch), /*recovery=*/true);
+
+  const int me = parent.rank();
+  const auto decided = [&] { return st->decision(epoch) != nullptr; };
+  // Ranks dropped by a direct dead-link observation. Monotone, so the
+  // coordinator succession never revisits a dead coordinator and the
+  // retry loop terminates (the crash set is finite).
+  std::uint64_t suspect = 0;
+  std::uint8_t wire[8];
+
+  for (int attempt = 0;; ++attempt) {
+    if (const Decision* d = st->decision(epoch)) return d->mask;
+
+    // This rank's current view of the survivor set.
+    std::uint64_t alive = bit(me);
+    const double t = parent.now();
+    for (int i = 0; i < n; ++i) {
+      if (i != me && (suspect & bit(i)) == 0 &&
+          !st->detectable(group[static_cast<std::size_t>(i)], t)) {
+        alive |= bit(i);
+      }
+    }
+    const int coord = std::countr_zero(alive);
+    const int report_tag = coord * 2;
+    const int result_tag = coord * 2 + 1;
+
+    if (coord == me) {
+      // Coordinator: collect every survivor's view and intersect.
+      // A rank that dies mid-collection is dropped; a concurrent
+      // commit on the board (possible only through asymmetric link
+      // suspicion — scripted crashes are seen identically everywhere)
+      // is adopted instead of committed over.
+      std::uint64_t mask = alive;
+      for (int i = 0; i < n; ++i) {
+        if (i == me || (alive & bit(i)) == 0) continue;
+        try {
+          const auto status =
+              rc.recv_or_abort({wire, sizeof wire}, i, report_tag, decided);
+          if (!status.has_value()) break;  // board decided elsewhere
+          mask &= get_u64(wire);
+        } catch (const reliable::PeerUnreachable&) {
+          suspect |= bit(i);
+          mask &= ~bit(i);
+        }
+      }
+      if (const Decision* d = st->decision(epoch)) return d->mask;
+      // Drop anyone who died while the reports were being collected,
+      // then commit — the commit point of the whole protocol.
+      const double tc = parent.now();
+      for (int i = 0; i < n; ++i) {
+        if (i != me &&
+            st->detectable(group[static_cast<std::size_t>(i)], tc)) {
+          mask &= ~bit(i);
+        }
+      }
+      mask = (mask & ~suspect) | bit(me);
+      const Decision& d = st->commit_decision(epoch, mask);
+      st->log_append({epoch, attempt, parent.to_world(me), d.mask, true});
+      put_u64(wire, d.mask);
+      for (int i = 0; i < n; ++i) {
+        if (i == me || (d.mask & bit(i)) == 0) continue;
+        try {
+          rc.send({wire, sizeof wire}, i, result_tag);
+        } catch (const reliable::PeerUnreachable&) {
+          // The member died between commit and result delivery; it no
+          // longer needs the result.
+        }
+      }
+      return d.mask;
+    }
+
+    // Follower: report our view, then wait for the coordinator's
+    // result. Coordinator death at either step promotes the next
+    // survivor and retries; a decision landing on the board while we
+    // wait rescues us regardless of what happened to the coordinator.
+    try {
+      put_u64(wire, alive);
+      rc.send({wire, sizeof wire}, coord, report_tag);
+      const auto status =
+          rc.recv_or_abort({wire, sizeof wire}, coord, result_tag, decided);
+      if (status.has_value()) return get_u64(wire);
+      return st->decision(epoch)->mask;
+    } catch (const reliable::PeerUnreachable&) {
+      suspect |= bit(coord);
+      st->log_append({epoch, attempt, parent.to_world(coord), alive, false});
+    }
+  }
+}
+
+std::unique_ptr<mpi::Comm> shrink(mpi::Comm& parent, std::uint64_t mask) {
+  State* st = parent.world().ft_state();
+  if (st == nullptr) {
+    throw mpi::MpiError("ft::shrink requires the fault-tolerance layer");
+  }
+  if ((mask & bit(parent.rank())) == 0) {
+    throw mpi::MpiError(
+        "ft::shrink: the agreement declared rank " +
+        std::to_string(parent.rank()) +
+        " dead; a rank outside the survivor set cannot join the "
+        "shrunken communicator");
+  }
+  // Idempotent: agree already committed; a caller passing a hand-built
+  // mask before any agreement commits it here.
+  const Decision& d = st->commit_decision(parent.epoch(), mask);
+  if (d.mask != mask) {
+    throw mpi::MpiError(
+        "ft::shrink: survivor mask disagrees with the committed decision "
+        "for this epoch (did every rank pass the mask returned by "
+        "ft::agree?)");
+  }
+  std::vector<int> group;
+  for (int i = 0; i < parent.size(); ++i) {
+    if ((d.mask & bit(i)) != 0) group.push_back(parent.to_world(i));
+  }
+  return std::make_unique<mpi::Comm>(parent.world(), parent.process(),
+                                     std::move(group), d.next_epoch);
+}
+
+SecureRecovery shrink_secure(mpi::Comm& parent, std::uint64_t mask,
+                             const secure::SecureConfig& secure_config,
+                             const crypto::DhGroup& dh,
+                             secure::KeyExchangeConfig kx) {
+  SecureRecovery out;
+  out.comm = shrink(parent, mask);
+  // Never reuse the pre-crash key-exchange randomness: the seed is
+  // mixed with the shrunken communicator's fresh epoch, so the
+  // recovered session key — and the AES-GCM nonce stream under it —
+  // is disjoint from all earlier traffic.
+  kx.seed ^= verify::splitmix64(out.comm->epoch());
+  const Bytes key = secure::establish_group_key(*out.comm, dh, kx);
+  out.secure = std::make_unique<secure::SecureComm>(*out.comm, secure_config);
+  out.secure->rekey(key);
+  return out;
+}
+
+}  // namespace emc::ft

@@ -14,20 +14,24 @@ namespace detail {
 namespace {
 
 bool matches(const Envelope& env, const PendingRecv& pr) {
-  return (pr.want_src == kAnySource || pr.want_src == env.src) &&
+  return env.comm_epoch == pr.want_epoch &&
+         (pr.want_src == kAnySource || pr.want_src == env.src) &&
          (pr.want_tag == kAnyTag || pr.want_tag == env.tag);
 }
 
 /// Shared teardown reporting of both request kinds: a request
 /// destroyed without ever being waited on is a leak — unless the
-/// stack is unwinding (simulation teardown or a caller exception), in
-/// which case the verifier is only told to drop its tracking entry.
+/// stack is unwinding (simulation teardown or a caller exception) or
+/// the request's communicator epoch was revoked (recovery abandons
+/// in-flight requests by design), in which case the verifier is only
+/// told to drop its tracking entry.
 void finish_tracked_request(verify::Verifier* vrf, std::uint64_t vid,
-                            bool waited) {
+                            bool waited, ft::State* ft, std::uint64_t epoch) {
   if (vrf == nullptr || vid == 0) return;
-  vrf->on_request_finish(vid, waited || std::uncaught_exceptions() > 0
-                                  ? verify::ReqFinish::kDropped
-                                  : verify::ReqFinish::kLeaked);
+  const bool benign = waited || std::uncaught_exceptions() > 0 ||
+                      (ft != nullptr && ft->revoked(epoch));
+  vrf->on_request_finish(vid, benign ? verify::ReqFinish::kDropped
+                                     : verify::ReqFinish::kLeaked);
 }
 
 }  // namespace
@@ -41,8 +45,10 @@ struct SendState final : RequestState {
   verify::Verifier* vrf = nullptr;
   std::uint64_t vid = 0;
   bool waited = false;
+  ft::State* ft = nullptr;
+  std::uint64_t epoch = 0;
 
-  ~SendState() override { finish_tracked_request(vrf, vid, waited); }
+  ~SendState() override { finish_tracked_request(vrf, vid, waited, ft, epoch); }
 };
 
 /// Request state of a non-blocking receive. Deregisters itself from
@@ -53,12 +59,14 @@ struct RecvState final : RequestState {
   verify::Verifier* vrf = nullptr;
   std::uint64_t vid = 0;
   bool waited = false;
+  ft::State* ft = nullptr;
+  std::uint64_t epoch = 0;
 
   ~RecvState() override {
     if (mailbox != nullptr && !pr.matched) {
       std::erase(mailbox->posted, &pr);
     }
-    finish_tracked_request(vrf, vid, waited);
+    finish_tracked_request(vrf, vid, waited, ft, epoch);
   }
 };
 
@@ -71,18 +79,82 @@ using detail::RndvHandshake;
 using detail::SendState;
 
 Comm::Comm(World& world, sim::Process& proc)
+    : Comm(world, proc, {}, 0, false) {}
+
+Comm::Comm(World& world, sim::Process& proc, std::vector<int> group,
+           std::uint64_t epoch, bool recovery)
     : world_(&world),
       proc_(&proc),
       vrf_(world.verifier()),
       arq_(world.reliability()),
-      trc_(world.trace()) {}
+      trc_(world.trace()),
+      ft_(world.ft_state()),
+      group_(std::move(group)),
+      local_rank_(proc.index()),
+      epoch_(epoch),
+      recovery_(recovery) {
+  if (group_.empty()) return;
+  int local = -1;
+  for (std::size_t i = 0; i < group_.size(); ++i) {
+    const int w = group_[i];
+    if (w < 0 || w >= world_->size()) {
+      throw MpiError("Comm group: world rank " + std::to_string(w) +
+                     " out of range");
+    }
+    if (i > 0 && group_[i - 1] >= w) {
+      throw MpiError("Comm group must be strictly ascending world ranks");
+    }
+    if (w == proc_->index()) local = static_cast<int>(i);
+  }
+  if (local < 0) {
+    throw MpiError("Comm group does not contain the calling rank " +
+                   std::to_string(proc_->index()));
+  }
+  local_rank_ = local;
+}
+
+int Comm::to_local(int world_rank) const {
+  if (group_.empty()) {
+    return world_rank >= 0 && world_rank < world_->size() ? world_rank : -1;
+  }
+  const auto it = std::lower_bound(group_.begin(), group_.end(), world_rank);
+  return it != group_.end() && *it == world_rank
+             ? static_cast<int>(it - group_.begin())
+             : -1;
+}
+
+void Comm::ft_guard(bool post) {
+  if (ft_ == nullptr || recovery_ || !ft_->revoked(epoch_)) return;
+  if (post) {
+    const std::uint64_t n = ft_->note_post_after_revoke(epoch_, wrank());
+    if (n >= 2 && vrf_ != nullptr) {
+      vrf_->on_post_after_revoke(wrank(), epoch_, n);
+    }
+  }
+  ft_->throw_revoked(epoch_);
+}
+
+template <typename F>
+decltype(auto) Comm::guarded(F&& f) {
+  if (ft_ == nullptr || recovery_) return f();
+  try {
+    return f();
+  } catch (const reliable::PeerUnreachable& e) {
+    // First structured observation of a dead peer revokes the epoch;
+    // every later or pending operation on it fails fast with the
+    // RevokedError below instead of rediscovering the failure.
+    const int dead = e.src == wrank() ? e.dst : e.src;
+    ft_->revoke(epoch_, dead, proc_->now());
+    ft_->throw_revoked(epoch_);
+  }
+}
 
 void Comm::sleep_until(double t) { proc_->advance(t - proc_->now()); }
 
 void Comm::trace_span(trace::Category cat, double begin, int peer,
                       std::uint64_t bytes) {
   if (trc_ != nullptr && proc_->now() > begin) {
-    trc_->record(rank(), cat, begin, proc_->now(), peer, bytes);
+    trc_->record(wrank(), cat, begin, proc_->now(), peer, bytes);
   }
 }
 
@@ -98,9 +170,9 @@ void Comm::sleep_traced(double arrival, double queue_delay,
   const double mid =
       queue_delay > 0.0 ? std::min(arrival, begin + queue_delay) : begin;
   if (mid > begin) {
-    trc_->record(rank(), trace::Category::kNicQueue, begin, mid, peer, bytes);
+    trc_->record(wrank(), trace::Category::kNicQueue, begin, mid, peer, bytes);
   }
-  if (arrival > mid) trc_->record(rank(), cat, mid, arrival, peer, bytes);
+  if (arrival > mid) trc_->record(wrank(), cat, mid, arrival, peer, bytes);
 }
 
 void Comm::wait_timer(double dt) {
@@ -115,7 +187,13 @@ void Comm::wait_timer(double dt) {
 
 void Comm::note_collective(verify::CollKind kind, int root,
                            std::size_t bytes) {
-  if (vrf_ != nullptr) vrf_->on_collective(rank(), coll_seq_, kind, root, bytes);
+  if (vrf_ == nullptr) return;
+  // Mix the epoch into the verifier's collective key so invocation N
+  // of a shrunken communicator never cross-checks against invocation
+  // N of the world communicator (epoch 0 keeps the bare sequence).
+  const std::uint64_t key =
+      epoch_ == 0 ? coll_seq_ : verify::splitmix64(epoch_) + coll_seq_;
+  vrf_->on_collective(wrank(), key, kind, root, bytes);
 }
 
 int Comm::next_coll_tag() {
@@ -136,7 +214,7 @@ int Comm::next_coll_tag() {
 // ------------------------------------------------------------- matching
 
 void Comm::post_envelope(int dst, std::unique_ptr<Envelope> env) {
-  detail::Mailbox& box = world_->mailbox(dst);
+  detail::Mailbox& box = world_->mailbox(to_world(dst));
   for (auto it = box.posted.begin(); it != box.posted.end(); ++it) {
     PendingRecv* pr = *it;
     if (detail::matches(*env, *pr)) {
@@ -159,7 +237,8 @@ void Comm::deliver_eager(int dst, std::unique_ptr<Envelope> env) {
     deliver_reliable(dst, std::move(env));
     return;
   }
-  const net::FaultDecision d = faults->next(rank(), dst, env->payload.size());
+  const net::FaultDecision d =
+      faults->next(wrank(), to_world(dst), env->payload.size());
   switch (d.kind) {
     case net::FaultKind::kDrop:
       return;  // the wire ate it; nothing ever arrives
@@ -174,8 +253,8 @@ void Comm::deliver_eager(int dst, std::unique_ptr<Envelope> env) {
       copy->seq = world_->next_seq();
       // The duplicate crosses the wire again behind the original.
       copy->arrival = world_->fabric()
-                          .reserve_path(rank(), dst, copy->payload.size(),
-                                        env->arrival)
+                          .reserve_path(wrank(), to_world(dst),
+                                        copy->payload.size(), env->arrival)
                           .arrival;
       post_envelope(dst, std::move(env));
       post_envelope(dst, std::move(copy));
@@ -185,21 +264,23 @@ void Comm::deliver_eager(int dst, std::unique_ptr<Envelope> env) {
       env->arrival += d.delay_seconds;
       break;
     case net::FaultKind::kNone:
+    case net::FaultKind::kRankCrash:  // not a wire fault; never drawn
       break;
   }
   post_envelope(dst, std::move(env));
 }
 
 void Comm::deliver_reliable(int dst, std::unique_ptr<Envelope> env) {
-  if (arq_->link_dead(rank(), dst)) {
-    throw reliable::PeerUnreachable(rank(), dst, 0);
+  const int wd = to_world(dst);
+  if (arq_->link_dead(wrank(), wd)) {
+    throw reliable::PeerUnreachable(wrank(), wd, 0);
   }
   // Collective-internal traffic (tags >= 2^28) is link-checksummed, so
   // corruption is caught and retransmitted below the MPI layer; user
   // point-to-point payloads defer integrity to the upper layer.
   const bool checksummed = env->tag >= (1 << 28);
   const reliable::Delivery d =
-      arq_->deliver(rank(), dst, env->payload.size(), proc_->now(),
+      arq_->deliver(wrank(), wd, env->payload.size(), proc_->now(),
                     env->arrival, checksummed);
   env->arq_seq = d.seq;
   env->arq_transmissions = d.transmissions;
@@ -222,23 +303,64 @@ void Comm::deliver_reliable(int dst, std::unique_ptr<Envelope> env) {
       // the receiver fails fast instead of timing out, and raise the
       // structured error on the sender.
       if (vrf_ != nullptr) {
-        vrf_->on_peer_unreachable(rank(), dst, d.transmissions);
+        vrf_->on_peer_unreachable(wrank(), wd, d.transmissions);
       }
-      const int src = rank();
+      const int src = wrank();
       const std::uint32_t attempts = d.transmissions;
       env->poisoned = true;
       env->payload.clear();
       post_envelope(dst, std::move(env));
-      throw reliable::PeerUnreachable(src, dst, attempts);
+      throw reliable::PeerUnreachable(src, wd, attempts);
     }
   }
+}
+
+void Comm::await_handshake(RndvHandshake& handshake, int dst, int tag,
+                           std::uint64_t bytes) {
+  const double wait_begin = proc_->now();
+  {
+    const verify::Verifier::BlockScope block(
+        vrf_, wrank(), {verify::BlockKind::kRndvSend, dst, tag});
+    if (ft_ == nullptr) {
+      while (!handshake.completed) proc_->wait(handshake.done);
+    } else {
+      // Bounded park: if the receiver dies (or the epoch is revoked
+      // under us) nobody will ever complete the handshake — poll the
+      // failure detector instead of blocking forever. Abandoning the
+      // handshake is safe: the receiver re-checks revocation and the
+      // sender's ground-truth crash state before dereferencing any
+      // rendezvous envelope, and virtual time is globally monotone,
+      // so a receiver running before the revocation still finds the
+      // handshake (and the send buffer) intact.
+      const int wd = to_world(dst);
+      const double poll = ft_->config().detect_timeout;
+      while (!handshake.completed) {
+        if (!recovery_ && ft_->revoked(epoch_)) {
+          trace_span(trace::Category::kSyncWait, wait_begin, dst, bytes);
+          ft_->throw_revoked(epoch_);
+        }
+        if (ft_->detectable(wd, proc_->now())) {
+          trace_span(trace::Category::kSyncWait, wait_begin, dst, bytes);
+          throw reliable::PeerUnreachable(wrank(), wd, 0);
+        }
+        (void)proc_->wait_for(handshake.done, poll);
+      }
+    }
+  }
+  trace_span(trace::Category::kSyncWait, wait_begin, dst, bytes);
+  const double drain_begin = proc_->now();
+  sleep_until(handshake.sender_complete);
+  // Time the sender's NIC still needs to drain the pulled payload.
+  trace_span(trace::Category::kNicQueue, drain_begin, dst, bytes);
 }
 
 // ------------------------------------------------------------ send side
 
 void Comm::send_internal(BytesView data, int dst, int tag) {
   validate_peer(dst, size());
-  const net::NetworkProfile& prof = world_->fabric().profile(rank(), dst);
+  ft_guard(/*post=*/true);
+  const int wd = to_world(dst);
+  const net::NetworkProfile& prof = world_->fabric().profile(wrank(), wd);
   const bool self = dst == rank();
   const double now = proc_->now();
 
@@ -248,6 +370,8 @@ void Comm::send_internal(BytesView data, int dst, int tag) {
     trace_span(trace::Category::kCopy, now, dst, data.size());
     auto env = std::make_unique<Envelope>();
     env->src = rank();
+    env->world_src = wrank();
+    env->comm_epoch = epoch_;
     env->tag = tag;
     env->seq = world_->next_seq();
     env->payload.assign(data.begin(), data.end());
@@ -255,7 +379,7 @@ void Comm::send_internal(BytesView data, int dst, int tag) {
       env->arrival = proc_->now();
     } else {
       const net::PathTimes path =
-          world_->fabric().reserve_path(rank(), dst, data.size(),
+          world_->fabric().reserve_path(wrank(), wd, data.size(),
                                         proc_->now());
       env->arrival = path.arrival;
       env->nic_queue = path.queue_delay;
@@ -270,44 +394,40 @@ void Comm::send_internal(BytesView data, int dst, int tag) {
   RndvHandshake handshake;
   auto env = std::make_unique<Envelope>();
   env->src = rank();
+  env->world_src = wrank();
+  env->comm_epoch = epoch_;
   env->tag = tag;
   env->seq = world_->next_seq();
   env->rendezvous = true;
   env->rndv_data = data;
   env->handshake = &handshake;
   env->arrival = world_->fabric()
-                     .reserve_path(rank(), dst, world_->config().ctrl_bytes,
+                     .reserve_path(wrank(), wd, world_->config().ctrl_bytes,
                                    std::max(now, proc_->now()))
                      .arrival;
   post_envelope(dst, std::move(env));
-  const double wait_begin = proc_->now();
-  {
-    const verify::Verifier::BlockScope block(
-        vrf_, rank(), {verify::BlockKind::kRndvSend, dst, tag});
-    while (!handshake.completed) proc_->wait(handshake.done);
-  }
-  trace_span(trace::Category::kSyncWait, wait_begin, dst, data.size());
-  const double drain_begin = proc_->now();
-  sleep_until(handshake.sender_complete);
-  // Time the sender's NIC still needs to drain the pulled payload.
-  trace_span(trace::Category::kNicQueue, drain_begin, dst, data.size());
+  await_handshake(handshake, dst, tag, data.size());
 }
 
 void Comm::send(BytesView data, int dst, int tag) {
   validate_user_tag(tag);
-  send_internal(data, dst, tag);
+  guarded([&] { send_internal(data, dst, tag); });
 }
 
 Request Comm::isend_internal(BytesView data, int dst, int tag) {
   validate_peer(dst, size());
-  const net::NetworkProfile& prof = world_->fabric().profile(rank(), dst);
+  ft_guard(/*post=*/true);
+  const int wd = to_world(dst);
+  const net::NetworkProfile& prof = world_->fabric().profile(wrank(), wd);
   const bool self = dst == rank();
   auto state = std::make_unique<SendState>();
   state->dst = dst;
   state->tag = tag;
+  state->ft = ft_;
+  state->epoch = epoch_;
   if (vrf_ != nullptr) {
     state->vrf = vrf_;
-    state->vid = vrf_->on_request_start(rank(), verify::ReqKind::kSend, dst,
+    state->vid = vrf_->on_request_start(wrank(), verify::ReqKind::kSend, dst,
                                         tag, data.data(), data.size());
   }
 
@@ -318,6 +438,8 @@ Request Comm::isend_internal(BytesView data, int dst, int tag) {
     trace_span(trace::Category::kCopy, begin, dst, data.size());
     auto env = std::make_unique<Envelope>();
     env->src = rank();
+    env->world_src = wrank();
+    env->comm_epoch = epoch_;
     env->tag = tag;
     env->seq = world_->next_seq();
     env->payload.assign(data.begin(), data.end());
@@ -325,7 +447,7 @@ Request Comm::isend_internal(BytesView data, int dst, int tag) {
       env->arrival = proc_->now();
     } else {
       const net::PathTimes path =
-          world_->fabric().reserve_path(rank(), dst, data.size(),
+          world_->fabric().reserve_path(wrank(), wd, data.size(),
                                         proc_->now());
       env->arrival = path.arrival;
       env->nic_queue = path.queue_delay;
@@ -339,13 +461,15 @@ Request Comm::isend_internal(BytesView data, int dst, int tag) {
   state->handshake = std::make_unique<RndvHandshake>();
   auto env = std::make_unique<Envelope>();
   env->src = rank();
+  env->world_src = wrank();
+  env->comm_epoch = epoch_;
   env->tag = tag;
   env->seq = world_->next_seq();
   env->rendezvous = true;
   env->rndv_data = data;
   env->handshake = state->handshake.get();
   env->arrival = world_->fabric()
-                     .reserve_path(rank(), dst, world_->config().ctrl_bytes,
+                     .reserve_path(wrank(), wd, world_->config().ctrl_bytes,
                                    proc_->now())
                      .arrival;
   post_envelope(dst, std::move(env));
@@ -354,19 +478,23 @@ Request Comm::isend_internal(BytesView data, int dst, int tag) {
 
 Request Comm::isend(BytesView data, int dst, int tag) {
   validate_user_tag(tag);
-  return isend_internal(data, dst, tag);
+  return guarded([&] { return isend_internal(data, dst, tag); });
 }
 
 // ------------------------------------------------------------ recv side
 
 Request Comm::irecv_internal(MutBytes buf, int src, int tag) {
   validate_recv_peer(src, size());
+  ft_guard(/*post=*/true);
   auto state = std::make_unique<RecvState>();
   state->pr.want_src = src;
   state->pr.want_tag = tag;
+  state->pr.want_epoch = epoch_;
   state->pr.buf = buf;
+  state->ft = ft_;
+  state->epoch = epoch_;
 
-  detail::Mailbox& box = world_->mailbox(rank());
+  detail::Mailbox& box = world_->mailbox(wrank());
   bool matched = false;
   for (auto it = box.unexpected.begin(); it != box.unexpected.end(); ++it) {
     if (detail::matches(**it, state->pr)) {
@@ -382,7 +510,7 @@ Request Comm::irecv_internal(MutBytes buf, int src, int tag) {
   }
   if (vrf_ != nullptr) {
     state->vrf = vrf_;
-    state->vid = vrf_->on_request_start(rank(), verify::ReqKind::kRecv, src,
+    state->vid = vrf_->on_request_start(wrank(), verify::ReqKind::kRecv, src,
                                         tag, buf.data(), buf.size());
   }
   return Request(std::move(state));
@@ -390,7 +518,7 @@ Request Comm::irecv_internal(MutBytes buf, int src, int tag) {
 
 Request Comm::irecv(MutBytes buf, int src, int tag) {
   validate_recv_tag(tag);
-  return irecv_internal(buf, src, tag);
+  return guarded([&] { return irecv_internal(buf, src, tag); });
 }
 
 Status Comm::complete_recv(PendingRecv& pr) {
@@ -398,19 +526,63 @@ Status Comm::complete_recv(PendingRecv& pr) {
   const double wait_begin = proc_->now();
   {
     const verify::Verifier::BlockScope block(
-        vrf_, rank(), {verify::BlockKind::kRecv, pr.want_src, pr.want_tag});
-    while (!pr.matched) {
-      if (timeout <= 0.0) {
-        proc_->wait(pr.cond);
-      } else if (!proc_->wait_for(pr.cond, timeout)) {
-        throw MpiError("receive timed out after " + std::to_string(timeout) +
-                       " virtual seconds (message dropped or sender failed)");
+        vrf_, wrank(), {verify::BlockKind::kRecv, pr.want_src, pr.want_tag});
+    if (ft_ == nullptr) {
+      while (!pr.matched) {
+        if (timeout <= 0.0) {
+          proc_->wait(pr.cond);
+        } else if (!proc_->wait_for(pr.cond, timeout)) {
+          throw MpiError("receive timed out after " + std::to_string(timeout) +
+                         " virtual seconds (message dropped or sender "
+                         "failed)");
+        }
+      }
+    } else {
+      // Bounded wait: poll at the failure detector's granularity so a
+      // receive from a dead rank (or on a revoked epoch) fails fast
+      // instead of hanging. recv_timeout still applies on top, rounded
+      // up to the polling granularity.
+      const double poll = ft_->config().detect_timeout;
+      while (!pr.matched) {
+        if (!recovery_ && ft_->revoked(epoch_)) ft_->throw_revoked(epoch_);
+        if (pr.want_src != kAnySource) {
+          const int ws = to_world(pr.want_src);
+          if (ws != wrank() && ft_->detectable(ws, proc_->now())) {
+            throw reliable::PeerUnreachable(ws, wrank(), 0);
+          }
+        } else {
+          bool someone_alive = false;
+          for (int i = 0; i < size(); ++i) {
+            if (i != rank() && !ft_->detectable(to_world(i), proc_->now())) {
+              someone_alive = true;
+              break;
+            }
+          }
+          if (!someone_alive) {
+            throw reliable::PeerUnreachable(-1, wrank(), 0);
+          }
+        }
+        if (timeout > 0.0 && proc_->now() - wait_begin >= timeout) {
+          throw MpiError("receive timed out after " + std::to_string(timeout) +
+                         " virtual seconds (message dropped or sender "
+                         "failed)");
+        }
+        (void)proc_->wait_for(pr.cond, poll);
+      }
+      // Matched, but the epoch may have been revoked while parked:
+      // pending operations on a revoked communicator fail fast, and
+      // doing so before touching the envelope is what makes sender
+      // abandonment memory-safe (see await_handshake).
+      if (!recovery_ && ft_->revoked(epoch_)) {
+        pr.matched.reset();
+        ft_->throw_revoked(epoch_);
       }
     }
   }
   trace_span(trace::Category::kSyncWait, wait_begin, pr.want_src);
   Envelope& env = *pr.matched;
-  const net::NetworkProfile& prof = world_->fabric().profile(env.src, rank());
+  const net::NetworkProfile& prof =
+      world_->fabric().profile(env.world_src, wrank());
 
   Status status;
   status.source = env.src;
@@ -420,10 +592,20 @@ Status Comm::complete_recv(PendingRecv& pr) {
     // Dead-link tombstone: the sender's retry budget ran out mid-
     // delivery. Fail the receive fast with the structured error
     // instead of letting it block until the timeout.
-    const int src = env.src;
+    const int src = env.world_src;
     const std::uint64_t attempts = env.arq_transmissions;
     pr.matched.reset();
-    throw reliable::PeerUnreachable(src, rank(), attempts);
+    throw reliable::PeerUnreachable(src, wrank(), attempts);
+  }
+
+  if (ft_ != nullptr && env.rendezvous &&
+      ft_->crashed_by(env.world_src, proc_->now())) {
+    // Ground-truth crash check (no detection delay): the sender died,
+    // so its handshake and the buffer behind rndv_data are gone —
+    // fail the pull without dereferencing either.
+    const int src = env.world_src;
+    pr.matched.reset();
+    throw reliable::PeerUnreachable(src, wrank(), 0);
   }
 
   if (!env.rendezvous) {
@@ -458,7 +640,7 @@ Status Comm::complete_recv(PendingRecv& pr) {
       // payload: it models the sender's retransmit buffer, which
       // end-to-end NACK recovery (recover_damaged_recv) replays from.
       pr.buf[env.damage.position] ^= env.damage.flip_mask;
-      reliable::RetransmitStash& st = arq_->stash(rank());
+      reliable::RetransmitStash& st = arq_->stash(wrank());
       st.valid = true;
       st.src = env.src;
       st.tag = env.tag;
@@ -479,9 +661,9 @@ Status Comm::complete_recv(PendingRecv& pr) {
     // participate (zero-copy), so only its NIC is reserved.
     const double handshake_start = std::max(proc_->now(), env.arrival);
     const net::PathTimes cts = world_->fabric().reserve_path(
-        rank(), env.src, world_->config().ctrl_bytes, handshake_start);
+        wrank(), env.world_src, world_->config().ctrl_bytes, handshake_start);
     const net::PathTimes data = world_->fabric().reserve_path(
-        env.src, rank(), env.rndv_data.size(), cts.arrival);
+        env.world_src, wrank(), env.rndv_data.size(), cts.arrival);
     // Fault the pulled data in place. Losing the transfer outright
     // would leave the sender parked on the handshake, so the injector
     // degrades drop/duplicate to corruption on this path.
@@ -489,7 +671,8 @@ Status Comm::complete_recv(PendingRecv& pr) {
     net::FaultDecision fault;
     if (net::FaultInjector* faults = world_->fabric().faults();
         faults != nullptr && env.src != rank()) {
-      fault = faults->next(env.src, rank(), deliver_len, /*allow_loss=*/false);
+      fault = faults->next(env.world_src, wrank(), deliver_len,
+                           /*allow_loss=*/false);
     }
     if (fault.kind == net::FaultKind::kTruncate) deliver_len = fault.new_length;
     if (deliver_len > 0) {
@@ -521,7 +704,8 @@ Status Comm::complete_recv(PendingRecv& pr) {
 
 Status Comm::complete_rndv_reliable(PendingRecv& pr) {
   Envelope& env = *pr.matched;
-  const net::NetworkProfile& prof = world_->fabric().profile(env.src, rank());
+  const int ws = env.world_src;
+  const net::NetworkProfile& prof = world_->fabric().profile(ws, wrank());
   Status status;
   status.source = env.src;
   status.tag = env.tag;
@@ -532,15 +716,14 @@ Status Comm::complete_rndv_reliable(PendingRecv& pr) {
   net::FaultInjector* faults = world_->fabric().faults();
   reliable::ReliabilityStats& st = arq_->stats_mut();
 
-  if (arq_->link_dead(env.src, rank())) {
+  if (arq_->link_dead(ws, wrank())) {
     // The pull link is already dead: unpark the sender (its buffer is
     // free — nothing will ever read it) and fail the receive.
     env.handshake->sender_complete = proc_->now();
     env.handshake->completed = true;
     proc_->notify_all(env.handshake->done);
-    const int src = env.src;
     pr.matched.reset();
-    throw reliable::PeerUnreachable(src, rank(), 0);
+    throw reliable::PeerUnreachable(ws, wrank(), 0);
   }
 
   // Receiver-driven ARQ over the RDMA pull: the CTS names the pull
@@ -551,7 +734,7 @@ Status Comm::complete_rndv_reliable(PendingRecv& pr) {
   // clean bytes stashed for end-to-end recovery.
   const double handshake_start = std::max(proc_->now(), env.arrival);
   const net::PathTimes cts = world_->fabric().reserve_path(
-      rank(), env.src, world_->config().ctrl_bytes, handshake_start);
+      wrank(), ws, world_->config().ctrl_bytes, handshake_start);
   double pull_start = cts.arrival;
   // Move this rank's clock to the handshake so the retransmission
   // timers below measure real waiting, not a stale local time.
@@ -568,13 +751,13 @@ Status Comm::complete_rndv_reliable(PendingRecv& pr) {
     ++attempts;
     ++st.data_frames;
     if (attempt > 0) ++st.retransmits;
-    data = world_->fabric().reserve_path(env.src, rank(), len, pull_start);
-    fault = faults->next(env.src, rank(), len, /*allow_loss=*/true);
+    data = world_->fabric().reserve_path(ws, wrank(), len, pull_start);
+    fault = faults->next(ws, wrank(), len, /*allow_loss=*/true);
     if (fault.kind == net::FaultKind::kDrop) {
       // The pull vanished: wait out the retransmission timer on this
       // rank, then re-issue the pull.
       ++st.rto_expirations;
-      wait_timer(arq_->rto(env.src, rank(), env.seq, attempt));
+      wait_timer(arq_->rto(ws, wrank(), env.seq, attempt));
       pull_start = std::max(proc_->now(), pull_start);
       continue;
     }
@@ -586,13 +769,31 @@ Status Comm::complete_rndv_reliable(PendingRecv& pr) {
       // internal frames — user payloads defer integrity upward.
       ++st.link_nacks;
       pull_start = world_->fabric()
-                       .reserve_path(rank(), env.src,
+                       .reserve_path(wrank(), ws,
                                      arq_->config().ctrl_bytes, data.arrival)
                        .arrival;
       continue;
     }
     delivered = true;
     break;
+  }
+
+  if (ft_ != nullptr && ft_->crashed_by(ws, proc_->now())) {
+    // The sender died while the retry timers above were running: its
+    // handshake and send buffer are gone. Fail without touching them
+    // (ground truth, no detection delay — this is memory safety, not
+    // failure detection).
+    pr.matched.reset();
+    throw reliable::PeerUnreachable(ws, wrank(), attempts);
+  }
+  if (ft_ != nullptr && !recovery_ && ft_->revoked(epoch_)) {
+    // Revoked while parked: complete the handshake so the (alive)
+    // sender unparks promptly, then fail this pending receive fast.
+    env.handshake->sender_complete = proc_->now();
+    env.handshake->completed = true;
+    proc_->notify_all(env.handshake->done);
+    pr.matched.reset();
+    ft_->throw_revoked(epoch_);
   }
 
   if (!delivered) {
@@ -602,19 +803,18 @@ Status Comm::complete_rndv_reliable(PendingRecv& pr) {
     env.handshake->sender_complete = proc_->now();
     env.handshake->completed = true;
     proc_->notify_all(env.handshake->done);
-    arq_->mark_link_dead(env.src, rank());
+    arq_->mark_link_dead(ws, wrank());
     if (vrf_ != nullptr) {
-      vrf_->on_peer_unreachable(rank(), env.src, attempts);
+      vrf_->on_peer_unreachable(wrank(), ws, attempts);
     }
-    const int src = env.src;
     pr.matched.reset();
-    throw reliable::PeerUnreachable(src, rank(), attempts);
+    throw reliable::PeerUnreachable(ws, wrank(), attempts);
   }
 
   double arrival = data.arrival;
   if (fault.kind == net::FaultKind::kDuplicate) {
     // The extra copy still crosses the wire before the window drops it.
-    (void)world_->fabric().reserve_path(env.src, rank(), len, data.arrival);
+    (void)world_->fabric().reserve_path(ws, wrank(), len, data.arrival);
     ++st.duplicates_suppressed;
   } else if (fault.kind == net::FaultKind::kDelay) {
     arrival += fault.delay_seconds;
@@ -629,7 +829,7 @@ Status Comm::complete_rndv_reliable(PendingRecv& pr) {
     // sender is parked on the handshake) for end-to-end recovery.
     pr.buf[fault.position] ^= fault.flip_mask;
     ++st.damaged_deliveries;
-    reliable::RetransmitStash& stash = arq_->stash(rank());
+    reliable::RetransmitStash& stash = arq_->stash(wrank());
     stash.valid = true;
     stash.src = env.src;
     stash.tag = env.tag;
@@ -665,7 +865,11 @@ Status Comm::complete_rndv_reliable(PendingRecv& pr) {
 
 bool Comm::recover_damaged_recv(MutBytes wire, int src, int tag) {
   if (arq_ == nullptr) return false;
-  reliable::RetransmitStash& st = arq_->stash(rank());
+  return guarded([&] { return recover_damaged_internal(wire, src, tag); });
+}
+
+bool Comm::recover_damaged_internal(MutBytes wire, int src, int tag) {
+  reliable::RetransmitStash& st = arq_->stash(wrank());
   if (!st.valid || st.src != src || st.tag != tag ||
       st.clean.size() != wire.size()) {
     return false;  // no fabric stash: genuine attack, not line damage
@@ -674,7 +878,7 @@ bool Comm::recover_damaged_recv(MutBytes wire, int src, int tag) {
   // channel resolves the clean copy's arrival, this rank waits for it
   // on a timer, and the retransmitted bytes replace the damaged ones.
   const double t =
-      arq_->e2e_recover(src, rank(), wire.size(), proc_->now(),
+      arq_->e2e_recover(to_world(src), wrank(), wire.size(), proc_->now(),
                         st.transmissions);
   wait_timer(t - proc_->now());
   if (!wire.empty()) {
@@ -685,50 +889,84 @@ bool Comm::recover_damaged_recv(MutBytes wire, int src, int tag) {
   return true;
 }
 
+std::optional<Status> Comm::recv_or_abort(
+    MutBytes buf, int src, int tag, const std::function<bool()>& stop) {
+  if (ft_ == nullptr) {
+    throw MpiError("recv_or_abort requires the fault-tolerance layer");
+  }
+  validate_recv_peer(src, size());
+  if (src == kAnySource) {
+    throw MpiError("recv_or_abort needs a specific source rank");
+  }
+  Request request = irecv_internal(buf, src, tag);
+  auto owned = request.take();
+  auto* state = dynamic_cast<RecvState*>(owned.get());
+  state->waited = true;
+  PendingRecv& pr = state->pr;
+  const double poll = ft_->config().detect_timeout;
+  const int ws = to_world(src);
+  {
+    const verify::Verifier::BlockScope block(
+        vrf_, wrank(), {verify::BlockKind::kRecv, src, tag});
+    while (!pr.matched) {
+      // The stop predicate (e.g. "the decision board settled") wins
+      // over everything: the posted receive is abandoned and cleanly
+      // deregistered by the request state's destructor.
+      if (stop()) return std::nullopt;
+      if (ws != wrank() && ft_->detectable(ws, proc_->now())) {
+        throw reliable::PeerUnreachable(ws, wrank(), 0);
+      }
+      (void)proc_->wait_for(pr.cond, poll);
+    }
+  }
+  const Status status = complete_recv(pr);
+  if (vrf_ != nullptr) {
+    vrf_->on_request_finish(state->vid, verify::ReqFinish::kCompleted);
+    state->vid = 0;
+  }
+  return status;
+}
+
 Status Comm::recv(MutBytes buf, int src, int tag) {
   validate_recv_tag(tag);
-  Request request = irecv_internal(buf, src, tag);
-  return wait(request);
+  return guarded([&] {
+    Request request = irecv_internal(buf, src, tag);
+    return wait(request);
+  });
 }
 
 // ----------------------------------------------------------- completion
 
 Status Comm::wait(Request& request) {
-  if (!request.valid()) throw_invalid_wait(vrf_, rank(), request);
-  auto owned = request.take();
-  if (auto* send_state = dynamic_cast<SendState*>(owned.get())) {
-    send_state->waited = true;
-    if (send_state->handshake) {
-      const double wait_begin = proc_->now();
-      {
-        const verify::Verifier::BlockScope block(
-            vrf_, rank(),
-            {verify::BlockKind::kRndvSend, send_state->dst, send_state->tag});
-        while (!send_state->handshake->completed) {
-          proc_->wait(send_state->handshake->done);
-        }
+  if (!request.valid()) throw_invalid_wait(vrf_, wrank(), request);
+  return guarded([&]() -> Status {
+    ft_guard(/*post=*/false);
+    auto owned = request.take();
+    if (auto* send_state = dynamic_cast<SendState*>(owned.get())) {
+      send_state->waited = true;
+      if (send_state->handshake) {
+        await_handshake(*send_state->handshake, send_state->dst,
+                        send_state->tag, 0);
       }
-      trace_span(trace::Category::kSyncWait, wait_begin, send_state->dst);
-      const double drain_begin = proc_->now();
-      sleep_until(send_state->handshake->sender_complete);
-      trace_span(trace::Category::kNicQueue, drain_begin, send_state->dst);
+      if (vrf_ != nullptr) {
+        vrf_->on_request_finish(send_state->vid,
+                                verify::ReqFinish::kCompleted);
+        send_state->vid = 0;
+      }
+      return Status{};  // send completions carry no matching info
     }
-    if (vrf_ != nullptr) {
-      vrf_->on_request_finish(send_state->vid, verify::ReqFinish::kCompleted);
-      send_state->vid = 0;
+    if (auto* recv_state = dynamic_cast<RecvState*>(owned.get())) {
+      recv_state->waited = true;
+      const Status status = complete_recv(recv_state->pr);
+      if (vrf_ != nullptr) {
+        vrf_->on_request_finish(recv_state->vid,
+                                verify::ReqFinish::kCompleted);
+        recv_state->vid = 0;
+      }
+      return status;
     }
-    return Status{};  // send completions carry no matching info
-  }
-  if (auto* recv_state = dynamic_cast<RecvState*>(owned.get())) {
-    recv_state->waited = true;
-    const Status status = complete_recv(recv_state->pr);
-    if (vrf_ != nullptr) {
-      vrf_->on_request_finish(recv_state->vid, verify::ReqFinish::kCompleted);
-      recv_state->vid = 0;
-    }
-    return status;
-  }
-  throw MpiError("request does not belong to this communicator");
+    throw MpiError("request does not belong to this communicator");
+  });
 }
 
 std::vector<Status> Comm::waitall(std::span<Request> requests) {
@@ -742,63 +980,71 @@ Status Comm::sendrecv(BytesView senddata, int dst, int sendtag,
                       MutBytes recvbuf, int src, int recvtag) {
   validate_user_tag(sendtag);
   validate_recv_tag(recvtag);
-  Request rr = irecv_internal(recvbuf, src, recvtag);
-  Request rs = isend_internal(senddata, dst, sendtag);
-  const Status status = wait(rr);
-  wait(rs);
-  return status;
+  return guarded([&] {
+    Request rr = irecv_internal(recvbuf, src, recvtag);
+    Request rs = isend_internal(senddata, dst, sendtag);
+    const Status status = wait(rr);
+    wait(rs);
+    return status;
+  });
 }
 
 // ----------------------------------------------------------- collectives
 
 void Comm::barrier() {
-  note_collective(verify::CollKind::kBarrier, -1, 0);
-  const int base = next_coll_tag();
-  const int n = size();
-  const int r = rank();
-  std::uint8_t token = 0;
-  std::uint8_t sink = 0;
-  int round = 0;
-  for (int k = 1; k < n; k <<= 1, ++round) {
-    const int dst = (r + k) % n;
-    const int src = (r - k + n) % n;
-    Request rr = irecv_internal(MutBytes(&sink, 1), src, base + round);
-    Request rs = isend_internal(BytesView(&token, 1), dst, base + round);
-    wait(rr);
-    wait(rs);
-  }
+  guarded([&] {
+    ft_guard(/*post=*/true);
+    note_collective(verify::CollKind::kBarrier, -1, 0);
+    const int base = next_coll_tag();
+    const int n = size();
+    const int r = rank();
+    std::uint8_t token = 0;
+    std::uint8_t sink = 0;
+    int round = 0;
+    for (int k = 1; k < n; k <<= 1, ++round) {
+      const int dst = (r + k) % n;
+      const int src = (r - k + n) % n;
+      Request rr = irecv_internal(MutBytes(&sink, 1), src, base + round);
+      Request rs = isend_internal(BytesView(&token, 1), dst, base + round);
+      wait(rr);
+      wait(rs);
+    }
+  });
 }
 
 void Comm::bcast(MutBytes data, int root) {
   validate_peer(root, size());
-  note_collective(verify::CollKind::kBcast, root, data.size());
-  const int base = next_coll_tag();
-  const int n = size();
-  if (n == 1) return;
-  const int vrank = (rank() - root + n) % n;
+  guarded([&] {
+    ft_guard(/*post=*/true);
+    note_collective(verify::CollKind::kBcast, root, data.size());
+    const int base = next_coll_tag();
+    const int n = size();
+    if (n == 1) return;
+    const int vrank = (rank() - root + n) % n;
 
-  // Binomial tree: receive from the parent, then forward to children.
-  // Forward exactly the received byte count, so a non-root rank with
-  // an oversized buffer still relays the correct message.
-  std::size_t len = data.size();
-  int mask = 1;
-  while (mask < n) {
-    if ((vrank & mask) != 0) {
-      const int parent = (vrank - mask + root) % n;
-      Request rr = irecv_internal(data, parent, base);
-      len = wait(rr).bytes;
-      break;
-    }
-    mask <<= 1;
-  }
-  mask >>= 1;
-  while (mask > 0) {
-    if (vrank + mask < n) {
-      const int child = (vrank + mask + root) % n;
-      send_internal(BytesView(data).first(len), child, base);
+    // Binomial tree: receive from the parent, then forward to children.
+    // Forward exactly the received byte count, so a non-root rank with
+    // an oversized buffer still relays the correct message.
+    std::size_t len = data.size();
+    int mask = 1;
+    while (mask < n) {
+      if ((vrank & mask) != 0) {
+        const int parent = (vrank - mask + root) % n;
+        Request rr = irecv_internal(data, parent, base);
+        len = wait(rr).bytes;
+        break;
+      }
+      mask <<= 1;
     }
     mask >>= 1;
-  }
+    while (mask > 0) {
+      if (vrank + mask < n) {
+        const int child = (vrank + mask + root) % n;
+        send_internal(BytesView(data).first(len), child, base);
+      }
+      mask >>= 1;
+    }
+  });
 }
 
 void Comm::allgather(BytesView sendpart, MutBytes recvall) {
@@ -807,29 +1053,33 @@ void Comm::allgather(BytesView sendpart, MutBytes recvall) {
   if (recvall.size() != block * static_cast<std::size_t>(n)) {
     throw MpiError("allgather: recv buffer must be size()*block bytes");
   }
-  note_collective(verify::CollKind::kAllgather, -1, block);
-  const int base = next_coll_tag();
-  const int r = rank();
-  if (!sendpart.empty()) {
-    std::memcpy(recvall.data() + static_cast<std::size_t>(r) * block,
-                sendpart.data(), block);
-  }
-  if (n == 1) return;
+  guarded([&] {
+    ft_guard(/*post=*/true);
+    note_collective(verify::CollKind::kAllgather, -1, block);
+    const int base = next_coll_tag();
+    const int r = rank();
+    if (!sendpart.empty()) {
+      std::memcpy(recvall.data() + static_cast<std::size_t>(r) * block,
+                  sendpart.data(), block);
+    }
+    if (n == 1) return;
 
-  // Ring: in step s, pass along the block that originated s hops back.
-  const int right = (r + 1) % n;
-  const int left = (r - 1 + n) % n;
-  for (int s = 0; s < n - 1; ++s) {
-    const auto send_idx = static_cast<std::size_t>((r - s + n) % n);
-    const auto recv_idx = static_cast<std::size_t>((r - s - 1 + n) % n);
-    Request rr = irecv_internal(
-        recvall.subspan(recv_idx * block, block), left, base + (s & 63));
-    Request rs = isend_internal(
-        BytesView(recvall.subspan(send_idx * block, block)), right,
-        base + (s & 63));
-    wait(rr);
-    wait(rs);
-  }
+    // Ring: in step s, pass along the block that originated s hops
+    // back.
+    const int right = (r + 1) % n;
+    const int left = (r - 1 + n) % n;
+    for (int s = 0; s < n - 1; ++s) {
+      const auto send_idx = static_cast<std::size_t>((r - s + n) % n);
+      const auto recv_idx = static_cast<std::size_t>((r - s - 1 + n) % n);
+      Request rr = irecv_internal(
+          recvall.subspan(recv_idx * block, block), left, base + (s & 63));
+      Request rs = isend_internal(
+          BytesView(recvall.subspan(send_idx * block, block)), right,
+          base + (s & 63));
+      wait(rr);
+      wait(rs);
+    }
+  });
 }
 
 void Comm::alltoall(BytesView sendbuf, MutBytes recvbuf, std::size_t block) {
@@ -838,27 +1088,30 @@ void Comm::alltoall(BytesView sendbuf, MutBytes recvbuf, std::size_t block) {
   if (sendbuf.size() != total || recvbuf.size() != total) {
     throw MpiError("alltoall: buffers must be size()*block bytes");
   }
-  note_collective(verify::CollKind::kAlltoall, -1, block);
-  const int base = next_coll_tag();
-  const int r = rank();
+  guarded([&] {
+    ft_guard(/*post=*/true);
+    note_collective(verify::CollKind::kAlltoall, -1, block);
+    const int base = next_coll_tag();
+    const int r = rank();
 
-  // Posted-window algorithm: all receives first, then all sends,
-  // peers staggered by rank to spread NIC load.
-  std::vector<Request> requests;
-  requests.reserve(2 * static_cast<std::size_t>(n));
-  for (int i = 0; i < n; ++i) {
-    const int peer = (r + i) % n;
-    requests.push_back(irecv_internal(
-        recvbuf.subspan(static_cast<std::size_t>(peer) * block, block), peer,
-        base));
-  }
-  for (int i = 0; i < n; ++i) {
-    const int peer = (r + i) % n;
-    requests.push_back(isend_internal(
-        sendbuf.subspan(static_cast<std::size_t>(peer) * block, block), peer,
-        base));
-  }
-  waitall(requests);
+    // Posted-window algorithm: all receives first, then all sends,
+    // peers staggered by rank to spread NIC load.
+    std::vector<Request> requests;
+    requests.reserve(2 * static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      const int peer = (r + i) % n;
+      requests.push_back(irecv_internal(
+          recvbuf.subspan(static_cast<std::size_t>(peer) * block, block),
+          peer, base));
+    }
+    for (int i = 0; i < n; ++i) {
+      const int peer = (r + i) % n;
+      requests.push_back(isend_internal(
+          sendbuf.subspan(static_cast<std::size_t>(peer) * block, block),
+          peer, base));
+    }
+    waitall(requests);
+  });
 }
 
 void Comm::alltoallv(BytesView sendbuf,
@@ -871,87 +1124,98 @@ void Comm::alltoallv(BytesView sendbuf,
       recvcounts.size() != n || recvdispls.size() != n) {
     throw MpiError("alltoallv: count/displacement arrays must have size() entries");
   }
-  note_collective(verify::CollKind::kAlltoallv, -1, 0);
-  const int base = next_coll_tag();
-  const int r = rank();
+  guarded([&] {
+    ft_guard(/*post=*/true);
+    note_collective(verify::CollKind::kAlltoallv, -1, 0);
+    const int base = next_coll_tag();
+    const int r = rank();
 
-  std::vector<Request> requests;
-  requests.reserve(2 * n);
-  for (std::size_t i = 0; i < n; ++i) {
-    const auto peer = static_cast<std::size_t>((static_cast<std::size_t>(r) + i) % n);
-    requests.push_back(
-        irecv_internal(recvbuf.subspan(recvdispls[peer], recvcounts[peer]),
-                       static_cast<int>(peer), base));
-  }
-  for (std::size_t i = 0; i < n; ++i) {
-    const auto peer = static_cast<std::size_t>((static_cast<std::size_t>(r) + i) % n);
-    requests.push_back(
-        isend_internal(sendbuf.subspan(senddispls[peer], sendcounts[peer]),
-                       static_cast<int>(peer), base));
-  }
-  waitall(requests);
+    std::vector<Request> requests;
+    requests.reserve(2 * n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto peer =
+          static_cast<std::size_t>((static_cast<std::size_t>(r) + i) % n);
+      requests.push_back(
+          irecv_internal(recvbuf.subspan(recvdispls[peer], recvcounts[peer]),
+                         static_cast<int>(peer), base));
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto peer =
+          static_cast<std::size_t>((static_cast<std::size_t>(r) + i) % n);
+      requests.push_back(
+          isend_internal(sendbuf.subspan(senddispls[peer], sendcounts[peer]),
+                         static_cast<int>(peer), base));
+    }
+    waitall(requests);
+  });
 }
 
 void Comm::gather(BytesView sendpart, MutBytes recvall, int root) {
   validate_peer(root, size());
   const int n = size();
   const std::size_t block = sendpart.size();
-  note_collective(verify::CollKind::kGather, root, block);
-  const int base = next_coll_tag();
-  if (rank() == root) {
-    if (recvall.size() != block * static_cast<std::size_t>(n)) {
-      throw MpiError("gather: root recv buffer must be size()*block bytes");
-    }
-    std::vector<Request> requests;
-    requests.reserve(static_cast<std::size_t>(n));
-    for (int i = 0; i < n; ++i) {
-      if (i == root) {
-        if (!sendpart.empty()) {
-          std::memcpy(recvall.data() + static_cast<std::size_t>(i) * block,
-                      sendpart.data(), block);
-        }
-        continue;
+  guarded([&] {
+    ft_guard(/*post=*/true);
+    note_collective(verify::CollKind::kGather, root, block);
+    const int base = next_coll_tag();
+    if (rank() == root) {
+      if (recvall.size() != block * static_cast<std::size_t>(n)) {
+        throw MpiError("gather: root recv buffer must be size()*block bytes");
       }
-      requests.push_back(irecv_internal(
-          recvall.subspan(static_cast<std::size_t>(i) * block, block), i,
-          base));
+      std::vector<Request> requests;
+      requests.reserve(static_cast<std::size_t>(n));
+      for (int i = 0; i < n; ++i) {
+        if (i == root) {
+          if (!sendpart.empty()) {
+            std::memcpy(recvall.data() + static_cast<std::size_t>(i) * block,
+                        sendpart.data(), block);
+          }
+          continue;
+        }
+        requests.push_back(irecv_internal(
+            recvall.subspan(static_cast<std::size_t>(i) * block, block), i,
+            base));
+      }
+      waitall(requests);
+    } else {
+      send_internal(sendpart, root, base);
     }
-    waitall(requests);
-  } else {
-    send_internal(sendpart, root, base);
-  }
+  });
 }
 
 void Comm::scatter(BytesView sendall, MutBytes recvpart, int root) {
   validate_peer(root, size());
   const int n = size();
   const std::size_t block = recvpart.size();
-  note_collective(verify::CollKind::kScatter, root, block);
-  const int base = next_coll_tag();
-  if (rank() == root) {
-    if (sendall.size() != block * static_cast<std::size_t>(n)) {
-      throw MpiError("scatter: root send buffer must be size()*block bytes");
-    }
-    std::vector<Request> requests;
-    requests.reserve(static_cast<std::size_t>(n));
-    for (int i = 0; i < n; ++i) {
-      if (i == root) {
-        if (!recvpart.empty()) {
-          std::memcpy(recvpart.data(),
-                      sendall.data() + static_cast<std::size_t>(i) * block,
-                      block);
-        }
-        continue;
+  guarded([&] {
+    ft_guard(/*post=*/true);
+    note_collective(verify::CollKind::kScatter, root, block);
+    const int base = next_coll_tag();
+    if (rank() == root) {
+      if (sendall.size() != block * static_cast<std::size_t>(n)) {
+        throw MpiError("scatter: root send buffer must be size()*block bytes");
       }
-      requests.push_back(isend_internal(
-          sendall.subspan(static_cast<std::size_t>(i) * block, block), i,
-          base));
+      std::vector<Request> requests;
+      requests.reserve(static_cast<std::size_t>(n));
+      for (int i = 0; i < n; ++i) {
+        if (i == root) {
+          if (!recvpart.empty()) {
+            std::memcpy(recvpart.data(),
+                        sendall.data() + static_cast<std::size_t>(i) * block,
+                        block);
+          }
+          continue;
+        }
+        requests.push_back(isend_internal(
+            sendall.subspan(static_cast<std::size_t>(i) * block, block), i,
+            base));
+      }
+      waitall(requests);
+    } else {
+      Request rr = irecv_internal(recvpart, root, base);
+      wait(rr);
     }
-    waitall(requests);
-  } else {
-    Request rr = irecv_internal(recvpart, root, base);
-    wait(rr);
-  }
+  });
 }
 
 }  // namespace emc::mpi

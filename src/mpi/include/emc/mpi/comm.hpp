@@ -1,6 +1,8 @@
 // Plain (unencrypted) MiniMPI communicator — the baseline of the study.
 #pragma once
 
+#include <optional>
+
 #include "emc/mpi/communicator.hpp"
 #include "emc/mpi/world.hpp"
 #include "emc/sim/engine.hpp"
@@ -12,12 +14,47 @@ namespace emc::mpi {
 /// threshold and an RDMA-style RTS/CTS rendezvous above it; the
 /// collectives use the classic MPICH algorithms (binomial bcast, ring
 /// allgather, posted-window alltoall, dissemination barrier).
+///
+/// A Comm is either the world communicator (epoch 0, identity rank
+/// mapping) or a re-ranked sub-communicator over an explicit group of
+/// world ranks with its own epoch (built by ft::shrink during
+/// recovery). Message matching is epoch-scoped, so traffic of a
+/// revoked communicator can never leak into its successor.
 class Comm final : public Communicator {
  public:
   Comm(World& world, sim::Process& proc);
 
-  [[nodiscard]] int rank() const override { return proc_->index(); }
-  [[nodiscard]] int size() const override { return world_->size(); }
+  /// Sub-communicator over @p group — a strictly ascending list of
+  /// world ranks that must contain the calling process. Ranks are the
+  /// positions within @p group. @p recovery marks the ft-internal
+  /// communicator that runs the agreement protocol: its operations
+  /// skip the revocation guard (recovery must proceed exactly while
+  /// the application epoch is revoked) and poll the failure detector
+  /// instead of blocking forever on dead peers.
+  Comm(World& world, sim::Process& proc, std::vector<int> group,
+       std::uint64_t epoch, bool recovery = false);
+
+  [[nodiscard]] int rank() const override { return local_rank_; }
+  [[nodiscard]] int size() const override {
+    return group_.empty() ? world_->size()
+                          : static_cast<int>(group_.size());
+  }
+
+  /// Matching epoch of this communicator (0 = the world communicator;
+  /// recovery communicators have the high bit set).
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+
+  /// World rank behind local rank @p r (identity on the world
+  /// communicator; kAnySource passes through).
+  [[nodiscard]] int to_world(int r) const {
+    return group_.empty() || r < 0
+               ? r
+               : group_.at(static_cast<std::size_t>(r));
+  }
+
+  /// Local rank of world rank @p world_rank, or -1 when that rank is
+  /// not part of this communicator's group.
+  [[nodiscard]] int to_local(int world_rank) const;
 
   /// Virtual time as seen by this rank.
   [[nodiscard]] double now() const { return proc_->now(); }
@@ -61,6 +98,15 @@ class Comm final : public Communicator {
   /// Throws reliable::PeerUnreachable when the retry budget runs out.
   bool recover_damaged_recv(MutBytes wire, int src, int tag);
 
+  /// Abortable bounded receive — the primitive the ft agreement
+  /// protocol is built on (only available with the ft layer active).
+  /// Waits for a message from local rank @p src, polling at the
+  /// failure detector's granularity; returns std::nullopt as soon as
+  /// @p stop returns true (e.g. the decision board settled), and
+  /// throws reliable::PeerUnreachable once @p src is detectably dead.
+  std::optional<Status> recv_or_abort(MutBytes buf, int src, int tag,
+                                      const std::function<bool()>& stop);
+
   void barrier() override;
   void bcast(MutBytes data, int root) override;
   void allgather(BytesView sendpart, MutBytes recvall) override;
@@ -97,6 +143,9 @@ class Comm final : public Communicator {
   /// throws reliable::PeerUnreachable on budget exhaustion.
   Status complete_rndv_reliable(detail::PendingRecv& pr);
 
+  /// recover_damaged_recv body (the public entry adds the ft guard).
+  bool recover_damaged_internal(MutBytes wire, int src, int tag);
+
   /// Sends with internal tags allowed (collectives).
   void send_internal(BytesView data, int dst, int tag);
   Request isend_internal(BytesView data, int dst, int tag);
@@ -131,11 +180,39 @@ class Comm final : public Communicator {
   /// a pure virtual-time timer (sim wait_for), used by the ARQ backoff.
   void wait_timer(double dt);
 
+  /// This rank's world rank — the coordinate for fabric paths, fault
+  /// injection, tracing, and the ft crash checks.
+  [[nodiscard]] int wrank() const { return proc_->index(); }
+
+  /// Fails fast on a revoked epoch (no-op when the ft layer is off or
+  /// this is the recovery communicator). @p post marks calls that
+  /// would post *new* work — those feed the keeps-posting-after-revoke
+  /// diagnostic.
+  void ft_guard(bool post);
+
+  /// Wraps a public operation: a reliable::PeerUnreachable escaping
+  /// @p f revokes this communicator's epoch (first observation wins)
+  /// and is rethrown as ft::RevokedError. Identity when ft is off.
+  template <typename F>
+  decltype(auto) guarded(F&& f);
+
+  /// Parks on a rendezvous handshake until the receiver completes it,
+  /// then drains the sender NIC. With the ft layer active the park is
+  /// bounded: the sender polls for epoch revocation and for @p dst's
+  /// detected death instead of blocking forever.
+  void await_handshake(detail::RndvHandshake& handshake, int dst, int tag,
+                       std::uint64_t bytes);
+
   World* world_;
   sim::Process* proc_;
   verify::Verifier* vrf_;  ///< null unless WorldConfig::verify.enabled
   reliable::Channel* arq_; ///< null unless WorldConfig::reliability.enabled
   trace::TraceRecorder* trc_;  ///< null unless WorldConfig::trace is set
+  ft::State* ft_;          ///< null unless the ft layer is active
+  std::vector<int> group_; ///< world ranks; empty = world communicator
+  int local_rank_;
+  std::uint64_t epoch_ = 0;
+  bool recovery_ = false;
   std::uint32_t coll_seq_ = 0;
 };
 

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "emc/common/bytes.hpp"
+#include "emc/ft/state.hpp"
 #include "emc/mpi/types.hpp"
 #include "emc/netsim/fabric.hpp"
 #include "emc/reliable/reliable.hpp"
@@ -34,8 +35,16 @@ struct RndvHandshake {
 
 /// One in-flight message (eager payload or rendezvous announcement).
 struct Envelope {
-  int src = 0;
+  int src = 0;               ///< sender's rank *within its communicator*
   int tag = 0;
+  /// Sender's world rank: the coordinate used for fabric paths, fault
+  /// injection, and the fault-tolerance layer's crash checks. Equal to
+  /// `src` on the world communicator (epoch 0).
+  int world_src = 0;
+  /// Epoch of the sending communicator. Receives only match envelopes
+  /// of their own epoch, so a revoked epoch's stragglers can never
+  /// cross into the shrunken communicator built during recovery.
+  std::uint64_t comm_epoch = 0;
   std::uint64_t seq = 0;     ///< global send order (deterministic matching)
   double arrival = 0.0;      ///< eager: payload arrival; rndv: RTS arrival
   bool rendezvous = false;
@@ -62,6 +71,7 @@ struct Envelope {
 struct PendingRecv {
   int want_src = kAnySource;
   int want_tag = kAnyTag;
+  std::uint64_t want_epoch = 0;  ///< posting communicator's epoch
   MutBytes buf{};
   std::unique_ptr<Envelope> matched;  ///< set when an envelope binds
   sim::Waitable cond;
@@ -110,6 +120,12 @@ struct WorldConfig {
   /// is constructed and every wire path replays bit-exact.
   reliable::Config reliability;
 
+  /// ULFM-style fault tolerance (revoke/agree/shrink — see
+  /// docs/RESILIENCE.md). The layer activates when this is enabled or
+  /// when the fault plan scripts rank crashes; otherwise no ft::State
+  /// is built and every hot path skips the hooks.
+  ft::Config ft;
+
   /// Opt-in virtual-time tracing (see docs/TRACING.md). When set, the
   /// recorder must be constructed with this world's rank count; the
   /// World installs the engine charge observer and every layer records
@@ -154,6 +170,10 @@ class World {
     return config_.trace.get();
   }
 
+  /// Fault-tolerance state (failure detector, revocation records,
+  /// agreement decision board), or null when the ft layer is off.
+  [[nodiscard]] ft::State* ft_state() noexcept { return ft_.get(); }
+
   /// Runs @p body once per rank inside the simulation; returns the
   /// virtual time at which the last rank finished. May be called
   /// repeatedly; virtual time accumulates. With verification enabled,
@@ -170,6 +190,7 @@ class World {
   std::uint64_t seq_ = 0;
   std::unique_ptr<verify::Verifier> verifier_;  ///< after engine_ (attaches)
   std::unique_ptr<reliable::Channel> channel_;  ///< after fabric_ (attaches)
+  std::unique_ptr<ft::State> ft_;               ///< null when ft is off
 };
 
 /// One-shot convenience: build a world and run @p body on every rank.

@@ -1,5 +1,7 @@
 #include "emc/mpi/world.hpp"
 
+#include <limits>
+
 #include "emc/mpi/comm.hpp"
 
 namespace emc::mpi {
@@ -15,7 +17,23 @@ World::World(const WorldConfig& config)
         "forever), got " + std::to_string(config_.recv_timeout));
   }
   config_.reliability.validate();
+  config_.cluster.faults.validate_crashes(size());
   engine_.set_charge_scale(config.cpu_scale);
+  if (config_.ft.enabled || !config_.cluster.faults.crashes.empty()) {
+    if (!(config_.ft.detect_timeout > 0.0)) {
+      throw std::invalid_argument(
+          "WorldConfig: ft.detect_timeout must be positive, got " +
+          std::to_string(config_.ft.detect_timeout));
+    }
+    std::vector<double> crash_at(
+        static_cast<std::size_t>(size()),
+        std::numeric_limits<double>::infinity());
+    for (const net::RankCrash& c : config_.cluster.faults.crashes) {
+      crash_at[static_cast<std::size_t>(c.rank)] = c.at;
+      engine_.set_kill_time(c.rank, c.at);
+    }
+    ft_ = std::make_unique<ft::State>(config_.ft, std::move(crash_at));
+  }
   if (config_.verify.enabled) {
     verifier_ = std::make_unique<verify::Verifier>(config_.verify, engine_);
   }
@@ -46,7 +64,13 @@ double World::run(const std::function<void(Comm&)>& body) {
   if (config_.trace != nullptr) config_.trace->begin_run(engine_.now());
   const double end = engine_.run([this, &body](sim::Process& proc) {
     Comm comm(*this, proc);
-    body(comm);
+    try {
+      body(comm);
+    } catch (const sim::Killed&) {
+      // Scripted rank crash: the rank simply stops existing at its
+      // kill time. Survivors detect and recover through the ft layer;
+      // the dead rank's thread unwinds and finishes normally here.
+    }
     if (config_.trace != nullptr) {
       config_.trace->note_rank_done(proc.index(), proc.now());
     }
@@ -54,14 +78,31 @@ double World::run(const std::function<void(Comm&)>& body) {
   if (verifier_ != nullptr) {
     // Shutdown audit: anything still sitting in a mailbox was sent or
     // posted but never consumed by the program that just finished.
+    // With the ft layer active, debris of a crash is expected, not a
+    // bug: traffic on revoked epochs, recovery-internal messages
+    // (high-bit epochs) abandoned once the decision board settled, and
+    // anything sent by or addressed to a rank that died.
+    const double end_time = end;
     for (int rank = 0; rank < size(); ++rank) {
       const detail::Mailbox& box = mailbox(rank);
+      const bool owner_dead = ft_ != nullptr && ft_->crashed_by(rank, end_time);
       for (const auto& env : box.unexpected) {
+        if (ft_ != nullptr &&
+            (owner_dead || ft_->revoked(env->comm_epoch) ||
+             (env->comm_epoch >> 63) != 0 ||
+             ft_->crashed_by(env->world_src, end_time))) {
+          continue;
+        }
         verifier_->on_unmatched_envelope(
             rank, env->src, env->tag,
             env->rendezvous ? env->rndv_data.size() : env->payload.size());
       }
       for (const detail::PendingRecv* pr : box.posted) {
+        if (ft_ != nullptr &&
+            (owner_dead || ft_->revoked(pr->want_epoch) ||
+             (pr->want_epoch >> 63) != 0)) {
+          continue;
+        }
         verifier_->on_unmatched_posted(rank, pr->want_src, pr->want_tag);
       }
     }

@@ -1,5 +1,6 @@
 #include "emc/netsim/fault.hpp"
 
+#include <limits>
 #include <stdexcept>
 #include <string>
 
@@ -48,6 +49,37 @@ void FaultPlan::validate() const {
   if (p_delay > 0.0 && delay_seconds <= 0.0) {
     throw std::invalid_argument(
         "FaultPlan: delay_seconds must be positive when p_delay is set");
+  }
+  for (const FaultTrigger& t : triggers) {
+    if (t.kind == FaultKind::kRankCrash) {
+      throw std::invalid_argument(
+          "FaultPlan: kRankCrash is not a wire fault; declare crashes "
+          "through FaultPlan::crashes, not triggers");
+    }
+  }
+}
+
+void FaultPlan::validate_crashes(int num_ranks) const {
+  for (const RankCrash& c : crashes) {
+    if (c.rank < 0 || c.rank >= num_ranks) {
+      throw std::invalid_argument(
+          "FaultPlan: crash rank " + std::to_string(c.rank) +
+          " out of range for a world of " + std::to_string(num_ranks) +
+          " ranks");
+    }
+    if (!(c.at >= 0.0) || c.at == std::numeric_limits<double>::infinity()) {
+      throw std::invalid_argument(
+          "FaultPlan: crash time for rank " + std::to_string(c.rank) +
+          " must be a finite non-negative virtual time, got " +
+          std::to_string(c.at));
+    }
+    for (const RankCrash& other : crashes) {
+      if (&other != &c && other.rank == c.rank) {
+        throw std::invalid_argument("FaultPlan: rank " +
+                                    std::to_string(c.rank) +
+                                    " has more than one crash spec");
+      }
+    }
   }
 }
 
@@ -134,6 +166,7 @@ FaultDecision FaultInjector::next(int src, int dst, std::size_t bytes,
       ++stats_.delayed;
       break;
     case FaultKind::kNone:
+    case FaultKind::kRankCrash:  // never drawn: crashes are scripted
       break;
   }
   return d;

@@ -29,6 +29,12 @@ enum class FaultKind : std::uint8_t {
   kDuplicate,  ///< deliver the message twice
   kDrop,       ///< never deliver
   kDelay,      ///< deliver intact, but late (seeded latency spike)
+  /// Permanently kill a rank's process at a scripted virtual time (a
+  /// node crash, not a wire fault). Never drawn probabilistically and
+  /// never applied to a message in flight: it is declared through
+  /// FaultPlan::crashes and armed on the engine at world construction
+  /// (sim::Engine::set_kill_time).
+  kRankCrash,
 };
 
 /// Scripted fault: fire @p kind on the @p nth message (0-based count
@@ -52,6 +58,14 @@ struct FaultTrigger {
   static constexpr double kAutoDelay = -1.0;
 };
 
+/// Scripted rank crash (FaultKind::kRankCrash): rank @p rank's
+/// process is permanently killed at virtual time @p at. Validated at
+/// World construction (time >= 0, rank within the cluster).
+struct RankCrash {
+  int rank = -1;
+  double at = 0.0;
+};
+
 /// Seeded description of how unreliable every link is. All
 /// probabilities are per-message and must sum to at most 1.
 struct FaultPlan {
@@ -66,14 +80,28 @@ struct FaultPlan {
   double delay_seconds = 1e-3;
   std::vector<FaultTrigger> triggers;
 
+  /// Scripted permanent rank crashes. Orthogonal to the wire faults
+  /// above: the injector never draws kRankCrash; the world arms each
+  /// entry on the engine and the fault-tolerance layer (src/ft/)
+  /// handles detection and recovery.
+  std::vector<RankCrash> crashes;
+
   [[nodiscard]] bool enabled() const noexcept {
     return p_corrupt > 0.0 || p_truncate > 0.0 || p_duplicate > 0.0 ||
            p_drop > 0.0 || p_delay > 0.0 || !triggers.empty();
   }
 
   /// Throws std::invalid_argument on negative or over-unity
-  /// probabilities.
+  /// probabilities. Crash specs are additionally range-checked
+  /// against the cluster size at World construction
+  /// (validate_crashes).
   void validate() const;
+
+  /// Validates the crash specs against a world of @p num_ranks ranks:
+  /// each rank must be in [0, num_ranks), each time non-negative and
+  /// finite, and no rank may crash twice. Throws
+  /// std::invalid_argument.
+  void validate_crashes(int num_ranks) const;
 };
 
 /// One resolved decision: what to do to the message at hand. Position

@@ -107,6 +107,7 @@ Delivery Channel::deliver(int src, int dst, std::size_t bytes,
 
     switch (d.kind) {
       case net::FaultKind::kNone:
+      case net::FaultKind::kRankCrash:  // not a wire fault; never drawn
         out.arrival = arrival;
         break;
       case net::FaultKind::kDelay: {
@@ -245,6 +246,7 @@ double Channel::e2e_recover(int src, int dst, std::size_t bytes, double now,
           stats_.recovery_delay_total += path.arrival + d.delay_seconds - now;
           return path.arrival + d.delay_seconds;
         case net::FaultKind::kNone:
+        case net::FaultKind::kRankCrash:  // not a wire fault; never drawn
           ++stats_.recoveries;
           stats_.recovery_delay_total += path.arrival - now;
           return path.arrival;

@@ -34,6 +34,25 @@ struct IntegrityError : std::runtime_error {
       : std::runtime_error(what) {}
 };
 
+/// Fail-closed guard against nonce reuse: thrown by a seal once the
+/// per-key AEAD invocation count reaches the configured rekey
+/// threshold. AES-GCM security collapses on a repeated (key, nonce)
+/// pair, so the communicator refuses to encrypt rather than risk it —
+/// the application must rekey() (e.g. via ft::shrink_secure) to
+/// continue.
+struct NonceExhaustedError : std::runtime_error {
+  NonceExhaustedError(std::uint64_t used_, std::uint64_t threshold_)
+      : std::runtime_error(
+            "nonce space exhausted: " + std::to_string(used_) +
+            " AEAD invocations under one key reached the rekey threshold "
+            "of " + std::to_string(threshold_) +
+            "; rekey() before sending more"),
+        used(used_),
+        threshold(threshold_) {}
+  std::uint64_t used;
+  std::uint64_t threshold;
+};
+
 /// How per-message nonces are produced.
 enum class NonceMode {
   kRandom,   ///< uniformly random 12 bytes (the paper's RAND_bytes(12))
@@ -82,6 +101,13 @@ struct SecureConfig {
   /// duplicate as a replay (rejected, counted in replays_rejected).
   std::size_t replay_window = 0;
 
+  /// Fail-closed nonce-exhaustion guard: a seal throws
+  /// NonceExhaustedError once this many AEAD invocations have run
+  /// under the current key (counter and random mode alike — the
+  /// NIST SP 800-38D random-nonce bound is 2^32 invocations, which is
+  /// the default). rekey() resets the count. 0 disables the guard.
+  std::uint64_t nonce_rekey_threshold = std::uint64_t{1} << 32;
+
   /// When true (default), the wall-clock cost of every seal/open is
   /// charged to the rank's virtual clock. Disable only in functional
   /// tests that want timing-independent determinism.
@@ -121,6 +147,10 @@ struct CryptoCounters {
   std::uint64_t nacks_sent = 0;             ///< integrity NACKs issued
   std::uint64_t retransmits_recovered = 0;  ///< opens salvaged by retransmit
 
+  /// Times rekey() installed a fresh session key (ft recovery or
+  /// nonce-threshold rotation).
+  std::uint64_t rekeys = 0;
+
   [[nodiscard]] std::uint64_t faults_detected() const noexcept {
     return auth_failures + length_failures + replays_rejected;
   }
@@ -157,6 +187,20 @@ class SecureComm final : public mpi::Communicator {
 
   /// The wrapped plain communicator.
   [[nodiscard]] mpi::Comm& plain() { return *comm_; }
+
+  /// Effective configuration (the key reflects the latest rekey).
+  [[nodiscard]] const SecureConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Installs @p new_key as the session key and restarts every
+  /// key-scoped stream from zero: the nonce counter, the per-channel
+  /// send/recv sequence numbers, and the replay-window bookkeeping.
+  /// Used after ft recovery (the shrunken communicator must never
+  /// extend the old key's nonce stream) and for nonce-threshold
+  /// rotation. Collective in spirit: every rank must rekey with the
+  /// same key before traffic resumes.
+  void rekey(BytesView new_key);
 
   [[nodiscard]] const CryptoCounters& counters() const noexcept {
     return counters_;

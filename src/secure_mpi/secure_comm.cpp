@@ -70,25 +70,49 @@ double SecureComm::charged_crypto(const std::function<void()>& work,
     const double begin = proc.now();
     proc.advance(cost);
     if (trace::TraceRecorder* rec = comm_->world().trace()) {
-      rec->record(rank(), category, begin, proc.now(), -1, bytes);
+      // Trace rows are world-rank-indexed; on a shrunken communicator
+      // the local rank() no longer names the right row.
+      rec->record(proc.index(), category, begin, proc.now(), -1, bytes);
     }
     return elapsed;
   }
   // Wall-clock billing: the engine charge observer records the span;
   // retag it from the default kCompute before charging.
   if (trace::TraceRecorder* rec = comm_->world().trace()) {
-    rec->set_charge_category(rank(), category);
+    rec->set_charge_category(comm_->process().index(), category);
   }
   return comm_->process().charge(work);
 }
 
 void SecureComm::next_nonce(std::uint8_t out[kGcmNonceBytes]) {
+  // Fail-closed rekey gate: refuse to seal past the per-key invocation
+  // budget rather than risk a repeated (key, nonce) pair. Counted in
+  // both modes — random nonces hit the NIST birthday bound at 2^32
+  // invocations just as surely as a wrapped counter would repeat.
+  if (config_.nonce_rekey_threshold != 0 &&
+      nonce_counter_ >= config_.nonce_rekey_threshold) {
+    throw NonceExhaustedError(nonce_counter_, config_.nonce_rekey_threshold);
+  }
   if (config_.nonce_mode == NonceMode::kRandom) {
+    ++nonce_counter_;
     random_nonce(MutBytes(out, kGcmNonceBytes));
     return;
   }
   store_be32(out, static_cast<std::uint32_t>(rank()));
   store_be64(out + 4, nonce_counter_++);
+}
+
+void SecureComm::rekey(BytesView new_key) {
+  key_ = crypto::make_aes_gcm(config_.provider, new_key);
+  config_.key.assign(new_key.begin(), new_key.end());
+  // Every key-scoped stream restarts: nonces, per-channel sequence
+  // numbers, replay-window bookkeeping. The fresh key makes the reset
+  // safe (no (key, nonce) or (key, seq) pair can repeat).
+  nonce_counter_ = 0;
+  send_seq_.clear();
+  recv_seq_.clear();
+  extra_copies_.clear();
+  ++counters_.rekeys;
 }
 
 Bytes SecureComm::p2p_aad(int src, int dst, int tag,

@@ -76,6 +76,10 @@ void Engine::check_abort_locked() const {
   if (aborted_) throw Aborted{};
 }
 
+void Engine::check_kill_locked(const Process& self) const {
+  if (clock_ >= self.kill_at_) throw Killed{self.index_, self.kill_at_};
+}
+
 void Engine::grant_next_locked() {
   while (!ready_.empty()) {
     const HeapEntry next = ready_.top();
@@ -145,31 +149,61 @@ void Engine::finish_locked(Process& self, Lock&) {
 void Engine::proc_advance(Process& self, Time dt) {
   Lock lk(mu_);
   check_abort_locked();
-  schedule_locked(self, clock_ + std::max(dt, 0.0));
+  check_kill_locked(self);
+  // Compute that would cross the kill time is capped at it: the rank
+  // dies at exactly kill_at_, not after finishing the burst.
+  schedule_locked(self,
+                  std::min(clock_ + std::max(dt, 0.0), self.kill_at_));
   grant_next_locked();
   block_self_locked(self, lk);
+  check_kill_locked(self);
 }
 
 void Engine::proc_wait(Process& self, Waitable& w) {
   Lock lk(mu_);
   check_abort_locked();
+  check_kill_locked(self);
   w.waiters_.push_back(&self);
   ++waiting_on_conditions_;
+  if (self.kill_at_ != std::numeric_limits<Time>::infinity()) {
+    // A doomed process must not park forever: wake it at its kill
+    // time so it can die. If a notify wins first, the grant's epoch
+    // bump makes this entry stale (the wait_for mechanism).
+    schedule_locked(self, self.kill_at_);
+  }
   grant_next_locked();
   block_self_locked(self, lk);
+  if (clock_ >= self.kill_at_) {
+    const auto it = std::find(w.waiters_.begin(), w.waiters_.end(), &self);
+    if (it != w.waiters_.end()) {
+      w.waiters_.erase(it);
+      --waiting_on_conditions_;
+    }
+    throw Killed{self.index_, self.kill_at_};
+  }
 }
 
 bool Engine::proc_wait_for(Process& self, Waitable& w, Time timeout) {
   Lock lk(mu_);
   check_abort_locked();
+  check_kill_locked(self);
   w.waiters_.push_back(&self);
   ++waiting_on_conditions_;
   // Also schedule a timeout wake-up; whichever fires first wins and
   // the loser's heap entry goes stale via the epoch bump on grant.
-  schedule_locked(self, clock_ + std::max(timeout, 0.0));
+  // A kill time before the timeout takes the wake-up slot instead.
+  schedule_locked(
+      self, std::min(clock_ + std::max(timeout, 0.0), self.kill_at_));
   grant_next_locked();
   block_self_locked(self, lk);
   const auto it = std::find(w.waiters_.begin(), w.waiters_.end(), &self);
+  if (clock_ >= self.kill_at_) {
+    if (it != w.waiters_.end()) {
+      w.waiters_.erase(it);
+      --waiting_on_conditions_;
+    }
+    throw Killed{self.index_, self.kill_at_};
+  }
   if (it == w.waiters_.end()) return true;  // a notify released us first
   w.waiters_.erase(it);
   --waiting_on_conditions_;

@@ -20,6 +20,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <queue>
@@ -46,6 +47,17 @@ struct Aborted : std::runtime_error {
 /// (all blocked on conditions, none scheduled).
 struct Deadlock : std::runtime_error {
   explicit Deadlock(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown on a process's own thread the first time it would run at or
+/// after its armed kill time (Engine::set_kill_time) — the rank-crash
+/// fault primitive. Deliberately NOT derived from std::exception:
+/// application-level `catch (const std::exception&)` recovery must not
+/// absorb a crash; only the world-level harness catches it and retires
+/// the rank.
+struct Killed {
+  int rank = -1;
+  Time at = 0.0;
 };
 
 /// Intrusive wait queue. Processes block on it via Process::wait and
@@ -120,6 +132,9 @@ class Process {
   /// heap entries carrying an older epoch are stale (e.g. the unused
   /// timeout wake-up of a wait_for that was notified first).
   std::uint64_t wake_epoch_ = 0;
+  /// Virtual time at which this process is permanently killed
+  /// (infinity = never). See Engine::set_kill_time.
+  Time kill_at_ = std::numeric_limits<Time>::infinity();
   std::thread thread_;
 };
 
@@ -186,6 +201,19 @@ class Engine {
     deadlock_explainer_ = std::move(explainer);
   }
 
+  /// Arms a permanent crash of process @p index: the first time that
+  /// process would run at or after virtual time @p at, sim::Killed is
+  /// thrown on its thread instead (compute that would cross the kill
+  /// time is capped at it, and a parked process is woken at the kill
+  /// time to die). Pass infinity to disarm. Set before run(); kill
+  /// times persist across runs until overwritten.
+  void set_kill_time(int index, Time at) {
+    procs_.at(static_cast<std::size_t>(index))->kill_at_ = at;
+  }
+  [[nodiscard]] Time kill_time(int index) const {
+    return procs_.at(static_cast<std::size_t>(index))->kill_at_;
+  }
+
   /// True once the current run began tearing down after an error or
   /// deadlock (process bodies unwind concurrently from that point).
   [[nodiscard]] bool aborted() const noexcept {
@@ -213,6 +241,7 @@ class Engine {
   void block_self_locked(Process& self, Lock& lk);
   void finish_locked(Process& self, Lock& lk);
   void check_abort_locked() const;
+  void check_kill_locked(const Process& self) const;
 
   void proc_advance(Process& self, Time dt);
   void proc_wait(Process& self, Waitable& w);

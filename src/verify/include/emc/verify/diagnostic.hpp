@@ -24,6 +24,7 @@ enum class Check {
   kCollectiveMismatch,  ///< ranks diverge on op kind / root / byte count
   kUnmatchedMessage,    ///< envelope or posted receive never consumed
   kPeerUnreachable,     ///< ARQ retry budget exhausted; link declared dead
+  kRevokeIgnored,       ///< rank keeps posting on a revoked comm epoch
 };
 
 enum class Severity {

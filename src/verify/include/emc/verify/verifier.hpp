@@ -175,6 +175,15 @@ class Verifier {
   /// an environment fault must not abort the surviving ranks.
   void on_peer_unreachable(int rank, int peer, std::uint64_t attempts);
 
+  /// Rank @p rank attempted to post new work on communicator epoch
+  /// @p epoch after it was revoked, for the @p count'th time. One
+  /// failed post is how a rank *learns* about the revocation; repeated
+  /// posts (count >= 2) mean the application swallows RevokedError and
+  /// keeps going instead of entering recovery — recorded as a warning
+  /// diagnostic the first time the repetition is seen.
+  void on_post_after_revoke(int rank, std::uint64_t epoch,
+                            std::uint64_t count);
+
   /// RAII wrapper for on_block/on_unblock; no-op when @p vrf is null.
   class BlockScope {
    public:

@@ -57,6 +57,7 @@ const char* to_string(Check check) noexcept {
     case Check::kCollectiveMismatch: return "collective-mismatch";
     case Check::kUnmatchedMessage: return "unmatched-message";
     case Check::kPeerUnreachable: return "peer-unreachable";
+    case Check::kRevokeIgnored: return "revoke-ignored";
   }
   return "unknown";
 }
@@ -433,6 +434,23 @@ void Verifier::on_peer_unreachable(int rank, int peer,
               std::to_string(peer) + " dead after " +
               std::to_string(attempts) +
               " transmission attempts (retry budget exhausted)";
+  record(std::move(d), /*throwable=*/false);
+}
+
+void Verifier::on_post_after_revoke(int rank, std::uint64_t epoch,
+                                    std::uint64_t count) {
+  // Only report when the repetition is first established; later posts
+  // on the same epoch would just repeat the same finding.
+  if (count != 2) return;
+  Diagnostic d;
+  d.check = Check::kRevokeIgnored;
+  d.severity = Severity::kWarning;
+  d.ranks = {rank};
+  d.time = engine_->now();
+  d.message = "rank " + std::to_string(rank) +
+              " keeps posting operations on revoked communicator epoch " +
+              std::to_string(epoch) +
+              " instead of entering recovery (agree/shrink)";
   record(std::move(d), /*throwable=*/false);
 }
 

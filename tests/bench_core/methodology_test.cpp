@@ -94,6 +94,19 @@ TEST(Report, TableRendersAndRejectsBadRows) {
   EXPECT_EQ(csv.str(), "size,MB/s\n1B,0.05\n2MB,1038.00\n");
 }
 
+TEST(Report, CsvQuotesCellsWithSeparators) {
+  // fmt_us groups thousands with commas; such cells must be quoted so
+  // the CSV keeps its column structure, with embedded quotes doubled.
+  Table table("Alltoall", {"size", "latency"});
+  table.add_row({"2MB", fmt_us(1.01542e-3)});
+  table.add_row({"a \"b\"", "plain"});
+
+  std::ostringstream csv;
+  table.write_csv(csv);
+  EXPECT_EQ(csv.str(),
+            "size,latency\n2MB,\"1,015.42\"\n\"a \"\"b\"\"\",plain\n");
+}
+
 TEST(Report, SizeLabels) {
   EXPECT_EQ(size_label(1), "1B");
   EXPECT_EQ(size_label(256), "256B");

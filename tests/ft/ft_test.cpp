@@ -1,0 +1,510 @@
+// ULFM-style fault tolerance: scripted rank crashes, revocation
+// propagation, survivor agreement (including further crashes while
+// the protocol runs), shrink + re-rank, secure rekey, the fail-closed
+// nonce guard, and the keeps-posting-after-revoke diagnostic.
+//
+// Every scenario is seeded and virtual-time scripted, so recovery is
+// deterministic: the same config reproduces the same survivor masks,
+// epochs, and end times bit-for-bit.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <functional>
+
+#include "emc/ft/recover.hpp"
+#include "emc/mpi/comm.hpp"
+#include "emc/secure_mpi/secure_comm.hpp"
+
+namespace emc::ft {
+namespace {
+
+using mpi::Comm;
+using mpi::World;
+using mpi::WorldConfig;
+
+WorldConfig ft_world(int ranks, std::vector<net::RankCrash> crashes) {
+  WorldConfig config;
+  config.cluster.num_nodes = ranks;
+  config.cluster.ranks_per_node = 1;
+  config.cluster.inter = net::ethernet_10g();
+  config.cluster.faults.crashes = std::move(crashes);
+  return config;
+}
+
+/// Repeats @p op until the communicator's epoch is revoked; returns
+/// the RevokedError every survivor eventually observes. The loop bound
+/// only guards against a broken revocation path — ordinarily the
+/// failure detector fires within detect_timeout of the crash.
+RevokedError await_revocation(const std::function<void()>& op) {
+  for (int it = 0; it < 100000; ++it) {
+    try {
+      op();
+    } catch (const RevokedError& e) {
+      return e;
+    }
+  }
+  throw std::runtime_error("revocation never arrived");
+}
+
+/// What one survivor observed across revoke -> agree -> shrink.
+struct Outcome {
+  bool recovered = false;
+  int dead_rank = -2;
+  std::uint64_t mask = 0;
+  std::uint64_t epoch = 0;
+  int new_rank = -1;
+  int new_size = 0;
+  double revoked_at = -1.0;
+  bool data_ok = false;
+};
+
+TEST(FtRecovery, MidAllgatherCrashShrinksAndFinishes) {
+  std::array<Outcome, 4> out{};
+  run_world(ft_world(4, {{.rank = 2, .at = 2e-4}}), [&](Comm& comm) {
+    Bytes part(8, static_cast<std::uint8_t>(comm.rank()));
+    Bytes all(part.size() * static_cast<std::size_t>(comm.size()));
+    const RevokedError err =
+        await_revocation([&] { comm.allgather(part, all); });
+
+    const std::uint64_t mask = agree(comm);
+    const std::unique_ptr<Comm> next = shrink(comm, mask);
+
+    // Post-recovery workload on the shrunken communicator: every
+    // survivor must see every other survivor's fresh contribution.
+    Bytes spart(8, static_cast<std::uint8_t>(0x40 + next->rank()));
+    Bytes sall(spart.size() * static_cast<std::size_t>(next->size()));
+    next->allgather(spart, sall);
+    bool ok = true;
+    for (int r = 0; r < next->size(); ++r) {
+      for (std::size_t b = 0; b < 8; ++b) {
+        ok &= sall[static_cast<std::size_t>(r) * 8 + b] ==
+              static_cast<std::uint8_t>(0x40 + r);
+      }
+    }
+
+    Outcome& o = out[static_cast<std::size_t>(comm.rank())];
+    o.recovered = true;
+    o.dead_rank = err.dead_rank;
+    o.mask = mask;
+    o.epoch = next->epoch();
+    o.new_rank = next->rank();
+    o.new_size = next->size();
+    o.revoked_at = err.revoked_at;
+    o.data_ok = ok;
+  });
+
+  for (const int r : {0, 1, 3}) {
+    const Outcome& o = out[static_cast<std::size_t>(r)];
+    EXPECT_TRUE(o.recovered) << "rank " << r;
+    EXPECT_EQ(o.dead_rank, 2) << "rank " << r;
+    EXPECT_EQ(o.mask, 0b1011u) << "rank " << r;
+    EXPECT_EQ(o.new_size, 3) << "rank " << r;
+    EXPECT_TRUE(o.data_ok) << "rank " << r;
+    // Every survivor observed the same revocation instant and got the
+    // same fresh epoch.
+    EXPECT_EQ(o.revoked_at, out[0].revoked_at) << "rank " << r;
+    EXPECT_EQ(o.epoch, out[0].epoch) << "rank " << r;
+  }
+  // Re-ranking is dense over the survivor set.
+  EXPECT_EQ(out[0].new_rank, 0);
+  EXPECT_EQ(out[1].new_rank, 1);
+  EXPECT_EQ(out[3].new_rank, 2);
+  // The dead rank never recovers.
+  EXPECT_FALSE(out[2].recovered);
+}
+
+TEST(FtRecovery, BcastRootCrashPromotesNewRoot) {
+  std::array<Outcome, 3> out{};
+  run_world(ft_world(3, {{.rank = 0, .at = 1e-4}}), [&](Comm& comm) {
+    Bytes data(16, static_cast<std::uint8_t>(comm.rank() == 0 ? 0xAB : 0));
+    (void)await_revocation([&] { comm.bcast(data, 0); });
+
+    const std::uint64_t mask = agree(comm);
+    const std::unique_ptr<Comm> next = shrink(comm, mask);
+
+    // The old root is gone; the shrunken communicator's rank 0 (old
+    // rank 1) takes over.
+    Bytes payload(16, static_cast<std::uint8_t>(
+                          next->rank() == 0 ? 0xCD : 0));
+    next->bcast(payload, 0);
+    bool ok = true;
+    for (const std::uint8_t b : payload) ok &= b == 0xCD;
+
+    Outcome& o = out[static_cast<std::size_t>(comm.rank())];
+    o.recovered = true;
+    o.mask = mask;
+    o.new_rank = next->rank();
+    o.new_size = next->size();
+    o.data_ok = ok;
+  });
+
+  for (const int r : {1, 2}) {
+    const Outcome& o = out[static_cast<std::size_t>(r)];
+    EXPECT_TRUE(o.recovered) << "rank " << r;
+    EXPECT_EQ(o.mask, 0b110u) << "rank " << r;
+    EXPECT_EQ(o.new_size, 2) << "rank " << r;
+    EXPECT_EQ(o.new_rank, r - 1) << "rank " << r;
+    EXPECT_TRUE(o.data_ok) << "rank " << r;
+  }
+  EXPECT_FALSE(out[0].recovered);
+}
+
+TEST(FtRecovery, GatherRootCrashDrainsCleanly) {
+  // Rendezvous-sized blocks (above the 64 KiB eager threshold): an
+  // eager gather contribution to a dead root is fire-and-forget, but a
+  // rendezvous sender parks on the handshake and is exactly where the
+  // bounded ft wait must detect the root's death instead of hanging.
+  constexpr std::size_t kBlock = 96 * 1024;
+  std::array<Outcome, 3> out{};
+  run_world(ft_world(3, {{.rank = 0, .at = 1e-4}}), [&](Comm& comm) {
+    Bytes part(kBlock, static_cast<std::uint8_t>(comm.rank()));
+    Bytes all(part.size() * static_cast<std::size_t>(comm.size()));
+    (void)await_revocation([&] { comm.gather(part, all, 0); });
+
+    const std::uint64_t mask = agree(comm);
+    const std::unique_ptr<Comm> next = shrink(comm, mask);
+
+    Bytes spart(8, static_cast<std::uint8_t>(0x60 + next->rank()));
+    Bytes sall(spart.size() * static_cast<std::size_t>(next->size()));
+    next->gather(spart, sall, 0);
+    bool ok = true;
+    if (next->rank() == 0) {
+      for (int r = 0; r < next->size(); ++r) {
+        for (std::size_t b = 0; b < 8; ++b) {
+          ok &= sall[static_cast<std::size_t>(r) * 8 + b] ==
+                static_cast<std::uint8_t>(0x60 + r);
+        }
+      }
+    }
+
+    Outcome& o = out[static_cast<std::size_t>(comm.rank())];
+    o.recovered = true;
+    o.mask = mask;
+    o.new_size = next->size();
+    o.data_ok = ok;
+  });
+
+  for (const int r : {1, 2}) {
+    const Outcome& o = out[static_cast<std::size_t>(r)];
+    EXPECT_TRUE(o.recovered) << "rank " << r;
+    EXPECT_EQ(o.mask, 0b110u) << "rank " << r;
+    EXPECT_EQ(o.new_size, 2) << "rank " << r;
+    EXPECT_TRUE(o.data_ok) << "rank " << r;
+  }
+}
+
+TEST(FtRecovery, ShrinksToSingleRank) {
+  Outcome out{};
+  run_world(ft_world(2, {{.rank = 1, .at = 1e-4}}), [&](Comm& comm) {
+    if (comm.rank() == 1) {
+      // Burn virtual time until the scripted crash kills this rank.
+      while (true) comm.process().advance(1e-5);
+    }
+    Bytes part(4, 0x11);
+    Bytes all(part.size() * static_cast<std::size_t>(comm.size()));
+    (void)await_revocation([&] { comm.allgather(part, all); });
+
+    const std::uint64_t mask = agree(comm);  // alone: agrees with itself
+    const std::unique_ptr<Comm> next = shrink(comm, mask);
+
+    // A lone survivor still has a working communicator.
+    Bytes solo(4, 0x22);
+    next->bcast(solo, 0);
+    Bytes gathered(4);
+    next->allgather(solo, gathered);
+
+    out.recovered = true;
+    out.mask = mask;
+    out.new_rank = next->rank();
+    out.new_size = next->size();
+    out.data_ok = gathered == solo;
+  });
+
+  EXPECT_TRUE(out.recovered);
+  EXPECT_EQ(out.mask, 0b1u);
+  EXPECT_EQ(out.new_rank, 0);
+  EXPECT_EQ(out.new_size, 1);
+  EXPECT_TRUE(out.data_ok);
+}
+
+TEST(FtRecovery, CoordinatorDeathDuringAgreePromotesSuccessor) {
+  // Rank 1 dies first (triggers the revocation); rank 0 — the lowest
+  // survivor, hence the first agreement coordinator — dies before the
+  // revocation is even detectable. Followers start the protocol
+  // against a dead coordinator, suspect it, and promote rank 2.
+  std::array<Outcome, 4> out{};
+  WorldConfig config =
+      ft_world(4, {{.rank = 1, .at = 2e-4}, {.rank = 0, .at = 3e-4}});
+  World world(config);
+  world.run([&](Comm& comm) {
+    Bytes part(8, static_cast<std::uint8_t>(comm.rank()));
+    Bytes all(part.size() * static_cast<std::size_t>(comm.size()));
+    (void)await_revocation([&] { comm.allgather(part, all); });
+
+    const std::uint64_t mask = agree(comm);
+    const std::unique_ptr<Comm> next = shrink(comm, mask);
+
+    Bytes spart(8, static_cast<std::uint8_t>(0x50 + next->rank()));
+    Bytes sall(spart.size() * static_cast<std::size_t>(next->size()));
+    next->allgather(spart, sall);
+    bool ok = true;
+    for (int r = 0; r < next->size(); ++r) {
+      for (std::size_t b = 0; b < 8; ++b) {
+        ok &= sall[static_cast<std::size_t>(r) * 8 + b] ==
+              static_cast<std::uint8_t>(0x50 + r);
+      }
+    }
+
+    Outcome& o = out[static_cast<std::size_t>(comm.rank())];
+    o.recovered = true;
+    o.mask = mask;
+    o.new_rank = next->rank();
+    o.new_size = next->size();
+    o.data_ok = ok;
+  });
+
+  for (const int r : {2, 3}) {
+    const Outcome& o = out[static_cast<std::size_t>(r)];
+    EXPECT_TRUE(o.recovered) << "rank " << r;
+    EXPECT_EQ(o.mask, 0b1100u) << "rank " << r;
+    EXPECT_EQ(o.new_size, 2) << "rank " << r;
+    EXPECT_EQ(o.new_rank, r - 2) << "rank " << r;
+    EXPECT_TRUE(o.data_ok) << "rank " << r;
+  }
+  EXPECT_FALSE(out[0].recovered);
+  EXPECT_FALSE(out[1].recovered);
+
+  // The agreement log shows the failed attempt against the dead
+  // coordinator and exactly one committed decision.
+  const std::vector<AgreeLogEntry>& log = world.ft_state()->agree_log();
+  int committed = 0;
+  int failed = 0;
+  for (const AgreeLogEntry& e : log) {
+    if (e.committed) {
+      ++committed;
+      EXPECT_EQ(e.mask, 0b1100u);
+      EXPECT_EQ(e.coordinator, 2);
+    } else {
+      ++failed;
+      EXPECT_EQ(e.coordinator, 0);  // the attempt the crash aborted
+    }
+  }
+  EXPECT_EQ(committed, 1);
+  EXPECT_GE(failed, 1);
+}
+
+TEST(FtRecovery, RecoveryIsDeterministicAcrossRuns) {
+  struct RunResult {
+    double end_time = 0.0;
+    std::array<Outcome, 4> out{};
+  };
+  const auto one_run = [] {
+    RunResult rr;
+    rr.end_time = mpi::run_world(
+        ft_world(4, {{.rank = 2, .at = 2e-4}}), [&rr](Comm& comm) {
+          Bytes part(8, static_cast<std::uint8_t>(comm.rank()));
+          Bytes all(part.size() * static_cast<std::size_t>(comm.size()));
+          const RevokedError err =
+              await_revocation([&] { comm.allgather(part, all); });
+          const std::uint64_t mask = agree(comm);
+          const std::unique_ptr<Comm> next = shrink(comm, mask);
+          Outcome& o = rr.out[static_cast<std::size_t>(comm.rank())];
+          o.recovered = true;
+          o.mask = mask;
+          o.epoch = next->epoch();
+          o.revoked_at = err.revoked_at;
+        });
+    return rr;
+  };
+  const RunResult a = one_run();
+  const RunResult b = one_run();
+  EXPECT_EQ(a.end_time, b.end_time);  // bit-exact virtual time
+  for (std::size_t r = 0; r < 4; ++r) {
+    EXPECT_EQ(a.out[r].recovered, b.out[r].recovered) << "rank " << r;
+    EXPECT_EQ(a.out[r].mask, b.out[r].mask) << "rank " << r;
+    EXPECT_EQ(a.out[r].epoch, b.out[r].epoch) << "rank " << r;
+    EXPECT_EQ(a.out[r].revoked_at, b.out[r].revoked_at) << "rank " << r;
+  }
+}
+
+TEST(FtRecovery, EpochIsolationBlocksStragglers) {
+  // An op on the revoked parent after recovery still fails with
+  // RevokedError — the old epoch stays revoked forever — while the
+  // shrunken communicator keeps working.
+  run_world(ft_world(2, {{.rank = 1, .at = 1e-4}}), [](Comm& comm) {
+    if (comm.rank() == 1) {
+      while (true) comm.process().advance(1e-5);
+    }
+    Bytes buf(4);
+    (void)await_revocation([&] { (void)comm.recv(buf, 1, 3); });
+    const std::unique_ptr<Comm> next = shrink(comm, agree(comm));
+    EXPECT_THROW(comm.send(buf, 1, 3), RevokedError);
+    next->barrier();  // fresh epoch unaffected
+    EXPECT_THROW((void)comm.recv(buf, 1, 3), RevokedError);
+  });
+}
+
+TEST(FtRecovery, SecureRekeyAfterShrink) {
+  static const crypto::DhGroup& dh = [] {
+    static crypto::DhGroup g = crypto::generate_test_group(192, 42);
+    return g;
+  }();
+
+  std::array<Outcome, 3> out{};
+  std::array<std::uint64_t, 3> rekeys{};
+  WorldConfig config = ft_world(3, {{.rank = 1, .at = 2e-4}});
+  secure::SecureConfig sc;
+  sc.nonce_mode = secure::NonceMode::kCounter;
+  secure::run_secure_world(config, sc, [&](secure::SecureComm& sec) {
+    Comm& comm = sec.plain();
+    Bytes part(8, static_cast<std::uint8_t>(comm.rank()));
+    Bytes all(part.size() * static_cast<std::size_t>(comm.size()));
+    (void)await_revocation([&] { sec.allgather(part, all); });
+
+    const std::uint64_t mask = agree(comm);
+    SecureRecovery rec = shrink_secure(comm, mask, sec.config(), dh);
+
+    // Encrypted traffic over the recovered communicator, under the
+    // freshly exchanged key.
+    Bytes spart(8, static_cast<std::uint8_t>(0x70 + rec.comm->rank()));
+    Bytes sall(spart.size() * static_cast<std::size_t>(rec.comm->size()));
+    rec.secure->allgather(spart, sall);
+    bool ok = true;
+    for (int r = 0; r < rec.comm->size(); ++r) {
+      for (std::size_t b = 0; b < 8; ++b) {
+        ok &= sall[static_cast<std::size_t>(r) * 8 + b] ==
+              static_cast<std::uint8_t>(0x70 + r);
+      }
+    }
+    // The recovered session key is fresh, not the pre-crash key.
+    EXPECT_NE(rec.secure->config().key, sec.config().key);
+
+    Outcome& o = out[static_cast<std::size_t>(comm.rank())];
+    o.recovered = true;
+    o.mask = mask;
+    o.new_size = rec.comm->size();
+    o.data_ok = ok;
+    rekeys[static_cast<std::size_t>(comm.rank())] =
+        rec.secure->counters().rekeys;
+  });
+
+  for (const int r : {0, 2}) {
+    const Outcome& o = out[static_cast<std::size_t>(r)];
+    EXPECT_TRUE(o.recovered) << "rank " << r;
+    EXPECT_EQ(o.mask, 0b101u) << "rank " << r;
+    EXPECT_EQ(o.new_size, 2) << "rank " << r;
+    EXPECT_TRUE(o.data_ok) << "rank " << r;
+    EXPECT_EQ(rekeys[static_cast<std::size_t>(r)], 1u) << "rank " << r;
+  }
+}
+
+TEST(FtValidation, RejectsBadCrashSpecs) {
+  const auto reject = [](std::vector<net::RankCrash> crashes) {
+    WorldConfig config = ft_world(2, std::move(crashes));
+    EXPECT_THROW(
+        {
+          World world(config);
+          (void)world;
+        },
+        std::invalid_argument);
+  };
+  reject({{.rank = 5, .at = 1.0}});    // rank out of range
+  reject({{.rank = -1, .at = 1.0}});   // negative rank
+  reject({{.rank = 0, .at = -1.0}});   // negative crash time
+  reject({{.rank = 0, .at = std::numeric_limits<double>::infinity()}});
+  reject({{.rank = 0, .at = std::nan("")}});
+  reject({{.rank = 0, .at = 1.0}, {.rank = 0, .at = 2.0}});  // twice
+
+  WorldConfig config = ft_world(2, {{.rank = 0, .at = 1.0}});
+  config.ft.detect_timeout = 0.0;
+  EXPECT_THROW(
+      {
+        World world(config);
+        (void)world;
+      },
+      std::invalid_argument);
+}
+
+TEST(FtValidation, AgreeAndShrinkRequireFtLayer) {
+  run_world(ft_world(1, {}), [](Comm& comm) {
+    EXPECT_THROW((void)agree(comm), mpi::MpiError);
+    EXPECT_THROW((void)shrink(comm, 0b1), mpi::MpiError);
+  });
+}
+
+TEST(FtVerify, KeepsPostingAfterRevokeIsDiagnosed) {
+  WorldConfig config = ft_world(2, {{.rank = 1, .at = 1e-4}});
+  config.verify.enabled = true;
+  config.verify.fail_fast = false;
+  World world(config);
+  world.run([](Comm& comm) {
+    if (comm.rank() == 1) {
+      while (true) comm.process().advance(1e-5);
+    }
+    Bytes buf(4);
+    // First op observes the death and revokes the epoch.
+    EXPECT_THROW((void)comm.recv(buf, 1, 7), RevokedError);
+    // An application that swallows RevokedError and keeps posting is
+    // flagged on the second post.
+    EXPECT_THROW(comm.send(buf, 1, 7), RevokedError);
+    EXPECT_THROW(comm.send(buf, 1, 7), RevokedError);
+  });
+  bool flagged = false;
+  for (const verify::Diagnostic& d : world.verifier()->diagnostics()) {
+    flagged |= d.check == verify::Check::kRevokeIgnored;
+  }
+  EXPECT_TRUE(flagged);
+  // The revocation debris itself must not raise unmatched-message
+  // noise or errors.
+  EXPECT_EQ(world.verifier()->error_count(), 0u);
+}
+
+TEST(NonceGuard, FailsClosedAtThresholdAndRekeyRestarts) {
+  WorldConfig config = ft_world(2, {});
+  secure::SecureConfig sc;
+  sc.nonce_mode = secure::NonceMode::kCounter;
+  sc.nonce_rekey_threshold = 2;
+  const Bytes fresh_key(32, 0x7E);
+  secure::run_secure_world(config, sc, [&](secure::SecureComm& sec) {
+    Bytes msg = bytes_of("payload!");
+    Bytes buf(msg.size());
+    if (sec.rank() == 0) {
+      sec.send(msg, 1, 1);
+      sec.send(msg, 1, 2);
+      // Third seal under the same key would cross the threshold: the
+      // communicator fails closed instead of risking nonce reuse.
+      EXPECT_THROW(sec.send(msg, 1, 3), secure::NonceExhaustedError);
+      sec.rekey(fresh_key);
+      sec.send(msg, 1, 3);  // counter restarted under the new key
+    } else {
+      (void)sec.recv(buf, 0, 1);
+      (void)sec.recv(buf, 0, 2);
+      sec.rekey(fresh_key);
+      const mpi::Status st = sec.recv(buf, 0, 3);
+      EXPECT_EQ(st.bytes, msg.size());
+      EXPECT_EQ(buf, msg);
+    }
+    EXPECT_EQ(sec.counters().rekeys, 1u);
+  });
+}
+
+TEST(NonceGuard, RandomModeCountsInvocationsToo) {
+  WorldConfig config = ft_world(2, {});
+  secure::SecureConfig sc;
+  sc.nonce_mode = secure::NonceMode::kRandom;
+  sc.nonce_rekey_threshold = 1;
+  secure::run_secure_world(config, sc, [&](secure::SecureComm& sec) {
+    Bytes msg = bytes_of("once");
+    Bytes buf(msg.size());
+    if (sec.rank() == 0) {
+      sec.send(msg, 1, 1);
+      EXPECT_THROW(sec.send(msg, 1, 2), secure::NonceExhaustedError);
+    } else {
+      (void)sec.recv(buf, 0, 1);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace emc::ft
