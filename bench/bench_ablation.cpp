@@ -24,8 +24,8 @@ namespace {
 using namespace emc;
 using namespace emc::bench;
 
-double seal_throughput(const crypto::AeadKey& key, std::size_t size,
-                       const StabilityPolicy& policy) {
+MeasureResult seal_throughput(const crypto::AeadKey& key, std::size_t size,
+                              const StabilityPolicy& policy) {
   Xoshiro256 rng(size);
   const Bytes pt = rng.bytes(size);
   const Bytes nonce = rng.bytes(crypto::kGcmNonceBytes);
@@ -33,66 +33,70 @@ double seal_throughput(const crypto::AeadKey& key, std::size_t size,
   const std::size_t batch =
       std::max<std::size_t>(1, (1u << 21) / std::max<std::size_t>(size, 64));
   return run_until_stable(
-             [&] {
-               WallTimer timer;
-               for (std::size_t i = 0; i < batch; ++i) {
-                 key.seal(nonce, {}, pt, wire);
-               }
-               return static_cast<double>(size * batch) / timer.seconds();
-             },
-             policy)
-      .mean;
+      [&] {
+        WallTimer timer;
+        for (std::size_t i = 0; i < batch; ++i) {
+          key.seal(nonce, {}, pt, wire);
+        }
+        return static_cast<double>(size * batch) / timer.seconds();
+      },
+      policy);
 }
 
-double pingpong_time(const LibraryConfig& lib, std::size_t size,
-                     std::size_t key_bits, bool bind_context,
-                     secure::NonceMode nonce_mode,
-                     const StabilityPolicy& policy) {
+MeasureResult pingpong_time(const LibraryConfig& lib, std::size_t size,
+                            std::size_t key_bits, bool bind_context,
+                            secure::NonceMode nonce_mode,
+                            const StabilityPolicy& policy,
+                            const SaltSchedule& schedule) {
   mpi::WorldConfig config;
   config.cluster.num_nodes = 2;
   config.cluster.ranks_per_node = 1;
   config.cluster.inter = net::ethernet_10g();
   constexpr int kIters = 20;
 
-  return run_until_stable(
-             [&] {
-               return timed_world(config, [&](mpi::Comm& plain) {
-                 std::unique_ptr<secure::SecureComm> sc;
-                 mpi::Communicator* comm = &plain;
-                 if (lib.encrypted()) {
-                   secure::SecureConfig secure_config;
-                   secure_config.provider = lib.provider;
-                   secure_config.key = crypto::demo_key(key_bits / 8);
-                   secure_config.bind_context = bind_context;
-                   secure_config.nonce_mode = nonce_mode;
-                   sc = std::make_unique<secure::SecureComm>(plain,
-                                                             secure_config);
-                   comm = sc.get();
-                 }
-                 Bytes payload(size, 1);
-                 Bytes buf(size);
-                 for (int i = 0; i < kIters; ++i) {
-                   if (plain.rank() == 0) {
-                     comm->send(payload, 1, 1);
-                     comm->recv(buf, 1, 1);
-                   } else {
-                     comm->recv(buf, 0, 1);
-                     comm->send(payload, 0, 1);
-                   }
-                 }
-               }) / kIters;
-             },
-             policy)
-      .mean;
+  return measure_world(
+      config, policy, schedule,
+      [&](mpi::Comm& plain) {
+        std::unique_ptr<secure::SecureComm> sc;
+        mpi::Communicator* comm = &plain;
+        if (lib.encrypted()) {
+          secure::SecureConfig secure_config;
+          secure_config.provider = lib.provider;
+          secure_config.key = crypto::demo_key(key_bits / 8);
+          secure_config.bind_context = bind_context;
+          secure_config.nonce_mode = nonce_mode;
+          sc = std::make_unique<secure::SecureComm>(plain, secure_config);
+          comm = sc.get();
+        }
+        Bytes payload(size, 1);
+        Bytes buf(size);
+        for (int i = 0; i < kIters; ++i) {
+          if (plain.rank() == 0) {
+            comm->send(payload, 1, 1);
+            comm->recv(buf, 1, 1);
+          } else {
+            comm->recv(buf, 0, 1);
+            comm->send(payload, 0, 1);
+          }
+        }
+      },
+      [](double elapsed) { return elapsed / kIters; });
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const Args args(argc, argv);
+  args.allow_only(with_common_flags({}));
   calibrate_cpu_scale(args);
   const StabilityPolicy policy = policy_from(args);
+  const SaltSchedule schedule = schedule_from(args);
   print_header("Ablation studies (DESIGN.md design choices)", args);
+
+  Trajectory traj("ablation");
+  traj.set_settings("policy=" + policy_name(args) +
+                    " salts=" + std::to_string(schedule.salts) +
+                    " seed=" + std::to_string(schedule.seed));
 
   // --- 1. GCM vs CCM ----------------------------------------------------
   {
@@ -104,10 +108,16 @@ int main(int argc, char** argv) {
         crypto::demo_key(32), "ttable");
     const auto ccm = crypto::make_aes_ccm(crypto::demo_key(32));
     for (std::size_t size : {256u, 16384u, 1048576u}) {
-      const double g = seal_throughput(gcm, size, policy);
-      const double c = seal_throughput(*ccm, size, policy);
-      table.add_row({size_label(size), fmt_mbps(g), fmt_mbps(c),
-                     fmt_double(g / c, 2) + "x"});
+      const MeasureResult g = seal_throughput(gcm, size, policy);
+      const MeasureResult c = seal_throughput(*ccm, size, policy);
+      table.add_row({size_label(size), fmt_mbps(g.mean), fmt_mbps(c.mean),
+                     fmt_double(g.mean / c.mean, 2) + "x"});
+      table.attach_stats(1, g, 1e-6);
+      table.attach_stats(2, c, 1e-6);
+      traj.add("gcm-ttable/" + size_label(size), "throughput", "MB/s", true,
+               scale_result(g, 1e-6));
+      traj.add("ccm-ttable/" + size_label(size), "throughput", "MB/s", true,
+               scale_result(c, 1e-6));
     }
     table.print(std::cout);
     table.save_csv("ablation_gcm_vs_ccm.csv");
@@ -122,10 +132,16 @@ int main(int argc, char** argv) {
     const auto fast = crypto::make_gcm_ni(crypto::demo_key(32));
     const auto basic = crypto::make_gcm_ni_basic(crypto::demo_key(32));
     for (std::size_t size : {256u, 16384u, 1048576u}) {
-      const double f = seal_throughput(*fast, size, policy);
-      const double b = seal_throughput(*basic, size, policy);
-      table.add_row({size_label(size), fmt_mbps(f), fmt_mbps(b),
-                     fmt_double(f / b, 2) + "x"});
+      const MeasureResult f = seal_throughput(*fast, size, policy);
+      const MeasureResult b = seal_throughput(*basic, size, policy);
+      table.add_row({size_label(size), fmt_mbps(f.mean), fmt_mbps(b.mean),
+                     fmt_double(f.mean / b.mean, 2) + "x"});
+      table.attach_stats(1, f, 1e-6);
+      table.attach_stats(2, b, 1e-6);
+      traj.add("ghash-agg4/" + size_label(size), "throughput", "MB/s", true,
+               scale_result(f, 1e-6));
+      traj.add("ghash-perblock/" + size_label(size), "throughput", "MB/s",
+               true, scale_result(b, 1e-6));
     }
     table.print(std::cout);
     table.save_csv("ablation_ghash.csv");
@@ -140,9 +156,14 @@ int main(int argc, char** argv) {
     const LibraryConfig boring{"BoringSSL", "boringssl-sim"};
     constexpr std::size_t kSize = 16 * 1024;
 
-    const double base = pingpong_time(plain, kSize, 256, false,
-                                      secure::NonceMode::kRandom, policy);
+    const MeasureResult base_m = pingpong_time(
+        plain, kSize, 256, false, secure::NonceMode::kRandom, policy,
+        schedule);
+    const double base = base_m.mean;
     table.add_row({"unencrypted", fmt_us(base), "-"});
+    table.attach_stats(1, base_m, 1e6);
+    traj.add("options/unencrypted", "time", "us", false,
+             scale_result(base_m, 1e6));
 
     const struct {
       const char* label;
@@ -160,14 +181,18 @@ int main(int argc, char** argv) {
          secure::NonceMode::kRandom},
     };
     for (const auto& c : cases) {
-      const double t =
-          pingpong_time(boring, kSize, c.key_bits, c.bind, c.mode, policy);
-      table.add_row({c.label, fmt_us(t),
-                     fmt_percent(overhead_percent(base, t))});
+      const MeasureResult m = pingpong_time(boring, kSize, c.key_bits,
+                                            c.bind, c.mode, policy, schedule);
+      table.add_row({c.label, fmt_us(m.mean),
+                     fmt_percent(overhead_percent(base, m.mean))});
+      table.attach_stats(1, m, 1e6);
+      traj.add(std::string("options/") + c.label, "time", "us", false,
+               scale_result(m, 1e6));
     }
     table.print(std::cout);
     table.save_csv("ablation_options.csv");
   }
 
+  save_trajectory(traj);
   return 0;
 }

@@ -24,51 +24,52 @@ using namespace emc::bench;
 
 enum class Op { kBcast, kAlltoall };
 
-double collective_time(const net::NetworkProfile& profile,
-                       const LibraryConfig& lib, Op op, int nodes,
-                       int ranks_per_node, std::size_t size, int iters,
-                       const StabilityPolicy& policy) {
+MeasureResult collective_time(const net::NetworkProfile& profile,
+                              const LibraryConfig& lib, Op op, int nodes,
+                              int ranks_per_node, std::size_t size, int iters,
+                              const StabilityPolicy& policy,
+                              const SaltSchedule& schedule) {
   mpi::WorldConfig config;
   config.cluster.num_nodes = nodes;
   config.cluster.ranks_per_node = ranks_per_node;
   config.cluster.inter = profile;
   const int total = config.cluster.total_ranks();
 
-  const MeasureResult result = run_until_stable(
-      [&] {
-        const double elapsed = timed_world(config, [&](mpi::Comm& plain) {
-          std::unique_ptr<secure::SecureComm> secure_comm;
-          mpi::Communicator* comm = &plain;
-          if (lib.encrypted()) {
-            secure_comm = std::make_unique<secure::SecureComm>(
-                plain, secure_config_for(lib));
-            comm = secure_comm.get();
+  return measure_world(
+      config, policy, schedule,
+      [&](mpi::Comm& plain) {
+        std::unique_ptr<secure::SecureComm> secure_comm;
+        mpi::Communicator* comm = &plain;
+        if (lib.encrypted()) {
+          secure_comm = std::make_unique<secure::SecureComm>(
+              plain, secure_config_for(lib));
+          comm = secure_comm.get();
+        }
+        if (op == Op::kBcast) {
+          Bytes data(size, 0x42);
+          for (int i = 0; i < iters; ++i) comm->bcast(data, 0);
+        } else {
+          Bytes sendbuf(size * static_cast<std::size_t>(total), 0x42);
+          Bytes recvbuf(sendbuf.size());
+          for (int i = 0; i < iters; ++i) {
+            comm->alltoall(sendbuf, recvbuf, size);
           }
-          if (op == Op::kBcast) {
-            Bytes data(size, 0x42);
-            for (int i = 0; i < iters; ++i) comm->bcast(data, 0);
-          } else {
-            Bytes sendbuf(size * static_cast<std::size_t>(total), 0x42);
-            Bytes recvbuf(sendbuf.size());
-            for (int i = 0; i < iters; ++i) {
-              comm->alltoall(sendbuf, recvbuf, size);
-            }
-          }
-          comm->barrier();
-        });
-        return elapsed / iters;
+        }
+        comm->barrier();
       },
-      policy);
-  return result.mean;
+      [iters](double elapsed) { return elapsed / iters; });
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const Args args(argc, argv);
+  args.allow_only(
+      with_common_flags({"net", "op", "nodes", "ranks-per-node"}));
   calibrate_cpu_scale(args);
   const net::NetworkProfile profile = net_from(args);
   const StabilityPolicy policy = policy_from(args);
+  const SaltSchedule schedule = schedule_from(args);
   const bool eth = profile.name == "ethernet-10g";
   const std::string which = args.get("op", "both");
   const int nodes = static_cast<int>(args.get_int("nodes", 8));
@@ -84,6 +85,13 @@ int main(int argc, char** argv) {
   const std::vector<std::size_t> sizes = {1, 16 * 1024, 4 * 1024 * 1024};
   const auto libs = paper_rows(/*optimized_cryptopp=*/!eth);
   const std::string net_tag = eth ? "eth" : "ib";
+
+  Trajectory traj("collectives");
+  traj.set_settings("net=" + net_tag + " policy=" + policy_name(args) +
+                    " op=" + which + " nodes=" + std::to_string(nodes) +
+                    " rpn=" + std::to_string(rpn) +
+                    " salts=" + std::to_string(schedule.salts) +
+                    " seed=" + std::to_string(schedule.seed));
 
   const auto run_op = [&](Op op, const char* name) {
     std::vector<std::string> columns = {"library"};
@@ -101,6 +109,7 @@ int main(int argc, char** argv) {
     for (const LibraryConfig& lib : libs) {
       std::vector<std::string> row = {lib.label};
       std::vector<std::string> orow = {lib.label};
+      std::vector<MeasureResult> measures;
       for (std::size_t i = 0; i < sizes.size(); ++i) {
         const std::size_t size = sizes[i];
         // Memory guard: 4 MB alltoall at 64 ranks would need ~64 GB.
@@ -123,16 +132,25 @@ int main(int argc, char** argv) {
           cell_policy.max_runs = std::min<std::size_t>(policy.max_runs, 8);
           cell_policy.hard_cap = std::min<std::size_t>(policy.hard_cap, 10);
         }
-        const double t =
+        const MeasureResult m =
             collective_time(profile, lib, op, use_nodes, use_rpn, size,
-                            iters, cell_policy);
+                            iters, cell_policy, schedule);
+        const double t = m.mean;
         if (!lib.encrypted()) baseline[i] = t;
         row.push_back(fmt_us(t));
-        orow.push_back(lib.encrypted() && baseline[i] > 0
+        orow.push_back(lib.encrypted()
                            ? fmt_percent(overhead_percent(baseline[i], t))
                            : "-");
+        measures.push_back(m);
+        traj.add(net_tag + "/" + name + "/" + lib.label + "/" +
+                     size_label(size),
+                 "time", "us", /*higher_is_better=*/false,
+                 scale_result(m, 1e6));
       }
       table.add_row(std::move(row));
+      for (std::size_t i = 0; i < measures.size(); ++i) {
+        table.attach_stats(i + 1, measures[i], 1e6);
+      }
       overhead_table.add_row(std::move(orow));
     }
     table.print(std::cout);
@@ -148,5 +166,6 @@ int main(int argc, char** argv) {
   if (which == "alltoall" || which == "both") {
     run_op(Op::kAlltoall, "Alltoall");
   }
+  save_trajectory(traj);
   return 0;
 }

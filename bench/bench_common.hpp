@@ -15,6 +15,7 @@
 #include "emc/common/timer.hpp"
 #include "emc/bench_core/methodology.hpp"
 #include "emc/bench_core/report.hpp"
+#include "emc/bench_core/trajectory.hpp"
 #include "emc/crypto/provider.hpp"
 #include "emc/mpi/comm.hpp"
 #include "emc/netsim/profile.hpp"
@@ -43,6 +44,16 @@ inline std::vector<LibraryConfig> paper_rows(bool optimized_cryptopp) {
   };
 }
 
+/// Flags every measuring bench accepts on top of its own: stopping
+/// policy, CPU calibration, and the repetition schedule.
+inline std::vector<std::string> with_common_flags(
+    std::vector<std::string> extra) {
+  for (const char* f : {"quick", "paper", "cpu-scale", "salts", "seed"}) {
+    extra.emplace_back(f);
+  }
+  return extra;
+}
+
 /// Stopping policy from --paper / --quick / default.
 inline StabilityPolicy policy_from(const Args& args) {
   if (args.has("paper")) return StabilityPolicy{};  // the paper's 20..100
@@ -52,6 +63,25 @@ inline StabilityPolicy policy_from(const Args& args) {
   p.max_runs = 40;
   p.hard_cap = 60;
   return p;
+}
+
+[[nodiscard]] inline std::string policy_name(const Args& args) {
+  if (args.has("paper")) return "paper";
+  if (args.has("quick")) return "quick";
+  return "default";
+}
+
+/// Perturbation-salt repetition schedule from --salts=K / --seed=S:
+/// successive samples of one configuration cycle through K engine
+/// tie-break salts (salt 0 = baseline FIFO order, the rest derived
+/// like mpi::run_perturbed's), so schedule sensitivity shows up as
+/// run-to-run variance instead of hiding behind one fixed order.
+inline SaltSchedule schedule_from(const Args& args) {
+  SaltSchedule s;
+  s.salts = static_cast<std::size_t>(
+      std::max(1L, args.get_int("salts", 4)));
+  s.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  return s;
 }
 
 inline net::NetworkProfile net_from(const Args& args) {
@@ -103,7 +133,7 @@ inline double calibrate_cpu_scale(const Args& args) {
     }
     scale = best_mbps / kPaperEncDecMBps;
   } else {
-    scale = std::stod(opt);
+    scale = args.get_double("cpu-scale", 1.0);
   }
   global_cpu_scale() = scale;
   return scale;
@@ -112,13 +142,44 @@ inline double calibrate_cpu_scale(const Args& args) {
 /// Runs @p body on a fresh world and returns the virtual seconds it
 /// took (worlds are cheap; a fresh one per sample keeps NIC state and
 /// contention history independent across samples). Applies the global
-/// CPU calibration.
+/// CPU calibration; a non-zero @p salt perturbs the engine's
+/// same-time tie-break order (see SaltSchedule). Engine scheduling
+/// events are accumulated into the global trajectory counter.
 inline double timed_world(const mpi::WorldConfig& config,
-                          const std::function<void(mpi::Comm&)>& body) {
+                          const std::function<void(mpi::Comm&)>& body,
+                          std::uint64_t salt = 0) {
   mpi::WorldConfig calibrated = config;
   calibrated.cpu_scale = global_cpu_scale();
   mpi::World world(calibrated);
-  return world.run(body);
+  if (salt != 0) world.engine().set_tiebreak_salt(salt);
+  const double elapsed = world.run(body);
+  global_engine_events() += world.engine().scheduled_events();
+  return elapsed;
+}
+
+/// The rigorous measurement loop for world-timed benchmarks: repeats
+/// (per @p policy) fresh worlds across the perturbation-salt schedule
+/// and reduces each run's virtual seconds through @p metric.
+inline MeasureResult measure_world(
+    const mpi::WorldConfig& config, const StabilityPolicy& policy,
+    const SaltSchedule& schedule, const std::function<void(mpi::Comm&)>& body,
+    const std::function<double(double virtual_seconds)>& metric) {
+  return run_schedule(
+      [&](std::uint64_t salt) {
+        return metric(timed_world(config, body, salt));
+      },
+      policy, schedule);
+}
+
+/// Rescales the location fields of a MeasureResult into a display
+/// unit (1e-6 for MB/s from B/s, 1e6 for µs from s, ...).
+inline MeasureResult scale_result(MeasureResult r, double k) {
+  r.mean *= k;
+  r.stddev *= k;
+  r.median *= k;
+  r.ci95_low *= k;
+  r.ci95_high *= k;
+  return r;
 }
 
 /// Builds a SecureConfig for one library row (256-bit demo key).
@@ -191,6 +252,7 @@ inline void emit_attribution_traces(const Args& args, const std::string& tag,
     run.world.cpu_scale = 1.0;
     mpi::World world(run.world);
     world.run(run.body);
+    global_engine_events() += world.engine().scheduled_events();
     writer.add_world(*rec, run.label, pid++);
     const trace::Summary summary = trace::Summary::from(*rec);
     trace::write_attribution_csv(csv, summary, run.label, header);
@@ -220,6 +282,15 @@ inline void print_header(const std::string& what, const Args& args) {
                 : args.has("quick") ? "quick smoke"
                                     : "default (>=5 runs, stddev<=5%)")
             << "\n";
+}
+
+/// Saves the campaign's BENCH_<area>.json and logs where it went.
+inline void save_trajectory(const Trajectory& traj) {
+  if (const auto saved = traj.save()) {
+    std::cout << "trajectory: " << *saved << "\n";
+  } else {
+    std::cerr << "WARNING: could not write trajectory JSON\n";
+  }
 }
 
 }  // namespace emc::bench

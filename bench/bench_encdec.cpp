@@ -20,8 +20,8 @@ namespace {
 using namespace emc;
 using namespace emc::bench;
 
-double encdec_throughput(const crypto::AeadKey& key, std::size_t size,
-                         const StabilityPolicy& policy) {
+MeasureResult encdec_throughput(const crypto::AeadKey& key, std::size_t size,
+                                const StabilityPolicy& policy) {
   Xoshiro256 rng(size * 2654435761u + 1);
   const Bytes pt = rng.bytes(size);
   const Bytes nonce = rng.bytes(crypto::kGcmNonceBytes);
@@ -32,7 +32,9 @@ double encdec_throughput(const crypto::AeadKey& key, std::size_t size,
   const std::size_t batch =
       std::max<std::size_t>(1, (1u << 21) / std::max<std::size_t>(size, 64));
 
-  const MeasureResult result = run_until_stable(
+  // Host crypto timing has no engine schedule to perturb; the
+  // repetitions themselves carry the (real) run-to-run noise.
+  return run_until_stable(
       [&] {
         WallTimer timer;
         for (std::size_t i = 0; i < batch; ++i) {
@@ -45,13 +47,13 @@ double encdec_throughput(const crypto::AeadKey& key, std::size_t size,
         return static_cast<double>(size * batch) / seconds;
       },
       policy);
-  return result.mean;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const Args args(argc, argv);
+  args.allow_only(with_common_flags({"compiler", "key-bits"}));
   const std::string compiler = args.get("compiler", "gcc48");
   const bool optimized = compiler == "mvapich";
   const long key_bits = args.get_int("key-bits", 256);
@@ -75,18 +77,32 @@ int main(int argc, char** argv) {
                   " enc+dec throughput, single thread",
               columns);
 
+  Trajectory traj("encdec");
+  traj.set_settings("compiler=" + compiler + " policy=" + policy_name(args) +
+                    " key-bits=" + std::to_string(key_bits));
+
   for (std::size_t size : sizes) {
     std::vector<std::string> row = {size_label(size)};
-    for (const auto* p : libs) {
+    std::vector<std::pair<std::size_t, MeasureResult>> measures;
+    for (std::size_t c = 0; c < libs.size(); ++c) {
+      const auto* p = libs[c];
       if (!p->supports_key_size(static_cast<std::size_t>(key_bits / 8))) {
         row.push_back("n/a");
         continue;
       }
       const auto key = p->make_key(
           crypto::demo_key(static_cast<std::size_t>(key_bits / 8)));
-      row.push_back(fmt_mbps(encdec_throughput(*key, size, policy)));
+      const MeasureResult m = encdec_throughput(*key, size, policy);
+      row.push_back(fmt_mbps(m.mean));
+      measures.emplace_back(c + 1, m);
+      traj.add(compiler + "/" + p->name + "/" + size_label(size),
+               "throughput", "MB/s", /*higher_is_better=*/true,
+               scale_result(m, 1e-6));
     }
     table.add_row(std::move(row));
+    for (const auto& [column, m] : measures) {
+      table.attach_stats(column, m, 1e-6);
+    }
   }
 
   table.print(std::cout);
@@ -94,5 +110,6 @@ int main(int argc, char** argv) {
   if (const auto saved = table.save_csv(csv)) {
     std::cout << "csv: " << *saved << "\n";
   }
+  save_trajectory(traj);
   return 0;
 }

@@ -129,6 +129,7 @@ CampaignResult run_campaign(bool secured, std::size_t msg_bytes,
     if (secured) r.suppressed = secure.counters().duplicates_suppressed;
   });
   r.injected = world.fabric().faults()->stats();
+  bench::global_engine_events() += world.engine().scheduled_events();
   return r;
 }
 
@@ -196,6 +197,7 @@ RecoveryResult run_recovery(std::size_t msg_bytes, std::uint32_t messages,
   });
   r.injected = world.fabric().faults()->stats();
   r.arq = world.reliability()->stats();
+  bench::global_engine_events() += world.engine().scheduled_events();
   return r;
 }
 
@@ -363,6 +365,7 @@ FtCell run_ft_cell(bool nas_workload, bool secured, int ranks,
     all_data_ok &= workload_ok[i] != 0;
   }
   cell.data_ok = cell.survivors > 0 && all_data_ok;
+  bench::global_engine_events() += world.engine().scheduled_events();
   return cell;
 }
 
@@ -370,11 +373,17 @@ FtCell run_ft_cell(bool nas_workload, bool secured, int ranks,
 
 int main(int argc, char** argv) {
   const bench::Args args(argc, argv);
+  args.allow_only({"messages", "rndv-messages", "seed"});
   const auto eager_messages =
       static_cast<std::uint32_t>(args.get_int("messages", 300));
   const auto rndv_messages =
       static_cast<std::uint32_t>(args.get_int("rndv-messages", 40));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 2024));
+
+  bench::Trajectory traj("faults");
+  traj.set_settings("seed=" + std::to_string(seed) +
+                    " messages=" + std::to_string(eager_messages) +
+                    " rndv-messages=" + std::to_string(rndv_messages));
 
   net::FaultPlan plan;
   plan.seed = seed;
@@ -436,6 +445,8 @@ int main(int argc, char** argv) {
   }
   std::cout << "    determinism: identical rerun for seed " << seed
             << " (end time " << a.end << "s)\n";
+  traj.add_scalar("campaign/eager-4KB/secure", "end_time", "s",
+                  /*higher_is_better=*/false, a.end);
 
   table.print(std::cout);
   if (const auto saved = table.save_csv("faults.csv")) {
@@ -519,6 +530,8 @@ int main(int argc, char** argv) {
   }
   std::cout << "    determinism: identical recovery rerun for seed " << seed
             << " (end time " << ra.end << "s)\n";
+  traj.add_scalar("recovery/eager-4KB/drop5-corrupt5", "end_time", "s",
+                  /*higher_is_better=*/false, ra.end);
   if (const auto saved = recovery.save_csv("reliability.csv")) {
     std::cout << "csv: " << *saved << "\n";
   }
@@ -595,5 +608,10 @@ int main(int argc, char** argv) {
   if (const auto saved = ft_table.save_csv("ft_recovery.csv")) {
     std::cout << "csv: " << *saved << "\n";
   }
+  traj.add_scalar("ft/allgather/crash3/recovery", "time", "s",
+                  /*higher_is_better=*/false, fa.recover_done - fa.crash_at);
+  traj.add_scalar("ft/nas-cg/crash1/recovery", "time", "s",
+                  /*higher_is_better=*/false, ga.recover_done - ga.crash_at);
+  bench::save_trajectory(traj);
   return 0;
 }

@@ -4,6 +4,9 @@
 // fine-grained per-primitive numbers.
 #include <benchmark/benchmark.h>
 
+#include <iostream>
+
+#include "emc/bench_core/trajectory.hpp"
 #include "emc/common/rng.hpp"
 #include "emc/crypto/gcm.hpp"
 #include "emc/crypto/ghash.hpp"
@@ -75,6 +78,34 @@ void bm_open(benchmark::State& state, const std::string& provider_name) {
                           static_cast<std::int64_t>(size));
 }
 
+/// Console reporter that additionally records every per-iteration run
+/// into the perf-trajectory file (throughput in MB/s when the bench
+/// reports bytes processed, adjusted real time in ns otherwise).
+class TrajectoryReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit TrajectoryReporter(emc::bench::Trajectory& traj) : traj_(traj) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      const auto bytes = run.counters.find("bytes_per_second");
+      if (bytes != run.counters.end()) {
+        traj_.add_scalar(run.benchmark_name(), "throughput", "MB/s",
+                         /*higher_is_better=*/true,
+                         static_cast<double>(bytes->second) / 1e6);
+      } else {
+        traj_.add_scalar(run.benchmark_name(), "time", "ns",
+                         /*higher_is_better=*/false,
+                         run.GetAdjustedRealTime());
+      }
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  emc::bench::Trajectory& traj_;
+};
+
 void register_aead_benchmarks() {
   for (const char* provider :
        {"boringssl-sim", "libsodium-sim", "cryptopp-sim"}) {
@@ -96,7 +127,13 @@ void register_aead_benchmarks() {
 int main(int argc, char** argv) {
   register_aead_benchmarks();
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  emc::bench::Trajectory traj("gbench_crypto");
+  traj.set_settings("google-benchmark per-primitive suite");
+  TrajectoryReporter reporter(traj);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
+  if (const auto saved = traj.save()) {
+    std::cout << "trajectory: " << *saved << "\n";
+  }
   return 0;
 }

@@ -7,6 +7,7 @@
 
 #include "emc/bench_core/args.hpp"
 #include "emc/bench_core/report.hpp"
+#include "emc/bench_core/trajectory.hpp"
 #include "emc/common/rng.hpp"
 #include "emc/crypto/legacy.hpp"
 #include "emc/crypto/provider.hpp"
@@ -34,12 +35,20 @@ Bytes structured_payload(Xoshiro256& rng, std::size_t records) {
 
 int main(int argc, char** argv) {
   const bench::Args args(argc, argv);
+  args.allow_only({"trials"});
   const int trials = static_cast<int>(args.get_int("trials", 200));
   Xoshiro256 rng(0x5ec0);
 
   std::cout << "### Legacy-scheme attack study (paper SII related work)\n";
   Table table("Attack success over " + std::to_string(trials) + " trials",
               {"scheme", "attack", "success", "rate"});
+
+  bench::Trajectory traj("legacy_attacks");
+  traj.set_settings("trials=" + std::to_string(trials));
+  const auto record_rate = [&](const std::string& config, int hits) {
+    traj.add_scalar(config, "success_rate", "%", /*higher_is_better=*/false,
+                    100.0 * hits / trials);
+  };
 
   // 1. ECB (ES-MPICH2): structure leakage via duplicate blocks.
   {
@@ -52,6 +61,7 @@ int main(int argc, char** argv) {
     table.add_row({"ECB (ES-MPICH2)", "duplicate-block structure leak",
                    std::to_string(leaks) + "/" + std::to_string(trials),
                    bench::fmt_percent(100.0 * leaks / trials)});
+    record_rate("ecb/duplicate-block-leak", leaks);
   }
 
   // 2. Big-key one-time pad (VAN-MPICH2): two-time-pad recovery after
@@ -71,6 +81,7 @@ int main(int argc, char** argv) {
                    "two-time-pad plaintext recovery",
                    std::to_string(recovered) + "/" + std::to_string(trials),
                    bench::fmt_percent(100.0 * recovered / trials)});
+    record_rate("otp/two-time-pad-recovery", recovered);
   }
 
   // 3. CBC (encrypt-with-checksum systems): targeted bit-flip lands in
@@ -92,6 +103,7 @@ int main(int argc, char** argv) {
     table.add_row({"CBC", "targeted bit-flip forgery",
                    std::to_string(landed) + "/" + std::to_string(trials),
                    bench::fmt_percent(100.0 * landed / trials)});
+    record_rate("cbc/targeted-bitflip", landed);
   }
 
   // 4. Raw CTR: same flip, zero collateral damage.
@@ -110,6 +122,7 @@ int main(int argc, char** argv) {
     table.add_row({"CTR (no MAC)", "targeted bit-flip forgery",
                    std::to_string(landed) + "/" + std::to_string(trials),
                    bench::fmt_percent(100.0 * landed / trials)});
+    record_rate("ctr/targeted-bitflip", landed);
   }
 
   // 5. AES-GCM: every random manipulation must be rejected.
@@ -130,11 +143,15 @@ int main(int argc, char** argv) {
                    std::to_string(rejected) + "/" + std::to_string(trials) +
                        " rejected",
                    bench::fmt_percent(100.0 * rejected / trials)});
+    record_rate("gcm/manipulation-accepted", trials - rejected);
   }
 
   table.print(std::cout);
   if (const auto saved = table.save_csv("legacy_attacks.csv")) {
     std::cout << "csv: " << *saved << "\n";
+  }
+  if (const auto saved = traj.save()) {
+    std::cout << "trajectory: " << *saved << "\n";
   }
   return 0;
 }

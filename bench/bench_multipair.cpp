@@ -23,55 +23,55 @@ namespace {
 using namespace emc;
 using namespace emc::bench;
 
-double multipair_throughput(const net::NetworkProfile& profile,
-                            const LibraryConfig& lib, int pairs,
-                            std::size_t size, int window, int iters,
-                            const StabilityPolicy& policy) {
+MeasureResult multipair_throughput(const net::NetworkProfile& profile,
+                                   const LibraryConfig& lib, int pairs,
+                                   std::size_t size, int window, int iters,
+                                   const StabilityPolicy& policy,
+                                   const SaltSchedule& schedule) {
   mpi::WorldConfig config;
   config.cluster.num_nodes = 2;
   config.cluster.ranks_per_node = pairs;
   config.cluster.inter = profile;
 
-  const MeasureResult result = run_until_stable(
-      [&] {
-        const double elapsed = timed_world(config, [&](mpi::Comm& plain) {
-          std::unique_ptr<secure::SecureComm> secure_comm;
-          mpi::Communicator* comm = &plain;
-          if (lib.encrypted()) {
-            secure_comm = std::make_unique<secure::SecureComm>(
-                plain, secure_config_for(lib));
-            comm = secure_comm.get();
-          }
-          const int me = plain.rank();
-          const bool sender = me < pairs;
-          const int peer = sender ? me + pairs : me - pairs;
-          Bytes payload(size, 0x77);
-          std::vector<Bytes> bufs(
-              static_cast<std::size_t>(window), Bytes(size));
-          Bytes ack(1);
-          for (int it = 0; it < iters; ++it) {
-            std::vector<mpi::Request> requests;
-            requests.reserve(static_cast<std::size_t>(window));
-            if (sender) {
-              for (int w = 0; w < window; ++w) {
-                requests.push_back(comm->isend(payload, peer, w));
-              }
-              comm->waitall(requests);
-              comm->recv(ack, peer, 9999);
-            } else {
-              for (int w = 0; w < window; ++w) {
-                requests.push_back(
-                    comm->irecv(bufs[static_cast<std::size_t>(w)], peer, w));
-              }
-              comm->waitall(requests);
-              comm->send(ack, peer, 9999);
+  return measure_world(
+      config, policy, schedule,
+      [&](mpi::Comm& plain) {
+        std::unique_ptr<secure::SecureComm> secure_comm;
+        mpi::Communicator* comm = &plain;
+        if (lib.encrypted()) {
+          secure_comm = std::make_unique<secure::SecureComm>(
+              plain, secure_config_for(lib));
+          comm = secure_comm.get();
+        }
+        const int me = plain.rank();
+        const bool sender = me < pairs;
+        const int peer = sender ? me + pairs : me - pairs;
+        Bytes payload(size, 0x77);
+        std::vector<Bytes> bufs(
+            static_cast<std::size_t>(window), Bytes(size));
+        Bytes ack(1);
+        for (int it = 0; it < iters; ++it) {
+          std::vector<mpi::Request> requests;
+          requests.reserve(static_cast<std::size_t>(window));
+          if (sender) {
+            for (int w = 0; w < window; ++w) {
+              requests.push_back(comm->isend(payload, peer, w));
             }
+            comm->waitall(requests);
+            comm->recv(ack, peer, 9999);
+          } else {
+            for (int w = 0; w < window; ++w) {
+              requests.push_back(
+                  comm->irecv(bufs[static_cast<std::size_t>(w)], peer, w));
+            }
+            comm->waitall(requests);
+            comm->send(ack, peer, 9999);
           }
-        });
-        return static_cast<double>(size) * window * iters * pairs / elapsed;
+        }
       },
-      policy);
-  return result.mean;
+      [size, window, iters, pairs](double elapsed) {
+        return static_cast<double>(size) * window * iters * pairs / elapsed;
+      });
 }
 
 /// Deterministic attribution run: same window protocol, fixed
@@ -132,9 +132,11 @@ TraceRun traced_multipair(const net::NetworkProfile& profile,
 
 int main(int argc, char** argv) {
   const Args args(argc, argv);
+  args.allow_only(with_common_flags({"net", "window", "iters", "trace"}));
   calibrate_cpu_scale(args);
   const net::NetworkProfile profile = net_from(args);
   const StabilityPolicy policy = policy_from(args);
+  const SaltSchedule schedule = schedule_from(args);
   const bool eth = profile.name == "ethernet-10g";
   const int window = static_cast<int>(args.get_int("window", 64));
 
@@ -145,6 +147,13 @@ int main(int argc, char** argv) {
   const std::vector<std::size_t> sizes = {1, 16 * 1024, 2 * 1024 * 1024};
   const std::vector<int> pair_counts = {1, 2, 4, 8};
   const auto libs = paper_rows(/*optimized_cryptopp=*/!eth);
+  const std::string net_tag = eth ? "eth" : "ib";
+
+  Trajectory traj("multipair");
+  traj.set_settings("net=" + net_tag + " policy=" + policy_name(args) +
+                    " window=" + std::to_string(window) +
+                    " salts=" + std::to_string(schedule.salts) +
+                    " seed=" + std::to_string(schedule.seed));
 
   for (std::size_t size : sizes) {
     std::vector<std::string> columns = {"library"};
@@ -163,15 +172,25 @@ int main(int argc, char** argv) {
         args.get_int("iters", size >= (1u << 20) ? 2 : 10));
     for (const LibraryConfig& lib : libs) {
       std::vector<std::string> row = {lib.label};
+      std::vector<MeasureResult> measures;
       for (int pairs : pair_counts) {
-        row.push_back(fmt_mbps(multipair_throughput(
-            profile, lib, pairs, size, use_window, iters, policy)));
+        const MeasureResult m = multipair_throughput(
+            profile, lib, pairs, size, use_window, iters, policy, schedule);
+        row.push_back(fmt_mbps(m.mean));
+        measures.push_back(m);
+        traj.add(net_tag + "/" + lib.label + "/" + size_label(size) + "/x" +
+                     std::to_string(pairs),
+                 "throughput", "MB/s", /*higher_is_better=*/true,
+                 scale_result(m, 1e-6));
       }
       table.add_row(std::move(row));
+      for (std::size_t i = 0; i < measures.size(); ++i) {
+        table.attach_stats(i + 1, measures[i], 1e-6);
+      }
     }
     table.print(std::cout);
-    const std::string csv = "multipair_" + std::string(eth ? "eth" : "ib") +
-                            "_" + size_label(size) + ".csv";
+    const std::string csv =
+        "multipair_" + net_tag + "_" + size_label(size) + ".csv";
     if (const auto saved = table.save_csv(csv)) {
       std::cout << "csv: " << *saved << "\n";
     }
@@ -189,9 +208,8 @@ int main(int argc, char** argv) {
                                         /*window=*/8, /*iters=*/2));
       }
     }
-    emit_attribution_traces(args, std::string("multipair_") +
-                                      (eth ? "eth" : "ib"),
-                            std::move(runs));
+    emit_attribution_traces(args, "multipair_" + net_tag, std::move(runs));
   }
+  save_trajectory(traj);
   return 0;
 }

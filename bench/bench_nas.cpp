@@ -22,43 +22,45 @@ namespace {
 using namespace emc;
 using namespace emc::bench;
 
-double kernel_time(const net::NetworkProfile& profile,
-                   const LibraryConfig& lib, nas::Kernel kernel,
-                   nas::ProblemClass cls, int nodes, int rpn,
-                   const StabilityPolicy& policy, bool& verified) {
+MeasureResult kernel_time(const net::NetworkProfile& profile,
+                          const LibraryConfig& lib, nas::Kernel kernel,
+                          nas::ProblemClass cls, int nodes, int rpn,
+                          const StabilityPolicy& policy,
+                          const SaltSchedule& schedule, bool& verified) {
   mpi::WorldConfig config;
   config.cluster.num_nodes = nodes;
   config.cluster.ranks_per_node = rpn;
   config.cluster.inter = profile;
 
   bool all_verified = true;
-  const MeasureResult result = run_until_stable(
-      [&] {
-        const double elapsed = timed_world(config, [&](mpi::Comm& plain) {
-          std::unique_ptr<secure::SecureComm> secure_comm;
-          mpi::Communicator* comm = &plain;
-          if (lib.encrypted()) {
-            secure_comm = std::make_unique<secure::SecureComm>(
-                plain, secure_config_for(lib));
-            comm = secure_comm.get();
-          }
-          const nas::KernelResult r =
-              nas::run_kernel(kernel, *comm, plain.process(), cls);
-          if (!r.verified) all_verified = false;
-        });
-        return elapsed;
+  const MeasureResult result = measure_world(
+      config, policy, schedule,
+      [&](mpi::Comm& plain) {
+        std::unique_ptr<secure::SecureComm> secure_comm;
+        mpi::Communicator* comm = &plain;
+        if (lib.encrypted()) {
+          secure_comm = std::make_unique<secure::SecureComm>(
+              plain, secure_config_for(lib));
+          comm = secure_comm.get();
+        }
+        const nas::KernelResult r =
+            nas::run_kernel(kernel, *comm, plain.process(), cls);
+        if (!r.verified) all_verified = false;
       },
-      policy);
+      [](double elapsed) { return elapsed; });
   verified = all_verified;
-  return result.mean;
+  return result;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const Args args(argc, argv);
+  args.allow_only(
+      with_common_flags({"net", "class", "nodes", "ranks-per-node", "trace"}));
   calibrate_cpu_scale(args);
   const net::NetworkProfile profile = net_from(args);
+  const SaltSchedule schedule = schedule_from(args);
   const bool eth = profile.name == "ethernet-10g";
   const nas::ProblemClass cls = nas::class_by_name(args.get("class", "W"));
   const int nodes = static_cast<int>(args.get_int("nodes", 8));
@@ -88,33 +90,51 @@ int main(int argc, char** argv) {
 
   Table table("Mini-NAS runtimes (virtual seconds)", columns);
   const auto libs = paper_rows(/*optimized_cryptopp=*/!eth);
+  const std::string net_tag = eth ? "eth" : "ib";
   double baseline_total = 0.0;
   bool everything_verified = true;
 
+  Trajectory traj("nas");
+  traj.set_settings("net=" + net_tag + " policy=" + policy_name(args) +
+                    " class=" + nas::class_name(cls) +
+                    " nodes=" + std::to_string(nodes) +
+                    " rpn=" + std::to_string(rpn) +
+                    " salts=" + std::to_string(schedule.salts) +
+                    " seed=" + std::to_string(schedule.seed));
+
   for (const LibraryConfig& lib : libs) {
     std::vector<std::string> row = {lib.label};
+    std::vector<MeasureResult> measures;
     double total = 0.0;
     for (nas::Kernel kernel : kernels) {
       bool verified = false;
-      const double t = kernel_time(profile, lib, kernel, cls, nodes, rpn,
-                                   policy, verified);
+      const MeasureResult m = kernel_time(profile, lib, kernel, cls, nodes,
+                                          rpn, policy, schedule, verified);
       everything_verified = everything_verified && verified;
-      total += t;
-      row.push_back(fmt_double(t, 3) + (verified ? "" : "!"));
+      total += m.mean;
+      row.push_back(fmt_double(m.mean, 3) + (verified ? "" : "!"));
+      measures.push_back(m);
+      traj.add(net_tag + "/" + lib.label + "/" + nas::kernel_name(kernel),
+               "time", "s", /*higher_is_better=*/false, m);
     }
     if (!lib.encrypted()) baseline_total = total;
     row.push_back(fmt_double(total, 3));
-    row.push_back(lib.encrypted() && baseline_total > 0
+    row.push_back(lib.encrypted()
                       ? fmt_percent(overhead_percent(baseline_total, total))
                       : "-");
+    traj.add_scalar(net_tag + "/" + lib.label + "/total", "time", "s",
+                    /*higher_is_better=*/false, total);
     table.add_row(std::move(row));
+    for (std::size_t i = 0; i < measures.size(); ++i) {
+      table.attach_stats(i + 1, measures[i]);
+    }
   }
 
   table.print(std::cout);
   std::cout << (everything_verified
                     ? "all kernels verified\n"
                     : "WARNING: some kernels failed verification (!)\n");
-  const std::string csv = std::string("nas_") + (eth ? "eth" : "ib") + ".csv";
+  const std::string csv = "nas_" + net_tag + ".csv";
   if (const auto saved = table.save_csv(csv)) {
     std::cout << "csv: " << *saved << "\n";
   }
@@ -148,8 +168,8 @@ int main(int argc, char** argv) {
       };
       runs.push_back(std::move(run));
     }
-    emit_attribution_traces(args, std::string("nas_") + (eth ? "eth" : "ib"),
-                            std::move(runs));
+    emit_attribution_traces(args, "nas_" + net_tag, std::move(runs));
   }
+  save_trajectory(traj);
   return everything_verified ? 0 : 1;
 }

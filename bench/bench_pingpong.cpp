@@ -66,51 +66,53 @@ TraceRun traced_pingpong(const net::NetworkProfile& profile,
   return run;
 }
 
-double pingpong_throughput(const net::NetworkProfile& profile,
-                           const LibraryConfig& lib, std::size_t size,
-                           int iters, const StabilityPolicy& policy) {
+MeasureResult pingpong_throughput(const net::NetworkProfile& profile,
+                                  const LibraryConfig& lib, std::size_t size,
+                                  int iters, const StabilityPolicy& policy,
+                                  const SaltSchedule& schedule) {
   mpi::WorldConfig config;
   config.cluster.num_nodes = 2;
   config.cluster.ranks_per_node = 1;
   config.cluster.inter = profile;
 
-  const MeasureResult result = run_until_stable(
-      [&] {
-        const double elapsed = timed_world(config, [&](mpi::Comm& plain) {
-          std::unique_ptr<secure::SecureComm> secure_comm;
-          mpi::Communicator* comm = &plain;
-          if (lib.encrypted()) {
-            secure_comm = std::make_unique<secure::SecureComm>(
-                plain, secure_config_for(lib));
-            comm = secure_comm.get();
+  return measure_world(
+      config, policy, schedule,
+      [&](mpi::Comm& plain) {
+        std::unique_ptr<secure::SecureComm> secure_comm;
+        mpi::Communicator* comm = &plain;
+        if (lib.encrypted()) {
+          secure_comm = std::make_unique<secure::SecureComm>(
+              plain, secure_config_for(lib));
+          comm = secure_comm.get();
+        }
+        Bytes payload(size, 0x5a);
+        Bytes buf(size);
+        for (int i = 0; i < iters; ++i) {
+          if (plain.rank() == 0) {
+            comm->send(payload, 1, 1);
+            comm->recv(buf, 1, 2);
+          } else {
+            comm->recv(buf, 0, 1);
+            comm->send(payload, 0, 2);
           }
-          Bytes payload(size, 0x5a);
-          Bytes buf(size);
-          for (int i = 0; i < iters; ++i) {
-            if (plain.rank() == 0) {
-              comm->send(payload, 1, 1);
-              comm->recv(buf, 1, 2);
-            } else {
-              comm->recv(buf, 0, 1);
-              comm->send(payload, 0, 2);
-            }
-          }
-        });
-        // 2*iters one-way trips; the 28-byte framing is excluded from
-        // the byte count, as in the paper.
-        return static_cast<double>(size) * 2.0 * iters / elapsed;
+        }
       },
-      policy);
-  return result.mean;
+      // 2*iters one-way trips; the 28-byte framing is excluded from
+      // the byte count, as in the paper.
+      [size, iters](double elapsed) {
+        return static_cast<double>(size) * 2.0 * iters / elapsed;
+      });
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const Args args(argc, argv);
+  args.allow_only(with_common_flags({"net", "iters", "trace"}));
   calibrate_cpu_scale(args);
   const net::NetworkProfile profile = net_from(args);
   const StabilityPolicy policy = policy_from(args);
+  const SaltSchedule schedule = schedule_from(args);
   const bool eth = profile.name == "ethernet-10g";
 
   print_header("Ping-pong uni-directional throughput on " + profile.name +
@@ -124,6 +126,12 @@ int main(int argc, char** argv) {
       512 * 1024, 1024 * 1024, 2 * 1024 * 1024};
 
   const auto libs = paper_rows(/*optimized_cryptopp=*/!eth);
+  const std::string net_tag = eth ? "eth" : "ib";
+
+  Trajectory traj("pingpong");
+  traj.set_settings("net=" + net_tag + " policy=" + policy_name(args) +
+                    " salts=" + std::to_string(schedule.salts) +
+                    " seed=" + std::to_string(schedule.seed));
 
   const auto run_table = [&](const char* title,
                              const std::vector<std::size_t>& sizes,
@@ -135,12 +143,14 @@ int main(int argc, char** argv) {
 
     for (const LibraryConfig& lib : libs) {
       std::vector<std::string> row = {lib.label};
+      std::vector<MeasureResult> measures;
       for (std::size_t i = 0; i < sizes.size(); ++i) {
         const std::size_t size = sizes[i];
         const int iters =
             static_cast<int>(args.get_int("iters", size >= (1u << 20) ? 5 : 40));
-        const double mbps =
-            pingpong_throughput(profile, lib, size, iters, policy);
+        const MeasureResult m =
+            pingpong_throughput(profile, lib, size, iters, policy, schedule);
+        const double mbps = m.mean;
         if (!lib.encrypted()) baseline[i] = mbps;
         // Time overhead vs baseline, the paper's metric:
         // (t_enc - t_base) / t_base == base_mbps / mbps - 1.
@@ -150,16 +160,21 @@ int main(int argc, char** argv) {
                   fmt_percent((baseline[i] / mbps - 1.0) * 100.0) + ")";
         }
         row.push_back(std::move(cell));
+        measures.push_back(m);
+        traj.add(net_tag + "/" + lib.label + "/" + size_label(size),
+                 "throughput", "MB/s", /*higher_is_better=*/true,
+                 scale_result(m, 1e-6));
       }
       table.add_row(std::move(row));
+      for (std::size_t i = 0; i < measures.size(); ++i) {
+        table.attach_stats(i + 1, measures[i], 1e-6);
+      }
     }
     table.print(std::cout);
     if (const auto saved = table.save_csv(csv)) {
       std::cout << "csv: " << *saved << "\n";
     }
   };
-
-  const std::string net_tag = eth ? "eth" : "ib";
   run_table("Ping-pong throughput (MB/s), small messages", small_sizes,
             "pingpong_small_" + net_tag + ".csv");
   run_table("Ping-pong throughput (MB/s), medium/large messages",
@@ -177,5 +192,6 @@ int main(int argc, char** argv) {
     }
     emit_attribution_traces(args, "pingpong_" + net_tag, std::move(runs));
   }
+  save_trajectory(traj);
   return 0;
 }

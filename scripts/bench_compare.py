@@ -1,0 +1,211 @@
+#!/usr/bin/env python3
+"""Perf-trajectory regression gate.
+
+Compares a current BENCH_<area>.json (see src/bench_core/trajectory.hpp
+and docs/BENCHMARKING.md) against a committed baseline and fails when a
+metric regressed in a statistically meaningful way:
+
+  * the current median moved in the "worse" direction (per the row's
+    higher_is_better flag) by more than --threshold (relative), AND
+  * the bootstrap 95% confidence intervals of the two medians do not
+    overlap (so plain run-to-run noise does not trip the gate).
+
+Rows present only on one side are reported but never fatal (campaigns
+grow); a config_hash mismatch means the two files measured different
+campaign shapes and the comparison refuses to proceed unless
+--allow-config-mismatch is given (it then matches rows by name).
+
+Exit status: 0 = no significant slowdowns, 1 = at least one slowdown,
+2 = usage or file-format error.
+
+Usage:
+  scripts/bench_compare.py BASELINE CURRENT [--threshold 0.25]
+  scripts/bench_compare.py --baseline-dir results --current-dir out \
+      [--areas pingpong,nas]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import sys
+
+
+def die(message):
+    print(f"bench_compare: {message}", file=sys.stderr)
+    raise SystemExit(2)
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            data = json.load(f)
+    except (OSError, ValueError) as e:
+        die(f"cannot read {path}: {e}")
+    if data.get("schema_version") != 1:
+        die(f"{path}: unsupported schema_version "
+            f"{data.get('schema_version')!r}")
+    return data
+
+
+def row_key(row):
+    return (row["config"], row["metric"])
+
+
+def is_number(x):
+    return isinstance(x, (int, float)) and not (
+        isinstance(x, float) and math.isnan(x))
+
+
+def compare_rows(base_row, cur_row, threshold):
+    """Returns (verdict, rel_change) where verdict is one of
+    'ok', 'slower', 'faster', 'n/a'.
+
+    rel_change is signed: positive = improved, negative = regressed,
+    following the row's higher_is_better direction.
+    """
+    b, c = base_row.get("median"), cur_row.get("median")
+    if not is_number(b) or not is_number(c) or b == 0:
+        return "n/a", 0.0
+    higher_better = bool(base_row.get("higher_is_better", True))
+    rel = (c - b) / abs(b)
+    if not higher_better:
+        rel = -rel
+    if abs(rel) <= threshold:
+        return "ok", rel
+
+    # Beyond the threshold: require the CIs to be disjoint before
+    # calling it significant. Degenerate (zero-width / missing) CIs
+    # fall back to the pure threshold test.
+    b_lo, b_hi = base_row.get("ci95_low"), base_row.get("ci95_high")
+    c_lo, c_hi = cur_row.get("ci95_low"), cur_row.get("ci95_high")
+    if all(is_number(v) for v in (b_lo, b_hi, c_lo, c_hi)):
+        overlap = max(b_lo, c_lo) <= min(b_hi, c_hi)
+        if overlap and (b_hi > b_lo or c_hi > c_lo):
+            return "ok", rel
+    return ("faster" if rel > 0 else "slower"), rel
+
+
+def compare_files(base, cur, threshold, allow_mismatch, label):
+    failures = []
+    notes = []
+    if base.get("config_hash") != cur.get("config_hash"):
+        msg = (f"{label}: config_hash mismatch "
+               f"({base.get('config_hash')} vs {cur.get('config_hash')}); "
+               f"settings: {base.get('settings')!r} vs "
+               f"{cur.get('settings')!r}")
+        if not allow_mismatch:
+            die(msg + " (use --allow-config-mismatch to compare by row "
+                      "name anyway)")
+        notes.append(msg + " — matching rows by name")
+
+    base_rows = {row_key(r): r for r in base.get("rows", [])}
+    cur_rows = {row_key(r): r for r in cur.get("rows", [])}
+    for key in sorted(base_rows.keys() - cur_rows.keys()):
+        notes.append(f"{label}: row {key[0]} [{key[1]}] only in baseline")
+    for key in sorted(cur_rows.keys() - base_rows.keys()):
+        notes.append(f"{label}: row {key[0]} [{key[1]}] only in current")
+
+    compared = 0
+    for key in sorted(base_rows.keys() & cur_rows.keys()):
+        b, c = base_rows[key], cur_rows[key]
+        verdict, rel = compare_rows(b, c, threshold)
+        compared += 1
+        desc = (f"{label}: {key[0]} [{key[1]}] "
+                f"{b.get('median')} -> {c.get('median')} {b.get('unit', '')} "
+                f"({rel:+.1%})")
+        if verdict == "slower":
+            failures.append(desc)
+        elif verdict == "faster":
+            notes.append(desc + " improved")
+    return compared, failures, notes
+
+
+def find_pairs(baseline_dir, current_dir, areas):
+    names = sorted(
+        n for n in os.listdir(baseline_dir)
+        if n.startswith("BENCH_") and n.endswith(".json"))
+    if areas:
+        wanted = {f"BENCH_{a}.json" for a in areas}
+        names = [n for n in names if n in wanted]
+        missing = wanted - set(names)
+        if missing:
+            die(f"baselines missing in {baseline_dir}: "
+                f"{', '.join(sorted(missing))}")
+    pairs = []
+    for name in names:
+        cur = os.path.join(current_dir, name)
+        if not os.path.exists(cur):
+            die(f"current run missing {cur} (baseline {name} exists)")
+        pairs.append((os.path.join(baseline_dir, name), cur, name))
+    if not pairs:
+        die(f"no BENCH_*.json found in {baseline_dir}")
+    return pairs
+
+
+def main(argv=None):
+    p = argparse.ArgumentParser(
+        description="Diff perf-trajectory JSONs; fail on significant "
+                    "slowdowns.")
+    p.add_argument("baseline", nargs="?", help="baseline BENCH_<area>.json")
+    p.add_argument("current", nargs="?", help="current BENCH_<area>.json")
+    p.add_argument("--baseline-dir", help="directory of committed baselines")
+    p.add_argument("--current-dir", help="directory of the fresh run")
+    p.add_argument("--areas",
+                   help="comma-separated area list for --baseline-dir mode")
+    p.add_argument("--threshold", type=float, default=0.25,
+                   help="relative slowdown tolerated before the CI-overlap "
+                        "test applies (default 0.25)")
+    p.add_argument("--allow-config-mismatch", action="store_true",
+                   help="compare files whose config_hash differs, matching "
+                        "rows by name")
+    args = p.parse_args(argv)
+
+    if bool(args.baseline) != bool(args.current):
+        p.error("give both BASELINE and CURRENT, or use --baseline-dir/"
+                "--current-dir")
+    if args.baseline and (args.baseline_dir or args.current_dir):
+        p.error("positional files and --baseline-dir/--current-dir are "
+                "mutually exclusive")
+    if not args.baseline and not (args.baseline_dir and args.current_dir):
+        p.error("need BASELINE CURRENT or --baseline-dir and --current-dir")
+
+    if args.baseline:
+        pairs = [(args.baseline, args.current,
+                  os.path.basename(args.baseline))]
+    else:
+        areas = ([a.strip() for a in args.areas.split(",") if a.strip()]
+                 if args.areas else None)
+        pairs = find_pairs(args.baseline_dir, args.current_dir, areas)
+
+    total = 0
+    failures = []
+    for base_path, cur_path, name in pairs:
+        base = load(base_path)
+        cur = load(cur_path)
+        compared, fails, notes = compare_files(
+            base, cur, args.threshold, args.allow_config_mismatch, name)
+        total += compared
+        failures.extend(fails)
+        for note in notes:
+            print("note:", note)
+        host = cur.get("host", {})
+        print(f"{name}: {compared} rows compared; current host "
+              f"wall {host.get('wall_seconds', 0):.1f}s, "
+              f"{host.get('events_per_second', 0):.0f} engine events/s")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} significant slowdown(s) "
+              f"(threshold {args.threshold:.0%} + disjoint 95% CIs):")
+        for f in failures:
+            print(" ", f)
+        return 1
+    print(f"\nOK: no significant slowdowns across {total} rows "
+          f"(threshold {args.threshold:.0%}).")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

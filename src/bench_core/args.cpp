@@ -1,5 +1,8 @@
 #include "emc/bench_core/args.hpp"
 
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
 #include <stdexcept>
 
 namespace emc::bench {
@@ -16,12 +19,36 @@ Args::Args(int argc, char** argv) {
       const std::size_t eq = arg.find('=');
       if (eq == std::string::npos) {
         options_[arg.substr(2)] = "";
+      } else if (eq + 1 == arg.size()) {
+        // `--flag=` used to silently fall back to the default — a
+        // typo'd value (`--iters= 100` with a stray space) then runs
+        // the wrong configuration. Explicitly empty values are fatal.
+        usage_error("empty value for --" + arg.substr(2, eq - 2),
+                    "pass --" + arg.substr(2, eq - 2) +
+                        "=<value>, or omit the flag for the default");
       } else {
         options_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
       }
     } else {
       positional_.push_back(std::move(arg));
     }
+  }
+}
+
+void Args::allow_only(const std::vector<std::string>& allowed) const {
+  for (const auto& [name, value] : options_) {
+    bool known = false;
+    for (const std::string& ok : allowed) {
+      if (name == ok) {
+        known = true;
+        break;
+      }
+    }
+    if (known) continue;
+    std::ostringstream detail;
+    detail << "accepted options:";
+    for (const std::string& ok : allowed) detail << " --" << ok;
+    usage_error("unknown option --" + name, detail.str());
   }
 }
 
@@ -38,7 +65,49 @@ std::string Args::get(const std::string& name,
 long Args::get_int(const std::string& name, long fallback) const {
   const auto it = options_.find(name);
   if (it == options_.end() || it->second.empty()) return fallback;
-  return std::stol(it->second);
+  try {
+    std::size_t idx = 0;
+    const long value = std::stol(it->second, &idx);
+    if (idx != it->second.size()) {
+      usage_error("bad value for --" + name + ": '" + it->second +
+                  "' has trailing junk after the number");
+    }
+    return value;
+  } catch (const std::invalid_argument&) {
+    usage_error("bad value for --" + name + ": '" + it->second +
+                "' is not an integer");
+  } catch (const std::out_of_range&) {
+    usage_error("bad value for --" + name + ": '" + it->second +
+                "' is out of range");
+  }
+}
+
+double Args::get_double(const std::string& name, double fallback) const {
+  const auto it = options_.find(name);
+  if (it == options_.end() || it->second.empty()) return fallback;
+  try {
+    std::size_t idx = 0;
+    const double value = std::stod(it->second, &idx);
+    if (idx != it->second.size()) {
+      usage_error("bad value for --" + name + ": '" + it->second +
+                  "' has trailing junk after the number");
+    }
+    return value;
+  } catch (const std::invalid_argument&) {
+    usage_error("bad value for --" + name + ": '" + it->second +
+                "' is not a number");
+  } catch (const std::out_of_range&) {
+    usage_error("bad value for --" + name + ": '" + it->second +
+                "' is out of range");
+  }
+}
+
+void Args::usage_error(const std::string& message,
+                       const std::string& detail) const {
+  std::cerr << (program_.empty() ? "bench" : program_) << ": " << message
+            << "\n";
+  if (!detail.empty()) std::cerr << "  " << detail << "\n";
+  std::exit(2);
 }
 
 }  // namespace emc::bench

@@ -1,4 +1,12 @@
 // Minimal --key=value / --flag argument parsing for the bench binaries.
+//
+// Parsing is strict where silence would pollute results: an explicitly
+// empty value (`--iters=`), a non-numeric or out-of-range numeric
+// value (`--iters=abc`, `--iters=12x`), and — once the benchmark has
+// declared its flag set via allow_only() — any unknown option
+// (`--itres=100`) all terminate the process with a usage message on
+// stderr and exit code 2 instead of silently falling back to a
+// default and benchmarking the wrong configuration.
 #pragma once
 
 #include <map>
@@ -11,13 +19,28 @@ class Args {
  public:
   Args(int argc, char** argv);
 
+  /// Validates every parsed --option against @p allowed (each
+  /// benchmark's flag set); an unknown option is a fatal usage error
+  /// that names the bad flag and lists the accepted ones. Call once,
+  /// right after construction.
+  void allow_only(const std::vector<std::string>& allowed) const;
+
   /// True when --name was passed (with or without a value).
   [[nodiscard]] bool has(const std::string& name) const;
 
   /// Value of --name=value, or @p fallback.
   [[nodiscard]] std::string get(const std::string& name,
                                 const std::string& fallback) const;
+
+  /// Integer value of --name=value, or @p fallback. The whole value
+  /// must parse: `--name=abc`, `--name=12x`, and out-of-range values
+  /// are fatal usage errors naming the flag.
   [[nodiscard]] long get_int(const std::string& name, long fallback) const;
+
+  /// Floating-point value of --name=value, or @p fallback; same
+  /// strictness as get_int.
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const;
 
   /// Path of --trace=<file>: where a bench writes its Chrome
   /// trace_event JSON (and emits the attribution CSV alongside).
@@ -31,6 +54,12 @@ class Args {
   [[nodiscard]] const std::vector<std::string>& positional() const {
     return positional_;
   }
+
+  /// Prints "<program>: <message>" (plus optional detail lines) to
+  /// stderr and exits with status 2. Exposed so benches can reject
+  /// semantically invalid flag combinations the same way.
+  [[noreturn]] void usage_error(const std::string& message,
+                                const std::string& detail = "") const;
 
  private:
   std::string program_;

@@ -4,9 +4,18 @@
 // of the mean; if still unstable, keep running until the 99%
 // confidence interval is within that fraction of the mean (bounded by
 // a hard cap so a pathological experiment terminates).
+//
+// On top of the stopping rule sits the rigorous reporting layer of
+// "MPI Benchmarking Revisited" (arXiv 1505.07734): plain mean-of-N
+// numbers are statistically unreliable, so every measurement also
+// carries its median, a deterministic bootstrap 95% confidence
+// interval of the median, the run-to-run relative stddev, and the
+// repetition count — the columns every results CSV and BENCH_*.json
+// trajectory row reports.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 
 #include "emc/common/stats.hpp"
@@ -30,11 +39,33 @@ struct StabilityPolicy {
   }
 };
 
+/// Repetition schedule for schedule-sensitive (simulated-world)
+/// measurements: successive samples cycle through `salts` engine
+/// tie-break salts, derived exactly like mpi::run_perturbed derives
+/// its perturbation salts (run 0 keeps the baseline FIFO order, run i
+/// uses splitmix64(seed + i)), so scheduling-order sensitivity enters
+/// the sample distribution instead of hiding behind one fixed order.
+struct SaltSchedule {
+  std::size_t salts = 4;
+  std::uint64_t seed = 1;
+
+  /// Tie-break salt for sample @p run (cycles through the schedule).
+  [[nodiscard]] std::uint64_t salt_for(std::size_t run) const noexcept;
+};
+
 struct MeasureResult {
   double mean = 0.0;
   double stddev = 0.0;
+  double median = 0.0;
+  double ci95_low = 0.0;   ///< bootstrap 95% CI of the median, low end
+  double ci95_high = 0.0;  ///< bootstrap 95% CI of the median, high end
+  double rel_stddev = 0.0;
   std::size_t runs = 0;
   bool stable = false;  ///< met the stddev or CI criterion
+
+  /// Degenerate single-shot result for deterministic campaign
+  /// metrics (counts, virtual recovery times): n=1, zero-width CI.
+  [[nodiscard]] static MeasureResult single(double value);
 };
 
 /// Repeats @p sample per the policy. @p sample returns one
@@ -43,9 +74,20 @@ struct MeasureResult {
     const std::function<double()>& sample,
     const StabilityPolicy& policy = {});
 
+/// Repetition-schedule variant: @p sample receives the engine
+/// tie-break salt to measure under (see SaltSchedule). The stopping
+/// rule is evaluated on the pooled cross-salt sample, so an
+/// experiment whose timing depends on scheduling order reads as
+/// high-variance instead of spuriously precise.
+[[nodiscard]] MeasureResult run_schedule(
+    const std::function<double(std::uint64_t salt)>& sample,
+    const StabilityPolicy& policy = {}, const SaltSchedule& schedule = {});
+
 /// Relative overhead in percent: 100 * (value - baseline) / baseline.
 /// This is also how the paper aggregates NAS results (footnote 2):
 /// totals first, ratio second — never an average of ratios.
+/// A degenerate zero baseline has no meaningful overhead: the result
+/// is NaN (rendered "n/a" by the reporters), never a perfect score.
 [[nodiscard]] double overhead_percent(double baseline, double value);
 
 }  // namespace emc::bench

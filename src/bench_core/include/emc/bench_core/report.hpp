@@ -1,13 +1,22 @@
 // Console tables and CSV emission for the benchmark binaries — each
 // bench prints the same rows/series the paper's tables and figures
-// report, plus a machine-readable CSV next to it.
+// report, plus a machine-readable CSV next to it. Measured cells can
+// carry their full MeasureResult; the CSV then grows the rigorous
+// reporting columns (<col>_median, <col>_ci95_low, <col>_ci95_high,
+// <col>_rel_stddev, <col>_n_runs) after the original columns, so
+// existing column content is untouched while every published number
+// gains its uncertainty.
 #pragma once
 
 #include <cstddef>
 #include <iosfwd>
+#include <map>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "emc/bench_core/methodology.hpp"
 
 namespace emc::bench {
 
@@ -17,6 +26,14 @@ class Table {
   Table(std::string title, std::vector<std::string> columns);
 
   void add_row(std::vector<std::string> cells);
+
+  /// Attaches the measurement behind the @p column cell of the row
+  /// added last, scaled by @p scale into the displayed unit (1e-6
+  /// for MB/s cells, 1e6 for µs cells, ...). The CSV appends the
+  /// median/CI/rel-stddev/n-runs columns for every column that has
+  /// at least one attachment; console rendering is unchanged.
+  void attach_stats(std::size_t column, const MeasureResult& r,
+                    double scale = 1.0);
 
   /// Renders to @p os with column sizing and a rule under the header.
   void print(std::ostream& os) const;
@@ -35,12 +52,15 @@ class Table {
   std::string title_;
   std::vector<std::string> columns_;
   std::vector<std::vector<std::string>> rows_;
+  /// (row, column) -> measurement scaled into the displayed unit.
+  std::map<std::pair<std::size_t, std::size_t>, MeasureResult> stats_;
 };
 
 /// "1B", "16KB", "2MB" labels the paper uses for message sizes.
 [[nodiscard]] std::string size_label(std::size_t bytes);
 
-/// Fixed-precision number formatting helpers.
+/// Fixed-precision number formatting helpers. NaN (e.g. the overhead
+/// of a degenerate zero baseline) renders as "n/a".
 [[nodiscard]] std::string fmt_double(double v, int precision = 2);
 
 /// Throughput in MB/s (decimal MB, as the paper reports).
@@ -50,7 +70,7 @@ class Table {
 /// Time in microseconds with thousands grouping like the paper tables.
 [[nodiscard]] std::string fmt_us(double seconds, int precision = 2);
 
-/// Signed percentage, e.g. "+78.3%".
+/// Signed percentage, e.g. "+78.3%"; NaN renders as "n/a".
 [[nodiscard]] std::string fmt_percent(double percent, int precision = 1);
 
 /// Parses "1", "16k", "2m", "4MB" etc. into bytes.

@@ -1,11 +1,55 @@
 #include "emc/bench_core/methodology.hpp"
 
 #include <cmath>
+#include <limits>
 
 namespace emc::bench {
 
-MeasureResult run_until_stable(const std::function<double()>& sample,
-                               const StabilityPolicy& policy) {
+namespace {
+
+/// splitmix64 finalizer — the same mix mpi::run_perturbed applies to
+/// derive perturbation salts (bench_core cannot link the mpi layer,
+/// so the constants are replicated; verifier_test pins them).
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+MeasureResult finish(const RunningStats& stats, bool stable) {
+  MeasureResult r;
+  r.mean = stats.mean();
+  r.stddev = stats.stddev();
+  r.median = stats.median();
+  const Interval ci = stats.median_ci(0.95);
+  r.ci95_low = ci.low;
+  r.ci95_high = ci.high;
+  r.rel_stddev = stats.rel_stddev();
+  r.runs = stats.count();
+  r.stable = stable;
+  return r;
+}
+
+}  // namespace
+
+std::uint64_t SaltSchedule::salt_for(std::size_t run) const noexcept {
+  if (salts < 2) return 0;
+  const std::size_t slot = run % salts;
+  return slot == 0 ? 0 : mix64(seed + static_cast<std::uint64_t>(slot));
+}
+
+MeasureResult MeasureResult::single(double value) {
+  MeasureResult r;
+  r.mean = r.median = r.ci95_low = r.ci95_high = value;
+  r.runs = 1;
+  r.stable = true;
+  return r;
+}
+
+MeasureResult run_schedule(
+    const std::function<double(std::uint64_t salt)>& sample,
+    const StabilityPolicy& policy, const SaltSchedule& schedule) {
   RunningStats stats;
 
   const auto stddev_ok = [&] {
@@ -16,26 +60,31 @@ MeasureResult run_until_stable(const std::function<double()>& sample,
            stats.ci_halfwidth(policy.fallback_confidence) <=
                policy.target_rel_stddev * std::abs(stats.mean());
   };
+  const auto draw = [&] { stats.add(sample(schedule.salt_for(stats.count()))); };
 
   // Phase 1: min..max runs with the stddev criterion.
   while (stats.count() < policy.max_runs) {
-    stats.add(sample());
+    draw();
     if (stats.count() >= policy.min_runs && stddev_ok()) {
-      return MeasureResult{stats.mean(), stats.stddev(), stats.count(), true};
+      return finish(stats, true);
     }
   }
   // Phase 2: extend until the confidence interval tightens.
   while (stats.count() < policy.hard_cap) {
-    if (ci_ok()) {
-      return MeasureResult{stats.mean(), stats.stddev(), stats.count(), true};
-    }
-    stats.add(sample());
+    if (ci_ok()) return finish(stats, true);
+    draw();
   }
-  return MeasureResult{stats.mean(), stats.stddev(), stats.count(), ci_ok()};
+  return finish(stats, ci_ok());
+}
+
+MeasureResult run_until_stable(const std::function<double()>& sample,
+                               const StabilityPolicy& policy) {
+  return run_schedule([&sample](std::uint64_t) { return sample(); }, policy,
+                      SaltSchedule{.salts = 1, .seed = 0});
 }
 
 double overhead_percent(double baseline, double value) {
-  if (baseline == 0.0) return 0.0;
+  if (baseline == 0.0) return std::numeric_limits<double>::quiet_NaN();
   return 100.0 * (value - baseline) / baseline;
 }
 

@@ -1,6 +1,7 @@
 #include "emc/bench_core/report.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <filesystem>
 #include <fstream>
 #include <iomanip>
@@ -18,6 +19,23 @@ void Table::add_row(std::vector<std::string> cells) {
     throw std::invalid_argument("table row width mismatch");
   }
   rows_.push_back(std::move(cells));
+}
+
+void Table::attach_stats(std::size_t column, const MeasureResult& r,
+                         double scale) {
+  if (rows_.empty()) {
+    throw std::logic_error("attach_stats before any add_row");
+  }
+  if (column >= columns_.size()) {
+    throw std::invalid_argument("attach_stats column out of range");
+  }
+  MeasureResult scaled = r;
+  scaled.mean *= scale;
+  scaled.stddev *= scale;
+  scaled.median *= scale;
+  scaled.ci95_low *= scale;
+  scaled.ci95_high *= scale;
+  stats_[{rows_.size() - 1, column}] = scaled;
 }
 
 void Table::print(std::ostream& os) const {
@@ -66,8 +84,43 @@ void Table::write_csv(std::ostream& os) const {
     }
     os << '\n';
   };
-  emit(columns_);
-  for (const auto& row : rows_) emit(row);
+
+  // Columns that carry at least one measurement get the rigorous
+  // reporting suffix columns, appended after the original layout.
+  std::vector<std::size_t> measured;
+  for (const auto& [key, unused] : stats_) {
+    if (std::find(measured.begin(), measured.end(), key.second) ==
+        measured.end()) {
+      measured.push_back(key.second);
+    }
+  }
+  std::sort(measured.begin(), measured.end());
+
+  std::vector<std::string> header = columns_;
+  for (const std::size_t c : measured) {
+    for (const char* suffix :
+         {"_median", "_ci95_low", "_ci95_high", "_rel_stddev", "_n_runs"}) {
+      header.push_back(columns_[c] + suffix);
+    }
+  }
+  emit(header);
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    std::vector<std::string> cells = rows_[r];
+    for (const std::size_t c : measured) {
+      const auto it = stats_.find({r, c});
+      if (it == stats_.end()) {
+        cells.insert(cells.end(), 5, "");
+        continue;
+      }
+      const MeasureResult& m = it->second;
+      cells.push_back(fmt_double(m.median, 4));
+      cells.push_back(fmt_double(m.ci95_low, 4));
+      cells.push_back(fmt_double(m.ci95_high, 4));
+      cells.push_back(fmt_double(m.rel_stddev, 4));
+      cells.push_back(std::to_string(m.runs));
+    }
+    emit(cells);
+  }
 }
 
 std::optional<std::string> Table::save_csv(const std::string& path) const {
@@ -96,6 +149,7 @@ std::string size_label(std::size_t bytes) {
 }
 
 std::string fmt_double(double v, int precision) {
+  if (std::isnan(v)) return "n/a";
   std::ostringstream os;
   os << std::fixed << std::setprecision(precision) << v;
   return os.str();
@@ -106,6 +160,7 @@ std::string fmt_mbps(double bytes_per_second, int precision) {
 }
 
 std::string fmt_us(double seconds, int precision) {
+  if (std::isnan(seconds)) return "n/a";
   // Thousands grouping for readability of the big alltoall numbers.
   const std::string plain = fmt_double(seconds * 1e6, precision);
   const std::size_t dot = plain.find('.');
@@ -123,6 +178,7 @@ std::string fmt_us(double seconds, int precision) {
 }
 
 std::string fmt_percent(double percent, int precision) {
+  if (std::isnan(percent)) return "n/a";
   std::ostringstream os;
   os << (percent >= 0 ? "+" : "") << std::fixed
      << std::setprecision(precision) << percent << "%";

@@ -1,0 +1,496 @@
+#include "emc/bench_core/trajectory.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <limits>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace emc::bench {
+
+std::uint64_t& global_engine_events() {
+  static std::uint64_t events = 0;
+  return events;
+}
+
+Trajectory::Trajectory(std::string area)
+    : events_at_start_(global_engine_events()) {
+  file_.area = std::move(area);
+  file_.git_sha = git_head_sha();
+}
+
+void Trajectory::set_settings(std::string settings) {
+  file_.settings = std::move(settings);
+}
+
+void Trajectory::add(const std::string& config, const std::string& metric,
+                     const std::string& unit, bool higher_is_better,
+                     const MeasureResult& r) {
+  TrajectoryRow row;
+  row.config = config;
+  row.metric = metric;
+  row.unit = unit;
+  row.higher_is_better = higher_is_better;
+  row.mean = r.mean;
+  row.median = r.median;
+  row.ci95_low = r.ci95_low;
+  row.ci95_high = r.ci95_high;
+  row.rel_stddev = r.rel_stddev;
+  row.n_runs = r.runs;
+  row.stable = r.stable;
+  file_.rows.push_back(std::move(row));
+}
+
+void Trajectory::add_scalar(const std::string& config,
+                            const std::string& metric,
+                            const std::string& unit, bool higher_is_better,
+                            double value) {
+  add(config, metric, unit, higher_is_better, MeasureResult::single(value));
+}
+
+TrajectoryFile Trajectory::snapshot() const {
+  TrajectoryFile file = file_;
+  file.host_wall_seconds = timer_.seconds();
+  file.engine_events = global_engine_events() - events_at_start_;
+  file.events_per_second =
+      file.host_wall_seconds > 0.0
+          ? static_cast<double>(file.engine_events) / file.host_wall_seconds
+          : 0.0;
+  file.config_hash = trajectory_config_hash(file);
+  return file;
+}
+
+std::optional<std::string> Trajectory::save() const {
+  std::filesystem::path target("BENCH_" + file_.area + ".json");
+  std::error_code ec;
+  if (std::filesystem::is_directory("results", ec)) {
+    target = std::filesystem::path("results") / target;
+  }
+  std::ofstream out(target, std::ios::binary);
+  if (!out) return std::nullopt;
+  write_trajectory_json(out, snapshot());
+  if (!out) return std::nullopt;
+  return target.string();
+}
+
+// --- JSON emission ----------------------------------------------------
+
+namespace {
+
+void write_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          os << buf;
+        } else {
+          os << ch;
+        }
+    }
+  }
+  os << '"';
+}
+
+/// Shortest round-trippable representation; non-finite -> null (JSON
+/// has no NaN/inf — the Python side reads null as "no value").
+void write_number(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << "null";
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  os << buf;
+}
+
+}  // namespace
+
+void write_trajectory_json(std::ostream& os, const TrajectoryFile& file) {
+  os << "{\n";
+  os << "  \"schema_version\": " << file.schema_version << ",\n";
+  os << "  \"area\": ";
+  write_string(os, file.area);
+  os << ",\n  \"git_sha\": ";
+  write_string(os, file.git_sha);
+  os << ",\n  \"config_hash\": ";
+  write_string(os, file.config_hash);
+  os << ",\n  \"settings\": ";
+  write_string(os, file.settings);
+  os << ",\n  \"host\": {\n    \"wall_seconds\": ";
+  write_number(os, file.host_wall_seconds);
+  os << ",\n    \"engine_events\": " << file.engine_events;
+  os << ",\n    \"events_per_second\": ";
+  write_number(os, file.events_per_second);
+  os << "\n  },\n  \"rows\": [";
+  for (std::size_t i = 0; i < file.rows.size(); ++i) {
+    const TrajectoryRow& row = file.rows[i];
+    os << (i == 0 ? "\n" : ",\n") << "    {\"config\": ";
+    write_string(os, row.config);
+    os << ", \"metric\": ";
+    write_string(os, row.metric);
+    os << ", \"unit\": ";
+    write_string(os, row.unit);
+    os << ",\n     \"higher_is_better\": "
+       << (row.higher_is_better ? "true" : "false");
+    os << ", \"mean\": ";
+    write_number(os, row.mean);
+    os << ", \"median\": ";
+    write_number(os, row.median);
+    os << ",\n     \"ci95_low\": ";
+    write_number(os, row.ci95_low);
+    os << ", \"ci95_high\": ";
+    write_number(os, row.ci95_high);
+    os << ", \"rel_stddev\": ";
+    write_number(os, row.rel_stddev);
+    os << ",\n     \"n_runs\": " << row.n_runs
+       << ", \"stable\": " << (row.stable ? "true" : "false") << "}";
+  }
+  os << "\n  ]\n}\n";
+}
+
+// --- Minimal JSON parser (objects/arrays/strings/numbers/bools/null)
+// --- for reading our own schema back; not a general-purpose parser.
+
+namespace {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string text;
+  std::vector<JsonValue> items;
+  std::map<std::string, JsonValue> fields;
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::istream& is) {
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    text_ = buf.str();
+  }
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing data after JSON document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("trajectory JSON parse error at byte " +
+                             std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char ch) {
+    if (peek() != ch) fail(std::string("expected '") + ch + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    const std::size_t len = std::char_traits<char>::length(lit);
+    if (text_.compare(pos_, len, lit) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  JsonValue value() {
+    skip_ws();
+    JsonValue v;
+    const char ch = peek();
+    if (ch == '{') {
+      v.kind = JsonValue::Kind::kObject;
+      ++pos_;
+      skip_ws();
+      if (peek() == '}') {
+        ++pos_;
+        return v;
+      }
+      while (true) {
+        skip_ws();
+        if (peek() != '"') fail("expected object key");
+        std::string key = string_body();
+        skip_ws();
+        expect(':');
+        v.fields[std::move(key)] = value();
+        skip_ws();
+        if (peek() == ',') {
+          ++pos_;
+          continue;
+        }
+        expect('}');
+        return v;
+      }
+    }
+    if (ch == '[') {
+      v.kind = JsonValue::Kind::kArray;
+      ++pos_;
+      skip_ws();
+      if (peek() == ']') {
+        ++pos_;
+        return v;
+      }
+      while (true) {
+        v.items.push_back(value());
+        skip_ws();
+        if (peek() == ',') {
+          ++pos_;
+          continue;
+        }
+        expect(']');
+        return v;
+      }
+    }
+    if (ch == '"') {
+      v.kind = JsonValue::Kind::kString;
+      v.text = string_body();
+      return v;
+    }
+    if (consume_literal("true")) {
+      v.kind = JsonValue::Kind::kBool;
+      v.boolean = true;
+      return v;
+    }
+    if (consume_literal("false")) {
+      v.kind = JsonValue::Kind::kBool;
+      v.boolean = false;
+      return v;
+    }
+    if (consume_literal("null")) return v;  // kNull
+    // Number.
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("unexpected character");
+    try {
+      v.number = std::stod(text_.substr(start, pos_ - start));
+    } catch (const std::exception&) {
+      fail("malformed number");
+    }
+    v.kind = JsonValue::Kind::kNumber;
+    return v;
+  }
+
+  std::string string_body() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char ch = text_[pos_++];
+      if (ch == '"') return out;
+      if (ch != '\\') {
+        out.push_back(ch);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'n': out.push_back('\n'); break;
+        case 't': out.push_back('\t'); break;
+        case 'r': out.push_back('\r'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          const unsigned long code =
+              std::stoul(text_.substr(pos_, 4), nullptr, 16);
+          pos_ += 4;
+          // Writer only emits \u00xx for control bytes; anything
+          // else would need UTF-8 encoding this schema never uses.
+          if (code > 0xFF) fail("unsupported \\u escape beyond U+00FF");
+          out.push_back(static_cast<char>(code));
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  std::string text_;
+  std::size_t pos_ = 0;
+};
+
+const JsonValue& field(const JsonValue& obj, const std::string& name) {
+  const auto it = obj.fields.find(name);
+  if (it == obj.fields.end()) {
+    throw std::runtime_error("trajectory JSON: missing field '" + name +
+                             "'");
+  }
+  return it->second;
+}
+
+double number_or_nan(const JsonValue& v) {
+  if (v.kind == JsonValue::Kind::kNull) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  if (v.kind != JsonValue::Kind::kNumber) {
+    throw std::runtime_error("trajectory JSON: expected number or null");
+  }
+  return v.number;
+}
+
+std::string string_of(const JsonValue& v) {
+  if (v.kind != JsonValue::Kind::kString) {
+    throw std::runtime_error("trajectory JSON: expected string");
+  }
+  return v.text;
+}
+
+bool bool_of(const JsonValue& v) {
+  if (v.kind != JsonValue::Kind::kBool) {
+    throw std::runtime_error("trajectory JSON: expected boolean");
+  }
+  return v.boolean;
+}
+
+}  // namespace
+
+TrajectoryFile parse_trajectory_json(std::istream& is) {
+  JsonParser parser(is);
+  const JsonValue root = parser.parse();
+  if (root.kind != JsonValue::Kind::kObject) {
+    throw std::runtime_error("trajectory JSON: root must be an object");
+  }
+  TrajectoryFile file;
+  file.schema_version =
+      static_cast<int>(number_or_nan(field(root, "schema_version")));
+  if (file.schema_version != 1) {
+    throw std::runtime_error("trajectory JSON: unsupported schema_version " +
+                             std::to_string(file.schema_version));
+  }
+  file.area = string_of(field(root, "area"));
+  file.git_sha = string_of(field(root, "git_sha"));
+  file.config_hash = string_of(field(root, "config_hash"));
+  file.settings = string_of(field(root, "settings"));
+  const JsonValue& host = field(root, "host");
+  file.host_wall_seconds = number_or_nan(field(host, "wall_seconds"));
+  file.engine_events =
+      static_cast<std::uint64_t>(number_or_nan(field(host, "engine_events")));
+  file.events_per_second = number_or_nan(field(host, "events_per_second"));
+  const JsonValue& rows = field(root, "rows");
+  if (rows.kind != JsonValue::Kind::kArray) {
+    throw std::runtime_error("trajectory JSON: 'rows' must be an array");
+  }
+  for (const JsonValue& item : rows.items) {
+    TrajectoryRow row;
+    row.config = string_of(field(item, "config"));
+    row.metric = string_of(field(item, "metric"));
+    row.unit = string_of(field(item, "unit"));
+    row.higher_is_better = bool_of(field(item, "higher_is_better"));
+    row.mean = number_or_nan(field(item, "mean"));
+    row.median = number_or_nan(field(item, "median"));
+    row.ci95_low = number_or_nan(field(item, "ci95_low"));
+    row.ci95_high = number_or_nan(field(item, "ci95_high"));
+    row.rel_stddev = number_or_nan(field(item, "rel_stddev"));
+    row.n_runs =
+        static_cast<std::size_t>(number_or_nan(field(item, "n_runs")));
+    row.stable = bool_of(field(item, "stable"));
+    file.rows.push_back(std::move(row));
+  }
+  return file;
+}
+
+std::string trajectory_config_hash(const TrajectoryFile& file) {
+  std::uint64_t hash = 0xCBF29CE484222325ull;  // FNV-1a 64
+  const auto mix = [&hash](const std::string& s) {
+    for (const char ch : s) {
+      hash ^= static_cast<unsigned char>(ch);
+      hash *= 0x100000001B3ull;
+    }
+    hash ^= 0xFF;  // field separator
+    hash *= 0x100000001B3ull;
+  };
+  mix(file.area);
+  mix(file.settings);
+  for (const TrajectoryRow& row : file.rows) {
+    mix(row.config);
+    mix(row.metric);
+    mix(row.unit);
+  }
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(hash));
+  return buf;
+}
+
+std::string git_head_sha() {
+  namespace fs = std::filesystem;
+  const auto read_first_line = [](const fs::path& p) -> std::string {
+    std::ifstream in(p);
+    std::string line;
+    std::getline(in, line);
+    while (!line.empty() &&
+           (line.back() == '\n' || line.back() == '\r' ||
+            line.back() == ' ')) {
+      line.pop_back();
+    }
+    return line;
+  };
+
+  std::error_code ec;
+  fs::path dir = fs::current_path(ec);
+  if (ec) return "unknown";
+  for (int depth = 0; depth < 6; ++depth) {
+    const fs::path git = dir / ".git";
+    if (fs::is_directory(git, ec)) {
+      const std::string head = read_first_line(git / "HEAD");
+      if (head.rfind("ref: ", 0) != 0) {
+        return head.empty() ? "unknown" : head;
+      }
+      const std::string ref = head.substr(5);
+      const std::string direct = read_first_line(git / ref);
+      if (!direct.empty()) return direct;
+      // Packed ref: lines of "<sha> <refname>".
+      std::ifstream packed(git / "packed-refs");
+      std::string line;
+      while (std::getline(packed, line)) {
+        if (line.size() > ref.size() + 41 &&
+            line.compare(line.size() - ref.size(), ref.size(), ref) == 0) {
+          return line.substr(0, 40);
+        }
+      }
+      return "unknown";
+    }
+    if (!dir.has_parent_path() || dir.parent_path() == dir) break;
+    dir = dir.parent_path();
+  }
+  return "unknown";
+}
+
+}  // namespace emc::bench

@@ -1,16 +1,29 @@
 // Streaming statistics used by the benchmark methodology (paper §V):
-// mean, sample standard deviation, and confidence intervals.
+// mean, sample standard deviation, confidence intervals, and — for
+// the rigorous measurement harness — order statistics (median,
+// percentiles) with a deterministic bootstrap confidence interval.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace emc {
 
-/// Welford streaming accumulator for mean/variance.
+/// Confidence interval [low, high] around a location estimate.
+struct Interval {
+  double low = 0.0;
+  double high = 0.0;
+};
+
+/// Welford streaming accumulator for mean/variance. Samples are also
+/// retained (benchmark sample counts are bounded by the stopping
+/// rule's hard cap, so storage is trivial) so order statistics —
+/// median, percentiles, bootstrap CIs — are available alongside the
+/// streaming moments.
 class RunningStats {
  public:
-  void add(double x) noexcept;
+  void add(double x);
 
   [[nodiscard]] std::size_t count() const noexcept { return n_; }
   [[nodiscard]] double mean() const noexcept { return mean_; }
@@ -27,8 +40,35 @@ class RunningStats {
   /// critical values; 0 for fewer than 2 samples.
   [[nodiscard]] double ci_halfwidth(double confidence) const noexcept;
 
+  /// Student-t confidence interval for the mean.
+  [[nodiscard]] Interval mean_ci(double confidence) const noexcept;
+
   [[nodiscard]] double min() const noexcept { return min_; }
   [[nodiscard]] double max() const noexcept { return max_; }
+
+  /// All samples, in insertion order.
+  [[nodiscard]] const std::vector<double>& samples() const noexcept {
+    return samples_;
+  }
+
+  /// Median (average of the middle pair for even counts); 0 when
+  /// empty.
+  [[nodiscard]] double median() const;
+
+  /// Percentile @p p in [0,1] with linear interpolation between
+  /// order statistics; 0 when empty.
+  [[nodiscard]] double percentile(double p) const;
+
+  /// Percentile-bootstrap confidence interval for the median:
+  /// @p resamples resamples-with-replacement, each reduced to its
+  /// median, then the (alpha/2, 1-alpha/2) percentiles of those
+  /// medians. The resampling RNG is seeded from @p seed only, so the
+  /// interval is a pure function of (samples, confidence, resamples,
+  /// seed) — same-seed reruns reproduce it bit-exactly. Degenerates
+  /// to [median, median] for fewer than 3 samples.
+  [[nodiscard]] Interval median_ci(
+      double confidence = 0.95, std::size_t resamples = 200,
+      std::uint64_t seed = 0x9E3779B97F4A7C15ull) const;
 
  private:
   std::size_t n_ = 0;
@@ -36,6 +76,7 @@ class RunningStats {
   double m2_ = 0.0;
   double min_ = 0.0;
   double max_ = 0.0;
+  std::vector<double> samples_;
 };
 
 /// Two-sided Student-t critical value for @p confidence (0.95 / 0.99)
@@ -52,6 +93,6 @@ struct Summary {
   double max = 0.0;
 };
 
-[[nodiscard]] Summary summarize(const std::vector<double>& xs) noexcept;
+[[nodiscard]] Summary summarize(const std::vector<double>& xs);
 
 }  // namespace emc

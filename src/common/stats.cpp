@@ -4,9 +4,11 @@
 #include <array>
 #include <cmath>
 
+#include "emc/common/rng.hpp"
+
 namespace emc {
 
-void RunningStats::add(double x) noexcept {
+void RunningStats::add(double x) {
   if (n_ == 0) {
     min_ = max_ = x;
   } else {
@@ -17,6 +19,7 @@ void RunningStats::add(double x) noexcept {
   const double delta = x - mean_;
   mean_ += delta / static_cast<double>(n_);
   m2_ += delta * (x - mean_);
+  samples_.push_back(x);
 }
 
 double RunningStats::variance() const noexcept {
@@ -33,6 +36,64 @@ double RunningStats::ci_halfwidth(double confidence) const noexcept {
   if (n_ < 2) return 0.0;
   const double t = t_critical(confidence, n_ - 1);
   return t * stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+Interval RunningStats::mean_ci(double confidence) const noexcept {
+  const double hw = ci_halfwidth(confidence);
+  return Interval{mean_ - hw, mean_ + hw};
+}
+
+namespace {
+
+/// Linear-interpolation percentile of an already-sorted sample.
+double sorted_percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  const double pos = p * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double sorted_median(const std::vector<double>& sorted) {
+  return sorted_percentile(sorted, 0.5);
+}
+
+}  // namespace
+
+double RunningStats::median() const {
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  return sorted_median(sorted);
+}
+
+double RunningStats::percentile(double p) const {
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  return sorted_percentile(sorted, p);
+}
+
+Interval RunningStats::median_ci(double confidence, std::size_t resamples,
+                                 std::uint64_t seed) const {
+  const double med = median();
+  if (n_ < 3 || resamples == 0) return Interval{med, med};
+
+  Xoshiro256 rng(seed);
+  std::vector<double> medians;
+  medians.reserve(resamples);
+  std::vector<double> draw(n_);
+  for (std::size_t r = 0; r < resamples; ++r) {
+    for (std::size_t i = 0; i < n_; ++i) {
+      draw[i] = samples_[rng.next_below(n_)];
+    }
+    std::sort(draw.begin(), draw.end());
+    medians.push_back(sorted_median(draw));
+  }
+  std::sort(medians.begin(), medians.end());
+  const double alpha = 1.0 - std::clamp(confidence, 0.0, 1.0);
+  return Interval{sorted_percentile(medians, alpha / 2.0),
+                  sorted_percentile(medians, 1.0 - alpha / 2.0)};
 }
 
 namespace {
@@ -62,7 +123,7 @@ double t_critical(double confidence, std::size_t df) noexcept {
   return ninety_nine ? 2.576 : 1.960;
 }
 
-Summary summarize(const std::vector<double>& xs) noexcept {
+Summary summarize(const std::vector<double>& xs) {
   RunningStats rs;
   for (double x : xs) rs.add(x);
   return Summary{rs.count(), rs.mean(), rs.stddev(), rs.min(), rs.max()};

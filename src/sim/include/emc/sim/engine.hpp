@@ -160,6 +160,14 @@ class Engine {
   /// Virtual clock (meaningful during and after run()).
   [[nodiscard]] Time now() const noexcept { return clock_; }
 
+  /// Total scheduling events processed since construction (every
+  /// wake/advance enqueued on the ready heap). The benchmark
+  /// trajectory layer divides this by host wall-clock to report the
+  /// engine's events-per-second as a host-performance metric.
+  [[nodiscard]] std::uint64_t scheduled_events() const noexcept {
+    return seq_;
+  }
+
   /// Global multiplier applied to Process::charge measurements. Used
   /// to calibrate the simulated CPU speed against the host (e.g. to
   /// model the paper's Xeon on a slower build machine). Default 1.

@@ -1,6 +1,8 @@
 // The paper's stopping rule, the table/CSV reporters, size parsing.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <set>
 #include <sstream>
 
 #include "emc/bench_core/args.hpp"
@@ -74,7 +76,89 @@ TEST(Overhead, MatchesPaperArithmetic) {
   EXPECT_NEAR(overhead_percent(88.52, 99.81), 12.75, 0.01);
   EXPECT_DOUBLE_EQ(overhead_percent(100.0, 100.0), 0.0);
   EXPECT_DOUBLE_EQ(overhead_percent(100.0, 50.0), -50.0);
-  EXPECT_DOUBLE_EQ(overhead_percent(0.0, 10.0), 0.0);
+}
+
+TEST(Overhead, ZeroBaselineIsUndefinedNotZero) {
+  // A degenerate zero baseline must not masquerade as "no overhead":
+  // the result is NaN, which the report layer renders as "n/a".
+  EXPECT_TRUE(std::isnan(overhead_percent(0.0, 10.0)));
+  EXPECT_EQ(fmt_percent(overhead_percent(0.0, 10.0)), "n/a");
+}
+
+TEST(Methodology, MeasureResultCarriesMedianAndCi) {
+  const MeasureResult r = run_until_stable([] { return 10.0; });
+  EXPECT_DOUBLE_EQ(r.median, 10.0);
+  EXPECT_DOUBLE_EQ(r.ci95_low, 10.0);
+  EXPECT_DOUBLE_EQ(r.ci95_high, 10.0);
+  EXPECT_DOUBLE_EQ(r.rel_stddev, 0.0);
+  EXPECT_EQ(r.runs, 20u);
+
+  const MeasureResult one = MeasureResult::single(7.5);
+  EXPECT_DOUBLE_EQ(one.mean, 7.5);
+  EXPECT_DOUBLE_EQ(one.median, 7.5);
+  EXPECT_DOUBLE_EQ(one.ci95_low, 7.5);
+  EXPECT_DOUBLE_EQ(one.ci95_high, 7.5);
+  EXPECT_EQ(one.runs, 1u);
+  EXPECT_TRUE(one.stable);
+}
+
+TEST(Methodology, SaltScheduleCyclesDistinctSalts) {
+  SaltSchedule schedule;
+  schedule.salts = 4;
+  schedule.seed = 9;
+  // Slot 0 is always the unperturbed FIFO order.
+  EXPECT_EQ(schedule.salt_for(0), 0u);
+  EXPECT_EQ(schedule.salt_for(4), 0u);  // cycles with period K
+  std::set<std::uint64_t> distinct;
+  for (std::size_t run = 0; run < 8; ++run) {
+    distinct.insert(schedule.salt_for(run));
+    EXPECT_EQ(schedule.salt_for(run), schedule.salt_for(run + 4)) << run;
+  }
+  EXPECT_EQ(distinct.size(), 4u);  // 0 plus three derived non-zero salts
+  for (std::size_t slot = 1; slot < 4; ++slot) {
+    EXPECT_NE(schedule.salt_for(slot), 0u) << slot;
+  }
+
+  SaltSchedule single;
+  single.salts = 1;
+  for (std::size_t run = 0; run < 5; ++run) {
+    EXPECT_EQ(single.salt_for(run), 0u);
+  }
+}
+
+TEST(Methodology, RunScheduleFeedsSaltsToSamples) {
+  SaltSchedule schedule;
+  schedule.salts = 3;
+  schedule.seed = 2;
+  std::vector<std::uint64_t> seen;
+  const MeasureResult r = run_schedule(
+      [&](std::uint64_t salt) {
+        seen.push_back(salt);
+        return 42.0;
+      },
+      StabilityPolicy::quick(), schedule);
+  EXPECT_TRUE(r.stable);
+  ASSERT_EQ(seen.size(), r.runs);
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i], schedule.salt_for(i)) << i;
+  }
+  EXPECT_DOUBLE_EQ(r.median, 42.0);
+}
+
+TEST(Methodology, RunSchedulePhase2ConvergesWithCi) {
+  // Noise too big for the 5% stddev rule; phase 2's t-based CI rule
+  // must stop it, and the bootstrap median CI must bracket the median.
+  Xoshiro256 rng(21);
+  const MeasureResult r = run_schedule(
+      [&](std::uint64_t) { return 100.0 + 40.0 * (rng.next_double() - 0.5); },
+      StabilityPolicy{}, SaltSchedule{});
+  EXPECT_TRUE(r.stable);
+  EXPECT_GE(r.runs, 100u);
+  EXPECT_NEAR(r.median, 100.0, 10.0);
+  EXPECT_LE(r.ci95_low, r.median);
+  EXPECT_GE(r.ci95_high, r.median);
+  EXPECT_LT(r.ci95_low, r.ci95_high);
+  EXPECT_GT(r.rel_stddev, 0.0);
 }
 
 TEST(Report, TableRendersAndRejectsBadRows) {
@@ -144,6 +228,85 @@ TEST(ArgsParser, ParsesFlagsValuesAndPositionals) {
   EXPECT_EQ(args.get_int("other", 3), 3);
   ASSERT_EQ(args.positional().size(), 1u);
   EXPECT_EQ(args.positional()[0], "extra");
+}
+
+TEST(ArgsParser, ParsesDoubles) {
+  const char* argv[] = {"bench", "--cpu-scale=0.5"};
+  Args args(2, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(args.get_double("cpu-scale", 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(args.get_double("missing", 2.5), 2.5);
+}
+
+TEST(ArgsParser, AllowOnlyAcceptsKnownFlags) {
+  const char* argv[] = {"bench", "--net=ib", "--quick"};
+  Args args(3, const_cast<char**>(argv));
+  args.allow_only({"net", "quick", "iters"});  // must not exit
+}
+
+using ArgsDeath = ::testing::Test;
+
+TEST(ArgsDeath, NonNumericIntExitsWithUsage) {
+  const char* argv[] = {"bench", "--iters=abc"};
+  Args args(2, const_cast<char**>(argv));
+  EXPECT_EXIT((void)args.get_int("iters", 1),
+              ::testing::ExitedWithCode(2), "not an integer");
+}
+
+TEST(ArgsDeath, TrailingJunkIntExitsWithUsage) {
+  const char* argv[] = {"bench", "--iters=12x"};
+  Args args(2, const_cast<char**>(argv));
+  EXPECT_EXIT((void)args.get_int("iters", 1),
+              ::testing::ExitedWithCode(2), "trailing junk");
+}
+
+TEST(ArgsDeath, NonNumericDoubleExitsWithUsage) {
+  const char* argv[] = {"bench", "--cpu-scale=fast"};
+  Args args(2, const_cast<char**>(argv));
+  EXPECT_EXIT((void)args.get_double("cpu-scale", 1.0),
+              ::testing::ExitedWithCode(2), "not a number");
+}
+
+TEST(ArgsDeath, UnknownFlagFailsAllowOnly) {
+  const char* argv[] = {"bench", "--nett=ib"};
+  Args args(2, const_cast<char**>(argv));
+  EXPECT_EXIT(args.allow_only({"net", "quick"}),
+              ::testing::ExitedWithCode(2), "unknown option --nett");
+}
+
+TEST(ArgsDeath, EmptyValueIsRejectedAtParse) {
+  const char* argv[] = {"bench", "--iters="};
+  EXPECT_EXIT((Args(2, const_cast<char**>(argv))),
+              ::testing::ExitedWithCode(2), "empty value for --iters");
+}
+
+TEST(Report, AttachStatsGrowsCsvColumns) {
+  Table table("T", {"size", "MB/s"});
+  table.add_row({"1B", "0.05"});
+  MeasureResult r;
+  r.mean = 0.05e6;
+  r.median = 0.05e6;
+  r.ci95_low = 0.04e6;
+  r.ci95_high = 0.06e6;
+  r.rel_stddev = 1.5;
+  r.runs = 20;
+  table.attach_stats(1, r, 1e-6);
+  table.add_row({"2MB", "1038.00"});  // no stats on this row
+
+  std::ostringstream csv;
+  table.write_csv(csv);
+  EXPECT_EQ(csv.str(),
+            "size,MB/s,MB/s_median,MB/s_ci95_low,MB/s_ci95_high,"
+            "MB/s_rel_stddev,MB/s_n_runs\n"
+            "1B,0.05,0.0500,0.0400,0.0600,1.5000,20\n"
+            "2MB,1038.00,,,,,\n");
+}
+
+TEST(Report, AttachStatsValidates) {
+  Table table("T", {"a", "b"});
+  MeasureResult r;
+  EXPECT_THROW(table.attach_stats(1, r), std::logic_error);
+  table.add_row({"x", "y"});
+  EXPECT_THROW(table.attach_stats(2, r), std::invalid_argument);
 }
 
 }  // namespace

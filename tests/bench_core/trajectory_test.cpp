@@ -1,0 +1,149 @@
+// BENCH_<area>.json emission: JSON round-trip (including NaN <-> null),
+// the campaign-shape config hash, and the Trajectory collector.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "emc/bench_core/trajectory.hpp"
+
+namespace emc::bench {
+namespace {
+
+TrajectoryFile sample_file() {
+  TrajectoryFile f;
+  f.area = "pingpong";
+  f.git_sha = "0123456789abcdef";
+  f.settings = "net=eth policy=quick salts=3 seed=1";
+  f.host_wall_seconds = 5.25;
+  f.engine_events = 55352;
+  f.events_per_second = 10543.238;
+  TrajectoryRow row;
+  row.config = "eth/BoringSSL/16KB";
+  row.metric = "throughput";
+  row.unit = "MB/s";
+  row.higher_is_better = true;
+  row.mean = 179.78;
+  row.median = 180.25;
+  row.ci95_low = 175.0;
+  row.ci95_high = 184.5;
+  row.rel_stddev = 2.1;
+  row.n_runs = 9;
+  row.stable = true;
+  f.rows.push_back(row);
+  TrajectoryRow latency;
+  latency.config = "eth/Bcast/CryptoPP/4MB";
+  latency.metric = "time";
+  latency.unit = "us";
+  latency.higher_is_better = false;
+  latency.mean = 1.5e5;
+  latency.median = std::numeric_limits<double>::quiet_NaN();  // -> null
+  latency.ci95_low = std::numeric_limits<double>::quiet_NaN();
+  latency.ci95_high = std::numeric_limits<double>::quiet_NaN();
+  latency.n_runs = 1;
+  f.rows.push_back(latency);
+  f.config_hash = trajectory_config_hash(f);
+  return f;
+}
+
+TEST(Trajectory, JsonRoundTripPreservesEverything) {
+  const TrajectoryFile f = sample_file();
+  std::stringstream ss;
+  write_trajectory_json(ss, f);
+  const TrajectoryFile back = parse_trajectory_json(ss);
+
+  EXPECT_EQ(back.schema_version, 1);
+  EXPECT_EQ(back.area, f.area);
+  EXPECT_EQ(back.git_sha, f.git_sha);
+  EXPECT_EQ(back.config_hash, f.config_hash);
+  EXPECT_EQ(back.settings, f.settings);
+  EXPECT_DOUBLE_EQ(back.host_wall_seconds, f.host_wall_seconds);
+  EXPECT_EQ(back.engine_events, f.engine_events);
+  EXPECT_DOUBLE_EQ(back.events_per_second, f.events_per_second);
+  ASSERT_EQ(back.rows.size(), 2u);
+
+  const TrajectoryRow& r = back.rows[0];
+  EXPECT_EQ(r.config, "eth/BoringSSL/16KB");
+  EXPECT_EQ(r.metric, "throughput");
+  EXPECT_EQ(r.unit, "MB/s");
+  EXPECT_TRUE(r.higher_is_better);
+  EXPECT_DOUBLE_EQ(r.mean, 179.78);
+  EXPECT_DOUBLE_EQ(r.median, 180.25);
+  EXPECT_DOUBLE_EQ(r.ci95_low, 175.0);
+  EXPECT_DOUBLE_EQ(r.ci95_high, 184.5);
+  EXPECT_DOUBLE_EQ(r.rel_stddev, 2.1);
+  EXPECT_EQ(r.n_runs, 9u);
+  EXPECT_TRUE(r.stable);
+}
+
+TEST(Trajectory, NanSerializesAsNullAndBack) {
+  const TrajectoryFile f = sample_file();
+  std::stringstream ss;
+  write_trajectory_json(ss, f);
+  const std::string text = ss.str();
+  EXPECT_NE(text.find("\"median\": null"), std::string::npos);
+  EXPECT_EQ(text.find("nan"), std::string::npos);
+
+  const TrajectoryFile back = parse_trajectory_json(ss);
+  ASSERT_EQ(back.rows.size(), 2u);
+  EXPECT_TRUE(std::isnan(back.rows[1].median));
+  EXPECT_TRUE(std::isnan(back.rows[1].ci95_low));
+  EXPECT_FALSE(back.rows[1].higher_is_better);
+  EXPECT_DOUBLE_EQ(back.rows[1].mean, 1.5e5);
+}
+
+TEST(Trajectory, ParseRejectsGarbageAndWrongSchema) {
+  {
+    std::stringstream ss("{not json");
+    EXPECT_THROW((void)parse_trajectory_json(ss), std::runtime_error);
+  }
+  {
+    std::stringstream ss(R"({"schema_version": 99, "area": "x"})");
+    EXPECT_THROW((void)parse_trajectory_json(ss), std::runtime_error);
+  }
+}
+
+TEST(Trajectory, ConfigHashTracksCampaignShapeOnly) {
+  TrajectoryFile a = sample_file();
+  TrajectoryFile b = sample_file();
+  // Measured values do not change the shape...
+  b.rows[0].median *= 2.0;
+  b.host_wall_seconds = 99.0;
+  b.git_sha = "ffffffffffffffff";
+  EXPECT_EQ(trajectory_config_hash(a), trajectory_config_hash(b));
+  // ...but the row set and the settings do.
+  b.rows[0].config = "eth/BoringSSL/32KB";
+  EXPECT_NE(trajectory_config_hash(a), trajectory_config_hash(b));
+  TrajectoryFile c = sample_file();
+  c.settings = "net=ib policy=quick salts=3 seed=1";
+  EXPECT_NE(trajectory_config_hash(a), trajectory_config_hash(c));
+}
+
+TEST(Trajectory, CollectorFillsHostMetrics) {
+  Trajectory traj("unit_test_area");
+  traj.set_settings("policy=test");
+  MeasureResult m;
+  m.mean = 2.0;
+  m.median = 2.0;
+  m.ci95_low = 1.9;
+  m.ci95_high = 2.1;
+  m.runs = 5;
+  m.stable = true;
+  traj.add("cfg/a", "throughput", "MB/s", true, m);
+  traj.add_scalar("cfg/b", "time", "s", false, 0.25);
+
+  const TrajectoryFile snap = traj.snapshot();
+  EXPECT_EQ(snap.area, "unit_test_area");
+  EXPECT_EQ(snap.settings, "policy=test");
+  EXPECT_EQ(snap.config_hash, trajectory_config_hash(snap));
+  EXPECT_GE(snap.host_wall_seconds, 0.0);
+  ASSERT_EQ(snap.rows.size(), 2u);
+  EXPECT_EQ(snap.rows[0].n_runs, 5u);
+  EXPECT_DOUBLE_EQ(snap.rows[1].mean, 0.25);
+  EXPECT_DOUBLE_EQ(snap.rows[1].median, 0.25);
+  EXPECT_EQ(snap.rows[1].n_runs, 1u);
+  EXPECT_FALSE(snap.rows[1].higher_is_better);
+}
+
+}  // namespace
+}  // namespace emc::bench

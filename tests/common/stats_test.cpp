@@ -61,6 +61,72 @@ TEST(CiHalfwidth, ShrinksWithSamples) {
   EXPECT_GT(large.ci_halfwidth(0.99), large.ci_halfwidth(0.95));
 }
 
+TEST(Percentiles, MedianMatchesHandComputation) {
+  RunningStats odd;
+  for (double x : {5.0, 1.0, 3.0}) odd.add(x);
+  EXPECT_DOUBLE_EQ(odd.median(), 3.0);
+
+  RunningStats even;
+  for (double x : {4.0, 1.0, 3.0, 2.0}) even.add(x);
+  EXPECT_DOUBLE_EQ(even.median(), 2.5);  // interpolated between 2 and 3
+
+  RunningStats one;
+  one.add(7.0);
+  EXPECT_DOUBLE_EQ(one.median(), 7.0);
+}
+
+TEST(Percentiles, LinearInterpolation) {
+  RunningStats rs;
+  for (double x : {10.0, 20.0, 30.0, 40.0, 50.0}) rs.add(x);
+  EXPECT_DOUBLE_EQ(rs.percentile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(rs.percentile(1.0), 50.0);
+  EXPECT_DOUBLE_EQ(rs.percentile(0.5), 30.0);
+  EXPECT_DOUBLE_EQ(rs.percentile(0.25), 20.0);   // rank 1 exactly
+  EXPECT_DOUBLE_EQ(rs.percentile(0.125), 15.0);  // halfway 10..20
+}
+
+TEST(MedianCi, DeterministicAndBracketsMedian) {
+  RunningStats rs;
+  for (int i = 0; i < 40; ++i) rs.add(100.0 + (i % 7) - 3.0);
+  const Interval a = rs.median_ci();
+  const Interval b = rs.median_ci();
+  EXPECT_DOUBLE_EQ(a.low, b.low);  // seeded bootstrap: bit-identical
+  EXPECT_DOUBLE_EQ(a.high, b.high);
+  EXPECT_LE(a.low, rs.median());
+  EXPECT_GE(a.high, rs.median());
+  EXPECT_LT(a.low, a.high);
+
+  // A different seed resamples differently but stays near the median.
+  const Interval c = rs.median_ci(0.95, 200, 12345);
+  EXPECT_LE(c.low, rs.median());
+  EXPECT_GE(c.high, rs.median());
+}
+
+TEST(MedianCi, DegeneratesForTinySamples) {
+  RunningStats rs;
+  rs.add(5.0);
+  rs.add(6.0);
+  const Interval i = rs.median_ci();
+  EXPECT_DOUBLE_EQ(i.low, rs.median());
+  EXPECT_DOUBLE_EQ(i.high, rs.median());
+}
+
+TEST(MedianCi, ConstantSamplesHaveZeroWidth) {
+  RunningStats rs;
+  for (int i = 0; i < 25; ++i) rs.add(42.0);
+  const Interval i = rs.median_ci();
+  EXPECT_DOUBLE_EQ(i.low, 42.0);
+  EXPECT_DOUBLE_EQ(i.high, 42.0);
+}
+
+TEST(MeanCi, MatchesTBasedHalfwidth) {
+  RunningStats rs;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) rs.add(x);
+  const Interval i = rs.mean_ci(0.95);
+  EXPECT_DOUBLE_EQ(i.low, rs.mean() - rs.ci_halfwidth(0.95));
+  EXPECT_DOUBLE_EQ(i.high, rs.mean() + rs.ci_halfwidth(0.95));
+}
+
 TEST(Summarize, HandlesEmptyAndFilled) {
   EXPECT_EQ(summarize({}).count, 0u);
   const Summary s = summarize({1.0, 2.0, 3.0});
