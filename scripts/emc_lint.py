@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""emc-lint CLI — crypto-hygiene and determinism static analysis.
+
+Usage:
+    scripts/emc_lint.py --compile-commands build/compile_commands.json
+    scripts/emc_lint.py --paths src/crypto/ghash.cpp src/common/rng.cpp
+    scripts/emc_lint.py --list-rules
+
+Exits 0 when the tree is clean (suppressed findings are clean), 1 when
+any unsuppressed finding remains, 2 on usage errors. See
+docs/STATIC_ANALYSIS.md for the rule catalog and suppression policy.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(_REPO_ROOT / "tools" / "lint"))
+
+from emclint import engine, rules  # noqa: E402
+from emclint import clang_frontend  # noqa: E402
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="emc_lint.py",
+        description="emc-specific static analyzer (secret hygiene, "
+                    "constant-time discipline, nonce discipline, "
+                    "determinism purity)")
+    ap.add_argument("--compile-commands", type=Path,
+                    help="compile_commands.json to take the file list from "
+                         "(filtered to src/, headers globbed in)")
+    ap.add_argument("--paths", nargs="+", type=Path,
+                    help="explicit files to lint instead of a database")
+    ap.add_argument("--root", type=Path, default=_REPO_ROOT,
+                    help="tree root used to compute repo-relative paths "
+                         "(rule scopes key off src/... prefixes); default: "
+                         "the repository root")
+    ap.add_argument("--json", type=Path, metavar="FILE",
+                    help="also write a machine-readable report here")
+    ap.add_argument("--frontend", choices=["auto", "tokens", "clang-ast"],
+                    default="auto",
+                    help="'tokens' = lexical frontend only; 'clang-ast' "
+                         "additionally cross-checks TUs through clang's "
+                         "JSON AST dump (requires clang++ on PATH); "
+                         "'auto' = clang-ast when available (default)")
+    ap.add_argument("--list-rules", action="store_true",
+                    help="print the rule catalog and exit")
+    args = ap.parse_args(argv)
+
+    if args.list_rules:
+        for r in rules.RULES:
+            print(f"{r.diag:24} [{r.rule}]  {r.title}  (scope: {r.scope})")
+        return 0
+
+    root = args.root.resolve()
+    db_entries = []
+    if args.compile_commands:
+        if not args.compile_commands.is_file():
+            print(f"emc-lint: no such compile database: "
+                  f"{args.compile_commands}", file=sys.stderr)
+            return 2
+        files = engine.files_from_compile_commands(args.compile_commands,
+                                                   root)
+        db_entries = json.loads(
+            args.compile_commands.read_text(encoding="utf-8"))
+    elif args.paths:
+        files = [p.resolve() for p in args.paths]
+        missing = [p for p in files if not p.is_file()]
+        if missing:
+            for p in missing:
+                print(f"emc-lint: no such file: {p}", file=sys.stderr)
+            return 2
+    else:
+        ap.print_usage(file=sys.stderr)
+        print("emc-lint: need --compile-commands, --paths, or "
+              "--list-rules", file=sys.stderr)
+        return 2
+
+    results = engine.run(files, root)
+
+    use_clang = (args.frontend == "clang-ast" or
+                 (args.frontend == "auto" and clang_frontend.available()))
+    if args.frontend == "clang-ast" and not clang_frontend.available():
+        print("emc-lint: --frontend clang-ast requested but no clang++ "
+              "on PATH; token findings only", file=sys.stderr)
+        use_clang = False
+    if use_clang and db_entries:
+        by_path = {res.path: res for res in results}
+        for entry in db_entries:
+            extra = clang_frontend.lint_tu(entry, root)
+            for f in extra:
+                res = by_path.get(f.path)
+                if res is None:
+                    continue
+                known = {x.key() for x in res.findings}
+                known |= {x.key() for x in res.suppressed}
+                if f.key() not in known:
+                    res.findings.append(f)
+
+    n_findings = engine.render_human(results)
+    if args.json:
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(
+            json.dumps(engine.render_json(results), indent=2) + "\n",
+            encoding="utf-8")
+    return 1 if n_findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,7 @@
+"""emc-lint: project-specific static analysis for crypto hygiene and
+determinism invariants. See docs/STATIC_ANALYSIS.md for the catalog."""
+
+__version__ = "1.0.0"
+
+from .rules import RULES, Finding  # noqa: F401
+from .engine import lint_file, run  # noqa: F401

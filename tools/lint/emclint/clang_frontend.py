@@ -1,0 +1,140 @@
+"""Optional clang-AST cross-check frontend.
+
+When a clang++ binary is on PATH (the CI static-analysis job installs
+one; the token frontend never requires it), each TU is re-parsed with
+``clang++ -fsyntax-only -Xclang -ast-dump=json`` — no libclang, no
+Python bindings — and the JSON AST is walked for DeclRefExprs that
+resolve to banned entropy/wall-clock symbols. Findings are merged with
+the token frontend's by (rule, path, line), so this pass can only add
+findings the lexical pass missed (e.g. a banned call reached through a
+using-declaration or alias the token scan can't see through).
+
+Everything here is defensive: missing clang, a failed parse, a
+timeout, or unparseable JSON all downgrade to "frontend unavailable"
+rather than failing the lint run.
+"""
+
+from __future__ import annotations
+
+import json
+import shlex
+import shutil
+import subprocess
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from . import rules as R
+
+_BANNED_RAND = {"random_device", "rand", "srand", "drand48", "lrand48",
+                "getentropy"}
+_BANNED_CLOCK = {"clock_gettime", "gettimeofday", "timespec_get"}
+
+_AST_TIMEOUT_S = 60
+
+
+def clang_path() -> Optional[str]:
+    for name in ("clang++", "clang++-18", "clang++-17", "clang++-16",
+                 "clang++-15", "clang++-14"):
+        p = shutil.which(name)
+        if p:
+            return p
+    return None
+
+
+def available() -> bool:
+    return clang_path() is not None
+
+
+def _ast_command(entry: dict, clang: str) -> Optional[List[str]]:
+    if "arguments" in entry:
+        args = list(entry["arguments"])
+    elif "command" in entry:
+        args = shlex.split(entry["command"])
+    else:
+        return None
+    out: List[str] = [clang, "-fsyntax-only", "-Xclang", "-ast-dump=json",
+                      "-Wno-everything"]
+    skip_next = False
+    for a in args[1:]:
+        if skip_next:
+            skip_next = False
+            continue
+        if a in ("-o", "-MF", "-MT", "-MQ"):
+            skip_next = True
+            continue
+        if a in ("-c", "-MD", "-MMD") or a.startswith("-f"):
+            continue
+        out.append(a)
+    return out
+
+
+def _walk(node: dict, line_state: List[int]) -> Iterator[Tuple[str, int]]:
+    """Yields (referenced_name, line) for every DeclRefExpr.
+
+    clang's JSON omits 'line' when it repeats the previous location, so
+    the current line is threaded through as mutable state.
+    """
+    loc = node.get("loc") or {}
+    ln = loc.get("line")
+    if isinstance(ln, int):
+        line_state[0] = ln
+    if node.get("kind") == "DeclRefExpr":
+        ref = node.get("referencedDecl") or {}
+        name = ref.get("name")
+        if isinstance(name, str):
+            yield (name, line_state[0])
+    for child in node.get("inner") or []:
+        if isinstance(child, dict):
+            yield from _walk(child, line_state)
+
+
+def lint_tu(entry: dict, root: Path) -> List[R.Finding]:
+    clang = clang_path()
+    if clang is None:
+        return []
+    cmd = _ast_command(entry, clang)
+    if cmd is None:
+        return []
+    f = Path(entry["file"])
+    if not f.is_absolute():
+        f = Path(entry.get("directory", ".")) / f
+    try:
+        rel = f.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return []
+    if not R.in_scope(rel, R.DETERMINISM_DIRS):
+        return []
+    try:
+        proc = subprocess.run(
+            cmd, capture_output=True, text=True, timeout=_AST_TIMEOUT_S,
+            cwd=entry.get("directory") or None)
+        ast = json.loads(proc.stdout)
+    except (OSError, subprocess.TimeoutExpired, json.JSONDecodeError,
+            ValueError):
+        return []
+    findings: List[R.Finding] = []
+    for name, line in _walk(ast, [0]):
+        if name in _BANNED_RAND:
+            findings.append(R.Finding(
+                "det-rand", "EMC-DET-RAND", rel, line,
+                f"'{name}' (clang AST) injects ambient entropy into a "
+                "deterministic module",
+                "seed an emc::Xoshiro256 from the experiment config"))
+        elif name in _BANNED_CLOCK:
+            findings.append(R.Finding(
+                "det-clock", "EMC-DET-CLOCK", rel, line,
+                f"'{name}' (clang AST) reads host wall-clock time in a "
+                "deterministic module",
+                "charge cost through the engine instead"))
+    return findings
+
+
+def merge(base: List[R.Finding],
+          extra: List[R.Finding]) -> List[R.Finding]:
+    seen = {f.key() for f in base}
+    out = list(base)
+    for f in extra:
+        if f.key() not in seen:
+            seen.add(f.key())
+            out.append(f)
+    return out

@@ -1,0 +1,283 @@
+"""emc-lint driver: file discovery, suppression handling, reporting.
+
+Files come either from a compile_commands.json (the normal CI path —
+every TU the build sees, filtered to src/) or from explicit paths.
+Headers don't appear in compile_commands, so the src/ tree is also
+globbed for .hpp/.h when running from a database.
+
+Suppressions come in three forms, all carrying a rule id and a reason:
+
+    EMC_LINT_ALLOW(det-rand, "seed bootstrap, outside sim time");
+    // EMC_LINT_ALLOW(det-clock): measurement-mode wall timer
+    // EMC_LINT_ALLOW_FILE(ct-index): models the table-based sw tier
+
+Line allows cover their own line and the next line that has code (so
+an annotation can sit above the flagged statement). File allows cover
+the whole file for one rule. Every allow must suppress at least one
+finding (EMC-LINT-UNUSED-ALLOW) and must carry a reason
+(EMC-LINT-BAD-ALLOW) — suppressions are audited, not free.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path, PurePosixPath
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from . import rules as R
+from .tokenizer import ID, STR, Comment, LexError, Token, find_matching, tokenize
+
+_ALLOW_WORD = "EMC_LINT_ALLOW"
+_ALLOW_FILE_WORD = "EMC_LINT_ALLOW_FILE"
+
+
+@dataclass
+class Allow:
+    rule: str
+    path: str
+    line: int
+    reason: str
+    file_level: bool
+    uses: int = 0
+
+
+@dataclass
+class FileResult:
+    path: str
+    findings: List[R.Finding] = field(default_factory=list)
+    suppressed: List[R.Finding] = field(default_factory=list)
+    allows: List[Allow] = field(default_factory=list)
+    error: Optional[str] = None
+
+
+def _parse_comment_allows(path: str, comments: List[Comment]) -> List[Allow]:
+    allows: List[Allow] = []
+    for c in comments:
+        text = c.text
+        for word, file_level in ((_ALLOW_FILE_WORD, True),
+                                 (_ALLOW_WORD, False)):
+            at = text.find(word + "(")
+            if at < 0:
+                continue
+            rest = text[at + len(word) + 1 :]
+            close = rest.find(")")
+            if close < 0:
+                continue
+            rule = rest[:close].strip()
+            after = rest[close + 1 :].lstrip()
+            reason = ""
+            if after.startswith(":"):
+                reason = after[1:].strip().rstrip("*/").strip()
+            allows.append(Allow(rule, path, c.line, reason, file_level))
+            break
+    return allows
+
+
+def _parse_macro_allows(path: str, tokens: List[Token]) -> List[Allow]:
+    allows: List[Allow] = []
+    for j, t in enumerate(tokens):
+        if t.kind != ID or t.text not in (_ALLOW_WORD, _ALLOW_FILE_WORD):
+            continue
+        if j > 0 and tokens[j - 1].text == "define":
+            continue  # the macro definition itself in annotations.hpp
+        if j + 1 >= len(tokens) or tokens[j + 1].text != "(":
+            continue
+        close = find_matching(tokens, j + 1)
+        rule_parts: List[str] = []
+        reason = ""
+        k = j + 2
+        depth = 0
+        while k < close:
+            tk = tokens[k]
+            if tk.text in ("(", "[", "{"):
+                depth += 1
+            elif tk.text in (")", "]", "}"):
+                depth -= 1
+            elif tk.text == "," and depth == 0:
+                k += 1
+                if k < close and tokens[k].kind == STR:
+                    reason = tokens[k].text.strip('"')
+                break
+            else:
+                rule_parts.append(tk.text)
+            k += 1
+        allows.append(Allow("".join(rule_parts), path, t.line, reason,
+                            t.text == _ALLOW_FILE_WORD))
+    return allows
+
+
+def _covered_lines(allow: Allow, token_lines: Sequence[int]) -> Set[int]:
+    covered = {allow.line}
+    nxt = [ln for ln in token_lines if ln > allow.line]
+    if nxt:
+        covered.add(min(nxt))
+    return covered
+
+
+def lint_file(abs_path: Path, rel_path: str) -> FileResult:
+    res = FileResult(rel_path)
+    try:
+        source = abs_path.read_text(encoding="utf-8", errors="replace")
+        tokens, comments = tokenize(source)
+    except (OSError, LexError) as exc:
+        res.error = str(exc)
+        return res
+
+    raw: List[R.Finding] = []
+    seen_keys = set()
+    for fn in R.RULE_FUNCS:
+        for f in fn(rel_path, tokens):
+            if f.key() not in seen_keys:
+                seen_keys.add(f.key())
+                raw.append(f)
+    raw.sort(key=lambda f: (f.line, f.rule))
+
+    if rel_path.endswith("emc/common/annotations.hpp"):
+        # The marker header itself: its doc examples and the macro
+        # definitions must not register as live suppressions.
+        allows: List[Allow] = []
+    else:
+        allows = _parse_comment_allows(rel_path, comments)
+        allows.extend(_parse_macro_allows(rel_path, tokens))
+    allows.sort(key=lambda a: a.line)
+    res.allows = allows
+
+    token_lines = sorted({t.line for t in tokens})
+    line_cov: Dict[Tuple[str, int], Allow] = {}
+    file_cov: Dict[str, Allow] = {}
+    for a in allows:
+        if a.file_level:
+            file_cov.setdefault(a.rule, a)
+        else:
+            for ln in _covered_lines(a, token_lines):
+                line_cov.setdefault((a.rule, ln), a)
+
+    for f in raw:
+        a = line_cov.get((f.rule, f.line)) or file_cov.get(f.rule)
+        if a is not None:
+            a.uses += 1
+            f.suppressed_by = a.line
+            res.suppressed.append(f)
+        else:
+            res.findings.append(f)
+
+    # Meta rules: audit the allows themselves.
+    for a in allows:
+        if a.rule not in R.KNOWN_RULE_IDS:
+            res.findings.append(R.Finding(
+                "bad-allow", "EMC-LINT-BAD-ALLOW", rel_path, a.line,
+                f"EMC_LINT_ALLOW names unknown rule '{a.rule}'",
+                "run scripts/emc_lint.py --list-rules for the catalog"))
+            continue
+        if not a.reason:
+            res.findings.append(R.Finding(
+                "bad-allow", "EMC-LINT-BAD-ALLOW", rel_path, a.line,
+                f"EMC_LINT_ALLOW({a.rule}) has no reason",
+                "state why the exception is sound: "
+                "EMC_LINT_ALLOW(rule, \"reason\") or "
+                "// EMC_LINT_ALLOW(rule): reason"))
+        if a.uses == 0:
+            res.findings.append(R.Finding(
+                "unused-allow", "EMC-LINT-UNUSED-ALLOW", rel_path, a.line,
+                f"EMC_LINT_ALLOW({a.rule}) suppresses nothing",
+                "delete the stale annotation (the code it excused is "
+                "gone or was fixed)"))
+    return res
+
+
+# --------------------------------------------------------- file discovery
+
+
+def files_from_compile_commands(db_path: Path, root: Path) -> List[Path]:
+    entries = json.loads(db_path.read_text(encoding="utf-8"))
+    seen: Set[Path] = set()
+    out: List[Path] = []
+    for e in entries:
+        f = Path(e["file"])
+        if not f.is_absolute():
+            f = (Path(e.get("directory", ".")) / f).resolve()
+        try:
+            rel = f.resolve().relative_to(root.resolve())
+        except ValueError:
+            continue
+        if not _in_lint_tree(rel):
+            continue
+        if f not in seen:
+            seen.add(f)
+            out.append(f.resolve())
+    # Headers never show up in the database; glob them from src/.
+    for pat in ("src/**/*.hpp", "src/**/*.h"):
+        for f in sorted(root.glob(pat)):
+            fr = f.resolve()
+            if fr not in seen:
+                seen.add(fr)
+                out.append(fr)
+    return sorted(out)
+
+
+def _in_lint_tree(rel: Path) -> bool:
+    return PurePosixPath(rel.as_posix()).parts[:1] == ("src",)
+
+
+def run(files: Sequence[Path], root: Path) -> List[FileResult]:
+    results: List[FileResult] = []
+    for f in files:
+        try:
+            rel = f.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            rel = f.as_posix()
+        results.append(lint_file(f, rel))
+    return results
+
+
+# ---------------------------------------------------------------- reporting
+
+
+def render_human(results: List[FileResult], out=sys.stdout) -> int:
+    n_findings = 0
+    n_suppressed = 0
+    for res in results:
+        if res.error:
+            print(f"{res.path}: error: {res.error}", file=out)
+            n_findings += 1
+        for f in res.findings:
+            n_findings += 1
+            print(f"{f.path}:{f.line}: {f.diag}: {f.message}", file=out)
+            if f.hint:
+                print(f"    hint: {f.hint}", file=out)
+        n_suppressed += len(res.suppressed)
+    n_files = len(results)
+    print(f"emc-lint: {n_files} file(s), {n_findings} finding(s), "
+          f"{n_suppressed} suppressed by EMC_LINT_ALLOW", file=out)
+    return n_findings
+
+
+def render_json(results: List[FileResult]) -> dict:
+    findings = []
+    suppressions = []
+    errors = []
+    for res in results:
+        if res.error:
+            errors.append({"path": res.path, "error": res.error})
+        for f in res.findings:
+            findings.append({
+                "rule": f.rule, "diag": f.diag, "path": f.path,
+                "line": f.line, "message": f.message, "hint": f.hint,
+            })
+        for a in res.allows:
+            suppressions.append({
+                "rule": a.rule, "path": a.path, "line": a.line,
+                "reason": a.reason, "file_level": a.file_level,
+                "uses": a.uses,
+            })
+    return {
+        "tool": "emc-lint",
+        "files_scanned": len(results),
+        "finding_count": len(findings),
+        "suppressed_count": sum(s["uses"] for s in suppressions),
+        "findings": findings,
+        "suppressions": suppressions,
+        "errors": errors,
+    }

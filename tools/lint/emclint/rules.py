@@ -1,0 +1,930 @@
+"""emc-lint rule implementations.
+
+Every rule operates on the token stream of one file (see
+tokenizer.py) plus its repo-relative path, and yields Finding objects.
+Rules are scoped by directory (see SCOPES below): crypto hygiene rules
+run over the crypto/secure-MPI modules, determinism rules over every
+module that feeds the same-seed byte-identical contract.
+
+The analyses are deliberately token-level and conservative: they model
+the project's own idioms (emc::secure_zero, SecureComm::next_nonce,
+emc::ct_equal) rather than attempting whole-program dataflow. Known
+analysis limits are documented per rule in docs/STATIC_ANALYSIS.md.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .tokenizer import ID, NUM, PUNCT, STR, Token, find_matching
+
+# --------------------------------------------------------------- findings
+
+
+@dataclass
+class Finding:
+    rule: str          # kebab-case rule id, e.g. "secret-wipe"
+    diag: str          # diagnostic id, e.g. "EMC-SECRET-WIPE"
+    path: str          # repo-relative posix path
+    line: int
+    message: str
+    hint: str = ""
+    suppressed_by: Optional[int] = None  # line of the allow that hit
+
+    def key(self) -> Tuple[str, str, int]:
+        return (self.rule, self.path, self.line)
+
+
+@dataclass
+class RuleInfo:
+    rule: str
+    diag: str
+    title: str
+    scope: str
+
+
+# ----------------------------------------------------------------- scopes
+
+# Directory prefixes (repo-relative, posix) per rule family.
+DETERMINISM_DIRS = (
+    "src/sim/", "src/netsim/", "src/mpi/", "src/secure_mpi/",
+    "src/reliable/", "src/ft/", "src/trace/", "src/common/",
+)
+CRYPTO_DIRS = ("src/crypto/",)
+SECRET_DIRS = ("src/crypto/", "src/secure_mpi/")
+ALL_SRC = ("src/",)
+
+
+def in_scope(path: str, prefixes: Sequence[str]) -> bool:
+    return any(path.startswith(p) for p in prefixes)
+
+
+# ------------------------------------------------------- shared predicates
+
+_SECRET_PARTS = (
+    "key", "secret", "priv", "keystream", "kek",
+    "ipad", "opad", "prk", "ikm", "k_block",
+)
+_PUBLIC_PARTS = ("pub", "sbox", "nonce", "size", "_len", "length")
+
+
+def is_secret_name(name: str) -> bool:
+    """Heuristic: does this identifier look like it holds key material?"""
+    low = name.lower()
+    if any(p in low for p in _PUBLIC_PARTS):
+        return False
+    return any(p in low for p in _SECRET_PARTS)
+
+
+# Entry points whose parameters are treated as secret for the
+# constant-time rules. This is the project's kernel ABI: the block
+# ciphers, hashes, field arithmetic, and AEAD seal/open fronts.
+KERNEL_FUNCTIONS = {
+    "xtime", "gf_mul", "soft_mul", "mul",
+    "encrypt_block", "decrypt_block", "process_block",
+    "modexp", "modexp_slow", "mont_mul", "montgomery_mul",
+    "seal", "open",
+}
+
+# Methods whose results are public even on secret operands (lengths,
+# shape queries) — branching on them is fine.
+_PUBLIC_METHODS = {"size", "empty", "length", "rounds", "capacity"}
+
+# Functions that declassify secret data: their boolean result is safe
+# to branch on (the project's constant-time comparator, primality).
+_DECLASSIFIERS = {"ct_equal", "probably_prime"}
+
+# Functions that count as "cleansing" a nonce buffer between its
+# declaration and a seal call.
+_NONCE_FILLERS = {
+    "random_nonce", "next_nonce", "fill", "derive_j0",
+    "store_be32", "store_be64", "store_le32", "store_le64",
+    "memcpy", "copy", "counter_block",
+}
+
+_OWNING_SIMPLE_TYPES = {"Bytes", "BigUint"}
+_OWNING_TEMPLATED = {"array", "vector", "basic_string"}
+_ARRAY_ELEM_TYPES = {
+    "uint8_t", "uint16_t", "uint32_t", "uint64_t", "char", "__m128i",
+    "int8_t", "int32_t", "int64_t",
+}
+_CLASS_NAME_SECRET = re.compile(r"(Key|Secret|Schedule|Pad)")
+
+_CONTROL_KEYWORDS = {
+    "if", "for", "while", "switch", "catch", "return", "sizeof",
+    "alignof", "decltype", "static_assert", "throw", "new", "delete",
+    "defined", "assert", "EMC_LINT_ALLOW", "EMC_LINT_ALLOW_FILE",
+}
+
+_WALLCLOCK_IDS = {
+    "steady_clock", "system_clock", "high_resolution_clock",
+    "WallTimer", "clock_gettime", "gettimeofday", "timespec_get",
+    "__rdtsc", "__builtin_readcyclecounter",
+}
+_RANDOM_IDS = {"random_device"}
+_RANDOM_CALLS = {"rand", "srand", "random", "drand48", "lrand48", "getentropy"}
+
+_LOG_SINKS = {"printf", "fprintf", "snprintf", "puts", "cout", "cerr",
+              "clog", "to_hex"}
+
+
+# --------------------------------------------------- function segmentation
+
+
+@dataclass
+class Function:
+    name: str
+    line: int
+    params: List[str]
+    body_start: int    # index of `{`
+    body_end: int      # index of matching `}`
+
+
+def extract_functions(tokens: List[Token]) -> List[Function]:
+    """Finds function definitions by token shape.
+
+    A definition is `name ( params ) [qualifiers / init-list] {`.
+    Control statements, declarations (terminated by `;` before any
+    `{`), and lambdas (`] (`) are skipped. Nested scanning continues
+    inside bodies, so member functions in class bodies are found.
+    """
+    out: List[Function] = []
+    n = len(tokens)
+    for i, tok in enumerate(tokens):
+        if tok.text != "(" or i == 0:
+            continue
+        prev = tokens[i - 1]
+        if prev.kind != ID or prev.text in _CONTROL_KEYWORDS:
+            continue
+        if prev.text == "operator":
+            continue
+        close = find_matching(tokens, i)
+        if close >= n:
+            continue
+        # Walk from `)` to a body `{`, tolerating qualifiers and a
+        # constructor init list; give up on `;` (plain declaration).
+        j = close + 1
+        saw_colon = False
+        body = -1
+        steps = 0
+        while j < n and steps < 400:
+            t = tokens[j]
+            steps += 1
+            if t.text in (";", ")", "]", ".", "?", "==", "!=",
+                          "&&", "||", "+", "-", "/"):
+                break  # cannot sit between a param list and a body
+            if t.text == ":" and tokens[j - 1].text != ":":
+                saw_colon = True
+                j += 1
+                continue
+            if t.text in ("(", "["):
+                j = find_matching(tokens, j) + 1
+                continue
+            if t.text == "{":
+                if saw_colon and tokens[j - 1].kind == ID and \
+                        tokens[j + 1].text != "}" and _looks_like_init(tokens, j):
+                    j = find_matching(tokens, j) + 1
+                    continue
+                body = j
+                break
+            j += 1
+        if body < 0:
+            continue
+        name = prev.text
+        if i >= 2 and tokens[i - 2].text == "~":
+            name = "~" + name
+        params = _param_names(tokens, i, close)
+        out.append(Function(name, prev.line, params,
+                            body, find_matching(tokens, body)))
+    return out
+
+
+def _looks_like_init(tokens: List[Token], brace: int) -> bool:
+    """True when `{` after `ident` inside an init list is member
+    brace-init (`member_{x}`) rather than the function body. The body
+    brace follows `)` or an identifier that ends a qualifier."""
+    end = find_matching(tokens, brace)
+    return end < len(tokens) - 1 and tokens[end + 1].text in (",", "{")
+
+
+def _param_names(tokens: List[Token], open_paren: int,
+                 close_paren: int) -> List[str]:
+    """Parameter names: last identifier of each comma-separated chunk
+    (skipping array extents and default arguments)."""
+    names: List[str] = []
+    chunk: List[Token] = []
+    depth = 0
+    for j in range(open_paren + 1, close_paren):
+        t = tokens[j]
+        if t.text in ("(", "<", "[", "{"):
+            depth += 1
+        elif t.text in (")", ">", "]", "}"):
+            depth -= 1
+        if t.text == "," and depth == 0:
+            _append_param(chunk, names)
+            chunk = []
+        else:
+            chunk.append(t)
+    _append_param(chunk, names)
+    return names
+
+
+def _append_param(chunk: List[Token], names: List[str]) -> None:
+    # Trim default argument.
+    for k, t in enumerate(chunk):
+        if t.text == "=":
+            chunk = chunk[:k]
+            break
+    # Trim trailing array extent: name [ N ].
+    while chunk and chunk[-1].text == "]":
+        depth = 0
+        for k in range(len(chunk) - 1, -1, -1):
+            if chunk[k].text == "]":
+                depth += 1
+            elif chunk[k].text == "[":
+                depth -= 1
+                if depth == 0:
+                    chunk = chunk[:k]
+                    break
+        else:
+            break
+    if chunk and chunk[-1].kind == ID and chunk[-1].text not in (
+            "void", "const", "noexcept", "override"):
+        names.append(chunk[-1].text)
+
+
+# ------------------------------------------------------------ rule: wipes
+
+
+def rule_secret_wipe(path: str, tokens: List[Token]) -> List[Finding]:
+    """EMC-SECRET-WIPE: owning buffers that look like key material must
+    be wiped (emc::secure_zero / .wipe()) before scope exit, and
+    key-holding classes must declare a destructor that wipes."""
+    if not in_scope(path, SECRET_DIRS):
+        return []
+    findings: List[Finding] = []
+    for fn in extract_functions(tokens):
+        findings.extend(_check_local_wipes(path, tokens, fn))
+    findings.extend(_check_member_wipes(path, tokens))
+    return findings
+
+
+def _owning_decls(tokens: List[Token], start: int, end: int,
+                  top_level_only: bool = False,
+                  allow_paren_init: bool = True) -> List[Tuple[str, str, int]]:
+    """(name, type_word, line) of owning-buffer declarations in
+    [start, end). With top_level_only, nested braces (method bodies,
+    nested classes) are skipped — the class-member scan. With
+    allow_paren_init off, ``name (`` is treated as a function
+    declaration, not paren-init."""
+    decls: List[Tuple[str, str, int]] = []
+    j = start
+    while j < end:
+        t = tokens[j]
+        if top_level_only and t.text in ("{", "("):
+            j = find_matching(tokens, j) + 1
+            continue
+        if t.kind != ID:
+            j += 1
+            continue
+        name_idx = -1
+        if t.text in _OWNING_SIMPLE_TYPES:
+            k = j + 1
+            if k < end and tokens[k].kind == ID:
+                name_idx = k
+        elif t.text in _OWNING_TEMPLATED or t.text == "string":
+            # std::array<...> name / std::vector<...> name / std::string name
+            k = j + 1
+            if k < end and tokens[k].text == "<":
+                depth = 0
+                while k < end:
+                    if tokens[k].text == "<":
+                        depth += 1
+                    elif tokens[k].text == ">":
+                        depth -= 1
+                        if depth == 0:
+                            break
+                    elif tokens[k].text == ">>":
+                        depth -= 2
+                        if depth <= 0:
+                            break
+                    k += 1
+                k += 1
+            if k < end and tokens[k].kind == ID:
+                name_idx = k
+        elif t.text in _ARRAY_ELEM_TYPES:
+            # elem name [ extent ]
+            k = j + 1
+            if k + 1 < end and tokens[k].kind == ID and \
+                    tokens[k + 1].text == "[":
+                name_idx = k
+        if name_idx > 0:
+            nxt = tokens[name_idx + 1].text if name_idx + 1 < end else ""
+            followers = (";", "=", "{", "[") if not allow_paren_init \
+                else (";", "=", "(", "{", "[")
+            if nxt in followers:
+                # Exclude references/pointers (non-owning).
+                if tokens[name_idx - 1].text not in ("*", "&"):
+                    decls.append((tokens[name_idx].text, t.text,
+                                  tokens[name_idx].line))
+            j = name_idx + 1
+            continue
+        j += 1
+    return decls
+
+
+def _check_local_wipes(path: str, tokens: List[Token],
+                       fn: Function) -> List[Finding]:
+    findings: List[Finding] = []
+    body = range(fn.body_start, fn.body_end + 1)
+    texts = [tokens[j].text for j in body]
+    for name, _type, line in _owning_decls(tokens, fn.body_start,
+                                           fn.body_end):
+        if not is_secret_name(name):
+            continue
+        if _is_returned(texts, name) or _is_wiped(texts, name):
+            continue
+        findings.append(Finding(
+            "secret-wipe", "EMC-SECRET-WIPE", path, line,
+            f"'{name}' looks like key material but is not zeroized "
+            f"before scope exit in {fn.name}()",
+            f"call emc::secure_zero({name}) (or .wipe() for BigUint) "
+            "before every exit, or justify with "
+            "EMC_LINT_ALLOW(secret-wipe, \"...\")"))
+    return findings
+
+
+def _is_returned(texts: List[str], name: str) -> bool:
+    for j, t in enumerate(texts):
+        if t != "return":
+            continue
+        rest = texts[j + 1 : j + 7]
+        if rest[:2] == [name, ";"]:
+            return True
+        if rest[:6] == ["std", "::", "move", "(", name, ")"]:
+            return True
+    return False
+
+
+def _is_wiped(texts: List[str], name: str) -> bool:
+    for j, t in enumerate(texts):
+        if t == "secure_zero":
+            # name appears inside the call parens
+            depth = 0
+            for k in range(j + 1, min(j + 40, len(texts))):
+                if texts[k] == "(":
+                    depth += 1
+                elif texts[k] == ")":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                elif texts[k] == name:
+                    return True
+        if t == name and texts[j + 1 : j + 4] == [".", "wipe", "("]:
+            return True
+    return False
+
+
+def _check_member_wipes(path: str, tokens: List[Token]) -> List[Finding]:
+    findings: List[Finding] = []
+    n = len(tokens)
+    all_texts = [t.text for t in tokens]
+    for i, tok in enumerate(tokens):
+        if tok.text not in ("class", "struct") or i + 1 >= n:
+            continue
+        name_tok = tokens[i + 1]
+        if name_tok.kind != ID:
+            continue
+        # Find the class body `{`, aborting on `;` (forward decl) or `(`.
+        j = i + 2
+        body = -1
+        while j < n and j < i + 30:
+            if tokens[j].text == ";" or tokens[j].text == "(":
+                break
+            if tokens[j].text == "{":
+                body = j
+                break
+            j += 1
+        if body < 0:
+            continue
+        body_end = find_matching(tokens, body)
+        class_name = name_tok.text
+        has_dtor = ("~" + class_name) in (
+            a + b for a, b in zip(all_texts, all_texts[1:]))
+        if has_dtor:
+            continue
+        class_secret = bool(_CLASS_NAME_SECRET.search(class_name))
+        for member, type_word, line in _owning_decls(
+                tokens, body + 1, body_end, top_level_only=True,
+                allow_paren_init=False):
+            # The class-name path only flags raw buffer types; a
+            # string/vector member of a *Config struct named
+            # "provider" is not key material.
+            raw_buffer = type_word not in ("string", "basic_string")
+            flagged = is_secret_name(member) or (class_secret and raw_buffer)
+            if not flagged:
+                continue
+            findings.append(Finding(
+                "secret-wipe", "EMC-SECRET-WIPE", path, line,
+                f"{class_name}::{member} holds key-like material but "
+                f"{class_name} has no destructor wiping it",
+                f"add ~{class_name}() {{ emc::secure_zero(...); }} or "
+                "justify with EMC_LINT_ALLOW(secret-wipe, \"...\")"))
+            break  # one finding per class is enough
+    return findings
+
+
+# ----------------------------------------------------- rules: constant time
+
+
+def _kernel_taint(tokens: List[Token], fn: Function) -> Set[str]:
+    tainted: Set[str] = set(fn.params)
+    tainted.update(p for p in fn.params if is_secret_name(p))
+    # Propagate through simple assignments/initializations.
+    texts = [t.text for t in tokens[fn.body_start : fn.body_end + 1]]
+    kinds = [t.kind for t in tokens[fn.body_start : fn.body_end + 1]]
+    for _ in range(3):
+        changed = False
+        for j, t in enumerate(texts):
+            if t != "=" or j == 0:
+                continue
+            if kinds[j - 1] == ID:
+                lhs = texts[j - 1]
+            elif texts[j - 1] == "]":
+                # arr[i] = tainted  →  arr becomes tainted.
+                depth = 0
+                lhs = None
+                for k in range(j - 1, 0, -1):
+                    if texts[k] == "]":
+                        depth += 1
+                    elif texts[k] == "[":
+                        depth -= 1
+                        if depth == 0:
+                            if kinds[k - 1] == ID:
+                                lhs = texts[k - 1]
+                            break
+                if lhs is None:
+                    continue
+            else:
+                continue
+            if lhs in tainted:
+                continue
+            # RHS until `;` at paren depth 0.
+            depth = 0
+            for k in range(j + 1, len(texts)):
+                tk = texts[k]
+                if tk in ("(", "[", "{"):
+                    depth += 1
+                elif tk in (")", "]", "}"):
+                    depth -= 1
+                elif tk == ";" and depth <= 0:
+                    break
+                if kinds[k] == ID and tk in tainted and \
+                        not _public_use(texts, k):
+                    tainted.add(lhs)
+                    changed = True
+                    break
+        if not changed:
+            break
+    return tainted
+
+
+def _public_use(texts: List[str], idx: int) -> bool:
+    """True when the tainted identifier at idx is used only through a
+    public-result method (x.size(), x.empty(), ...)."""
+    if idx + 2 < len(texts) and texts[idx + 1] == "." and \
+            texts[idx + 2] in _PUBLIC_METHODS:
+        return True
+    return False
+
+
+def _expr_tainted(tokens: List[Token], start: int, end: int,
+                  tainted: Set[str]) -> bool:
+    """Any tainted identifier used non-publicly in tokens[start:end),
+    skipping ranges inside declassifier calls."""
+    texts = [t.text for t in tokens[start:end]]
+    kinds = [t.kind for t in tokens[start:end]]
+    j = 0
+    while j < len(texts):
+        if kinds[j] == ID and texts[j] in _DECLASSIFIERS and \
+                j + 1 < len(texts) and texts[j + 1] == "(":
+            # Skip the declassifier call's argument list.
+            depth = 0
+            k = j + 1
+            while k < len(texts):
+                if texts[k] == "(":
+                    depth += 1
+                elif texts[k] == ")":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                k += 1
+            j = k + 1
+            continue
+        if kinds[j] == ID and texts[j] in tainted and \
+                not _public_use(texts, j):
+            return True
+        j += 1
+    return False
+
+
+def rule_const_time(path: str, tokens: List[Token]) -> List[Finding]:
+    """EMC-CT-BRANCH / EMC-CT-INDEX: no secret-dependent control flow
+    or table indices inside the crypto kernels."""
+    if not in_scope(path, CRYPTO_DIRS):
+        return []
+    findings: List[Finding] = []
+    for fn in extract_functions(tokens):
+        if fn.name not in KERNEL_FUNCTIONS:
+            continue
+        tainted = _kernel_taint(tokens, fn)
+        if not tainted:
+            continue
+        j = fn.body_start
+        while j < fn.body_end:
+            t = tokens[j]
+            if t.kind == ID and t.text in ("if", "while", "switch") and \
+                    j + 1 < fn.body_end and tokens[j + 1].text == "(":
+                close = find_matching(tokens, j + 1)
+                if _expr_tainted(tokens, j + 2, close, tainted):
+                    findings.append(Finding(
+                        "ct-branch", "EMC-CT-BRANCH", path, t.line,
+                        f"secret-dependent {t.text} in kernel "
+                        f"{fn.name}()",
+                        "rewrite with arithmetic masks "
+                        "(mask = 0 - (bit)), or justify with "
+                        "EMC_LINT_ALLOW(ct-branch, \"...\")"))
+            elif t.text == "?":
+                start = _cond_start(tokens, j, fn.body_start)
+                if _expr_tainted(tokens, start, j, tainted):
+                    findings.append(Finding(
+                        "ct-branch", "EMC-CT-BRANCH", path, t.line,
+                        f"secret-dependent conditional expression in "
+                        f"kernel {fn.name}()",
+                        "select with a mask instead of ?:, or justify "
+                        "with EMC_LINT_ALLOW(ct-branch, \"...\")"))
+            elif t.text == "[" and j > fn.body_start and \
+                    (tokens[j - 1].text == "]" or
+                     (tokens[j - 1].kind == ID and
+                      tokens[j - 1].text not in _CONTROL_KEYWORDS)):
+                close = find_matching(tokens, j)
+                if _expr_tainted(tokens, j + 1, close, tainted):
+                    findings.append(Finding(
+                        "ct-index", "EMC-CT-INDEX", path, t.line,
+                        f"secret-dependent table index in kernel "
+                        f"{fn.name}()",
+                        "constant-time kernels must not index memory "
+                        "by secret bytes; if this lookup models a "
+                        "studied software tier, justify with "
+                        "EMC_LINT_ALLOW(ct-index, \"...\")"))
+                j = close
+            j += 1
+    return findings
+
+
+def _cond_start(tokens: List[Token], qmark: int, floor: int) -> int:
+    depth = 0
+    j = qmark - 1
+    while j > floor:
+        t = tokens[j].text
+        if t in (")", "]", "}"):
+            depth += 1
+        elif t in ("(", "[", "{"):
+            if depth == 0:
+                return j + 1
+            depth -= 1
+        elif depth == 0 and t in (";", ",", "=", "return", "{", "}"):
+            return j + 1
+        j -= 1
+    return floor
+
+
+# -------------------------------------------------------- rules: determinism
+
+
+def _free_or_std_call(tokens: List[Token], j: int) -> bool:
+    """True for a free call (`rand(`) or a std-qualified one
+    (`std::rand(`); member calls (`engine.time(`) and calls qualified
+    by project namespaces (`emc::time(`) don't count."""
+    if j == 0:
+        return True
+    prev = tokens[j - 1].text
+    if prev in (".", "->"):
+        return False
+    if prev == "::":
+        return j >= 2 and tokens[j - 2].text == "std"
+    return True
+
+
+def rule_det_rand(path: str, tokens: List[Token]) -> List[Finding]:
+    """EMC-DET-RAND: no ambient entropy in deterministic modules."""
+    if not in_scope(path, DETERMINISM_DIRS):
+        return []
+    findings: List[Finding] = []
+    for j, t in enumerate(tokens):
+        if t.kind != ID:
+            continue
+        hit = t.text in _RANDOM_IDS or (
+            t.text in _RANDOM_CALLS
+            and j + 1 < len(tokens) and tokens[j + 1].text == "("
+            and _free_or_std_call(tokens, j))
+        if hit:
+            findings.append(Finding(
+                "det-rand", "EMC-DET-RAND", path, t.line,
+                f"'{t.text}' injects ambient entropy into a "
+                "deterministic module (same-seed runs must be "
+                "byte-identical)",
+                "seed an emc::Xoshiro256 from the experiment config "
+                "instead, or justify with "
+                "EMC_LINT_ALLOW(det-rand, \"...\")"))
+    return findings
+
+
+def rule_det_clock(path: str, tokens: List[Token]) -> List[Finding]:
+    """EMC-DET-CLOCK: no wall-clock reads in deterministic modules."""
+    if not in_scope(path, DETERMINISM_DIRS):
+        return []
+    findings: List[Finding] = []
+    for j, t in enumerate(tokens):
+        if t.kind != ID:
+            continue
+        hit = t.text in _WALLCLOCK_IDS or (
+            t.text in ("time", "clock")
+            and j + 1 < len(tokens) and tokens[j + 1].text == "("
+            and _free_or_std_call(tokens, j))
+        if hit:
+            findings.append(Finding(
+                "det-clock", "EMC-DET-CLOCK", path, t.line,
+                f"'{t.text}' reads host wall-clock time inside a "
+                "deterministic module; simulated paths must advance "
+                "virtual time only",
+                "charge cost through the engine (Process::advance / "
+                "CryptoCostModel); host timing belongs in bench_core. "
+                "Justify measurement-mode sites with "
+                "EMC_LINT_ALLOW(det-clock, \"...\")"))
+    return findings
+
+
+def rule_det_ptrkey(path: str, tokens: List[Token]) -> List[Finding]:
+    """EMC-DET-PTRKEY: pointer-keyed hashing / address leaks make
+    iteration order and results host-dependent."""
+    if not in_scope(path, DETERMINISM_DIRS):
+        return []
+    findings: List[Finding] = []
+    n = len(tokens)
+    for j, t in enumerate(tokens):
+        if t.kind != ID:
+            continue
+        if t.text in ("unordered_map", "unordered_set") and \
+                j + 1 < n and tokens[j + 1].text == "<":
+            depth = 0
+            saw_star = False
+            for k in range(j + 1, min(j + 60, n)):
+                tk = tokens[k].text
+                if tk == "<":
+                    depth += 1
+                elif tk in (">", ">>"):
+                    depth -= 2 if tk == ">>" else 1
+                    if depth <= 0:
+                        break
+                elif tk == "," and depth == 1 and \
+                        t.text == "unordered_map":
+                    break  # only the key type matters for the map
+                elif tk == "*":
+                    saw_star = True
+            if saw_star:
+                findings.append(Finding(
+                    "det-ptrkey", "EMC-DET-PTRKEY", path, t.line,
+                    f"pointer-keyed {t.text} hashes host addresses; "
+                    "iteration order can leak ASLR into results",
+                    "key on a stable id (rank, sequence number, "
+                    "index), or justify with "
+                    "EMC_LINT_ALLOW(det-ptrkey, \"...\")"))
+        if t.text == "uintptr_t" and j >= 2 and \
+                tokens[j - 1].text in ("<", "::") :
+            back = " ".join(x.text for x in tokens[max(0, j - 4):j])
+            if "reinterpret_cast" in back or "static_cast" in back:
+                findings.append(Finding(
+                    "det-ptrkey", "EMC-DET-PTRKEY", path, t.line,
+                    "casting a pointer to an integer leaks a host "
+                    "address into arithmetic",
+                    "derive ids from simulation state, not addresses; "
+                    "or justify with EMC_LINT_ALLOW(det-ptrkey, "
+                    "\"...\")"))
+    return findings
+
+
+# ------------------------------------------------------------ rules: nonces
+
+
+def rule_nonce_source(path: str, tokens: List[Token]) -> List[Finding]:
+    """EMC-NONCE-SOURCE: every call to random_nonce() needs an explicit
+    justification — the sanctioned nonce paths are the per-channel
+    counter (SecureComm::next_nonce) and the rekey epoch."""
+    if not in_scope(path, ALL_SRC):
+        return []
+    findings: List[Finding] = []
+    for j, t in enumerate(tokens):
+        if t.kind == ID and t.text == "random_nonce" and \
+                j + 1 < len(tokens) and tokens[j + 1].text == "(" and \
+                (j == 0 or tokens[j - 1].text not in ("void", "::")):
+            findings.append(Finding(
+                "nonce-source", "EMC-NONCE-SOURCE", path, t.line,
+                "direct random_nonce() use: nonces should derive from "
+                "the per-channel counter or rekey epoch so uniqueness "
+                "is provable, not probabilistic",
+                "use SecureComm::next_nonce / a counter scheme, or "
+                "justify the random draw (one-shot key, birthday "
+                "budget) with EMC_LINT_ALLOW(nonce-source, \"...\")"))
+    return findings
+
+
+def rule_nonce_const(path: str, tokens: List[Token]) -> List[Finding]:
+    """EMC-NONCE-CONST: a seal() call whose nonce argument is a literal
+    or a zero-initialized local that was never filled repeats (key,
+    nonce) pairs — catastrophic for GCM."""
+    if not in_scope(path, ALL_SRC):
+        return []
+    findings: List[Finding] = []
+    n = len(tokens)
+    zero_inited = _zero_inited_arrays(tokens)
+    for j, t in enumerate(tokens):
+        if t.kind != ID or t.text != "seal":
+            continue
+        if j == 0 or tokens[j - 1].text not in (".", "->"):
+            continue  # definitions / declarations
+        if j + 1 >= n or tokens[j + 1].text != "(":
+            continue
+        close = find_matching(tokens, j + 1)
+        # First argument: tokens up to the first depth-0 comma.
+        depth = 0
+        arg_end = close
+        for k in range(j + 2, close):
+            tk = tokens[k].text
+            if tk in ("(", "[", "{"):
+                depth += 1
+            elif tk in (")", "]", "}"):
+                depth -= 1
+            elif tk == "," and depth == 0:
+                arg_end = k
+                break
+        arg = tokens[j + 2 : arg_end]
+        bad = None
+        if any(a.text == "{" for a in arg) or \
+                any(a.kind == STR for a in arg):
+            bad = "a literal"
+        else:
+            for a in arg:
+                if a.kind == ID and a.text in zero_inited and \
+                        not _filled_before(tokens, zero_inited[a.text],
+                                           j, a.text):
+                    bad = f"zero-initialized buffer '{a.text}'"
+                    break
+        if bad:
+            findings.append(Finding(
+                "nonce-const", "EMC-NONCE-CONST", path, t.line,
+                f"seal() called with {bad} as nonce: a repeated "
+                "(key, nonce) pair breaks GCM/CCM confidentiality "
+                "and authenticity",
+                "derive the nonce from the channel counter "
+                "(next_nonce) before sealing"))
+    return findings
+
+
+def _zero_inited_arrays(tokens: List[Token]) -> Dict[str, int]:
+    """name -> token index of declarations like `uint8_t n[12] = {0};`
+    or `= {};`."""
+    out: Dict[str, int] = {}
+    n = len(tokens)
+    for j, t in enumerate(tokens):
+        if t.kind != ID or j + 1 >= n or tokens[j + 1].text != "[":
+            continue
+        close = find_matching(tokens, j + 1)
+        if close + 1 >= n or tokens[close + 1].text != "=":
+            continue
+        if close + 2 < n and tokens[close + 2].text == "{":
+            bend = find_matching(tokens, close + 2)
+            inner = tokens[close + 3 : bend]
+            if all(x.kind == NUM and
+                   int(x.text.rstrip("uUlL"), 0) == 0
+                   for x in inner if x.text != ","):
+                out[t.text] = j
+    return out
+
+
+def _filled_before(tokens: List[Token], decl: int, use: int,
+                   name: str) -> bool:
+    for k in range(decl, use):
+        t = tokens[k]
+        if t.kind == ID and t.text in _NONCE_FILLERS:
+            close = find_matching(tokens, k + 1) if \
+                k + 1 < len(tokens) and tokens[k + 1].text == "(" else k
+            if any(x.kind == ID and x.text == name
+                   for x in tokens[k + 1 : close + 1]):
+                return True
+        # Direct element writes: name [ ... ] =
+        if t.kind == ID and t.text == name and k + 1 < len(tokens) and \
+                tokens[k + 1].text == "[" and k > decl + 2:
+            close = find_matching(tokens, k + 1)
+            if close + 1 < len(tokens) and \
+                    tokens[close + 1].text in ("=", "^=", "|="):
+                return True
+    return False
+
+
+# --------------------------------------------------------- rule: log sinks
+
+
+def rule_secret_log(path: str, tokens: List[Token]) -> List[Finding]:
+    """EMC-SECRET-LOG: key-like identifiers must not reach logging or
+    serialization sinks."""
+    if not in_scope(path, ALL_SRC):
+        return []
+    findings: List[Finding] = []
+    # Statement = token run between ; { } boundaries.
+    start = 0
+    for j, t in enumerate(tokens):
+        if t.text in (";", "{", "}"):
+            _check_log_statement(path, tokens, start, j, findings)
+            start = j + 1
+    _check_log_statement(path, tokens, start, len(tokens), findings)
+    return findings
+
+
+def _check_log_statement(path: str, tokens: List[Token], start: int,
+                         end: int, findings: List[Finding]) -> None:
+    sink = None
+    secret = None
+    for k in range(start, end):
+        t = tokens[k]
+        if t.kind != ID:
+            continue
+        if t.text in _LOG_SINKS:
+            # `to_hex` as a definition (preceded by a type or ::
+            # qualification of the definition) still counts as a use
+            # only when followed by `(` with arguments.
+            if t.text == "to_hex" and (
+                    k + 1 >= end or tokens[k + 1].text != "(" or
+                    (k >= 1 and tokens[k - 1].text == "::")):
+                continue
+            sink = t
+        elif is_secret_name(t.text):
+            secret = t
+    if sink is not None and secret is not None:
+        findings.append(Finding(
+            "secret-log", "EMC-SECRET-LOG", path, sink.line,
+            f"'{secret.text}' reaches logging/serialization sink "
+            f"'{sink.text}': key material must never be printed or "
+            "written to CSV/JSON artifacts",
+            "log lengths or digests of public values instead, or "
+            "justify with EMC_LINT_ALLOW(secret-log, \"...\")"))
+
+
+# ----------------------------------------------------------------- registry
+
+RULES = [
+    RuleInfo("secret-wipe", "EMC-SECRET-WIPE",
+             "key material zeroized before scope exit",
+             "src/crypto, src/secure_mpi"),
+    RuleInfo("secret-log", "EMC-SECRET-LOG",
+             "key material never reaches log/CSV/hex sinks", "src"),
+    RuleInfo("ct-branch", "EMC-CT-BRANCH",
+             "no secret-dependent branches in crypto kernels",
+             "src/crypto"),
+    RuleInfo("ct-index", "EMC-CT-INDEX",
+             "no secret-dependent table indices in crypto kernels",
+             "src/crypto"),
+    RuleInfo("nonce-source", "EMC-NONCE-SOURCE",
+             "nonces derive from channel counters, not ad-hoc entropy",
+             "src"),
+    RuleInfo("nonce-const", "EMC-NONCE-CONST",
+             "no literal/zero nonces at seal() call sites", "src"),
+    RuleInfo("det-rand", "EMC-DET-RAND",
+             "no ambient entropy in deterministic modules",
+             "src/{sim,netsim,mpi,secure_mpi,reliable,ft,trace,common}"),
+    RuleInfo("det-clock", "EMC-DET-CLOCK",
+             "no wall-clock reads in deterministic modules",
+             "src/{sim,netsim,mpi,secure_mpi,reliable,ft,trace,common}"),
+    RuleInfo("det-ptrkey", "EMC-DET-PTRKEY",
+             "no pointer-keyed containers / address leaks",
+             "src/{sim,netsim,mpi,secure_mpi,reliable,ft,trace,common}"),
+    RuleInfo("unused-allow", "EMC-LINT-UNUSED-ALLOW",
+             "every EMC_LINT_ALLOW must suppress something", "anywhere"),
+    RuleInfo("bad-allow", "EMC-LINT-BAD-ALLOW",
+             "every EMC_LINT_ALLOW must carry a reason", "anywhere"),
+]
+
+RULE_FUNCS = [
+    rule_secret_wipe,
+    rule_secret_log,
+    rule_const_time,
+    rule_nonce_source,
+    rule_nonce_const,
+    rule_det_rand,
+    rule_det_clock,
+    rule_det_ptrkey,
+]
+
+KNOWN_RULE_IDS = {r.rule for r in RULES}

@@ -1,0 +1,174 @@
+"""Lightweight C++ lexer for emc-lint.
+
+Produces a flat token stream (identifiers, numbers, literals,
+punctuation) with line numbers, plus the comment text and #include
+targets that the rule engine needs for suppression markers and
+include-based checks. This is deliberately not a parser: emc-lint's
+rules are written against token patterns and a small amount of brace
+structure, so the whole analyzer runs anywhere Python runs — no
+libclang, no compiler invocation (the optional clang AST frontend in
+clang_frontend.py augments, never replaces, this path).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Tuple
+
+ID = "id"
+NUM = "num"
+STR = "str"
+CHAR = "char"
+PUNCT = "punct"
+
+_TOKEN_RE = re.compile(
+    r"""
+      (?P<ws>[ \t]+)
+    | (?P<id>[A-Za-z_][A-Za-z0-9_]*)
+    | (?P<num>(?:0[xX][0-9a-fA-F']+|\d[\d']*(?:\.\d+)?(?:[eEpP][+-]?\d+)?)
+              [uUlLfF]*)
+    | (?P<punct>::|->\*?|\+\+|--|<<=|>>=|<<|>>|<=|>=|==|!=|&&|\|\||\+=|-=|
+                \*=|/=|%=|&=|\^=|\|=|\.\.\.|[{}()\[\];:,.?~!+\-*/%<>=&^|#])
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass
+class Token:
+    kind: str
+    text: str
+    line: int
+
+
+@dataclass
+class Comment:
+    text: str
+    line: int          # line the comment starts on
+    own_line: bool     # nothing but whitespace precedes it on its line
+
+
+class LexError(Exception):
+    pass
+
+
+def tokenize(source: str) -> Tuple[List[Token], List[Comment]]:
+    """Splits C++ source into code tokens and comments.
+
+    Preprocessor directives are tokenized like ordinary code (the `#`
+    shows up as punctuation), which is all the rules need; line
+    continuations inside directives are handled by the raw scan.
+    """
+    tokens: List[Token] = []
+    comments: List[Comment] = []
+    i = 0
+    line = 1
+    n = len(source)
+    line_start = True  # only whitespace seen since the last newline
+
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            line_start = True
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if ch == "/" and i + 1 < n:
+            nxt = source[i + 1]
+            if nxt == "/":
+                end = source.find("\n", i)
+                if end == -1:
+                    end = n
+                comments.append(Comment(source[i:end], line, line_start))
+                i = end
+                line_start = False
+                continue
+            if nxt == "*":
+                end = source.find("*/", i + 2)
+                if end == -1:
+                    end = n - 2
+                text = source[i : end + 2]
+                comments.append(Comment(text, line, line_start))
+                line += text.count("\n")
+                i = end + 2
+                line_start = False
+                continue
+        if ch == '"':
+            # Raw strings: R"delim( ... )delim"
+            if tokens and tokens[-1].kind == ID and tokens[-1].text.endswith("R") \
+                    and i > 0 and source[i - 1] in "R\"":
+                m = re.match(r'"([^()\s\\]{0,16})\(', source[i:])
+                if m:
+                    close = ")" + m.group(1) + '"'
+                    end = source.find(close, i)
+                    if end == -1:
+                        raise LexError(f"unterminated raw string at line {line}")
+                    text = source[i : end + len(close)]
+                    tokens.append(Token(STR, text, line))
+                    line += text.count("\n")
+                    i = end + len(close)
+                    line_start = False
+                    continue
+            j = i + 1
+            while j < n and source[j] != '"':
+                if source[j] == "\\":
+                    j += 1
+                j += 1
+            if j >= n:
+                raise LexError(f"unterminated string at line {line}")
+            tokens.append(Token(STR, source[i : j + 1], line))
+            i = j + 1
+            line_start = False
+            continue
+        if ch == "'":
+            j = i + 1
+            while j < n and source[j] != "'":
+                if source[j] == "\\":
+                    j += 1
+                j += 1
+            # Digit separators (1'000) never reach here: the number
+            # pattern consumes them greedily before the quote.
+            if j >= n:
+                raise LexError(f"unterminated char literal at line {line}")
+            tokens.append(Token(CHAR, source[i : j + 1], line))
+            i = j + 1
+            line_start = False
+            continue
+
+        m = _TOKEN_RE.match(source, i)
+        if not m:
+            # Unknown byte (e.g. `@` in a doc block) — skip defensively.
+            i += 1
+            line_start = False
+            continue
+        if m.lastgroup != "ws":
+            kind = {"id": ID, "num": NUM, "punct": PUNCT}[m.lastgroup]
+            tokens.append(Token(kind, m.group(), line))
+            line_start = False
+        i = m.end()
+
+    return tokens, comments
+
+
+def find_matching(tokens: List[Token], open_index: int) -> int:
+    """Index of the token closing the bracket at ``open_index``.
+
+    Works for (), {}, and []. Returns len(tokens) if unbalanced.
+    """
+    pairs = {"(": ")", "{": "}", "[": "]"}
+    open_text = tokens[open_index].text
+    close_text = pairs[open_text]
+    depth = 0
+    for j in range(open_index, len(tokens)):
+        t = tokens[j].text
+        if t == open_text:
+            depth += 1
+        elif t == close_text:
+            depth -= 1
+            if depth == 0:
+                return j
+    return len(tokens)
