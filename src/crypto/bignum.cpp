@@ -1,3 +1,10 @@
+// EMC_LINT_ALLOW_FILE(ct-branch): schoolbook/Montgomery arithmetic is
+// variable-time by construction (limb-count- and bit-dependent loops).
+// The threat model (docs/RESILIENCE.md) scopes DH to simulated
+// handshakes with ephemeral research keys; a production build would
+// swap in a constant-time ladder.
+// EMC_LINT_ALLOW_FILE(ct-index): same rationale — limb indices derive
+// from operand magnitudes, which are secret-length-dependent here.
 #include "emc/crypto/bignum.hpp"
 
 #include <algorithm>
@@ -17,6 +24,14 @@ __extension__ using u128 = unsigned __int128;
 
 void BigUint::trim() noexcept {
   while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+void BigUint::wipe() noexcept {
+  if (!limbs_.empty()) {
+    secure_zero({reinterpret_cast<std::uint8_t*>(limbs_.data()),
+                 limbs_.size() * sizeof(u64)});
+  }
+  limbs_.clear();
 }
 
 BigUint BigUint::from_u64(u64 value) {

@@ -104,6 +104,7 @@ class CcmKey final : public AeadKey {
       }
       i += n;
     }
+    secure_zero(keystream);
   }
 
   /// CBC-MAC over B0 || encoded(aad) || pt (SP 800-38C A.2).

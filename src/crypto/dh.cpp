@@ -60,9 +60,10 @@ Bytes dh_shared_secret(const DhGroup& group, const BigUint& private_key,
   if (peer_public.is_zero() || peer_public >= group.p) {
     throw std::invalid_argument("peer public key out of range");
   }
-  const BigUint secret =
-      BigUint::modexp(peer_public, private_key, group.p);
-  return secret.to_bytes(group.byte_length());
+  BigUint secret = BigUint::modexp(peer_public, private_key, group.p);
+  Bytes out = secret.to_bytes(group.byte_length());
+  secret.wipe();
+  return out;
 }
 
 }  // namespace emc::crypto

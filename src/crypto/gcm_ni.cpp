@@ -108,10 +108,23 @@ class GcmNiKey final : public AeadKey {
     std::uint8_t h[kAesBlock];
     encrypt_block(zero, h);
     h_ = bswap128(_mm_loadu_si128(reinterpret_cast<const __m128i*>(h)));
+    secure_zero(h);
     h2_ = gfmul(h_, h_);
     h3_ = gfmul(h2_, h_);
     h4_ = gfmul(h3_, h_);
   }
+
+  // Round keys and GHASH key powers are key material; scrub them when
+  // the key object dies (EMC-SECRET-WIPE).
+  ~GcmNiKey() override {
+    secure_zero({reinterpret_cast<std::uint8_t*>(rk_), sizeof(rk_)});
+    secure_zero({reinterpret_cast<std::uint8_t*>(&h_), sizeof(h_)});
+    secure_zero({reinterpret_cast<std::uint8_t*>(&h2_), sizeof(h2_)});
+    secure_zero({reinterpret_cast<std::uint8_t*>(&h3_), sizeof(h3_)});
+    secure_zero({reinterpret_cast<std::uint8_t*>(&h4_), sizeof(h4_)});
+  }
+  GcmNiKey(const GcmNiKey&) = delete;
+  GcmNiKey& operator=(const GcmNiKey&) = delete;
 
   void seal(BytesView nonce, BytesView aad, BytesView pt,
             MutBytes out) const override {
@@ -225,6 +238,7 @@ class GcmNiKey final : public AeadKey {
       }
       i += n;
     }
+    secure_zero(keystream);
   }
 
   void ghash_data(__m128i& y, BytesView data) const noexcept {

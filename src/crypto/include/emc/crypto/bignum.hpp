@@ -79,6 +79,11 @@ class BigUint {
     return limbs_;
   }
 
+  /// Zeroizes the limb storage (volatile-safe) and empties the value.
+  /// For secrets — private exponents, shared secrets — once consumed
+  /// (EMC-SECRET-WIPE).
+  void wipe() noexcept;
+
  private:
   void trim() noexcept;
 

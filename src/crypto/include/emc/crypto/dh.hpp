@@ -32,6 +32,9 @@ struct DhGroup {
                                           std::uint64_t seed);
 
 struct DhKeyPair {
+  // EMC_LINT_ALLOW(secret-wipe): aggregate by design; owners wipe
+  // private_key via BigUint::wipe() once the shared secret is derived
+  // (see secure_mpi/key_exchange.cpp).
   BigUint private_key;
   BigUint public_key;  ///< g^private mod p
 };

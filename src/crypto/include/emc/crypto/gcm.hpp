@@ -98,6 +98,7 @@ class GcmKey final : public AeadKey {
       }
       i += n;
     }
+    secure_zero(keystream);
   }
 
   void compute_tag(const std::uint8_t j0[kAesBlock], BytesView aad,

@@ -55,6 +55,14 @@ class BigKeyPad {
     return consumed_ > key_.size();
   }
 
+  /// The pad is key material; scrub it on destruction
+  /// (EMC-SECRET-WIPE).
+  ~BigKeyPad() { secure_zero(key_); }
+  BigKeyPad(const BigKeyPad&) = default;
+  BigKeyPad& operator=(const BigKeyPad&) = default;
+  BigKeyPad(BigKeyPad&&) noexcept = default;
+  BigKeyPad& operator=(BigKeyPad&&) noexcept = default;
+
  private:
   Bytes key_;
   std::size_t consumed_ = 0;

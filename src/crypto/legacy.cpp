@@ -101,6 +101,7 @@ Bytes ctr_crypt(const AesPortable& aes, BytesView iv, BytesView data) {
       if (++counter[j] != 0) break;
     }
   }
+  secure_zero(keystream);
   return out;
 }
 
@@ -121,8 +122,9 @@ std::size_t duplicate_block_count(BytesView ct, std::size_t block) {
   std::unordered_map<std::string, std::size_t> seen;
   std::size_t duplicates = 0;
   for (std::size_t i = 0; i + block <= ct.size(); i += block) {
-    std::string key(reinterpret_cast<const char*>(ct.data() + i), block);
-    if (++seen[key] == 2) ++duplicates;
+    std::string block_bytes(reinterpret_cast<const char*>(ct.data() + i),
+                            block);
+    if (++seen[block_bytes] == 2) ++duplicates;
   }
   return duplicates;
 }

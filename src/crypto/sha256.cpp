@@ -161,6 +161,9 @@ Bytes hmac_sha256(BytesView key, BytesView data) {
   outer.update(inner_digest);
   Bytes out(kSha256Digest);
   outer.finalize(out.data());
+  secure_zero(k_block);
+  secure_zero(ipad);
+  secure_zero(opad);
   return out;
 }
 
@@ -170,7 +173,7 @@ Bytes hkdf_sha256(BytesView ikm, BytesView salt, BytesView info,
     throw std::invalid_argument("hkdf: requested length too large");
   }
   // Extract.
-  const Bytes prk = hmac_sha256(salt, ikm);
+  Bytes prk = hmac_sha256(salt, ikm);
   // Expand.
   Bytes out;
   out.reserve(length);
@@ -185,6 +188,8 @@ Bytes hkdf_sha256(BytesView ikm, BytesView salt, BytesView info,
     out.insert(out.end(), t.begin(),
                t.begin() + static_cast<std::ptrdiff_t>(take));
   }
+  secure_zero(prk);
+  secure_zero(t);
   return out;
 }
 

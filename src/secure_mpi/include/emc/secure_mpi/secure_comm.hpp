@@ -82,6 +82,9 @@ struct SecureConfig {
 
   /// Symmetric key; defaults to the hardcoded 256-bit experiment key
   /// (the paper leaves key distribution as future work).
+  // EMC_LINT_ALLOW(secret-wipe): must stay an aggregate (designated
+  // init everywhere); the owning SecureComm scrubs its copy on
+  // destruction and the AEAD key schedules wipe themselves.
   Bytes key = crypto::demo_key(32);
 
   NonceMode nonce_mode = NonceMode::kRandom;
@@ -187,6 +190,10 @@ class SecureComm final : public mpi::Communicator {
 
   /// The wrapped plain communicator.
   [[nodiscard]] mpi::Comm& plain() { return *comm_; }
+
+  /// Scrubs the session-key copy held by the effective config; the
+  /// provider-side key schedules wipe themselves (EMC-SECRET-WIPE).
+  ~SecureComm() { secure_zero(config_.key); }
 
   /// Effective configuration (the key reflects the latest rekey).
   [[nodiscard]] const SecureConfig& config() const noexcept {

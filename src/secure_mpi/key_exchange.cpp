@@ -14,11 +14,15 @@ const char* kConfirmLabel = "emc-key-confirmation";
 
 Bytes wrap_key_for_peer(const crypto::Provider& provider,
                         BytesView pairwise_secret, BytesView session_key) {
-  const Bytes kek = crypto::hkdf_sha256(
+  Bytes kek = crypto::hkdf_sha256(
       pairwise_secret, bytes_of(kHkdfSalt), bytes_of("key-wrap"), 32);
   const crypto::AeadKeyPtr aead = provider.make_key(kek);
+  secure_zero(kek);
   Bytes wire(crypto::kGcmNonceBytes + session_key.size() +
              crypto::kGcmTagBytes);
+  // EMC_LINT_ALLOW(nonce-source): one wrap per (handshake, peer) under
+  // a KEK that is freshly derived from the pairwise DH secret, so the
+  // random draw can never repeat under the same key.
   random_nonce(MutBytes(wire.data(), crypto::kGcmNonceBytes));
   aead->seal(BytesView(wire.data(), crypto::kGcmNonceBytes), {}, session_key,
              MutBytes(wire).subspan(crypto::kGcmNonceBytes));
@@ -27,9 +31,10 @@ Bytes wrap_key_for_peer(const crypto::Provider& provider,
 
 Bytes unwrap_key(const crypto::Provider& provider, BytesView pairwise_secret,
                  BytesView wire, std::size_t key_bytes) {
-  const Bytes kek = crypto::hkdf_sha256(
+  Bytes kek = crypto::hkdf_sha256(
       pairwise_secret, bytes_of(kHkdfSalt), bytes_of("key-wrap"), 32);
   const crypto::AeadKeyPtr aead = provider.make_key(kek);
+  secure_zero(kek);
   Bytes session_key(key_bytes);
   const bool ok =
       aead->open(wire.first(crypto::kGcmNonceBytes), {},
@@ -70,12 +75,14 @@ Bytes establish_group_key(mpi::Comm& comm, const crypto::DhGroup& group,
       comm.process().charge([&] {
         const crypto::BigUint peer_public = crypto::BigUint::from_bytes(
             BytesView(all_publics).subspan(peer * width, width));
-        const Bytes secret =
+        Bytes secret =
             crypto::dh_shared_secret(group, pair.private_key, peer_public);
         wire = wrap_key_for_peer(provider, secret, session_key);
+        secure_zero(secret);
       });
       comm.send(wire, static_cast<int>(peer), kWrapTag);
     }
+    pair.private_key.wipe();
 
     // 3. Key confirmation.
     Bytes confirmation =
@@ -91,10 +98,12 @@ Bytes establish_group_key(mpi::Comm& comm, const crypto::DhGroup& group,
   comm.process().charge([&] {
     const crypto::BigUint root_public = crypto::BigUint::from_bytes(
         BytesView(all_publics).first(width));
-    const Bytes secret =
+    Bytes secret =
         crypto::dh_shared_secret(group, pair.private_key, root_public);
     session_key = unwrap_key(provider, secret, wire, config.key_bytes);
+    secure_zero(secret);
   });
+  pair.private_key.wipe();
 
   Bytes confirmation(crypto::kSha256Digest);
   comm.bcast(confirmation, 0);
