@@ -1,4 +1,10 @@
 // Key schedule (FIPS-197 §5.2) and the portable + T-table cores.
+//
+// EMC_LINT_ALLOW_FILE(ct-index): the portable S-box core and the
+// T-table core deliberately model the table-based software tiers the
+// paper benchmarks (its OpenSSL-without-AES-NI datapoints); their
+// cache-timing leakage is a *studied property*, not an accident. The
+// constant-time production path is the AES-NI core in gcm_ni.cpp.
 #include <stdexcept>
 
 #include "emc/crypto/aes.hpp"

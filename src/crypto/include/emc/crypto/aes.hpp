@@ -45,6 +45,16 @@ class AesKeySchedule {
     return words_.data();
   }
 
+  ~AesKeySchedule() noexcept {
+    secure_zero(bytes_);
+    secure_zero({reinterpret_cast<std::uint8_t*>(words_.data()),
+                 words_.size() * sizeof(std::uint32_t)});
+  }
+  AesKeySchedule(const AesKeySchedule&) = default;
+  AesKeySchedule& operator=(const AesKeySchedule&) = default;
+  AesKeySchedule(AesKeySchedule&&) noexcept = default;
+  AesKeySchedule& operator=(AesKeySchedule&&) noexcept = default;
+
  private:
   int rounds_;
   std::array<std::uint8_t, 15 * kAesBlock> bytes_{};
@@ -88,17 +98,24 @@ namespace detail {
 [[nodiscard]] const std::array<std::uint8_t, 256>& aes_sbox() noexcept;
 /// Inverse S-box.
 [[nodiscard]] const std::array<std::uint8_t, 256>& aes_inv_sbox() noexcept;
-/// GF(2^8) multiply by 2 (xtime).
+/// GF(2^8) multiply by 2 (xtime). Branchless: the conditional 0x1b
+/// reduction is selected with an arithmetic mask so no secret bit
+/// steers control flow or cmov-free codegen (EMC-CT-BRANCH).
 [[nodiscard]] constexpr std::uint8_t xtime(std::uint8_t x) noexcept {
-  return static_cast<std::uint8_t>(
-      static_cast<std::uint8_t>(x << 1) ^ ((x & 0x80) != 0 ? 0x1b : 0x00));
+  const std::uint8_t mask =
+      static_cast<std::uint8_t>(0 - static_cast<std::uint8_t>(x >> 7));
+  return static_cast<std::uint8_t>(static_cast<std::uint8_t>(x << 1) ^
+                                   (mask & 0x1b));
 }
-/// General GF(2^8) multiplication.
+/// General GF(2^8) multiplication. Constant-time: the conditional
+/// accumulate is masked on the low bit of b instead of branching.
 [[nodiscard]] constexpr std::uint8_t gf_mul(std::uint8_t a,
                                             std::uint8_t b) noexcept {
   std::uint8_t result = 0;
   for (int i = 0; i < 8; ++i) {
-    if ((b & 1) != 0) result = static_cast<std::uint8_t>(result ^ a);
+    const std::uint8_t mask =
+        static_cast<std::uint8_t>(0 - static_cast<std::uint8_t>(b & 1));
+    result = static_cast<std::uint8_t>(result ^ (a & mask));
     a = xtime(a);
     b = static_cast<std::uint8_t>(b >> 1);
   }
