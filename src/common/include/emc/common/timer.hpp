@@ -1,4 +1,9 @@
 // Wall-clock timing helper for calibration and host-side measurement.
+//
+// EMC_LINT_ALLOW_FILE(det-clock): this is the sanctioned host-clock
+// primitive — it exists so BENCH JSON metrics and measurement-mode
+// crypto billing can read wall time in one audited place. Simulated
+// paths must charge virtual time instead (sim::Process::advance).
 #pragma once
 
 #include <chrono>

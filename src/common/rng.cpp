@@ -70,6 +70,10 @@ Bytes Xoshiro256::bytes(std::size_t n) {
 void random_nonce(MutBytes out) {
   static std::mutex mu;
   static Xoshiro256 rng = [] {
+    // EMC_LINT_ALLOW(det-rand): one-shot seed bootstrap for the
+    // process-global nonce stream; runs outside simulated time and
+    // never feeds an experiment result (NonceMode::kCounter paths
+    // bypass this entirely).
     std::random_device rd;
     const std::uint64_t seed =
         (std::uint64_t{rd()} << 32) ^ std::uint64_t{rd()};

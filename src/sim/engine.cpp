@@ -32,6 +32,9 @@ void Process::notify_one(Waitable& w) { engine_->proc_notify(*this, w, false); }
 void Process::notify_all(Waitable& w) { engine_->proc_notify(*this, w, true); }
 
 double Process::charge(const std::function<void()>& work, double scale) {
+  // EMC_LINT_ALLOW(det-clock): measurement-mode billing — host time is
+  // read once around the charged work and converted to virtual time;
+  // deterministic runs use charge_scale()=0 or the analytic cost model.
   WallTimer timer;
   const Time begin = now();
   work();
