@@ -1,0 +1,26 @@
+// emc-lint fixture: EMC-CT-BRANCH / EMC-CT-INDEX must fire inside
+// kernel functions (block-cipher ABI names) and stay quiet elsewhere.
+// This file is linted, never compiled.
+#include <cstdint>
+
+namespace fixture {
+
+extern const std::uint8_t kLut[256];
+
+void encrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) {
+  std::uint8_t acc = in[0];
+  if (acc != 0) {  // EXPECT: EMC-CT-BRANCH
+    acc ^= 0x1b;
+  }
+  out[0] = kLut[in[1]];           // EXPECT: EMC-CT-INDEX
+  out[1] = acc != 0 ? kLut[0] : acc;  // EXPECT: EMC-CT-BRANCH
+}
+
+void not_a_kernel(const std::uint8_t in[16], std::uint8_t* out) {
+  // Same shapes outside the kernel ABI: no findings.
+  if (in[0] != 0) {
+    *out = kLut[in[1]];
+  }
+}
+
+}  // namespace fixture

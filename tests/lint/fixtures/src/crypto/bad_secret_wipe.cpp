@@ -1,0 +1,34 @@
+// emc-lint fixture: EMC-SECRET-WIPE must fire for unwiped key-material
+// locals and for key-holding classes without a scrubbing destructor.
+// This file is linted, never compiled.
+#include <array>
+#include <cstdint>
+#include <vector>
+
+using Bytes = std::vector<std::uint8_t>;
+
+void consume(const Bytes&);
+void secure_zero(Bytes&);
+
+namespace fixture {
+
+void leaky_local() {
+  Bytes session_key(32, 0);  // EXPECT: EMC-SECRET-WIPE
+  consume(session_key);
+}
+
+void wiped_local() {
+  Bytes session_key(32, 0);
+  consume(session_key);
+  secure_zero(session_key);
+}
+
+class KeyBox {
+ public:
+  int id() const { return 7; }
+
+ private:
+  std::array<std::uint8_t, 32> key_bytes{};  // EXPECT: EMC-SECRET-WIPE
+};
+
+}  // namespace fixture

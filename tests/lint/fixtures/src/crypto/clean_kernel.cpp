@@ -1,0 +1,28 @@
+// emc-lint fixture: a branchless kernel with wiped key locals — the
+// analyzer must report ZERO findings here. This file is linted, never
+// compiled.
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+using Bytes = std::vector<std::uint8_t>;
+
+void secure_zero(Bytes&);
+
+namespace fixture {
+
+void encrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) {
+  const std::uint8_t acc = in[0];
+  const std::uint8_t mask = static_cast<std::uint8_t>(0 - (acc >> 7));
+  out[0] = static_cast<std::uint8_t>((acc << 1) ^ (mask & 0x1b));
+}
+
+void derive(Bytes& out) {
+  Bytes round_key(16, 0);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] ^= round_key[i % 16];
+  }
+  secure_zero(round_key);
+}
+
+}  // namespace fixture

@@ -1,0 +1,30 @@
+// emc-lint fixture: EMC-NONCE-SOURCE / EMC-NONCE-CONST.
+// This file is linted, never compiled.
+#include <cstdint>
+
+namespace fixture {
+
+struct Aead {
+  void seal(const std::uint8_t* nonce, const std::uint8_t* pt,
+            std::uint8_t* out);
+};
+
+void random_nonce(std::uint8_t* out, unsigned n);
+void store_be64(std::uint8_t* out, std::uint64_t v);
+
+void zero_nonce(Aead& key, const std::uint8_t* pt, std::uint8_t* out) {
+  std::uint8_t fixed_iv[12] = {0};
+  key.seal(fixed_iv, pt, out);  // EXPECT: EMC-NONCE-CONST
+}
+
+void ad_hoc_entropy(std::uint8_t* out) {
+  random_nonce(out, 12);  // EXPECT: EMC-NONCE-SOURCE
+}
+
+void counter_nonce(Aead& key, const std::uint8_t* pt, std::uint8_t* out) {
+  std::uint8_t ctr_iv[12] = {0};
+  store_be64(ctr_iv + 4, 7);  // filled from the channel counter: OK
+  key.seal(ctr_iv, pt, out);
+}
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// emc-lint fixture: EMC-SECRET-LOG — key material must never reach a
+// logging/serialization sink. This file is linted, never compiled.
+#include <cstdio>
+#include <string>
+
+namespace fixture {
+
+std::string to_hex(const unsigned char*, unsigned long);
+
+void debug_dump(const unsigned char* session_key, unsigned long n) {
+  std::printf("key=%s\n", to_hex(session_key, n).c_str());  // EXPECT: EMC-SECRET-LOG
+}
+
+void ok_dump(unsigned long key_len) {
+  // Lengths of key material are public: no finding.
+  std::printf("key_len=%lu\n", key_len);
+}
+
+}  // namespace fixture

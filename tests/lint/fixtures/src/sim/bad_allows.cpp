@@ -1,0 +1,19 @@
+// emc-lint fixture: the meta-rules policing the escape hatch itself.
+// An allow that suppresses nothing, lacks a reason, or names an
+// unknown rule is a finding. This file is linted, never compiled.
+#include "emc/common/annotations.hpp"
+
+namespace fixture {
+
+// EMC_LINT_ALLOW(det-rand): nothing below draws entropy // EXPECT: EMC-LINT-UNUSED-ALLOW
+int f() { return 1; }
+
+int g() {
+  EMC_LINT_ALLOW(det-clock);  // EXPECT: EMC-LINT-BAD-ALLOW, EMC-LINT-UNUSED-ALLOW
+  return 2;
+}
+
+// EMC_LINT_ALLOW(no-such-rule): bogus rule id // EXPECT: EMC-LINT-BAD-ALLOW
+int h() { return 3; }
+
+}  // namespace fixture

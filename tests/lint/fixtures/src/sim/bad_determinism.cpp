@@ -1,0 +1,34 @@
+// emc-lint fixture: EMC-DET-RAND / EMC-DET-CLOCK / EMC-DET-PTRKEY —
+// ambient nondeterminism banned from the simulation core. This file is
+// linted, never compiled.
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <random>
+#include <unordered_map>
+
+namespace fixture {
+
+unsigned seed_from_hardware() {
+  std::random_device rd;  // EXPECT: EMC-DET-RAND
+  return rd();
+}
+
+int ambient_rand() {
+  return std::rand();  // EXPECT: EMC-DET-RAND
+}
+
+double wall_now() {
+  const auto t = std::chrono::steady_clock::now();  // EXPECT: EMC-DET-CLOCK
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+struct Tracker {
+  std::unordered_map<void*, int> by_addr;  // EXPECT: EMC-DET-PTRKEY
+};
+
+std::uint64_t addr_of(const int* p) {
+  return reinterpret_cast<std::uintptr_t>(p);  // EXPECT: EMC-DET-PTRKEY
+}
+
+}  // namespace fixture

@@ -1,0 +1,30 @@
+// emc-lint fixture: every violation below carries a sanctioned
+// EMC_LINT_ALLOW (comment and macro forms) — the analyzer must report
+// ZERO findings and count 3 suppressions. This file is linted, never
+// compiled.
+#include <chrono>
+#include <random>
+
+#include "emc/common/annotations.hpp"
+
+namespace fixture {
+
+unsigned seeded_bootstrap() {
+  // EMC_LINT_ALLOW(det-rand): fixture — seed bootstrap outside sim time
+  std::random_device rd;
+  return rd();
+}
+
+double wall_profile() {
+  EMC_LINT_ALLOW(det-clock, "fixture - host-side profiling only");
+  const auto t = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+double wall_profile_comment_form() {
+  // EMC_LINT_ALLOW(det-clock): fixture — second sanctioned site
+  const auto t = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+}  // namespace fixture

@@ -1,0 +1,184 @@
+#!/usr/bin/env python3
+"""Golden-diagnostic tests for emc-lint over the fixture corpus.
+
+Each fixture under tests/lint/fixtures/src/ marks every line where a
+diagnostic must fire with an end-of-line comment:
+
+    ... violating code ...  // EXPECT: EMC-SECRET-WIPE
+    ... two diagnostics ... // EXPECT: EMC-A, EMC-B
+
+The test asserts that the set of (line, diagnostic) pairs emitted by
+the analyzer for that file EXACTLY equals the set of EXPECT markers —
+so both missed findings and false positives fail the test.
+
+Fixtures live under a fake `src/` root so the analyzer's directory
+scoping (src/crypto kernels, src/sim determinism, ...) applies to them
+exactly as it does to the real tree.
+
+Run directly (`python3 tests/lint/run_lint_tests.py`) or via ctest
+(test name `lint_fixtures`).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import subprocess
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+TESTS_DIR = Path(__file__).resolve().parent
+REPO = TESTS_DIR.parent.parent
+FIXTURES = TESTS_DIR / "fixtures"
+
+sys.path.insert(0, str(REPO / "tools" / "lint"))
+
+from emclint import engine, rules  # noqa: E402
+
+_EXPECT_RE = re.compile(r"EXPECT:\s*([A-Z][A-Z0-9-]*(?:\s*,\s*[A-Z][A-Z0-9-]*)*)")
+
+
+def expected_findings(path: Path) -> set:
+    """(line, diag) pairs declared by // EXPECT: markers in a fixture."""
+    out = set()
+    for lineno, line in enumerate(path.read_text().splitlines(), 1):
+        m = _EXPECT_RE.search(line)
+        if m:
+            for diag in m.group(1).split(","):
+                out.add((lineno, diag.strip()))
+    return out
+
+
+def lint(rel: str) -> engine.FileResult:
+    return engine.lint_file(FIXTURES / rel, rel)
+
+
+class GoldenFixtureTests(unittest.TestCase):
+    """One known-bad fixture per rule; findings must match EXPECT markers."""
+
+    maxDiff = None
+
+    def assert_golden(self, rel: str) -> engine.FileResult:
+        res = lint(rel)
+        self.assertIsNone(res.error, f"lint error in {rel}: {res.error}")
+        actual = {(f.line, f.diag) for f in res.findings}
+        self.assertEqual(expected_findings(FIXTURES / rel), actual,
+                         f"diagnostic mismatch in {rel}")
+        return res
+
+    def test_secret_wipe(self):
+        self.assert_golden("src/crypto/bad_secret_wipe.cpp")
+
+    def test_ct_branch_and_index(self):
+        self.assert_golden("src/crypto/bad_ct_kernels.cpp")
+
+    def test_nonce_rules(self):
+        self.assert_golden("src/secure_mpi/bad_nonce.cpp")
+
+    def test_secret_log(self):
+        self.assert_golden("src/secure_mpi/bad_secret_log.cpp")
+
+    def test_determinism_rules(self):
+        self.assert_golden("src/sim/bad_determinism.cpp")
+
+    def test_allow_meta_rules(self):
+        self.assert_golden("src/sim/bad_allows.cpp")
+
+    def test_clean_file_has_zero_findings(self):
+        res = lint("src/crypto/clean_kernel.cpp")
+        self.assertIsNone(res.error)
+        self.assertEqual([], res.findings)
+        self.assertEqual([], res.suppressed)
+
+    def test_every_rule_has_a_bad_fixture(self):
+        """The corpus must exercise every diagnostic in the registry."""
+        covered = set()
+        for f in FIXTURES.rglob("*.cpp"):
+            covered |= {d for _, d in expected_findings(f)}
+        all_diags = {info.diag for info in rules.RULES}
+        self.assertEqual(all_diags, covered,
+                         "rules without a known-bad fixture")
+
+
+class SuppressionTests(unittest.TestCase):
+    """EMC_LINT_ALLOW must suppress, be counted, and be policed."""
+
+    def test_allows_suppress_and_are_counted(self):
+        res = lint("src/sim/suppressed_determinism.cpp")
+        self.assertIsNone(res.error)
+        self.assertEqual([], res.findings)
+        self.assertEqual(3, len(res.suppressed))
+        self.assertEqual({"EMC-DET-RAND", "EMC-DET-CLOCK"},
+                         {f.diag for f in res.suppressed})
+        # Every allow in the file was used exactly once.
+        self.assertEqual([1, 1, 1], [a.uses for a in res.allows])
+
+    def test_suppressions_reported_in_json(self):
+        res = lint("src/sim/suppressed_determinism.cpp")
+        doc = engine.render_json([res])
+        self.assertEqual(0, doc["finding_count"])
+        self.assertEqual(3, doc["suppressed_count"])
+        rules_seen = {s["rule"] for s in doc["suppressions"]}
+        self.assertEqual({"det-rand", "det-clock"}, rules_seen)
+
+
+class CliTests(unittest.TestCase):
+    """scripts/emc_lint.py end-to-end: exit codes and JSON artifact."""
+
+    SCRIPT = REPO / "scripts" / "emc_lint.py"
+
+    def run_cli(self, *argv):
+        return subprocess.run(
+            [sys.executable, str(self.SCRIPT), *argv],
+            capture_output=True, text=True, cwd=str(REPO))
+
+    def test_findings_exit_1_and_json(self):
+        with tempfile.TemporaryDirectory() as td:
+            out = Path(td) / "lint.json"
+            proc = self.run_cli(
+                "--root", str(FIXTURES), "--json", str(out), "--paths",
+                str(FIXTURES / "src/sim/bad_determinism.cpp"))
+            self.assertEqual(1, proc.returncode, proc.stdout + proc.stderr)
+            doc = json.loads(out.read_text())
+            self.assertEqual(5, doc["finding_count"])
+            diags = {f["diag"] for f in doc["findings"]}
+            self.assertEqual({"EMC-DET-RAND", "EMC-DET-CLOCK",
+                              "EMC-DET-PTRKEY"}, diags)
+            for f in doc["findings"]:
+                self.assertTrue(f["hint"], "every finding carries a fix hint")
+
+    def test_clean_exit_0(self):
+        proc = self.run_cli(
+            "--root", str(FIXTURES), "--paths",
+            str(FIXTURES / "src/crypto/clean_kernel.cpp"))
+        self.assertEqual(0, proc.returncode, proc.stdout + proc.stderr)
+
+    def test_list_rules(self):
+        proc = self.run_cli("--list-rules")
+        self.assertEqual(0, proc.returncode)
+        for info in rules.RULES:
+            self.assertIn(info.diag, proc.stdout)
+
+    def test_usage_error_exit_2(self):
+        proc = self.run_cli("--compile-commands", "/nonexistent/ccdb.json")
+        self.assertEqual(2, proc.returncode)
+
+
+class ClangFrontendTests(unittest.TestCase):
+    """The clang-AST cross-check frontend; skipped when clang is absent."""
+
+    def test_clang_frontend_degrades_gracefully(self):
+        from emclint import clang_frontend
+        if clang_frontend.clang_path() is None:
+            self.skipTest("clang not installed in this environment")
+        entry = {"file": str(FIXTURES / "src/sim/bad_determinism.cpp"),
+                 "directory": str(REPO),
+                 "command": "c++ -std=c++17 -c bad_determinism.cpp"}
+        findings = clang_frontend.lint_tu(entry, FIXTURES)
+        self.assertIsInstance(findings, list)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)
