@@ -159,7 +159,8 @@ void Comm::trace_span(trace::Category cat, double begin, int peer,
 }
 
 void Comm::sleep_traced(double arrival, double queue_delay,
-                        trace::Category cat, int peer, std::uint64_t bytes) {
+                        trace::Category cat, int peer, std::uint64_t bytes,
+                        double relay_delay) {
   if (trc_ == nullptr) {
     sleep_until(arrival);
     return;
@@ -172,7 +173,16 @@ void Comm::sleep_traced(double arrival, double queue_delay,
   if (mid > begin) {
     trc_->record(wrank(), trace::Category::kNicQueue, begin, mid, peer, bytes);
   }
-  if (arrival > mid) trc_->record(wrank(), cat, mid, arrival, peer, bytes);
+  // Store-and-forward time past the first hop is the relay's doing,
+  // not this link's: attribute it separately so hop-count sweeps show
+  // where the latency went.
+  const double relay_begin =
+      relay_delay > 0.0 ? std::max(mid, arrival - relay_delay) : arrival;
+  if (relay_begin > mid) trc_->record(wrank(), cat, mid, relay_begin, peer, bytes);
+  if (arrival > relay_begin) {
+    trc_->record(wrank(), trace::Category::kRelayForward, relay_begin, arrival,
+                 peer, bytes);
+  }
 }
 
 void Comm::wait_timer(double dt) {
@@ -228,17 +238,23 @@ void Comm::post_envelope(int dst, std::unique_ptr<Envelope> env) {
 }
 
 void Comm::deliver_eager(int dst, std::unique_ptr<Envelope> env) {
-  net::FaultInjector* faults = world_->fabric().faults();
+  const int wd = to_world(dst);
+  net::FaultInjector* faults =
+      dst == rank() ? nullptr : world_->fabric().faults_for(wrank(), wd);
+  // The ARQ channel takes over whenever faults can strike OR it owns
+  // the wire itself (clocked transport / routed path — engaged()).
+  if (arq_ != nullptr && dst != rank() &&
+      (faults != nullptr || arq_->engaged(wrank(), wd))) {
+    deliver_reliable(dst, std::move(env));
+    return;
+  }
   if (faults == nullptr || dst == rank()) {
     post_envelope(dst, std::move(env));
     return;
   }
-  if (arq_ != nullptr) {
-    deliver_reliable(dst, std::move(env));
-    return;
-  }
-  const net::FaultDecision d =
-      faults->next(wrank(), to_world(dst), env->payload.size());
+  // Unreliable routed traffic draws its fault end-to-end (one draw for
+  // the whole path — per-hop granularity needs the ARQ layer).
+  const net::FaultDecision d = faults->next(wrank(), wd, env->payload.size());
   switch (d.kind) {
     case net::FaultKind::kDrop:
       return;  // the wire ate it; nothing ever arrives
@@ -252,10 +268,11 @@ void Comm::deliver_eager(int dst, std::unique_ptr<Envelope> env) {
       auto copy = std::make_unique<Envelope>(*env);
       copy->seq = world_->next_seq();
       // The duplicate crosses the wire again behind the original.
-      copy->arrival = world_->fabric()
-                          .reserve_path(wrank(), to_world(dst),
-                                        copy->payload.size(), env->arrival)
-                          .arrival;
+      const net::PathTimes extra = world_->fabric().reserve_route(
+          wrank(), wd, copy->payload.size(), env->arrival,
+          relay_policy_.hop_delay(copy->payload.size()));
+      copy->arrival = extra.arrival;
+      copy->relay_delay = extra.relay_delay;
       post_envelope(dst, std::move(env));
       post_envelope(dst, std::move(copy));
       return;
@@ -279,14 +296,17 @@ void Comm::deliver_reliable(int dst, std::unique_ptr<Envelope> env) {
   // corruption is caught and retransmitted below the MPI layer; user
   // point-to-point payloads defer integrity to the upper layer.
   const bool checksummed = env->tag >= (1 << 28);
+  const bool channel_wire = arq_->engaged(wrank(), wd);
   const reliable::Delivery d =
       arq_->deliver(wrank(), wd, env->payload.size(), proc_->now(),
-                    env->arrival, checksummed);
+                    env->arrival, checksummed, relay_policy_);
   env->arq_seq = d.seq;
   env->arq_transmissions = d.transmissions;
   switch (d.result) {
     case reliable::Delivery::Result::kDelivered:
       env->arrival = d.arrival;
+      if (channel_wire) env->nic_queue = d.queue_delay;
+      env->relay_delay = d.relay_delay;
       post_envelope(dst, std::move(env));
       return;
     case reliable::Delivery::Result::kDeliveredDamaged:
@@ -295,6 +315,8 @@ void Comm::deliver_reliable(int dst, std::unique_ptr<Envelope> env) {
       // receiver copies it out, and undone again if the upper layer
       // NACKs (Comm::recover_damaged_recv).
       env->arrival = d.arrival;
+      if (channel_wire) env->nic_queue = d.queue_delay;
+      env->relay_delay = d.relay_delay;
       env->damage = d.damage;
       post_envelope(dst, std::move(env));
       return;
@@ -375,14 +397,18 @@ void Comm::send_internal(BytesView data, int dst, int tag) {
     env->tag = tag;
     env->seq = world_->next_seq();
     env->payload.assign(data.begin(), data.end());
-    if (self) {
+    if (self || arq_resolves_wire(wd)) {
+      // Self-sends never touch the wire; engaged ARQ transports
+      // (clocked / routed) reserve the wire inside deliver_reliable,
+      // which then fills arrival/queue/relay from the Delivery.
       env->arrival = proc_->now();
     } else {
-      const net::PathTimes path =
-          world_->fabric().reserve_path(wrank(), wd, data.size(),
-                                        proc_->now());
+      const net::PathTimes path = world_->fabric().reserve_route(
+          wrank(), wd, data.size(), proc_->now(),
+          relay_policy_.hop_delay(data.size()));
       env->arrival = path.arrival;
       env->nic_queue = path.queue_delay;
+      env->relay_delay = path.relay_delay;
     }
     deliver_eager(dst, std::move(env));
     return;
@@ -402,8 +428,10 @@ void Comm::send_internal(BytesView data, int dst, int tag) {
   env->rndv_data = data;
   env->handshake = &handshake;
   env->arrival = world_->fabric()
-                     .reserve_path(wrank(), wd, world_->config().ctrl_bytes,
-                                   std::max(now, proc_->now()))
+                     .reserve_route(wrank(), wd, world_->config().ctrl_bytes,
+                                    std::max(now, proc_->now()),
+                                    relay_policy_.hop_delay(
+                                        world_->config().ctrl_bytes))
                      .arrival;
   post_envelope(dst, std::move(env));
   await_handshake(handshake, dst, tag, data.size());
@@ -443,14 +471,15 @@ Request Comm::isend_internal(BytesView data, int dst, int tag) {
     env->tag = tag;
     env->seq = world_->next_seq();
     env->payload.assign(data.begin(), data.end());
-    if (self) {
+    if (self || arq_resolves_wire(wd)) {
       env->arrival = proc_->now();
     } else {
-      const net::PathTimes path =
-          world_->fabric().reserve_path(wrank(), wd, data.size(),
-                                        proc_->now());
+      const net::PathTimes path = world_->fabric().reserve_route(
+          wrank(), wd, data.size(), proc_->now(),
+          relay_policy_.hop_delay(data.size()));
       env->arrival = path.arrival;
       env->nic_queue = path.queue_delay;
+      env->relay_delay = path.relay_delay;
     }
     deliver_eager(dst, std::move(env));
     return Request(std::move(state));
@@ -469,8 +498,10 @@ Request Comm::isend_internal(BytesView data, int dst, int tag) {
   env->rndv_data = data;
   env->handshake = state->handshake.get();
   env->arrival = world_->fabric()
-                     .reserve_path(wrank(), wd, world_->config().ctrl_bytes,
-                                   proc_->now())
+                     .reserve_route(wrank(), wd, world_->config().ctrl_bytes,
+                                    proc_->now(),
+                                    relay_policy_.hop_delay(
+                                        world_->config().ctrl_bytes))
                      .arrival;
   post_envelope(dst, std::move(env));
   return Request(std::move(state));
@@ -623,7 +654,7 @@ Status Comm::complete_recv(PendingRecv& pr) {
                  env.payload.size());
     } else {
       sleep_traced(env.arrival, env.nic_queue, trace::Category::kWire,
-                   env.src, env.payload.size());
+                   env.src, env.payload.size(), env.relay_delay);
     }
     const double copy_begin = proc_->now();
     proc_->advance(prof.recv_overhead +
@@ -634,6 +665,11 @@ Status Comm::complete_recv(PendingRecv& pr) {
     if (!env.payload.empty()) {
       std::memcpy(pr.buf.data(), env.payload.data(), env.payload.size());
     }
+    // Exposure accounting: every relay this payload crossed could
+    // observe it. What that means is the secure layer's call
+    // (plaintext under hop-trusted relays, sealed bytes end-to-end).
+    world_->fabric().note_relay_exposure(
+        world_->fabric().relay_count(env.world_src, wrank()));
     status.bytes = env.payload.size();
     if (arq_ != nullptr && env.damage.kind == net::FaultKind::kCorrupt) {
       // Apply the in-flight damage at copy-out and stash the clean
@@ -649,7 +685,7 @@ Status Comm::complete_recv(PendingRecv& pr) {
       st.clean = std::move(env.payload);
     }
   } else if (arq_ != nullptr && env.src != rank() &&
-             world_->fabric().faults() != nullptr) {
+             world_->fabric().faults_for(env.world_src, wrank()) != nullptr) {
     status = complete_rndv_reliable(pr);
     return status;
   } else {
@@ -660,16 +696,19 @@ Status Comm::complete_recv(PendingRecv& pr) {
     // through the sender's egress NIC. The sender CPU does not
     // participate (zero-copy), so only its NIC is reserved.
     const double handshake_start = std::max(proc_->now(), env.arrival);
-    const net::PathTimes cts = world_->fabric().reserve_path(
-        wrank(), env.world_src, world_->config().ctrl_bytes, handshake_start);
-    const net::PathTimes data = world_->fabric().reserve_path(
-        env.world_src, wrank(), env.rndv_data.size(), cts.arrival);
+    const net::PathTimes cts = world_->fabric().reserve_route(
+        wrank(), env.world_src, world_->config().ctrl_bytes, handshake_start,
+        relay_policy_.hop_delay(world_->config().ctrl_bytes));
+    const net::PathTimes data = world_->fabric().reserve_route(
+        env.world_src, wrank(), env.rndv_data.size(), cts.arrival,
+        relay_policy_.hop_delay(env.rndv_data.size()));
     // Fault the pulled data in place. Losing the transfer outright
     // would leave the sender parked on the handshake, so the injector
     // degrades drop/duplicate to corruption on this path.
     std::size_t deliver_len = env.rndv_data.size();
     net::FaultDecision fault;
-    if (net::FaultInjector* faults = world_->fabric().faults();
+    if (net::FaultInjector* faults =
+            world_->fabric().faults_for(env.world_src, wrank());
         faults != nullptr && env.src != rank()) {
       fault = faults->next(env.world_src, wrank(), deliver_len,
                            /*allow_loss=*/false);
@@ -692,7 +731,9 @@ Status Comm::complete_recv(PendingRecv& pr) {
                      ? data.arrival + fault.delay_seconds
                      : data.arrival,
                  cts.queue_delay + data.queue_delay, trace::Category::kWire,
-                 env.src, env.rndv_data.size());
+                 env.src, env.rndv_data.size(), data.relay_delay);
+    world_->fabric().note_relay_exposure(
+        world_->fabric().relay_count(env.world_src, wrank()));
     const double copy_begin = proc_->now();
     proc_->advance(prof.recv_overhead);
     trace_span(trace::Category::kCopy, copy_begin, env.src,
@@ -713,7 +754,7 @@ Status Comm::complete_rndv_reliable(PendingRecv& pr) {
     throw MpiError("receive buffer too small for rendezvous payload");
   }
   const std::size_t len = env.rndv_data.size();
-  net::FaultInjector* faults = world_->fabric().faults();
+  net::FaultInjector* faults = world_->fabric().faults_for(ws, wrank());
   reliable::ReliabilityStats& st = arq_->stats_mut();
 
   if (arq_->link_dead(ws, wrank())) {
@@ -733,8 +774,9 @@ Status Comm::complete_rndv_reliable(PendingRecv& pr) {
   // sender's NIC, corrupted pulls are delivered damaged with the
   // clean bytes stashed for end-to-end recovery.
   const double handshake_start = std::max(proc_->now(), env.arrival);
-  const net::PathTimes cts = world_->fabric().reserve_path(
-      wrank(), ws, world_->config().ctrl_bytes, handshake_start);
+  const net::PathTimes cts = world_->fabric().reserve_route(
+      wrank(), ws, world_->config().ctrl_bytes, handshake_start,
+      relay_policy_.hop_delay(world_->config().ctrl_bytes));
   double pull_start = cts.arrival;
   // Move this rank's clock to the handshake so the retransmission
   // timers below measure real waiting, not a stale local time.
@@ -751,7 +793,10 @@ Status Comm::complete_rndv_reliable(PendingRecv& pr) {
     ++attempts;
     ++st.data_frames;
     if (attempt > 0) ++st.retransmits;
-    data = world_->fabric().reserve_path(ws, wrank(), len, pull_start);
+    // Routed pulls replay the whole route per attempt; faults stay at
+    // end-to-end granularity on this receiver-driven path.
+    data = world_->fabric().reserve_route(ws, wrank(), len, pull_start,
+                                          relay_policy_.hop_delay(len));
     fault = faults->next(ws, wrank(), len, /*allow_loss=*/true);
     if (fault.kind == net::FaultKind::kDrop) {
       // The pull vanished: wait out the retransmission timer on this
@@ -769,8 +814,10 @@ Status Comm::complete_rndv_reliable(PendingRecv& pr) {
       // internal frames — user payloads defer integrity upward.
       ++st.link_nacks;
       pull_start = world_->fabric()
-                       .reserve_path(wrank(), ws,
-                                     arq_->config().ctrl_bytes, data.arrival)
+                       .reserve_route(wrank(), ws, arq_->config().ctrl_bytes,
+                                      data.arrival,
+                                      relay_policy_.hop_delay(
+                                          arq_->config().ctrl_bytes))
                        .arrival;
       continue;
     }
@@ -814,7 +861,8 @@ Status Comm::complete_rndv_reliable(PendingRecv& pr) {
   double arrival = data.arrival;
   if (fault.kind == net::FaultKind::kDuplicate) {
     // The extra copy still crosses the wire before the window drops it.
-    (void)world_->fabric().reserve_path(ws, wrank(), len, data.arrival);
+    (void)world_->fabric().reserve_route(ws, wrank(), len, data.arrival,
+                                         relay_policy_.hop_delay(len));
     ++st.duplicates_suppressed;
   } else if (fault.kind == net::FaultKind::kDelay) {
     arrival += fault.delay_seconds;
@@ -854,8 +902,10 @@ Status Comm::complete_rndv_reliable(PendingRecv& pr) {
     trace_span(trace::Category::kArqRetransmit, begin, env.src, len);
   } else {
     sleep_traced(arrival, cts.queue_delay + data.queue_delay,
-                 trace::Category::kWire, env.src, len);
+                 trace::Category::kWire, env.src, len, data.relay_delay);
   }
+  world_->fabric().note_relay_exposure(
+      world_->fabric().relay_count(ws, wrank()));
   const double copy_begin = proc_->now();
   proc_->advance(prof.recv_overhead);
   trace_span(trace::Category::kCopy, copy_begin, env.src, len);
@@ -879,7 +929,7 @@ bool Comm::recover_damaged_internal(MutBytes wire, int src, int tag) {
   // on a timer, and the retransmitted bytes replace the damaged ones.
   const double t =
       arq_->e2e_recover(to_world(src), wrank(), wire.size(), proc_->now(),
-                        st.transmissions);
+                        st.transmissions, relay_policy_);
   wait_timer(t - proc_->now());
   if (!wire.empty()) {
     std::memcpy(wire.data(), st.clean.data(), wire.size());

@@ -107,6 +107,18 @@ class Comm final : public Communicator {
   std::optional<Status> recv_or_abort(MutBytes buf, int src, int tag,
                                       const std::function<bool()>& stop);
 
+  /// Installs the relay policy for multi-hop routed traffic: the
+  /// per-relay processing surcharge and whether hops re-verify payload
+  /// integrity. The secure layer maps its RelayTrust decision here
+  /// (hop-trusted relays decrypt + re-encrypt; end-to-end relays
+  /// forward sealed bytes for free). Default: transparent relays.
+  void set_relay_policy(const net::RelayPolicy& policy) {
+    relay_policy_ = policy;
+  }
+  [[nodiscard]] const net::RelayPolicy& relay_policy() const noexcept {
+    return relay_policy_;
+  }
+
   void barrier() override;
   void bcast(MutBytes data, int root) override;
   void allgather(BytesView sendpart, MutBytes recvall) override;
@@ -164,9 +176,19 @@ class Comm final : public Communicator {
 
   /// sleep_until(@p arrival), attributing the parked interval as a
   /// kNicQueue prefix of up to @p queue_delay seconds (time the
-  /// message spent queued behind a busy NIC) followed by @p cat.
+  /// message spent queued behind a busy NIC), then @p cat, then a
+  /// kRelayForward suffix of up to @p relay_delay seconds (time spent
+  /// in store-and-forward beyond the first hop of a routed path).
   void sleep_traced(double arrival, double queue_delay, trace::Category cat,
-                    int peer, std::uint64_t bytes);
+                    int peer, std::uint64_t bytes, double relay_delay = 0.0);
+
+  /// True when the ARQ channel resolves wire reservations itself for
+  /// traffic to world rank @p wd (clocked transport or routed path):
+  /// the send path must then skip its own reserve and let
+  /// deliver_reliable fill arrival/queue/relay from the Delivery.
+  [[nodiscard]] bool arq_resolves_wire(int wd) const {
+    return arq_ != nullptr && arq_->engaged(wrank(), wd);
+  }
 
   /// Fresh tag for the next collective (all ranks call collectives in
   /// the same order, so the per-rank counter stays aligned).
@@ -210,6 +232,7 @@ class Comm final : public Communicator {
   trace::TraceRecorder* trc_;  ///< null unless WorldConfig::trace is set
   ft::State* ft_;          ///< null unless the ft layer is active
   std::vector<int> group_; ///< world ranks; empty = world communicator
+  net::RelayPolicy relay_policy_;  ///< multi-hop forwarding behavior
   int local_rank_;
   std::uint64_t epoch_ = 0;
   bool recovery_ = false;

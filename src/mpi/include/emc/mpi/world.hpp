@@ -65,6 +65,10 @@ struct Envelope {
   /// envelope; lets the receiver split its arrival sleep into
   /// nic_queue + wire trace spans.
   double nic_queue = 0.0;
+  /// Virtual seconds the payload spent beyond the first hop of a
+  /// routed path (relay store-and-forward + per-hop surcharge); feeds
+  /// the receiver's relay_forward trace span. 0 on direct links.
+  double relay_delay = 0.0;
 };
 
 /// A posted (not yet matched) receive.

@@ -1,0 +1,102 @@
+#include "emc/netsim/wan.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace emc::net {
+
+void CrossTraffic::validate(double link_bandwidth) const {
+  if (period < 0.0) {
+    throw std::invalid_argument("CrossTraffic: period must be non-negative");
+  }
+  if (jitter < 0.0 || jitter >= 1.0) {
+    throw std::invalid_argument("CrossTraffic: jitter must be in [0, 1)");
+  }
+  if (!enabled()) return;
+  // Worst-case burst duration vs best-case inter-burst gap: mean
+  // utilization must stay below 1 or the burst drain loop (and the
+  // simulated link) never catches up.
+  const double burst_seconds =
+      static_cast<double>(burst_bytes) * (1.0 + jitter) / link_bandwidth;
+  const double min_gap = period * (1.0 - jitter);
+  if (burst_seconds >= min_gap) {
+    throw std::invalid_argument(
+        "CrossTraffic: bursts of " + std::to_string(burst_bytes) +
+        " bytes every " + std::to_string(period) +
+        " s saturate the link (utilization >= 1); lower burst_bytes or "
+        "raise period");
+  }
+}
+
+void LinkProfile::validate() const {
+  if (net.latency < 0.0) {
+    throw std::invalid_argument("LinkProfile: latency must be non-negative");
+  }
+  if (!(net.bandwidth > 0.0)) {
+    throw std::invalid_argument("LinkProfile: bandwidth must be positive");
+  }
+  if (!(net.copy_bandwidth > 0.0)) {
+    throw std::invalid_argument(
+        "LinkProfile: copy_bandwidth must be positive");
+  }
+  if (net.send_overhead < 0.0 || net.recv_overhead < 0.0 ||
+      net.per_msg_nic < 0.0) {
+    throw std::invalid_argument(
+        "LinkProfile: per-message overheads must be non-negative");
+  }
+  if (jitter < 0.0) {
+    throw std::invalid_argument("LinkProfile: jitter must be non-negative");
+  }
+  faults.validate();
+  if (!faults.crashes.empty()) {
+    throw std::invalid_argument(
+        "LinkProfile: rank crashes are a cluster-wide property; script "
+        "them on ClusterConfig::faults, not on a link");
+  }
+  cross.validate(net.bandwidth);
+}
+
+NetworkProfile wan_metro() {
+  NetworkProfile p;
+  p.name = "wan-metro";
+  // A metro-area leased path: ~2 ms one-way, 1 Gb/s, TCP-stack
+  // overheads a bit above the LAN profile.
+  p.latency = 2e-3;
+  p.bandwidth = 1.25e8;
+  p.send_overhead = 5.0e-6;
+  p.recv_overhead = 5.0e-6;
+  p.per_msg_nic = 1.0e-6;
+  p.copy_bandwidth = 4.0e9;
+  p.eager_threshold = 64 * 1024;
+  return p;
+}
+
+NetworkProfile wan_continental() {
+  NetworkProfile p;
+  p.name = "wan-continental";
+  // A continental internet path: ~40 ms one-way, 200 Mb/s. RTT is four
+  // orders of magnitude above the IB profile — the regime where a
+  // LAN-tuned fixed RTO spuriously retransmits every frame.
+  p.latency = 40e-3;
+  p.bandwidth = 2.5e7;
+  p.send_overhead = 8.0e-6;
+  p.recv_overhead = 8.0e-6;
+  p.per_msg_nic = 2.0e-6;
+  p.copy_bandwidth = 4.0e9;
+  p.eager_threshold = 64 * 1024;
+  return p;
+}
+
+LinkProfile wan_link(NetworkProfile base, double p_drop, double jitter,
+                     std::uint64_t seed) {
+  LinkProfile link;
+  link.net = std::move(base);
+  link.jitter = jitter;
+  link.seed = seed;
+  link.faults.seed = seed;
+  link.faults.p_drop = p_drop;
+  link.validate();
+  return link;
+}
+
+}  // namespace emc::net

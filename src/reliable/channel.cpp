@@ -1,6 +1,8 @@
 #include "emc/reliable/reliable.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <utility>
 
 namespace emc::reliable {
 
@@ -56,6 +58,18 @@ void Config::validate() const {
     throw std::invalid_argument(
         "reliable::Config: ctrl_bytes must be positive");
   }
+  if (cwnd_initial < 1) {
+    throw std::invalid_argument(
+        "reliable::Config: cwnd_initial must be at least 1");
+  }
+  if (cwnd_limit < cwnd_initial) {
+    throw std::invalid_argument(
+        "reliable::Config: cwnd_limit must be >= cwnd_initial");
+  }
+  if (rto_min < 0.0) {
+    throw std::invalid_argument(
+        "reliable::Config: rto_min must be non-negative");
+  }
 }
 
 Channel::Channel(const Config& config, net::Fabric& fabric)
@@ -81,7 +95,8 @@ double Channel::rto(int src, int dst, std::uint64_t seq, int attempt) const {
 
 Delivery Channel::deliver(int src, int dst, std::size_t bytes,
                           double send_time, double first_arrival,
-                          bool frame_checksummed) {
+                          bool frame_checksummed,
+                          const net::RelayPolicy& relay) {
   Delivery out;
   out.seq = next_seq(src, dst);
 
@@ -90,7 +105,16 @@ Delivery Channel::deliver(int src, int dst, std::size_t bytes,
     return out;
   }
 
-  net::FaultInjector* faults = fabric_->faults();
+  if (fabric_->relayed(src, dst)) {
+    return deliver_routed(std::move(out), src, dst, bytes, send_time,
+                          frame_checksummed, relay);
+  }
+  if (config_.transport != Transport::kAnalytic) {
+    return deliver_clocked(std::move(out), src, dst, bytes, send_time,
+                           frame_checksummed);
+  }
+
+  net::FaultInjector* faults = fabric_->faults_for(src, dst);
   double t_send = send_time;
   double arrival = first_arrival;
 
@@ -190,11 +214,380 @@ Delivery Channel::deliver(int src, int dst, std::size_t bytes,
   return out;
 }
 
+Channel::CcState& Channel::cc_state(int a, int b) {
+  auto [it, inserted] = cc_.try_emplace({a, b});
+  if (inserted) {
+    // kFixedRto has no AIMD: it always runs the full window.
+    it->second.cwnd = config_.transport == Transport::kAdaptive
+                          ? static_cast<double>(config_.cwnd_initial)
+                          : static_cast<double>(config_.cwnd_limit);
+    it->second.ssthresh = static_cast<double>(config_.cwnd_limit);
+  }
+  return it->second;
+}
+
+void Channel::rtt_sample(CcState& cc, double sample) {
+  // RFC 6298: SRTT/RTTVAR with alpha = 1/8, beta = 1/4.
+  if (!cc.seeded) {
+    cc.srtt = sample;
+    cc.rttvar = sample / 2.0;
+    cc.seeded = true;
+  } else {
+    const double err = std::abs(cc.srtt - sample);
+    cc.rttvar = 0.75 * cc.rttvar + 0.25 * err;
+    cc.srtt = 0.875 * cc.srtt + 0.125 * sample;
+  }
+  ++stats_.rtt_samples;
+}
+
+void Channel::cc_on_loss(CcState& cc) {
+  cc.ssthresh = std::max(cc.cwnd / 2.0, 2.0);
+  cc.cwnd = cc.ssthresh;
+  ++stats_.cwnd_halvings;
+}
+
+void Channel::cc_on_ack(CcState& cc) {
+  if (cc.cwnd < cc.ssthresh) {
+    cc.cwnd += 1.0;  // slow start
+  } else {
+    cc.cwnd += 1.0 / cc.cwnd;  // congestion avoidance
+  }
+  cc.cwnd = std::min(cc.cwnd, static_cast<double>(config_.cwnd_limit));
+}
+
+double Channel::transport_rto(const CcState& cc,
+                              const net::NetworkProfile& prof, int a, int b,
+                              std::uint64_t seq, int attempt) const {
+  if (config_.transport != Transport::kAdaptive) {
+    return rto(a, b, seq, attempt);
+  }
+  // Adaptive base: SRTT + max(G, 4 * RTTVAR) once seeded (RFC 6298,
+  // with rto_min doubling as the clock granularity G so a fully
+  // converged RTTVAR can never shave the timer to exactly the RTT);
+  // before the first sample, fall back to twice the nominal path RTT
+  // so a WAN link never starts below its own propagation delay.
+  // Retries back off uncapped (Karn) — max_retries bounds the ladder.
+  double base =
+      cc.seeded
+          ? std::max(config_.rto_min,
+                     cc.srtt + std::max(config_.rto_min, 4.0 * cc.rttvar))
+          : std::max(config_.rto_min, 4.0 * prof.latency);
+  for (int k = 0; k < attempt; ++k) base *= config_.backoff;
+  if (config_.jitter == 0.0) return base;
+  const std::uint64_t h =
+      mix64(config_.seed ^ mix64(link_key(a, b) ^ mix64(seq) ^
+                                 static_cast<std::uint64_t>(attempt)));
+  return base * (1.0 + config_.jitter * (2.0 * unit_double(h) - 1.0));
+}
+
+Delivery Channel::deliver_clocked(Delivery out, int src, int dst,
+                                  std::size_t bytes, double send_time,
+                                  bool frame_checksummed) {
+  net::FaultInjector* faults = fabric_->faults_for(src, dst);
+  CcState& cc = cc_state(src, dst);
+  const net::NetworkProfile& fwd = fabric_->profile(src, dst);
+  const net::NetworkProfile& rev = fabric_->profile(dst, src);
+  const bool adaptive = config_.transport == Transport::kAdaptive;
+
+  double t_send = send_time;
+
+  // Ack-clocked window gate: every un-ACKed frame occupies one window
+  // slot; a full window stalls the sender until the earliest
+  // outstanding ACK returns.
+  while (!cc.inflight.empty() && *cc.inflight.begin() <= t_send) {
+    cc.inflight.erase(cc.inflight.begin());
+  }
+  while (static_cast<int>(cc.inflight.size()) >=
+         std::max(1, static_cast<int>(cc.cwnd))) {
+    const double wake = *cc.inflight.begin();
+    cc.inflight.erase(cc.inflight.begin());
+    if (wake > t_send) {
+      ++stats_.window_stalls;
+      stats_.window_stall_seconds += wake - t_send;
+      t_send = wake;
+    }
+  }
+
+  double ideal = 0.0;
+  for (int attempt = 0; attempt <= config_.max_retries; ++attempt) {
+    ++out.transmissions;
+    ++stats_.data_frames;
+    if (attempt > 0) ++stats_.retransmits;
+    const net::PathTimes path = fabric_->reserve_path(src, dst, bytes, t_send);
+    if (attempt == 0) {
+      out.queue_delay = path.queue_delay;
+      ideal = path.arrival;
+    }
+    const double timer = transport_rto(cc, fwd, src, dst, out.seq, attempt);
+    const net::FaultDecision d =
+        faults != nullptr ? faults->next(src, dst, bytes)
+                          : net::FaultDecision{};
+
+    switch (d.kind) {
+      case net::FaultKind::kNone:
+      case net::FaultKind::kRankCrash:  // not a wire fault; never drawn
+        out.arrival = path.arrival;
+        break;
+      case net::FaultKind::kDelay:
+        // Late but intact: the timer-vs-ACK race below models any
+        // spurious copies the lateness provokes.
+        out.arrival = path.arrival + d.delay_seconds;
+        ++stats_.delays_absorbed;
+        break;
+      case net::FaultKind::kDuplicate:
+        (void)fabric_->reserve_path(src, dst, bytes, path.arrival);
+        ++stats_.duplicates_suppressed;
+        out.arrival = path.arrival;
+        break;
+      case net::FaultKind::kDrop:
+        ++stats_.rto_expirations;
+        if (adaptive) cc_on_loss(cc);
+        t_send += timer;
+        continue;
+      case net::FaultKind::kTruncate:
+        ++stats_.link_nacks;
+        if (adaptive) cc_on_loss(cc);
+        t_send = fabric_->reserve_path(dst, src, config_.ctrl_bytes,
+                                       path.arrival)
+                     .arrival;
+        continue;
+      case net::FaultKind::kCorrupt:
+        if (frame_checksummed) {
+          ++stats_.link_nacks;
+          if (adaptive) cc_on_loss(cc);
+          t_send = fabric_->reserve_path(dst, src, config_.ctrl_bytes,
+                                         path.arrival)
+                       .arrival;
+          continue;
+        }
+        ++stats_.damaged_deliveries;
+        out.result = Delivery::Result::kDeliveredDamaged;
+        out.damage = d;
+        out.arrival = path.arrival;
+        break;
+    }
+
+    // Delivered. The ACK crosses back on the reverse profile; it is
+    // modeled analytically (latency + serialization, no NIC
+    // reservation) so tiny control frames do not perturb the reverse
+    // data path. NACKs above DO reserve the NIC — they gate forward
+    // progress.
+    const double ack_time =
+        out.arrival + rev.latency +
+        static_cast<double>(config_.ctrl_bytes) / rev.bandwidth;
+
+    // Spurious-retransmit race: the sender's timer keeps firing until
+    // the ACK lands; every extra copy burns real NIC time and is
+    // absorbed by the receiver's sequence window. On a WAN path whose
+    // RTT exceeds the fixed rto_max this fires on EVERY frame — the
+    // failure mode the adaptive transport exists to avoid. The timer
+    // arms when the frame hits the wire (path.start), as TCP's does —
+    // not when the application handed it to a possibly-backlogged NIC.
+    double timer_start = path.start;
+    double r = timer;
+    int spur = 0;
+    int ladder = attempt;
+    while (timer_start + r < ack_time && spur < config_.max_retries) {
+      ++spur;
+      ++out.transmissions;
+      ++stats_.data_frames;
+      ++stats_.spurious_retransmits;
+      ++stats_.duplicates_suppressed;
+      (void)fabric_->reserve_path(src, dst, bytes, timer_start + r);
+      timer_start += r;
+      ++ladder;
+      r = transport_rto(cc, fwd, src, dst, out.seq, ladder);
+    }
+
+    if (adaptive) {
+      // Karn's rule: only a frame that was transmitted exactly once
+      // yields an unambiguous RTT sample — measured from the wire
+      // transmission, so sender-side NIC queueing does not masquerade
+      // as path RTT.
+      if (attempt == 0 && spur == 0) rtt_sample(cc, ack_time - path.start);
+      if (attempt == 0) cc_on_ack(cc);
+    }
+    cc.inflight.insert(ack_time);
+
+    ++stats_.deliveries;
+    if (attempt > 0) {
+      ++stats_.recoveries;
+      stats_.recovery_delay_total += out.arrival - ideal;
+    }
+    return out;
+  }
+
+  mark_link_dead(src, dst);
+  out.result = Delivery::Result::kDeadLink;
+  return out;
+}
+
+Delivery Channel::deliver_routed(Delivery out, int src, int dst,
+                                 std::size_t bytes, double send_time,
+                                 bool frame_checksummed,
+                                 const net::RelayPolicy& relay) {
+  const std::vector<int> nodes = fabric_->path_nodes(src, dst);
+  // Relay hops are identified by negative coordinates (-2 - node) in
+  // the injector/RTO/cc hash streams so they can never collide with a
+  // rank id or the FaultTrigger -1 wildcard.
+  const auto hop_coord = [](int node) { return -2 - node; };
+  const bool adaptive = config_.transport == Transport::kAdaptive;
+
+  double t = send_time;
+  double first_hop_arrival = 0.0;
+  double penalty = 0.0;
+  bool retransmitted = false;
+  bool damaged = false;
+  net::FaultDecision first_damage;
+
+  for (std::size_t i = 0; i + 1 < nodes.size(); ++i) {
+    const int a = nodes[i];
+    const int b = nodes[i + 1];
+    const bool first_hop = i == 0;
+    const bool last_hop = i + 2 == nodes.size();
+    const int flow = first_hop ? src : hop_coord(a);
+    const int ia = first_hop ? src : hop_coord(a);
+    const int ib = last_hop ? dst : hop_coord(b);
+    net::FaultInjector* faults = fabric_->faults_for_hop(a, b);
+    const net::NetworkProfile& prof = fabric_->hop_profile(a, b);
+    const net::NetworkProfile& rev = fabric_->hop_profile(b, a);
+    CcState& cc = cc_state(ia, ib);
+
+    double t_hop = t;
+    double hop_ideal = 0.0;
+    bool hop_done = false;
+    for (int attempt = 0; attempt <= config_.max_retries; ++attempt) {
+      ++out.transmissions;
+      ++stats_.data_frames;
+      if (!first_hop) ++stats_.relay_frames;
+      if (attempt > 0) {
+        ++stats_.retransmits;
+        retransmitted = true;
+      }
+      const net::PathTimes path =
+          fabric_->reserve_hop(a, b, flow, bytes, t_hop);
+      if (first_hop && attempt == 0) out.queue_delay = path.queue_delay;
+      if (attempt == 0) hop_ideal = path.arrival;
+      const double timer = transport_rto(cc, prof, ia, ib, out.seq, attempt);
+      const net::FaultDecision d =
+          faults != nullptr ? faults->next(ia, ib, bytes)
+                            : net::FaultDecision{};
+
+      double accepted = 0.0;
+      bool spurious_copy = false;
+      switch (d.kind) {
+        case net::FaultKind::kNone:
+        case net::FaultKind::kRankCrash:  // not a wire fault; never drawn
+          accepted = path.arrival;
+          break;
+        case net::FaultKind::kDelay: {
+          accepted = path.arrival + d.delay_seconds;
+          if (d.delay_seconds > timer) {
+            ++out.transmissions;
+            ++stats_.data_frames;
+            ++stats_.spurious_retransmits;
+            ++stats_.duplicates_suppressed;
+            spurious_copy = true;
+            const double copy =
+                fabric_->reserve_hop(a, b, flow, bytes, t_hop + timer)
+                    .arrival;
+            accepted = std::min(accepted, copy);
+          }
+          ++stats_.delays_absorbed;
+          break;
+        }
+        case net::FaultKind::kDuplicate:
+          (void)fabric_->reserve_hop(a, b, flow, bytes, path.arrival);
+          ++stats_.duplicates_suppressed;
+          accepted = path.arrival;
+          break;
+        case net::FaultKind::kDrop:
+          ++stats_.rto_expirations;
+          if (adaptive) cc_on_loss(cc);
+          t_hop += timer;
+          continue;
+        case net::FaultKind::kTruncate:
+          ++stats_.link_nacks;
+          if (adaptive) cc_on_loss(cc);
+          t_hop = fabric_
+                      ->reserve_hop(b, a, flow, config_.ctrl_bytes,
+                                    path.arrival)
+                      .arrival;
+          continue;
+        case net::FaultKind::kCorrupt:
+          if (frame_checksummed || relay.hop_integrity) {
+            // Per-hop integrity (hop-trusted relays re-authenticate):
+            // the corruption is caught and NACKed at THIS hop instead
+            // of riding to the destination.
+            ++stats_.link_nacks;
+            if (adaptive) cc_on_loss(cc);
+            t_hop = fabric_
+                        ->reserve_hop(b, a, flow, config_.ctrl_bytes,
+                                      path.arrival)
+                        .arrival;
+            continue;
+          }
+          // End-to-end mode: the sealed payload is damaged in place
+          // and the corruption rides the rest of the route; only the
+          // destination can detect it. Keep the first damage — later
+          // hops forward the already-damaged bytes.
+          if (!damaged) {
+            damaged = true;
+            first_damage = d;
+          }
+          accepted = path.arrival;
+          break;
+      }
+
+      // Per-hop ARQ runs open-loop (no ack-clocked window across
+      // hops); kAdaptive still learns each hop's RTT for its timer.
+      if (adaptive && attempt == 0 && !spurious_copy) {
+        rtt_sample(cc, (accepted - t_hop) + rev.latency +
+                           static_cast<double>(config_.ctrl_bytes) /
+                               rev.bandwidth);
+      }
+      penalty += accepted - hop_ideal;
+      t = accepted;
+      hop_done = true;
+      if (first_hop) {
+        first_hop_arrival = accepted;
+      } else {
+        ++stats_.relay_deliveries;
+      }
+      break;
+    }
+
+    if (!hop_done) {
+      // One saturated hop kills the end-to-end path: same graceful
+      // degradation as a direct link (tombstones + PeerUnreachable).
+      mark_link_dead(src, dst);
+      out.result = Delivery::Result::kDeadLink;
+      return out;
+    }
+    if (!last_hop) t += relay.hop_delay(bytes);
+  }
+
+  out.arrival = t;
+  out.relay_delay = t - first_hop_arrival;
+  if (damaged) {
+    ++stats_.damaged_deliveries;
+    out.result = Delivery::Result::kDeliveredDamaged;
+    out.damage = first_damage;
+  }
+  ++stats_.deliveries;
+  if (retransmitted) {
+    ++stats_.recoveries;
+    stats_.recovery_delay_total += penalty;
+  }
+  return out;
+}
+
 double Channel::e2e_recover(int src, int dst, std::size_t bytes, double now,
-                            std::uint32_t already_spent) {
+                            std::uint32_t already_spent,
+                            const net::RelayPolicy& relay) {
   if (link_dead(src, dst)) throw PeerUnreachable(src, dst, already_spent);
 
-  net::FaultInjector* faults = fabric_->faults();
+  net::FaultInjector* faults = fabric_->faults_for(src, dst);
   std::uint32_t attempts = already_spent;
   double t = now;
 
@@ -202,8 +595,10 @@ double Channel::e2e_recover(int src, int dst, std::size_t bytes, double now,
   // Inner loop: the sender's retransmissions until a copy arrives.
   for (;;) {
     ++stats_.e2e_nacks;
-    double t_send =
-        fabric_->reserve_path(dst, src, config_.ctrl_bytes, t).arrival;
+    double t_send = fabric_
+                        ->reserve_route(dst, src, config_.ctrl_bytes, t,
+                                        relay.hop_delay(config_.ctrl_bytes))
+                        .arrival;
     for (int attempt = 0;; ++attempt) {
       if (attempts >= static_cast<std::uint32_t>(config_.max_retries) + 1) {
         mark_link_dead(src, dst);
@@ -212,8 +607,8 @@ double Channel::e2e_recover(int src, int dst, std::size_t bytes, double now,
       ++attempts;
       ++stats_.data_frames;
       ++stats_.retransmits;
-      const net::PathTimes path =
-          fabric_->reserve_path(src, dst, bytes, t_send);
+      const net::PathTimes path = fabric_->reserve_route(
+          src, dst, bytes, t_send, relay.hop_delay(bytes));
       const net::FaultDecision d =
           faults != nullptr ? faults->next(src, dst, bytes)
                             : net::FaultDecision{};
@@ -225,8 +620,9 @@ double Channel::e2e_recover(int src, int dst, std::size_t bytes, double now,
         case net::FaultKind::kTruncate:
           ++stats_.link_nacks;
           t_send = fabric_
-                       ->reserve_path(dst, src, config_.ctrl_bytes,
-                                      path.arrival)
+                       ->reserve_route(dst, src, config_.ctrl_bytes,
+                                       path.arrival,
+                                       relay.hop_delay(config_.ctrl_bytes))
                        .arrival;
           continue;
         case net::FaultKind::kCorrupt:
@@ -235,7 +631,8 @@ double Channel::e2e_recover(int src, int dst, std::size_t bytes, double now,
           t = path.arrival;
           break;
         case net::FaultKind::kDuplicate:
-          (void)fabric_->reserve_path(src, dst, bytes, path.arrival);
+          (void)fabric_->reserve_route(src, dst, bytes, path.arrival,
+                                       relay.hop_delay(bytes));
           ++stats_.duplicates_suppressed;
           ++stats_.recoveries;
           stats_.recovery_delay_total += path.arrival - now;

@@ -46,6 +46,21 @@
 
 namespace emc::reliable {
 
+/// Transport discipline of the ARQ sender.
+enum class Transport : std::uint8_t {
+  /// Original behavior: fixed analytic backoff ladder, no send window —
+  /// the whole dialogue resolved at send time. Default; replays
+  /// existing worlds bit-exact.
+  kAnalytic,
+  /// Ack-clocked transport with a fixed-size window and the same fixed
+  /// RTO ladder — the LAN-tuned baseline whose timer collapses into a
+  /// spurious-retransmit storm once the path RTT exceeds rto_max.
+  kFixedRto,
+  /// Ack-clocked AIMD congestion window plus RFC 6298 SRTT/RTTVAR
+  /// adaptive RTO with Karn's sampling rule.
+  kAdaptive,
+};
+
 /// Reliability knobs; embedded in mpi::WorldConfig as `reliability`.
 /// Every default is tuned for the simulated 10 GbE / IB profiles:
 /// the full backoff ladder resolves well inside a one-second
@@ -73,6 +88,21 @@ struct Config {
   /// Seed for the jitter stream (independent of the FaultPlan seed).
   std::uint64_t seed = 1;
 
+  /// Sender discipline. kAnalytic keeps every existing path bit-exact;
+  /// the clocked modes add ACK return, window stalls, and (kAdaptive)
+  /// RTT estimation to the resolved dialogue.
+  Transport transport = Transport::kAnalytic;
+
+  /// Clocked modes: initial congestion window (frames in flight before
+  /// the first ACK) and its upper bound. kFixedRto always runs a full
+  /// cwnd_limit window; kAdaptive slow-starts from cwnd_initial.
+  int cwnd_initial = 4;
+  int cwnd_limit = 64;
+
+  /// kAdaptive: floor of the adaptive RTO (RFC 6298 recommends 1 s on
+  /// real internet paths; simulated WAN links settle faster).
+  double rto_min = 1e-3;
+
   /// Throws std::invalid_argument on out-of-range values.
   void validate() const;
 };
@@ -92,6 +122,12 @@ struct ReliabilityStats {
   std::uint64_t recoveries = 0;         ///< deliveries that needed >1 attempt
   double recovery_delay_total = 0.0;    ///< extra virtual seconds those waited
   std::uint64_t links_dead = 0;         ///< retry budgets exhausted
+  std::uint64_t rtt_samples = 0;        ///< unambiguous RTT measurements taken
+  std::uint64_t cwnd_halvings = 0;      ///< AIMD multiplicative decreases
+  std::uint64_t window_stalls = 0;      ///< sends blocked on a full cwnd
+  double window_stall_seconds = 0.0;    ///< virtual seconds spent in stalls
+  std::uint64_t relay_frames = 0;       ///< frames forwarded by relay hops
+  std::uint64_t relay_deliveries = 0;   ///< successful relay hop handoffs
 
   friend bool operator==(const ReliabilityStats&,
                          const ReliabilityStats&) = default;
@@ -127,6 +163,12 @@ struct Delivery {
   net::FaultDecision damage;      ///< valid when kDeliveredDamaged
   std::uint64_t seq = 0;          ///< ARQ sequence number of the payload
   std::uint32_t transmissions = 0;///< frames this delivery put on the wire
+  /// Clocked/routed modes (where the channel reserves the wire itself):
+  /// NIC queueing of the first copy, for trace attribution.
+  double queue_delay = 0.0;
+  /// Routed deliveries: virtual seconds past the first hop (relay
+  /// store-and-forward + per-hop surcharge). 0 on direct links.
+  double relay_delay = 0.0;
 };
 
 /// Clean-payload retransmit buffer entry for one receiving rank: the
@@ -160,22 +202,37 @@ class Channel {
 
   /// Resolves the full ARQ dialogue for one payload frame from @p src
   /// to @p dst. @p send_time is when the first copy left the sender,
-  /// @p first_arrival its already-reserved arrival. When
-  /// @p frame_checksummed is true (collective-internal traffic) the
-  /// link layer detects corruption and recovers it; otherwise a
-  /// corrupted copy is delivered damaged and recovery is left to the
-  /// upper layer (e2e_recover).
+  /// @p first_arrival its already-reserved arrival (ignored when the
+  /// channel resolves the wire itself — clocked transports and routed
+  /// paths, see engaged()). When @p frame_checksummed is true
+  /// (collective-internal traffic) the link layer detects corruption
+  /// and recovers it; otherwise a corrupted copy is delivered damaged
+  /// and recovery is left to the upper layer (e2e_recover). @p relay
+  /// governs what intermediate hops of a routed path do (surcharge,
+  /// per-hop integrity); ignored on direct links.
   Delivery deliver(int src, int dst, std::size_t bytes, double send_time,
-                   double first_arrival, bool frame_checksummed);
+                   double first_arrival, bool frame_checksummed,
+                   const net::RelayPolicy& relay = {});
+
+  /// True when the channel (not the caller) resolves wire reservations
+  /// for (src -> dst) payloads: any clocked transport, or any routed
+  /// path. The caller must then skip its own reserve and take
+  /// arrival/queue_delay/relay_delay from the Delivery.
+  [[nodiscard]] bool engaged(int src, int dst) const {
+    return config_.transport != Transport::kAnalytic ||
+           fabric_->relayed(src, dst);
+  }
 
   /// End-to-end recovery: the upper layer on rank @p dst detected an
   /// integrity failure at @p now for a frame from @p src. Simulates
   /// the NACK control frame plus the sender's retransmissions until a
-  /// clean copy arrives; returns its arrival time. Throws
-  /// PeerUnreachable (and marks the link dead) when the remaining
-  /// retry budget is exhausted.
+  /// clean copy arrives; returns its arrival time. Routed pairs replay
+  /// the dialogue over the full route at end-to-end fault granularity.
+  /// Throws PeerUnreachable (and marks the link dead) when the
+  /// remaining retry budget is exhausted.
   double e2e_recover(int src, int dst, std::size_t bytes, double now,
-                     std::uint32_t already_spent);
+                     std::uint32_t already_spent,
+                     const net::RelayPolicy& relay = {});
 
   /// True once the (src -> dst) retry budget has been exhausted.
   [[nodiscard]] bool link_dead(int src, int dst) const {
@@ -198,15 +255,49 @@ class Channel {
                            int attempt) const;
 
  private:
+  /// Per-directed-link congestion/RTT state (clocked transports).
+  struct CcState {
+    bool seeded = false;   ///< true once the first RTT sample landed
+    double srtt = 0.0;     ///< smoothed RTT (RFC 6298)
+    double rttvar = 0.0;   ///< RTT variance estimate
+    double cwnd = 0.0;     ///< congestion window, frames
+    double ssthresh = 0.0; ///< slow-start threshold, frames
+    /// ACK return times of frames still occupying the window.
+    std::multiset<double> inflight;
+  };
+
   [[nodiscard]] std::uint64_t next_seq(int src, int dst) {
     return seq_[{src, dst}]++;
   }
+
+  CcState& cc_state(int a, int b);
+  void rtt_sample(CcState& cc, double sample);
+  void cc_on_loss(CcState& cc);
+  void cc_on_ack(CcState& cc);
+
+  /// RTO of attempt @p attempt under the configured transport:
+  /// kAdaptive derives the base from SRTT/RTTVAR (nominal-RTT fallback
+  /// from @p prof before the first sample) and backs off uncapped
+  /// (Karn); the other modes use the fixed rto() ladder.
+  [[nodiscard]] double transport_rto(const CcState& cc,
+                                     const net::NetworkProfile& prof, int a,
+                                     int b, std::uint64_t seq,
+                                     int attempt) const;
+
+  Delivery deliver_clocked(Delivery out, int src, int dst, std::size_t bytes,
+                           double send_time, bool frame_checksummed);
+  Delivery deliver_routed(Delivery out, int src, int dst, std::size_t bytes,
+                          double send_time, bool frame_checksummed,
+                          const net::RelayPolicy& relay);
 
   Config config_;
   net::Fabric* fabric_;
   ReliabilityStats stats_;
   /// Per-link ARQ sequence counters (send side).
   std::map<std::pair<int, int>, std::uint64_t> seq_;
+  /// Per-link congestion-control state (clocked transports and routed
+  /// hops; relay hops are keyed by negative hop coordinates).
+  std::map<std::pair<int, int>, CcState> cc_;
   /// Links whose retry budget has been exhausted.
   std::set<std::pair<int, int>> dead_links_;
   std::vector<RetransmitStash> stash_;

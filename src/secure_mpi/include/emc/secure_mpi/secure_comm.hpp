@@ -76,6 +76,22 @@ struct CryptoCostModel {
   double open_per_byte = 0.0;  ///< per plaintext byte decrypted
 };
 
+/// Trust model for intermediate hops of multi-hop routed paths
+/// (ClusterConfig::routes). Irrelevant on direct links.
+enum class RelayTrust : std::uint8_t {
+  /// The paper's implicit model, made explicit: every relay terminates
+  /// the cryptographic session — it decrypts, re-authenticates, and
+  /// re-encrypts the payload. Corruption is caught per hop (cheap
+  /// recovery), but the relay operator sees plaintext: every crossing
+  /// is counted as an exposure event (see exposure_events()).
+  kHopTrusted,
+  /// End-to-end sealing: relays forward the sealed envelope untouched.
+  /// No plaintext exposure (exposure_events() == 0) and no per-relay
+  /// crypto surcharge, but in-flight corruption rides to the
+  /// destination and recovery costs a full end-to-end NACK round trip.
+  kEndToEnd,
+};
+
 struct SecureConfig {
   /// Registry name of the cryptographic library tier to use.
   std::string provider = "boringssl-sim";
@@ -119,6 +135,13 @@ struct SecureConfig {
   /// Optional analytic crypto timing (see CryptoCostModel). Only
   /// meaningful while charge_crypto is true; ignored otherwise.
   std::optional<CryptoCostModel> cost_model;
+
+  /// What multi-hop relays do with sealed traffic (hop-trusted
+  /// decrypt/re-encrypt vs end-to-end forwarding). Installed on the
+  /// wrapped Comm's relay policy at construction; with a cost_model,
+  /// hop-trusted relays additionally pay one open + one seal of
+  /// analytic time per payload per hop.
+  RelayTrust relay_trust = RelayTrust::kHopTrusted;
 };
 
 /// Cumulative per-rank crypto accounting (drives the overhead
@@ -190,6 +213,16 @@ class SecureComm final : public mpi::Communicator {
 
   /// The wrapped plain communicator.
   [[nodiscard]] mpi::Comm& plain() { return *comm_; }
+
+  /// Plaintext-exposure events at untrusted relays since this
+  /// SecureComm attached: under kHopTrusted, one event per relay node
+  /// each delivered payload crossed (world-wide — the fabric counts
+  /// crossings, this object scopes them to its lifetime); exactly 0
+  /// under kEndToEnd, where relays only ever see sealed bytes.
+  [[nodiscard]] std::uint64_t exposure_events() const {
+    if (config_.relay_trust == RelayTrust::kEndToEnd) return 0;
+    return comm_->world().fabric().relay_exposures() - exposure_base_;
+  }
 
   /// Scrubs the session-key copy held by the effective config; the
   /// provider-side key schedules wipe themselves (EMC-SECRET-WIPE).
@@ -282,6 +315,10 @@ class SecureComm final : public mpi::Communicator {
   /// is a benign fabric duplicate, copy 2+ is a replay attack.
   std::map<std::tuple<int, int, std::uint64_t>, std::uint32_t> extra_copies_;
   std::uint64_t coll_seq_ = 0;
+  /// Fabric-wide relay-exposure count at attach; exposure_events()
+  /// reports the delta so stacked experiments don't bleed into each
+  /// other.
+  std::uint64_t exposure_base_ = 0;
 };
 
 /// Convenience: run a world where every rank gets a SecureComm.

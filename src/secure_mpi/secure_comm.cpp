@@ -44,6 +44,21 @@ SecureComm::SecureComm(mpi::Comm& comm, const SecureConfig& config)
         "SecureConfig: replay_window requires bind_context (the window "
         "slides over the authenticated per-channel sequence numbers)");
   }
+  net::RelayPolicy relay;  // kEndToEnd: sealed forwarding, free relays
+  if (config_.relay_trust == RelayTrust::kHopTrusted) {
+    relay.hop_integrity = true;  // each hop re-verifies before re-sealing
+    if (config_.charge_crypto && config_.cost_model) {
+      // One open + one seal of analytic crypto time per payload per
+      // relay. Without a cost model relay crypto is unbilled (relays
+      // are not simulated processes, so wall-clock charging has no
+      // process to bill).
+      const CryptoCostModel& m = *config_.cost_model;
+      relay.per_hop_fixed = m.open_per_op + m.seal_per_op;
+      relay.per_hop_byte = m.open_per_byte + m.seal_per_byte;
+    }
+  }
+  comm_->set_relay_policy(relay);
+  exposure_base_ = comm_->world().fabric().relay_exposures();
 }
 
 double SecureComm::charged_crypto(const std::function<void()>& work,

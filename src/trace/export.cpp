@@ -103,9 +103,11 @@ double SummaryRow::crypto_pct() const noexcept {
 
 double SummaryRow::wire_pct() const noexcept {
   if (total <= 0.0) return 0.0;
-  return 100.0 * (seconds[static_cast<std::size_t>(Category::kWire)] +
-                  seconds[static_cast<std::size_t>(Category::kNicQueue)] +
-                  seconds[static_cast<std::size_t>(Category::kCopy)]) /
+  return 100.0 *
+         (seconds[static_cast<std::size_t>(Category::kWire)] +
+          seconds[static_cast<std::size_t>(Category::kNicQueue)] +
+          seconds[static_cast<std::size_t>(Category::kCopy)] +
+          seconds[static_cast<std::size_t>(Category::kRelayForward)]) /
          total;
 }
 

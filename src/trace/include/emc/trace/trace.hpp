@@ -47,9 +47,10 @@ enum class Category : std::uint8_t {
   kArqRetransmit,      ///< reliability-layer backoff + retransmission
   kCopy,               ///< CPU message handling: overheads + copies
   kCompute,            ///< application compute (Process::charge)
+  kRelayForward,       ///< store-and-forward through route relay hops
 };
 
-inline constexpr std::size_t kNumCategories = 8;
+inline constexpr std::size_t kNumCategories = 9;
 
 /// Stable lower_snake_case name ("crypto_encrypt", ...); used by both
 /// exporters, so it is part of the trace file format.

@@ -15,6 +15,7 @@ const char* category_name(Category c) noexcept {
     case Category::kArqRetransmit: return "arq_retransmit";
     case Category::kCopy: return "copy";
     case Category::kCompute: return "compute";
+    case Category::kRelayForward: return "relay_forward";
   }
   return "unknown";
 }

@@ -1,0 +1,255 @@
+// Congestion-controlled transports over hostile WAN links: clocked
+// knob validation, the fixed-RTO spurious-retransmit collapse on long
+// paths vs the adaptive (RFC 6298 + AIMD) transport, window/AIMD
+// accounting, and the extreme-adversity property suite (30-50% seeded
+// loss with zero application-visible errors, salt-invariant
+// transcripts, tombstone fallback past the retry budget).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "emc/mpi/comm.hpp"
+#include "emc/reliable/reliable.hpp"
+
+namespace emc::reliable {
+namespace {
+
+using mpi::Comm;
+using mpi::Status;
+using mpi::World;
+using mpi::WorldConfig;
+
+/// Two single-rank nodes joined by a symmetric overridden link.
+WorldConfig wan_world(const net::LinkProfile& link, Transport transport) {
+  WorldConfig config;
+  config.cluster.num_nodes = 2;
+  config.cluster.ranks_per_node = 1;
+  config.cluster.links.push_back({0, 1, link});
+  config.cluster.links.push_back({1, 0, link});
+  config.reliability.enabled = true;
+  config.reliability.transport = transport;
+  return config;
+}
+
+TEST(CongestionConfig, ValidatesClockedKnobs) {
+  Config config;
+  config.enabled = true;
+  config.transport = Transport::kAdaptive;
+  EXPECT_NO_THROW(config.validate());
+  config.cwnd_initial = 0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.cwnd_initial = 8;
+  config.cwnd_limit = 4;  // limit below initial
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.cwnd_limit = 64;
+  config.rto_min = -1e-3;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+}
+
+TEST(CongestionTransport, ClockedModesStillDeliverEverythingOnCleanLinks) {
+  for (const Transport t : {Transport::kFixedRto, Transport::kAdaptive}) {
+    const net::LinkProfile clean = net::wan_link(net::wan_metro(), 0.0,
+                                                0.0, 1);
+    World world(wan_world(clean, t));
+    world.run([](Comm& comm) {
+      for (int i = 0; i < 10; ++i) {
+        if (comm.rank() == 0) {
+          comm.send(Bytes(2048, static_cast<std::uint8_t>(i)), 1, i);
+        } else {
+          Bytes buf(2048);
+          const Status st = comm.recv(buf, 0, i);
+          EXPECT_EQ(st.bytes, 2048u);
+          EXPECT_EQ(buf, Bytes(2048, static_cast<std::uint8_t>(i)));
+        }
+      }
+    });
+    const ReliabilityStats& stats = world.reliability()->stats();
+    EXPECT_EQ(stats.deliveries, 10u);
+    EXPECT_EQ(stats.retransmits, 0u);
+    EXPECT_EQ(stats.cwnd_halvings, 0u);
+    if (t == Transport::kAdaptive) EXPECT_GT(stats.rtt_samples, 0u);
+  }
+}
+
+TEST(CongestionTransport, FixedRtoCollapsesOnWanAdaptiveLearnsTheRtt) {
+  // The motivating scenario: a LAN-tuned fixed RTO ladder (capped at
+  // 20 ms) on an 80 ms-RTT continental path fires long before the ACK
+  // can possibly return, burning the wire with spurious copies of
+  // every frame. The adaptive transport seeds its timer from the
+  // path's nominal latency and then from measured SRTT/RTTVAR, so the
+  // same traffic crosses storm-free and finishes sooner.
+  const net::LinkProfile wan =
+      net::wan_link(net::wan_continental(), 0.0, 0.0, 3);
+  const auto campaign = [&](Transport t) {
+    WorldConfig config = wan_world(wan, t);
+    // Same window for both transports: the measured difference is the
+    // timer discipline, not the window size.
+    config.reliability.cwnd_initial = 8;
+    config.reliability.cwnd_limit = 8;
+    World world(config);
+    const double end = world.run([](Comm& comm) {
+      for (int i = 0; i < 15; ++i) {
+        if (comm.rank() == 0) {
+          comm.send(Bytes(4096, 0x42), 1, i);
+        } else {
+          Bytes buf(4096);
+          (void)comm.recv(buf, 0, i);
+        }
+      }
+      // Close the loop so the end time covers the last delivery.
+      if (comm.rank() == 1) comm.send(bytes_of("done"), 0, 99);
+      else { Bytes b(8); (void)comm.recv(b, 1, 99); }
+    });
+    return std::make_pair(end, world.reliability()->stats());
+  };
+
+  const auto [fixed_end, fixed] = campaign(Transport::kFixedRto);
+  const auto [adaptive_end, adaptive] = campaign(Transport::kAdaptive);
+
+  EXPECT_EQ(fixed.deliveries, 16u);
+  EXPECT_EQ(adaptive.deliveries, 16u);
+  // The fixed ladder retransmits spuriously on essentially every
+  // frame; the adaptive timer at worst grazes a few marginal samples
+  // (NIC-queueing variance riding on a converged RTTVAR).
+  EXPECT_GT(fixed.spurious_retransmits, 15u);
+  EXPECT_LT(adaptive.spurious_retransmits, fixed.spurious_retransmits / 4);
+  EXPECT_GT(adaptive.rtt_samples, 5u);
+  EXPECT_EQ(fixed.rtt_samples, 0u);
+  EXPECT_LT(adaptive_end, fixed_end);
+}
+
+TEST(CongestionTransport, FullWindowStallsTheSender) {
+  const net::LinkProfile wan =
+      net::wan_link(net::wan_continental(), 0.0, 0.0, 5);
+  WorldConfig config = wan_world(wan, Transport::kFixedRto);
+  config.reliability.cwnd_limit = 2;  // tiny window, 80 ms ACK clock
+  config.reliability.cwnd_initial = 2;
+  World world(config);
+  world.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      for (int i = 0; i < 12; ++i) comm.send(Bytes(1024, 0x01), 1, i);
+    } else {
+      for (int i = 0; i < 12; ++i) {
+        Bytes buf(1024);
+        (void)comm.recv(buf, 0, i);
+      }
+    }
+  });
+  const ReliabilityStats& stats = world.reliability()->stats();
+  EXPECT_GT(stats.window_stalls, 0u);
+  EXPECT_GT(stats.window_stall_seconds, 0.0);
+}
+
+TEST(CongestionTransport, LossHalvesTheAdaptiveWindow) {
+  net::LinkProfile lossy = net::wan_link(net::wan_metro(), 0.10, 0.0, 11);
+  World world(wan_world(lossy, Transport::kAdaptive));
+  world.run([](Comm& comm) {
+    for (int i = 0; i < 40; ++i) {
+      if (comm.rank() == 0) comm.send(Bytes(1024, 0x55), 1, i);
+      else { Bytes buf(1024); (void)comm.recv(buf, 0, i); }
+    }
+  });
+  const ReliabilityStats& stats = world.reliability()->stats();
+  EXPECT_GT(stats.cwnd_halvings, 0u);  // AIMD reacted to the losses
+  EXPECT_GT(stats.retransmits, 0u);
+  EXPECT_EQ(stats.deliveries, 40u);    // and still delivered everything
+}
+
+TEST(CongestionAdversity, ExtremeLossSurvivedWithZeroAppVisibleErrors) {
+  // Property-style sweep: 30/40/50% seeded frame loss on a jittery
+  // metro WAN path. The contract under test is the robustness story
+  // end to end — every payload is delivered intact, no exception
+  // reaches the application, and the delivered transcripts are
+  // identical under perturbed engine tie-break orders (the ARQ
+  // dialogue is a pure function of the fault schedule, not of the
+  // scheduler).
+  for (const double p_drop : {0.30, 0.40, 0.50}) {
+    net::LinkProfile brutal =
+        net::wan_link(net::wan_metro(), p_drop, 1e-3, 17);
+    WorldConfig config = wan_world(brutal, Transport::kAdaptive);
+    config.reliability.max_retries = 24;  // 0.5^24: loss, not death
+
+    constexpr int kRuns = 3;
+    constexpr int kMsgs = 12;
+    std::mutex mu;
+    std::vector<std::string> transcripts;
+    const auto body = [&](Comm& comm) {
+      std::string got;
+      for (int i = 0; i < kMsgs; ++i) {
+        Bytes payload(512, static_cast<std::uint8_t>(0xA0 + i));
+        if (comm.rank() == 0) {
+          comm.send(payload, 1, i);
+          Bytes echo(512);
+          const Status st = comm.recv(echo, 1, 100 + i);
+          EXPECT_EQ(st.bytes, 512u);
+          EXPECT_EQ(echo, payload);  // round trip intact
+        } else {
+          Bytes buf(512);
+          const Status st = comm.recv(buf, 0, i);
+          EXPECT_EQ(st.bytes, 512u);
+          EXPECT_EQ(buf, payload);
+          comm.send(buf, 0, 100 + i);
+        }
+        got += std::to_string(i) + ";";
+      }
+      const std::lock_guard<std::mutex> lock(mu);
+      transcripts.push_back(std::to_string(comm.rank()) + "=" + got);
+    };
+
+    const auto runs = mpi::run_perturbed(config, body, kRuns, /*seed=*/31);
+    ASSERT_EQ(runs.size(), static_cast<std::size_t>(kRuns));
+    for (const auto& run : runs) {
+      EXPECT_FALSE(run.failed) << "p_drop=" << p_drop << ": " << run.error;
+    }
+    ASSERT_EQ(transcripts.size(), static_cast<std::size_t>(2 * kRuns));
+    const auto run_set = [&](int run) {
+      std::vector<std::string> s(transcripts.begin() + run * 2,
+                                 transcripts.begin() + (run + 1) * 2);
+      std::sort(s.begin(), s.end());
+      return s;
+    };
+    for (int run = 1; run < kRuns; ++run) {
+      EXPECT_EQ(run_set(run), run_set(0)) << "p_drop=" << p_drop;
+    }
+
+    // Sanity: the link really was hostile — recovery did happen.
+    World world(config);
+    world.run(body);
+    const ReliabilityStats& stats = world.reliability()->stats();
+    EXPECT_GT(stats.retransmits, 0u);
+    EXPECT_GT(stats.recoveries, 0u);
+    EXPECT_EQ(stats.links_dead, 0u);
+  }
+}
+
+TEST(CongestionAdversity, TotalLossFallsBackToPeerUnreachable) {
+  // Past graceful degradation: a link that drops literally everything
+  // exhausts the budget, the sender gets a structured PeerUnreachable
+  // and the receiver a tombstone — bounded, deterministic, no hang.
+  net::LinkProfile dead = net::wan_link(net::wan_metro(), 1.0, 0.0, 7);
+  net::LinkProfile clean = net::wan_link(net::wan_metro(), 0.0, 0.0, 7);
+  WorldConfig config;
+  config.cluster.num_nodes = 2;
+  config.cluster.ranks_per_node = 1;
+  config.cluster.links.push_back({0, 1, dead});
+  config.cluster.links.push_back({1, 0, clean});
+  config.reliability.enabled = true;
+  config.reliability.transport = Transport::kAdaptive;
+  config.reliability.max_retries = 4;
+  World world(config);
+  world.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      EXPECT_THROW(comm.send(bytes_of("void"), 1, 1), PeerUnreachable);
+    } else {
+      Bytes buf(16);
+      EXPECT_THROW((void)comm.recv(buf, 0, 1), PeerUnreachable);
+    }
+  });
+  EXPECT_EQ(world.reliability()->stats().links_dead, 1u);
+}
+
+}  // namespace
+}  // namespace emc::reliable
