@@ -297,8 +297,12 @@ void Comm::deliver_reliable(int dst, std::unique_ptr<Envelope> env) {
   // point-to-point payloads defer integrity to the upper layer.
   const bool checksummed = env->tag >= (1 << 28);
   const bool channel_wire = arq_->engaged(wrank(), wd);
+  // A pipelined chunk may not hit the wire before its helper core
+  // finished sealing it; 0 (every non-chunk path) leaves the send
+  // time untouched.
+  const double send_time = std::max(proc_->now(), env->wire_not_before);
   const reliable::Delivery d =
-      arq_->deliver(wrank(), wd, env->payload.size(), proc_->now(),
+      arq_->deliver(wrank(), wd, env->payload.size(), send_time,
                     env->arrival, checksummed, relay_policy_);
   env->arq_seq = d.seq;
   env->arq_transmissions = d.transmissions;
@@ -440,6 +444,49 @@ void Comm::send_internal(BytesView data, int dst, int tag) {
 void Comm::send(BytesView data, int dst, int tag) {
   validate_user_tag(tag);
   guarded([&] { send_internal(data, dst, tag); });
+}
+
+void Comm::send_chunk(BytesView data, int dst, int tag,
+                      double wire_not_before) {
+  validate_user_tag(tag);
+  guarded([&] {
+    validate_peer(dst, size());
+    ft_guard(/*post=*/true);
+    const int wd = to_world(dst);
+    const net::NetworkProfile& prof = world_->fabric().profile(wrank(), wd);
+    const bool self = dst == rank();
+    const double begin = proc_->now();
+    // Always the eager shape, whatever the chunk size: a chunk is a
+    // self-contained sealed frame, and a rendezvous handshake would
+    // serialize the pipeline it exists to create. The sender's clock
+    // advances only by CPU overhead + copy; the wire is reserved (or
+    // ARQ-resolved) no earlier than the chunk's seal-completion time,
+    // which is how encryption hides behind transmission.
+    proc_->advance(prof.send_overhead +
+                   static_cast<double>(data.size()) / prof.copy_bandwidth);
+    trace_span(trace::Category::kCopy, begin, dst, data.size());
+    auto env = std::make_unique<Envelope>();
+    env->src = rank();
+    env->world_src = wrank();
+    env->comm_epoch = epoch_;
+    env->tag = tag;
+    env->seq = world_->next_seq();
+    env->payload.assign(data.begin(), data.end());
+    env->wire_not_before = wire_not_before;
+    if (self || arq_resolves_wire(wd)) {
+      // Engaged ARQ transports reserve the wire in deliver_reliable,
+      // which clamps to wire_not_before itself.
+      env->arrival = std::max(proc_->now(), wire_not_before);
+    } else {
+      const net::PathTimes path = world_->fabric().reserve_route(
+          wrank(), wd, data.size(), std::max(proc_->now(), wire_not_before),
+          relay_policy_.hop_delay(data.size()));
+      env->arrival = path.arrival;
+      env->nic_queue = path.queue_delay;
+      env->relay_delay = path.relay_delay;
+    }
+    deliver_eager(dst, std::move(env));
+  });
 }
 
 Request Comm::isend_internal(BytesView data, int dst, int tag) {

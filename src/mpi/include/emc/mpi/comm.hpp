@@ -73,6 +73,16 @@ class Comm final : public Communicator {
   Status sendrecv(BytesView senddata, int dst, int sendtag, MutBytes recvbuf,
                   int src, int recvtag) override;
 
+  /// Pipelined-chunk send primitive for the secure layer's chunked
+  /// encrypt->send pipeline (docs/PIPELINE.md): always eager (a chunk
+  /// is a self-contained sealed frame — rendezvous would serialize
+  /// the pipeline behind a handshake), and the payload may not start
+  /// on the wire before @p wire_not_before (virtual seconds) — the
+  /// time its helper core finished sealing it. The sender's own clock
+  /// only advances by the per-message CPU overhead + copy, exactly
+  /// like an eager send, so successive chunks overlap on the wire.
+  void send_chunk(BytesView data, int dst, int tag, double wire_not_before);
+
   /// Hard ceiling on collectives per communicator: the internal tag
   /// space above kMaxUserTag fits this many 64-slot collective
   /// invocations; next_coll_tag throws MpiError once it is exhausted

@@ -1,0 +1,100 @@
+// Chunked encrypt->send pipelining, the CryptMPI design (arXiv
+// 2010.06471, modelled in arXiv 2010.06139): a large message is split
+// into fixed-size chunks, each sealed independently on a simulated
+// helper crypto core while earlier chunks are already on the wire, so
+// encryption cost hides behind transmission instead of adding to it.
+// The receiver opens chunk k on its own helper cores while chunk k+1
+// is still in flight.
+//
+// This header holds the configuration knob (PipelineConfig, installed
+// on SecureConfig::pipeline) and the chunk wire framing shared by the
+// sender, the receiver, and the tests. The full design — nonce
+// derivation, helper-core billing rules, interaction with the ARQ
+// layer — is documented in docs/PIPELINE.md.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "emc/common/bytes.hpp"
+
+namespace emc::secure {
+
+/// Knobs of the chunked encrypt->send pipeline. Disabled by default:
+/// every existing path replays bit-exact. When enabled, a
+/// point-to-point payload of more than max(min_bytes, chunk_bytes)
+/// bytes is split into ceil(size / chunk_bytes) chunks, each framed
+/// as header || nonce || ct || tag and sent eagerly (the pipeline
+/// supersedes the RTS/CTS rendezvous — a handshake would serialize
+/// exactly the overlap it exists to create). Messages at or below the
+/// threshold, and all collectives, use the unchunked path unchanged.
+struct PipelineConfig {
+  bool enabled = false;
+
+  /// Plaintext bytes per chunk (the last chunk takes the remainder).
+  /// Must be >= 1 when enabled.
+  std::size_t chunk_bytes = std::size_t{64} * 1024;
+
+  /// Simulated helper crypto cores per rank. Each seal/open of a
+  /// chunk is billed to the earliest-free core as analytic virtual
+  /// time running concurrently with the rank's own timeline; the rank
+  /// only stalls when it needs a result a helper has not finished
+  /// (docs/PIPELINE.md). 0 bills chunk crypto serially on the rank
+  /// itself (chunked framing without overlap — the degenerate
+  /// baseline bench_pipeline compares against).
+  int helper_cores = 2;
+
+  /// Smallest payload the pipeline engages for. Chunking a message
+  /// that fits one chunk only adds header bytes, so the effective
+  /// threshold is max(min_bytes, chunk_bytes + 1).
+  std::size_t min_bytes = std::size_t{128} * 1024;
+};
+
+/// First word of every chunk frame. The leading byte 0xEC can never
+/// collide with the first byte of an unchunked wire message: those
+/// start with the 12-byte nonce, whose first byte in kCounter mode is
+/// the top byte of the big-endian rank (0 for any world smaller than
+/// 2^24 ranks). In kRandom mode a collision of the full word is a
+/// 2^-32 event per message — and a misclassified frame still fails
+/// authentication, because chunked and unchunked AADs differ; it can
+/// produce a spurious IntegrityError, never a wrong plaintext.
+inline constexpr std::uint32_t kPipeMagic = 0xEC7C6E01u;
+
+/// Frame layout: magic(4) || index(4) || count(4) || chunk_len(4) ||
+/// msg_id(8) || offset(8), all big-endian, followed by the standard
+/// nonce || ct || tag AEAD frame of the chunk. The header travels in
+/// plaintext (the receiver needs it to pick the AAD before opening)
+/// but is authenticated: it is the prefix of every chunk's AAD, so
+/// any tampered field fails the tag check.
+inline constexpr std::size_t kPipeHeaderBytes = 32;
+
+/// Decoded chunk header.
+struct PipeChunkHeader {
+  std::uint64_t msg_id = 0;   ///< sender-scoped pipelined-message id
+  std::uint32_t index = 0;    ///< chunk number, < count
+  std::uint32_t count = 0;    ///< chunks in the message, >= 1
+  std::uint32_t chunk_len = 0;///< plaintext bytes in this chunk
+  std::uint64_t offset = 0;   ///< plaintext offset within the message
+};
+
+inline void store_pipe_header(std::uint8_t* out, const PipeChunkHeader& h) {
+  store_be32(out, kPipeMagic);
+  store_be32(out + 4, h.index);
+  store_be32(out + 8, h.count);
+  store_be32(out + 12, h.chunk_len);
+  store_be64(out + 16, h.msg_id);
+  store_be64(out + 24, h.offset);
+}
+
+[[nodiscard]] inline PipeChunkHeader load_pipe_header(
+    const std::uint8_t* in) noexcept {
+  PipeChunkHeader h;
+  h.index = load_be32(in + 4);
+  h.count = load_be32(in + 8);
+  h.chunk_len = load_be32(in + 12);
+  h.msg_id = load_be64(in + 16);
+  h.offset = load_be64(in + 24);
+  return h;
+}
+
+}  // namespace emc::secure

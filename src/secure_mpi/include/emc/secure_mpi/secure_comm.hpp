@@ -22,9 +22,11 @@
 #include <string>
 #include <tuple>
 #include <utility>
+#include <vector>
 
 #include "emc/crypto/provider.hpp"
 #include "emc/mpi/comm.hpp"
+#include "emc/secure_mpi/pipeline.hpp"
 
 namespace emc::secure {
 
@@ -142,6 +144,13 @@ struct SecureConfig {
   /// hop-trusted relays additionally pay one open + one seal of
   /// analytic time per payload per hop.
   RelayTrust relay_trust = RelayTrust::kHopTrusted;
+
+  /// CryptMPI-style chunked encrypt->send pipelining for large
+  /// point-to-point messages (docs/PIPELINE.md). Requires a
+  /// cost_model while charge_crypto is on: helper cores are not
+  /// simulated processes, so their per-chunk crypto can only be
+  /// billed analytically (validated at construction).
+  PipelineConfig pipeline;
 };
 
 /// Cumulative per-rank crypto accounting (drives the overhead
@@ -176,6 +185,21 @@ struct CryptoCounters {
   /// Times rekey() installed a fresh session key (ft recovery or
   /// nonce-threshold rotation).
   std::uint64_t rekeys = 0;
+
+  // Pipelined-transport accounting (PipelineConfig; docs/PIPELINE.md).
+  // Chunk seals/opens also count in messages_sealed/opened and the
+  // byte totals above; the *_seconds here are analytic virtual
+  // seconds billed to helper cores, kept apart from the host-measured
+  // seal_seconds/open_seconds (helper cores never run wall-clock
+  // measurement — determinism, EMC-DET-CLOCK).
+  std::uint64_t messages_pipelined = 0;  ///< messages sent chunked
+  std::uint64_t chunks_sealed = 0;
+  std::uint64_t chunks_opened = 0;
+  double helper_seal_seconds = 0.0;   ///< analytic helper-core seal time
+  double helper_open_seconds = 0.0;   ///< analytic helper-core open time
+  /// Virtual seconds the main timeline spent blocked on helper-core
+  /// crypto (the unhidden tail of pipelined messages).
+  double pipeline_stall_seconds = 0.0;
 
   [[nodiscard]] std::uint64_t faults_detected() const noexcept {
     return auth_failures + length_failures + replays_rejected;
@@ -280,10 +304,68 @@ class SecureComm final : public mpi::Communicator {
   /// must loop and receive the next message. When the reliability
   /// layer is on, an authentication failure that the ARQ stash can
   /// explain is NACKed and retransmitted in place (@p wire_buf is
-  /// rewritten with the clean copy) instead of thrown.
+  /// rewritten with the clean copy) instead of thrown. When @p
+  /// became_chunked is non-null and an ARQ recovery reveals the clean
+  /// frame is actually a pipelined chunk (the damage had destroyed
+  /// the magic), it is set and std::nullopt returned so the caller
+  /// can re-dispatch to the chunked path.
   std::optional<mpi::Status> open_p2p(MutBytes wire_buf,
                                       const mpi::Status& wire_status,
+                                      MutBytes user,
+                                      bool* became_chunked = nullptr);
+
+  // ------------------------------------------------- chunked pipeline
+  // (docs/PIPELINE.md; all billing below is analytic — helper cores
+  // never measure host time, keeping src/secure_mpi EMC-DET-CLOCK
+  // clean without suppressions.)
+
+  /// True when a payload of @p bytes takes the pipelined path.
+  [[nodiscard]] bool pipeline_engages(std::size_t bytes) const noexcept;
+
+  /// Wire capacity a receive buffer needs so any frame — unchunked
+  /// message or single pipelined chunk — of a payload up to
+  /// @p payload bytes fits.
+  [[nodiscard]] static constexpr std::size_t recv_wire_capacity(
+      std::size_t payload) noexcept {
+    return kPipeHeaderBytes + wire_size(payload);
+  }
+
+  /// Schedules one chunk's seal/open of @p bytes plaintext on the
+  /// earliest-free helper core, no earlier than @p ready (the chunk's
+  /// data-available time). Returns the completion time and records a
+  /// crypto_helper trace span on the core's lane. With helper_cores
+  /// == 0 (or crypto charging off) the cost is billed serially on the
+  /// main clock instead and now() is returned.
+  double helper_crypto(std::size_t bytes, bool encrypt);
+
+  /// Seals @p pt as the chunk AEAD frame at @p out (wire_size(pt)
+  /// bytes, already behind the plaintext header) and returns the
+  /// helper-core completion time — the chunk's wire_not_before.
+  /// Draws the nonce from the sanctioned stream (per-chunk exhaustion
+  /// guard) and bills analytically via helper_crypto.
+  double seal_chunk(BytesView pt, MutBytes out, BytesView aad);
+
+  /// Sender side of the pipeline: chunk, seal on helper cores, send
+  /// each frame with its seal-completion wire gate.
+  void send_pipelined(BytesView data, int dst, int tag);
+
+  /// Dispatches one received frame: pipelined chunk frames (magic +
+  /// consistent header) go to open_pipelined, everything else to
+  /// open_p2p; an ARQ recovery that flips the classification
+  /// re-dispatches. Same nullopt contract as open_p2p.
+  std::optional<mpi::Status> open_any(MutBytes wire_buf,
+                                      const mpi::Status& wire_status,
                                       MutBytes user);
+
+  /// Receiver side of the pipeline, entered with the first chunk
+  /// frame of a message already received: receives the remaining
+  /// frames, opens every chunk on helper cores while later chunks are
+  /// still on the wire, reassembles into @p user, and stalls only for
+  /// crypto the wire did not hide. Returns std::nullopt when the
+  /// frame was a stale duplicate of an already-delivered message.
+  std::optional<mpi::Status> open_pipelined(MutBytes first_frame,
+                                            const mpi::Status& wire_status,
+                                            MutBytes user);
 
   /// Context AAD helpers (replay-protection extension). The 28-byte
   /// AAD layout is src(4) || dst(4) || tag(4) || kind(8) || seq(8).
@@ -315,6 +397,15 @@ class SecureComm final : public mpi::Communicator {
   /// is a benign fabric duplicate, copy 2+ is a replay attack.
   std::map<std::tuple<int, int, std::uint64_t>, std::uint32_t> extra_copies_;
   std::uint64_t coll_seq_ = 0;
+  // Pipelined-transport state (all key-scoped; rekey() resets it).
+  // helper_free_[c] is helper core c's next-free virtual time —
+  // scheduling always picks the earliest-free (lowest-index) core, a
+  // pure function of the simulated timeline (EMC-DET).
+  std::vector<double> helper_free_;
+  std::uint64_t pipe_msg_id_ = 0;  ///< next pipelined send's message id
+  /// Per-(src, tag) next-expected pipelined message id; frames of
+  /// already-delivered ids are absorbed as benign duplicates.
+  std::map<std::pair<int, int>, std::uint64_t> pipe_recv_next_;
   /// Fabric-wide relay-exposure count at attach; exposure_events()
   /// reports the delta so stacked experiments don't bleed into each
   /// other.

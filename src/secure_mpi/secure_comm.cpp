@@ -1,6 +1,8 @@
 #include "emc/secure_mpi/secure_comm.hpp"
 
+#include <algorithm>
 #include <cstring>
+#include <limits>
 
 #include "emc/common/rng.hpp"
 #include "emc/mpi/validate.hpp"
@@ -33,6 +35,33 @@ struct SecureRecvState final : mpi::detail::RequestState {
   mpi::Request inner;
 };
 
+/// Request state for a non-blocking pipelined send. Every chunk was
+/// already dispatched in isend (send_chunk never blocks — the sender
+/// only pays per-chunk CPU overhead), so the request is born complete
+/// and wait() just hands back the status.
+struct SecurePipeSendState final : mpi::detail::RequestState {
+  mpi::Status status;
+};
+
+/// A received frame is a pipelined chunk when it is long enough to
+/// hold the chunk header plus a minimal AEAD frame and leads with the
+/// magic (see kPipeMagic's collision analysis in pipeline.hpp).
+bool looks_like_chunk(BytesView frame) {
+  return frame.size() >= kPipeHeaderBytes + kWireOverhead &&
+         load_be32(frame.data()) == kPipeMagic;
+}
+
+/// Pre-authentication header sanity: pure bounds checks against the
+/// frame length and the receive capacity. Field integrity is enforced
+/// later — the header is the AAD prefix of its chunk, so any tampered
+/// field fails the tag.
+bool pipe_header_plausible(const PipeChunkHeader& h, std::size_t frame_bytes,
+                           std::size_t capacity) {
+  return h.count >= 1 && h.index < h.count && h.offset <= capacity &&
+         h.chunk_len <= capacity - h.offset &&
+         frame_bytes == kPipeHeaderBytes + SecureComm::wire_size(h.chunk_len);
+}
+
 }  // namespace
 
 SecureComm::SecureComm(mpi::Comm& comm, const SecureConfig& config)
@@ -59,6 +88,31 @@ SecureComm::SecureComm(mpi::Comm& comm, const SecureConfig& config)
   }
   comm_->set_relay_policy(relay);
   exposure_base_ = comm_->world().fabric().relay_exposures();
+  if (config_.pipeline.enabled) {
+    if (config_.pipeline.chunk_bytes == 0) {
+      throw std::invalid_argument(
+          "SecureConfig: pipeline.chunk_bytes must be >= 1");
+    }
+    if (config_.pipeline.chunk_bytes >
+        std::numeric_limits<std::uint32_t>::max()) {
+      throw std::invalid_argument(
+          "SecureConfig: pipeline.chunk_bytes must fit the 32-bit "
+          "chunk-length header field");
+    }
+    if (config_.pipeline.helper_cores < 0) {
+      throw std::invalid_argument(
+          "SecureConfig: pipeline.helper_cores must be >= 0");
+    }
+    if (config_.charge_crypto && !config_.cost_model) {
+      throw std::invalid_argument(
+          "SecureConfig: the pipeline requires a cost_model while "
+          "charge_crypto is on — helper cores are not simulated "
+          "processes, so their per-chunk crypto can only be billed "
+          "analytically (docs/PIPELINE.md)");
+    }
+    helper_free_.assign(static_cast<std::size_t>(config_.pipeline.helper_cores),
+                        0.0);
+  }
 }
 
 double SecureComm::charged_crypto(const std::function<void()>& work,
@@ -135,6 +189,8 @@ void SecureComm::rekey(BytesView new_key) {
   send_seq_.clear();
   recv_seq_.clear();
   extra_copies_.clear();
+  pipe_msg_id_ = 0;
+  pipe_recv_next_.clear();
   ++counters_.rekeys;
 }
 
@@ -229,7 +285,8 @@ std::size_t SecureComm::checked_pt_len(std::size_t wire_bytes,
 }
 
 std::optional<mpi::Status> SecureComm::open_p2p(
-    MutBytes wire_buf, const mpi::Status& wire_status, MutBytes user) {
+    MutBytes wire_buf, const mpi::Status& wire_status, MutBytes user,
+    bool* became_chunked) {
   const std::size_t pt_len = checked_pt_len(wire_status.bytes, user.size());
   const MutBytes wire = wire_buf.first(wire_status.bytes);
   const MutBytes out = user.first(pt_len);
@@ -294,6 +351,13 @@ std::optional<mpi::Status> SecureComm::open_p2p(
     if (round == 0 && comm_->recover_damaged_recv(wire, src, tag)) {
       ++counters_.nacks_sent;
       ++counters_.retransmits_recovered;
+      if (became_chunked != nullptr && looks_like_chunk(wire)) {
+        // The wire damage had destroyed the chunk magic: the clean
+        // retransmitted frame is a pipelined chunk. Hand it back for
+        // re-dispatch instead of authenticating it as a whole message.
+        *became_chunked = true;
+        return std::nullopt;
+      }
       continue;
     }
     ++counters_.auth_failures;
@@ -304,12 +368,315 @@ std::optional<mpi::Status> SecureComm::open_p2p(
   }
 }
 
+// ------------------------------------------------------ chunked pipeline
+
+bool SecureComm::pipeline_engages(std::size_t bytes) const noexcept {
+  const PipelineConfig& p = config_.pipeline;
+  // A message that fits one chunk gains nothing from chunk framing.
+  return p.enabled && bytes > p.chunk_bytes && bytes >= p.min_bytes;
+}
+
+double SecureComm::helper_crypto(std::size_t bytes, bool encrypt) {
+  sim::Process& proc = comm_->process();
+  if (!config_.charge_crypto || !config_.cost_model) {
+    // Charge-free functional mode, or a wall-clock-billed peer
+    // receiving chunked traffic: the crypto really executed but no
+    // virtual time is billed (measuring host time here would break
+    // the determinism of src/secure_mpi — see docs/PIPELINE.md).
+    return proc.now();
+  }
+  const CryptoCostModel& m = *config_.cost_model;
+  const double cost =
+      encrypt ? m.seal_per_op + static_cast<double>(bytes) * m.seal_per_byte
+              : m.open_per_op + static_cast<double>(bytes) * m.open_per_byte;
+  if (helper_free_.empty()) {
+    // helper_cores == 0: chunk framing without overlap — the chunk's
+    // crypto is billed serially on the rank itself.
+    const auto category = encrypt ? trace::Category::kCryptoEncrypt
+                                  : trace::Category::kCryptoDecrypt;
+    const double begin = proc.now();
+    proc.advance(cost);
+    if (trace::TraceRecorder* rec = comm_->world().trace()) {
+      rec->record(proc.index(), category, begin, proc.now(), -1, bytes);
+    }
+    return proc.now();
+  }
+  // Earliest-free core wins, lowest index on ties: a pure function of
+  // the simulated timeline, so helper schedules replay bit-exact
+  // (EMC-DET). The chunk cannot start before its data exists on this
+  // rank (`now`), nor before the core drained its queue.
+  std::size_t core = 0;
+  for (std::size_t c = 1; c < helper_free_.size(); ++c) {
+    if (helper_free_[c] < helper_free_[core]) core = c;
+  }
+  const double start = std::max(helper_free_[core], proc.now());
+  const double done = start + cost;
+  helper_free_[core] = done;
+  (encrypt ? counters_.helper_seal_seconds
+           : counters_.helper_open_seconds) += cost;
+  if (trace::TraceRecorder* rec = comm_->world().trace()) {
+    rec->record(proc.index(), trace::Category::kCryptoHelper, start, done,
+                static_cast<int>(core), bytes);
+  }
+  return done;
+}
+
+double SecureComm::seal_chunk(BytesView pt, MutBytes out, BytesView aad) {
+  // No host-time measurement on this path (seal_seconds stays a
+  // main-clock wall measurement; helper billing is purely analytic).
+  next_nonce(out.data());
+  key_->seal(BytesView(out.data(), kGcmNonceBytes), aad, pt,
+             out.subspan(kGcmNonceBytes));
+  ++counters_.messages_sealed;
+  ++counters_.chunks_sealed;
+  counters_.bytes_sealed += pt.size();
+  return helper_crypto(pt.size(), /*encrypt=*/true);
+}
+
+void SecureComm::send_pipelined(BytesView data, int dst, int tag) {
+  const std::size_t chunk = config_.pipeline.chunk_bytes;
+  const auto count = static_cast<std::uint32_t>((data.size() + chunk - 1) /
+                                                chunk);
+  const std::uint64_t msg_id = pipe_msg_id_++;
+  const bool bind = config_.bind_context;
+  ++counters_.messages_pipelined;
+  Bytes frame;
+  Bytes aad(bind ? kPipeHeaderBytes + 24 : kPipeHeaderBytes);
+  for (std::uint32_t k = 0; k < count; ++k) {
+    const std::size_t off = std::size_t{k} * chunk;
+    const std::size_t len = std::min(chunk, data.size() - off);
+    frame.resize(kPipeHeaderBytes + wire_size(len));
+    PipeChunkHeader h;
+    h.msg_id = msg_id;
+    h.index = k;
+    h.count = count;
+    h.chunk_len = static_cast<std::uint32_t>(len);
+    h.offset = off;
+    store_pipe_header(frame.data(), h);
+    // The chunk's AAD is its own header — every field the receiver
+    // steers by is under the tag — plus, with context binding, the
+    // usual channel context with one fresh sequence number per chunk
+    // (consecutive draws from the same stream as unchunked traffic).
+    std::memcpy(aad.data(), frame.data(), kPipeHeaderBytes);
+    if (bind) {
+      const Bytes ctx = p2p_aad(rank(), dst, tag, next_send_seq(dst, tag));
+      std::memcpy(aad.data() + kPipeHeaderBytes, ctx.data(), ctx.size());
+    }
+    const double sealed_at = seal_chunk(
+        data.subspan(off, len), MutBytes(frame).subspan(kPipeHeaderBytes),
+        aad);
+    // The frame flies as soon as both the NIC is free and the helper
+    // core sealed it; the sender's own clock only pays the per-chunk
+    // CPU overhead + copy, which is how encryption hides behind the
+    // transfer of earlier chunks.
+    comm_->send_chunk(frame, dst, tag, sealed_at);
+  }
+}
+
+std::optional<mpi::Status> SecureComm::open_any(
+    MutBytes wire_buf, const mpi::Status& wire_status, MutBytes user) {
+  for (int round = 0;; ++round) {
+    const MutBytes frame = wire_buf.first(wire_status.bytes);
+    if (looks_like_chunk(frame)) {
+      const PipeChunkHeader h = load_pipe_header(frame.data());
+      if (pipe_header_plausible(h, frame.size(), user.size())) {
+        return open_pipelined(frame, wire_status, user);
+      }
+      // Chunk-looking but inconsistent with its own length: wire
+      // damage (one ARQ recovery try) or a forgery.
+      if (round == 0 &&
+          comm_->recover_damaged_recv(frame, wire_status.source,
+                                      wire_status.tag)) {
+        ++counters_.nacks_sent;
+        ++counters_.retransmits_recovered;
+        continue;  // re-classify the clean retransmitted copy
+      }
+      ++counters_.length_failures;
+      throw IntegrityError(
+          "pipelined chunk header inconsistent with its frame length: "
+          "truncated, corrupted, or forged in transit (rank " +
+          std::to_string(rank()) + ")");
+    }
+    bool became_chunked = false;
+    const auto status = open_p2p(wire_buf, wire_status, user,
+                                 &became_chunked);
+    if (!became_chunked) return status;
+    // open_p2p's ARQ recovery revealed a chunk frame (the damage had
+    // destroyed the magic); loop to dispatch the clean copy. The
+    // stash is consumed, so this cannot recurse.
+  }
+}
+
+std::optional<mpi::Status> SecureComm::open_pipelined(
+    MutBytes first_frame, const mpi::Status& wire_status, MutBytes user) {
+  const int src = wire_status.source;
+  const int tag = wire_status.tag;
+  const PipeChunkHeader first = load_pipe_header(first_frame.data());
+  std::uint64_t& next_id = pipe_recv_next_[{src, tag}];
+  if (first.msg_id < next_id) {
+    // Stale frame of an already-delivered message (a fabric duplicate
+    // straggling in behind completion): absorb without crypto.
+    ++counters_.duplicates_suppressed;
+    return std::nullopt;
+  }
+  const std::uint64_t msg_id = first.msg_id;
+  const std::uint32_t count = first.count;
+  const std::size_t cap = user.size();
+  const bool bind = config_.bind_context;
+  // Chunk k authenticates channel sequence base + k — the sender drew
+  // count consecutive numbers; the channel advances only on delivery.
+  const std::uint64_t base = bind ? recv_seq_[{src, tag}] : 0;
+
+  sim::Process& proc = comm_->process();
+  std::vector<std::uint8_t> have(count, 0);
+  std::vector<std::uint8_t> extra(count, 0);
+  std::uint32_t have_n = 0;
+  std::size_t bytes_accepted = 0;
+  std::size_t total_len = 0;  ///< offset+len of chunk count-1
+  double crypto_done = proc.now();
+  Bytes aad(bind ? kPipeHeaderBytes + 24 : kPipeHeaderBytes);
+
+  // Validates, deduplicates, authenticates, and places one frame;
+  // loops over the single allowed ARQ recovery round exactly like
+  // open_p2p (a recovery may change the header, so it re-parses).
+  auto accept_chunk = [&](MutBytes frame) {
+    for (int round = 0;; ++round) {
+      const PipeChunkHeader h = load_pipe_header(frame.data());
+      const bool frame_ok = h.msg_id == msg_id && h.count == count &&
+                            pipe_header_plausible(h, frame.size(), cap);
+      if (frame_ok && have[h.index] != 0) {
+        // Another copy of an accepted chunk. The first extra copy is
+        // a benign fabric duplicate, absorbed without crypto (the
+        // frame carries nothing the message still needs); the second
+        // is classified as a replay attack, like open_p2p's window.
+        if (extra[h.index]++ == 0) {
+          ++counters_.duplicates_suppressed;
+          return;
+        }
+        secure_zero(user);
+        ++counters_.replays_rejected;
+        throw IntegrityError(
+            "replayed pipelined chunk rejected: chunk " +
+            std::to_string(h.index) + " of message " +
+            std::to_string(msg_id) + " from rank " + std::to_string(src) +
+            " was already delivered twice (rank " + std::to_string(rank()) +
+            ")");
+      }
+      if (frame_ok) {
+        std::memcpy(aad.data(), frame.data(), kPipeHeaderBytes);
+        if (bind) {
+          const Bytes ctx = p2p_aad(src, rank(), tag, base + h.index);
+          std::memcpy(aad.data() + kPipeHeaderBytes, ctx.data(), ctx.size());
+        }
+        const BytesView wire = BytesView(frame).subspan(kPipeHeaderBytes);
+        const MutBytes out = user.subspan(h.offset, h.chunk_len);
+        if (key_->open(wire.first(kGcmNonceBytes), aad,
+                       wire.subspan(kGcmNonceBytes), out)) {
+          have[h.index] = 1;
+          ++have_n;
+          bytes_accepted += h.chunk_len;
+          if (h.index == count - 1) total_len = h.offset + h.chunk_len;
+          ++counters_.messages_opened;
+          ++counters_.chunks_opened;
+          counters_.bytes_opened += h.chunk_len;
+          // The open runs on a helper core from the moment the frame
+          // is in memory; the main timeline keeps receiving chunk k+1
+          // while this one decrypts.
+          crypto_done = std::max(crypto_done,
+                                 helper_crypto(h.chunk_len,
+                                               /*encrypt=*/false));
+          return;
+        }
+      }
+      if (round == 0 && comm_->recover_damaged_recv(frame, src, tag)) {
+        ++counters_.nacks_sent;
+        ++counters_.retransmits_recovered;
+        continue;  // the e2e NACK recovered this one chunk, not the message
+      }
+      secure_zero(user);  // never leak a partially verified message
+      if (!frame_ok) {
+        ++counters_.length_failures;
+        throw IntegrityError(
+            "pipelined chunk frame inconsistent mid-message: header does "
+            "not match message " +
+            std::to_string(msg_id) + " (rank " + std::to_string(rank()) +
+            ")");
+      }
+      ++counters_.auth_failures;
+      throw IntegrityError(
+          "authentication tag mismatch on pipelined chunk: message was "
+          "tampered with, corrupted, or spliced from another channel "
+          "(rank " +
+          std::to_string(rank()) + ")");
+    }
+  };
+
+  accept_chunk(first_frame);
+  Bytes wire(recv_wire_capacity(cap));
+  while (have_n < count) {
+    const mpi::Status ws = comm_->recv(wire, src, tag);
+    const MutBytes frame = MutBytes(wire).first(ws.bytes);
+    if (!looks_like_chunk(frame)) {
+      // A non-chunk frame inside a pipelined message: wire damage
+      // destroyed the magic (recoverable under ARQ) or the channel is
+      // being abused.
+      if (comm_->recover_damaged_recv(frame, src, tag)) {
+        ++counters_.nacks_sent;
+        ++counters_.retransmits_recovered;
+      }
+      if (!looks_like_chunk(frame)) {
+        secure_zero(user);
+        ++counters_.length_failures;
+        throw IntegrityError(
+            "unchunked frame interleaved into pipelined message " +
+            std::to_string(msg_id) + " from rank " + std::to_string(src) +
+            " (rank " + std::to_string(rank()) + ")");
+      }
+    }
+    if (load_pipe_header(frame.data()).msg_id < msg_id) {
+      // Stale duplicate from an older message, arriving mid-stream.
+      ++counters_.duplicates_suppressed;
+      continue;
+    }
+    accept_chunk(frame);
+  }
+  if (bytes_accepted != total_len) {
+    // Unreachable for an honest sender (headers are authenticated and
+    // indices deduplicated), kept as a cheap defence in depth.
+    secure_zero(user);
+    ++counters_.length_failures;
+    throw IntegrityError(
+        "pipelined chunks do not tile the message: " +
+        std::to_string(bytes_accepted) + " bytes accepted for a " +
+        std::to_string(total_len) + "-byte message (rank " +
+        std::to_string(rank()) + ")");
+  }
+  next_id = msg_id + 1;
+  if (bind) recv_seq_[{src, tag}] = base + count;
+  // Stall only for crypto the wire did not hide: the receive is
+  // complete when the last helper core finishes its last chunk.
+  const double now = proc.now();
+  if (crypto_done > now) {
+    proc.advance(crypto_done - now);
+    counters_.pipeline_stall_seconds += crypto_done - now;
+    if (trace::TraceRecorder* rec = comm_->world().trace()) {
+      rec->record(proc.index(), trace::Category::kPipelineStall, now,
+                  proc.now(), src, bytes_accepted);
+    }
+  }
+  return mpi::Status{src, tag, total_len};
+}
+
 // ------------------------------------------------------- point-to-point
 
 void SecureComm::send(BytesView data, int dst, int tag) {
   // Reject bad arguments before spending crypto time on the payload.
   mpi::validate_user_tag(tag);
   mpi::validate_peer(dst, size());
+  if (pipeline_engages(data.size())) {
+    send_pipelined(data, dst, tag);
+    return;
+  }
   Bytes wire(wire_size(data.size()));
   if (config_.bind_context) {
     seal_into(data, wire, p2p_aad(rank(), dst, tag, next_send_seq(dst, tag)));
@@ -322,10 +689,13 @@ void SecureComm::send(BytesView data, int dst, int tag) {
 mpi::Status SecureComm::recv(MutBytes buf, int src, int tag) {
   mpi::validate_recv_tag(tag);
   mpi::validate_recv_peer(src, size());
-  Bytes wire(wire_size(buf.size()));
+  // Sized so any frame fits: an unchunked message of up to buf.size()
+  // payload bytes, or one pipelined chunk (header + AEAD frame of a
+  // chunk no larger than the message).
+  Bytes wire(recv_wire_capacity(buf.size()));
   for (;;) {
     const mpi::Status wire_status = comm_->recv(wire, src, tag);
-    if (const auto status = open_p2p(wire, wire_status, buf)) {
+    if (const auto status = open_any(wire, wire_status, buf)) {
       return *status;
     }
     // Benign fabric duplicate absorbed: wait for the next message.
@@ -335,6 +705,15 @@ mpi::Status SecureComm::recv(MutBytes buf, int src, int tag) {
 mpi::Request SecureComm::isend(BytesView data, int dst, int tag) {
   mpi::validate_user_tag(tag);
   mpi::validate_peer(dst, size());
+  if (pipeline_engages(data.size())) {
+    // Every chunk is dispatched right here: send_chunk never blocks
+    // (eager shape, wire gated by wire_not_before), so the request is
+    // born complete and wait() is a lookup.
+    send_pipelined(data, dst, tag);
+    auto state = std::make_unique<SecurePipeSendState>();
+    state->status = mpi::Status{dst, tag, data.size()};
+    return mpi::Request(std::move(state));
+  }
   auto state = std::make_unique<SecureSendState>();
   state->wire.resize(wire_size(data.size()));
   if (config_.bind_context) {
@@ -351,7 +730,7 @@ mpi::Request SecureComm::irecv(MutBytes buf, int src, int tag) {
   mpi::validate_recv_tag(tag);
   mpi::validate_recv_peer(src, size());
   auto state = std::make_unique<SecureRecvState>();
-  state->wire.resize(wire_size(buf.size()));
+  state->wire.resize(recv_wire_capacity(buf.size()));
   state->user = buf;
   state->src = src;
   state->tag = tag;
@@ -367,11 +746,14 @@ mpi::Status SecureComm::wait(mpi::Request& request) {
   if (auto* send_state = dynamic_cast<SecureSendState*>(owned.get())) {
     return comm_->wait(send_state->inner);
   }
+  if (auto* pipe_state = dynamic_cast<SecurePipeSendState*>(owned.get())) {
+    return pipe_state->status;  // chunks were all dispatched in isend
+  }
   if (auto* recv_state = dynamic_cast<SecureRecvState*>(owned.get())) {
     mpi::Status wire_status = comm_->wait(recv_state->inner);
     for (;;) {
       if (const auto status =
-              open_p2p(recv_state->wire, wire_status, recv_state->user)) {
+              open_any(recv_state->wire, wire_status, recv_state->user)) {
         return *status;
       }
       // Benign fabric duplicate absorbed: re-post and wait again.

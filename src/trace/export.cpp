@@ -64,12 +64,38 @@ void ChromeTraceWriter::add_world(const TraceRecorder& rec,
   emit("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" +
        std::to_string(pid) + ",\"tid\":0,\"args\":{\"name\":\"" +
        json_escape(process_name) + "\"}}");
-  for (int rank = 0; rank < rec.num_ranks(); ++rank) {
+  const int num_ranks = rec.num_ranks();
+  for (int rank = 0; rank < num_ranks; ++rank) {
     emit("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" +
          std::to_string(pid) + ",\"tid\":" + std::to_string(rank) +
          ",\"args\":{\"name\":\"rank " + std::to_string(rank) + "\"}}");
-    for (const Event& e : rec.events(rank)) {
+    const std::vector<Event> events = rec.events(rank);
+    // Helper-core seal/open spans overlap the rank's own timeline, so
+    // they render on per-(rank, core) lanes: tid = num_ranks*(1+core)
+    // + rank never collides with the main lanes [0, num_ranks). Name
+    // each lane the first time it appears (event order is
+    // deterministic, so the metadata order is too).
+    std::vector<bool> lane_named;
+    auto helper_tid = [&](int core) {
+      return num_ranks * (1 + core) + rank;
+    };
+    for (const Event& e : events) {
+      if (e.category != Category::kCryptoHelper || e.peer < 0) continue;
+      const auto core = static_cast<std::size_t>(e.peer);
+      if (core >= lane_named.size()) lane_named.resize(core + 1, false);
+      if (lane_named[core]) continue;
+      lane_named[core] = true;
+      emit("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" +
+           std::to_string(pid) +
+           ",\"tid\":" + std::to_string(helper_tid(e.peer)) +
+           ",\"args\":{\"name\":\"rank " + std::to_string(rank) +
+           " crypto core " + std::to_string(e.peer) + "\"}}");
+    }
+    for (const Event& e : events) {
       const char* cat = category_name(e.category);
+      const int tid = (e.category == Category::kCryptoHelper && e.peer >= 0)
+                          ? helper_tid(e.peer)
+                          : rank;
       std::string line = "{\"name\":\"";
       line += cat;
       line += "\",\"cat\":\"";
@@ -77,7 +103,7 @@ void ChromeTraceWriter::add_world(const TraceRecorder& rec,
       line += "\",\"ph\":\"X\",\"ts\":" + us_fixed(e.begin) +
               ",\"dur\":" + us_fixed(e.end - e.begin) +
               ",\"pid\":" + std::to_string(pid) +
-              ",\"tid\":" + std::to_string(rank) + ",\"args\":{\"bytes\":" +
+              ",\"tid\":" + std::to_string(tid) + ",\"args\":{\"bytes\":" +
               std::to_string(e.bytes) +
               ",\"peer\":" + std::to_string(e.peer) + "}}";
       emit(line);
@@ -97,7 +123,8 @@ double SummaryRow::crypto_pct() const noexcept {
   if (total <= 0.0) return 0.0;
   return 100.0 *
          (seconds[static_cast<std::size_t>(Category::kCryptoEncrypt)] +
-          seconds[static_cast<std::size_t>(Category::kCryptoDecrypt)]) /
+          seconds[static_cast<std::size_t>(Category::kCryptoDecrypt)] +
+          seconds[static_cast<std::size_t>(Category::kPipelineStall)]) /
          total;
 }
 
@@ -119,6 +146,13 @@ double SummaryRow::wait_pct() const noexcept {
          total;
 }
 
+double SummaryRow::pipeline_overlap_s() const noexcept {
+  const double hidden =
+      seconds[static_cast<std::size_t>(Category::kCryptoHelper)] -
+      seconds[static_cast<std::size_t>(Category::kPipelineStall)];
+  return hidden > 0.0 ? hidden : 0.0;
+}
+
 Summary Summary::from(const TraceRecorder& rec) {
   Summary summary;
   summary.rows.reserve(static_cast<std::size_t>(rec.num_ranks()));
@@ -127,8 +161,14 @@ Summary Summary::from(const TraceRecorder& rec) {
     row.rank = rank;
     row.total = rec.rank_end(rank) - rec.run_begin();
     row.seconds = rec.category_seconds(rank);
+    // Helper-core spans are a concurrent lane, not timeline coverage:
+    // leaving them out keeps "idle + timeline categories == total"
+    // exact even when crypto hides behind the wire.
     double covered = 0.0;
-    for (const double s : row.seconds) covered += s;
+    for (std::size_t c = 0; c < kNumCategories; ++c) {
+      if (static_cast<Category>(c) == Category::kCryptoHelper) continue;
+      covered += row.seconds[c];
+    }
     row.idle = row.total - covered;
     summary.rows.push_back(row);
   }
@@ -155,14 +195,15 @@ void write_attribution_csv(std::ostream& os, const Summary& summary,
     for (std::size_t c = 0; c < kNumCategories; ++c) {
       os << "," << category_name(static_cast<Category>(c)) << "_s";
     }
-    os << ",idle_s,crypto_pct,wire_pct,wait_pct\n";
+    os << ",idle_s,pipeline_overlap_s,crypto_pct,wire_pct,wait_pct\n";
   }
   auto emit = [&](const SummaryRow& row, const std::string& rank_label) {
     os << config << "," << rank_label << "," << sec_fixed(row.total);
     for (const double s : row.seconds) os << "," << sec_fixed(s);
-    os << "," << sec_fixed(row.idle) << "," << pct_fixed(row.crypto_pct())
-       << "," << pct_fixed(row.wire_pct()) << ","
-       << pct_fixed(row.wait_pct()) << "\n";
+    os << "," << sec_fixed(row.idle) << ","
+       << sec_fixed(row.pipeline_overlap_s()) << ","
+       << pct_fixed(row.crypto_pct()) << "," << pct_fixed(row.wire_pct())
+       << "," << pct_fixed(row.wait_pct()) << "\n";
   };
   for (const SummaryRow& row : summary.rows) {
     emit(row, std::to_string(row.rank));
@@ -179,6 +220,14 @@ void print_summary(std::ostream& os, const Summary& summary,
      << pct_fixed(agg.crypto_pct()) << "%, wire/copy "
      << pct_fixed(agg.wire_pct()) << "%, wait "
      << pct_fixed(agg.wait_pct()) << "%\n";
+  const double overlap = agg.pipeline_overlap_s();
+  if (overlap > 0.0) {
+    os << "  pipeline: " << sec_fixed(overlap)
+       << " s of helper-core crypto hidden behind the timeline ("
+       << sec_fixed(
+              agg.seconds[static_cast<std::size_t>(Category::kPipelineStall)])
+       << " s stalled)\n";
+  }
 }
 
 }  // namespace emc::trace

@@ -43,9 +43,12 @@ class ChromeTraceWriter {
 };
 
 /// Per-rank decomposition of a traced run: where every virtual second
-/// went. `idle` is the residual total - sum(seconds); with complete
-/// instrumentation it is zero (asserted by tests for the p2p paths)
-/// and it guarantees the rows always sum to the rank total exactly.
+/// went. `idle` is the residual total - sum(timeline seconds); with
+/// complete instrumentation it is zero (asserted by tests for the p2p
+/// paths) and it guarantees the rows always sum to the rank total
+/// exactly. crypto_helper is NOT part of the residual: helper-core
+/// spans run concurrently with the main timeline (docs/PIPELINE.md),
+/// so their seconds overlap other categories by design.
 struct SummaryRow {
   int rank = 0;
   double total = 0.0;  ///< rank end - run begin (virtual seconds)
@@ -53,12 +56,20 @@ struct SummaryRow {
   double idle = 0.0;
 
   /// Grouped percentages of total (0 when total is 0): the paper's
-  /// three-way split. crypto = encrypt+decrypt; wire = wire +
-  /// nic_queue + copy (bytes moving); wait = sync_wait +
-  /// arq_retransmit (concurrency + recovery).
+  /// three-way split. crypto = encrypt+decrypt+pipeline_stall (the
+  /// crypto left on the critical path; hidden helper time is
+  /// excluded); wire = wire + nic_queue + copy + relay_forward (bytes
+  /// moving); wait = sync_wait + arq_retransmit (concurrency +
+  /// recovery).
   [[nodiscard]] double crypto_pct() const noexcept;
   [[nodiscard]] double wire_pct() const noexcept;
   [[nodiscard]] double wait_pct() const noexcept;
+
+  /// Helper-core crypto seconds that were hidden behind the main
+  /// timeline: crypto_helper - pipeline_stall, clamped at 0. This is
+  /// the CryptMPI overlap win — crypto work done without the rank
+  /// paying for it (docs/PIPELINE.md).
+  [[nodiscard]] double pipeline_overlap_s() const noexcept;
 };
 
 /// Attribution summary over all ranks of one traced run window.
@@ -73,9 +84,9 @@ struct Summary {
 
 /// Writes @p summary as CSV rows labelled @p config (one row per rank
 /// plus an "all"-ranks aggregate), with a header when @p header is
-/// true. Columns: config,rank,total_s,<the eight categories>_s,
-/// idle_s,crypto_pct,wire_pct,wait_pct. Seconds use fixed 9-digit
-/// formatting (deterministic); percentages 3 digits.
+/// true. Columns: config,rank,total_s,<every category>_s,idle_s,
+/// pipeline_overlap_s,crypto_pct,wire_pct,wait_pct. Seconds use fixed
+/// 9-digit formatting (deterministic); percentages 3 digits.
 void write_attribution_csv(std::ostream& os, const Summary& summary,
                            const std::string& config, bool header);
 

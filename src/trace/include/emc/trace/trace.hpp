@@ -34,10 +34,16 @@
 
 namespace emc::trace {
 
-/// Where a slice of one rank's virtual time went. The eight causes
-/// mirror the decomposition of the paper and its successors (crypto
-/// vs wire vs concurrency): see docs/TRACING.md for the exact
-/// recording rules of every category.
+/// Where a slice of one rank's virtual time went. The causes mirror
+/// the decomposition of the paper and its successors (crypto vs wire
+/// vs concurrency): see docs/TRACING.md for the exact recording rules
+/// of every category.
+///
+/// All categories except kCryptoHelper describe the rank's own
+/// timeline and are disjoint; kCryptoHelper spans run on the rank's
+/// simulated helper crypto cores (docs/PIPELINE.md) CONCURRENTLY with
+/// the main timeline, so they are excluded from the idle residual and
+/// may overlap every other category.
 enum class Category : std::uint8_t {
   kCryptoEncrypt = 0,  ///< secure_mpi seal (AES-GCM encrypt + tag)
   kCryptoDecrypt,      ///< secure_mpi open (decrypt + tag verify)
@@ -48,9 +54,13 @@ enum class Category : std::uint8_t {
   kCopy,               ///< CPU message handling: overheads + copies
   kCompute,            ///< application compute (Process::charge)
   kRelayForward,       ///< store-and-forward through route relay hops
+  kCryptoHelper,       ///< per-chunk seal/open on a helper crypto core
+                       ///< (concurrent lane; `peer` holds the core id)
+  kPipelineStall,      ///< main timeline blocked on helper-core crypto
+                       ///< (the unhidden tail of a pipelined message)
 };
 
-inline constexpr std::size_t kNumCategories = 9;
+inline constexpr std::size_t kNumCategories = 11;
 
 /// Stable lower_snake_case name ("crypto_encrypt", ...); used by both
 /// exporters, so it is part of the trace file format.

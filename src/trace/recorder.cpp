@@ -16,6 +16,8 @@ const char* category_name(Category c) noexcept {
     case Category::kCopy: return "copy";
     case Category::kCompute: return "compute";
     case Category::kRelayForward: return "relay_forward";
+    case Category::kCryptoHelper: return "crypto_helper";
+    case Category::kPipelineStall: return "pipeline_stall";
   }
   return "unknown";
 }
