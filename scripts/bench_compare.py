@@ -15,13 +15,22 @@ grow); a config_hash mismatch means the two files measured different
 campaign shapes and the comparison refuses to proceed unless
 --allow-config-mismatch is given (it then matches rows by name).
 
+--history PATH additionally appends each *current* trajectory to a
+perf-history JSONL artifact — one record per (git sha, area,
+config_hash) holding the measured rows — so the trajectory across
+commits accumulates instead of every run diffing only against HEAD's
+baseline. Appends are idempotent: a (sha, area, config_hash) triple
+already present in the file is skipped, so re-running CI on the same
+commit never duplicates records. The history never gates: it is an
+artifact for trend plots and bisection, not a comparison input.
+
 Exit status: 0 = no significant slowdowns, 1 = at least one slowdown,
 2 = usage or file-format error.
 
 Usage:
   scripts/bench_compare.py BASELINE CURRENT [--threshold 0.25]
   scripts/bench_compare.py --baseline-dir results --current-dir out \
-      [--areas pingpong,nas]
+      [--areas pingpong,nas] [--history results/perf_history.jsonl]
 """
 
 from __future__ import annotations
@@ -123,6 +132,64 @@ def compare_files(base, cur, threshold, allow_mismatch, label):
     return compared, failures, notes
 
 
+def history_key(record):
+    return (record.get("sha"), record.get("area"),
+            record.get("config_hash"))
+
+
+def load_history_keys(path):
+    """The (sha, area, config_hash) triples already recorded, skipping
+    unparseable lines (a truncated tail from a killed run must not
+    poison future appends)."""
+    keys = set()
+    if not os.path.exists(path):
+        return keys
+    with open(path, "r", encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                keys.add(history_key(json.loads(line)))
+            except ValueError:
+                continue
+    return keys
+
+
+def append_history(path, trajectories):
+    """Appends one JSONL record per trajectory file, deduplicated on
+    (sha, area, config_hash). Returns (appended, skipped)."""
+    seen = load_history_keys(path)
+    appended = skipped = 0
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "a", encoding="utf-8") as f:
+        for cur in trajectories:
+            record = {
+                "sha": cur.get("git_sha"),
+                "area": cur.get("area"),
+                "config_hash": cur.get("config_hash"),
+                "settings": cur.get("settings"),
+                "host": cur.get("host", {}),
+                "rows": [
+                    {k: row.get(k)
+                     for k in ("config", "metric", "unit",
+                               "higher_is_better", "median", "ci95_low",
+                               "ci95_high", "rel_stddev", "n_runs")}
+                    for row in cur.get("rows", [])
+                ],
+            }
+            key = history_key(record)
+            if key in seen:
+                skipped += 1
+                continue
+            seen.add(key)
+            f.write(json.dumps(record, sort_keys=True) + "\n")
+            appended += 1
+    return appended, skipped
+
+
 def find_pairs(baseline_dir, current_dir, areas):
     names = sorted(
         n for n in os.listdir(baseline_dir)
@@ -161,6 +228,12 @@ def main(argv=None):
     p.add_argument("--allow-config-mismatch", action="store_true",
                    help="compare files whose config_hash differs, matching "
                         "rows by name")
+    p.add_argument("--history", metavar="PATH", nargs="?",
+                   const=os.path.join("results", "perf_history.jsonl"),
+                   help="append the current trajectories to this perf-"
+                        "history JSONL (default results/perf_history.jsonl"
+                        " when given without a value); deduplicated on "
+                        "(sha, area, config_hash), never gates")
     args = p.parse_args(argv)
 
     if bool(args.baseline) != bool(args.current):
@@ -182,9 +255,11 @@ def main(argv=None):
 
     total = 0
     failures = []
+    currents = []
     for base_path, cur_path, name in pairs:
         base = load(base_path)
         cur = load(cur_path)
+        currents.append(cur)
         compared, fails, notes = compare_files(
             base, cur, args.threshold, args.allow_config_mismatch, name)
         total += compared
@@ -195,6 +270,11 @@ def main(argv=None):
         print(f"{name}: {compared} rows compared; current host "
               f"wall {host.get('wall_seconds', 0):.1f}s, "
               f"{host.get('events_per_second', 0):.0f} engine events/s")
+
+    if args.history:
+        appended, skipped = append_history(args.history, currents)
+        print(f"history: {args.history}: {appended} record(s) appended, "
+              f"{skipped} duplicate(s) skipped")
 
     if failures:
         print(f"\nFAIL: {len(failures)} significant slowdown(s) "

@@ -21,6 +21,7 @@
 
 #include "emc/crypto/dh.hpp"
 #include "emc/ft/state.hpp"
+#include "emc/keys/lkh.hpp"
 #include "emc/mpi/comm.hpp"
 #include "emc/secure_mpi/key_exchange.hpp"
 #include "emc/secure_mpi/secure_comm.hpp"
@@ -65,5 +66,39 @@ struct SecureRecovery {
     mpi::Comm& parent, std::uint64_t mask,
     const secure::SecureConfig& secure_config, const crypto::DhGroup& dh,
     secure::KeyExchangeConfig kx = {});
+
+/// A recovered encrypted communicator rekeyed through the LKH tree,
+/// plus the message-count evidence bench_keys plots: rekey_frames is
+/// what the LKH eviction actually broadcast (O(log N) per dead rank),
+/// full_exchange_messages what a flat re-exchange over the same
+/// survivor set would have cost (N - 1).
+struct LkhRecovery {
+  std::unique_ptr<mpi::Comm> comm;
+  std::unique_ptr<secure::SecureComm> secure;
+  std::size_t rekey_frames = 0;
+  std::size_t full_exchange_messages = 0;
+};
+
+/// shrink + LKH group rekey: instead of a fresh DH exchange among all
+/// survivors (shrink_secure — O(N) wrapped keys plus an allgather),
+/// the key server evicts each dead rank from the tree and broadcasts
+/// the ~2·log2(N) rotated-path frames; survivors unwrap with the path
+/// keys they already hold and everyone rekeys the SecureComm with a
+/// session key derived from the new root.
+///
+/// Roles: the lowest-ranked survivor is the key server and passes the
+/// tree (@p tree non-null, @p view ignored); every other survivor
+/// passes its member view. Tree leaves are indexed by WORLD rank, so
+/// views survive re-ranking. The server must survive the crash — a
+/// dead key server needs the DH path (shrink_secure) to re-bootstrap;
+/// docs/RESILIENCE.md discusses the trade-off.
+///
+/// Evicted ranks' stale views no longer unwrap anything and their old
+/// root key fails against post-recovery traffic (compromise recovery:
+/// tests/keys/lifecycle_test).
+[[nodiscard]] LkhRecovery shrink_secure_lkh(
+    mpi::Comm& parent, std::uint64_t mask,
+    const secure::SecureConfig& secure_config, keys::LkhTree* tree,
+    keys::LkhMemberView* view);
 
 }  // namespace emc::ft

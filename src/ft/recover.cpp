@@ -2,9 +2,11 @@
 
 #include <bit>
 #include <cstring>
+#include <iterator>
 
+#include "emc/keys/derive.hpp"
 #include "emc/reliable/reliable.hpp"
-#include "emc/verify/verifier.hpp"
+#include "emc/trace/trace.hpp"
 
 namespace emc::ft {
 
@@ -175,10 +177,103 @@ SecureRecovery shrink_secure(mpi::Comm& parent, std::uint64_t mask,
   // mixed with the shrunken communicator's fresh epoch, so the
   // recovered session key — and the AES-GCM nonce stream under it —
   // is disjoint from all earlier traffic.
-  kx.seed ^= verify::splitmix64(out.comm->epoch());
+  kx.seed = keys::mix_epoch_seed(kx.seed, out.comm->epoch());
   const Bytes key = secure::establish_group_key(*out.comm, dh, kx);
   out.secure = std::make_unique<secure::SecureComm>(*out.comm, secure_config);
   out.secure->rekey(key);
+  return out;
+}
+
+namespace {
+
+/// Analytic virtual seconds per LKH frame (one HKDF + one AES-GCM
+/// wrap or unwrap of a 32-byte key — symmetric work, orders of
+/// magnitude below the modexp a DH re-exchange bills). Billed on the
+/// key_mgmt trace lane so rekey storms show up in attribution.
+constexpr double kLkhFrameCost = 4e-6;
+
+void bill_key_mgmt(mpi::Comm& c, double cost) {
+  if (cost <= 0.0) return;
+  const double begin = c.now();
+  c.process().advance(cost);
+  if (trace::TraceRecorder* tr = c.world().trace()) {
+    tr->record(c.to_world(c.rank()), trace::Category::kKeyMgmt, begin,
+               c.now());
+  }
+}
+
+}  // namespace
+
+LkhRecovery shrink_secure_lkh(mpi::Comm& parent, std::uint64_t mask,
+                              const secure::SecureConfig& secure_config,
+                              keys::LkhTree* tree,
+                              keys::LkhMemberView* view) {
+  LkhRecovery out;
+  out.comm = shrink(parent, mask);
+  mpi::Comm& c = *out.comm;
+  out.full_exchange_messages =
+      c.size() > 0 ? static_cast<std::size_t>(c.size()) - 1 : 0;
+
+  // header = [frame count | blob bytes | key bytes], server -> all.
+  Bytes header(24);
+  Bytes blob;
+  std::vector<keys::LkhFrame> frames;
+  if (c.rank() == 0) {
+    if (tree == nullptr) {
+      throw mpi::MpiError(
+          "ft::shrink_secure_lkh: the lowest-ranked survivor is the key "
+          "server and must pass the LKH tree (a dead key server needs the "
+          "DH path, shrink_secure, to re-bootstrap)");
+    }
+    // Evict every rank the agreement declared dead. Leaves are indexed
+    // by world rank, so the mapping survives re-ranking.
+    for (int i = 0; i < parent.size(); ++i) {
+      if ((mask & bit(i)) != 0) continue;
+      keys::LkhBatch batch = tree->remove_member(parent.to_world(i));
+      frames.insert(frames.end(),
+                    std::make_move_iterator(batch.frames.begin()),
+                    std::make_move_iterator(batch.frames.end()));
+    }
+    bill_key_mgmt(c, kLkhFrameCost * static_cast<double>(frames.size()));
+    blob = keys::serialize_frames(frames);
+    put_u64(header.data(), frames.size());
+    put_u64(header.data() + 8, blob.size());
+    put_u64(header.data() + 16, tree->config().key_bytes);
+  }
+  c.bcast(header, 0);
+  const std::size_t frame_count = get_u64(header.data());
+  const std::size_t blob_bytes = get_u64(header.data() + 8);
+  const std::size_t key_bytes = get_u64(header.data() + 16);
+  if (c.rank() != 0) blob.resize(blob_bytes);
+  if (blob_bytes > 0) c.bcast(blob, 0);
+
+  Bytes root;
+  if (c.rank() == 0) {
+    root = tree->group_key();
+  } else {
+    if (view == nullptr) {
+      throw mpi::MpiError(
+          "ft::shrink_secure_lkh: surviving members must pass their "
+          "LkhMemberView");
+    }
+    if (frame_count > 0) {
+      frames = keys::deserialize_frames(blob, key_bytes);
+      bill_key_mgmt(c, kLkhFrameCost * static_cast<double>(frames.size()));
+      if (!view->apply(frames)) {
+        throw mpi::MpiError(
+            "ft::shrink_secure_lkh: rekey frames did not update this "
+            "member's root key (stale or evicted view?)");
+      }
+    }
+    root = view->group_key();
+  }
+
+  Bytes session = keys::group_session_key(root, key_bytes);
+  secure_zero(root);
+  out.rekey_frames = frame_count;
+  out.secure = std::make_unique<secure::SecureComm>(c, secure_config);
+  out.secure->rekey(session);
+  secure_zero(session);
   return out;
 }
 

@@ -1,0 +1,93 @@
+#include "emc/keys/derive.hpp"
+
+#include <algorithm>
+
+#include "emc/crypto/sha256.hpp"
+#include "emc/verify/verifier.hpp"
+
+namespace emc::keys {
+
+namespace {
+
+// Module salt shared by every derivation; kept equal to the pre-keys
+// key-exchange salt so existing exchanges derive identical KEKs.
+const char* kSalt = "emc-mpi-key-exchange-v1";
+const char* kConfirmLabel = "emc-key-confirmation";
+
+Bytes derive_kek(BytesView pairwise_secret) {
+  return crypto::hkdf_sha256(pairwise_secret, bytes_of(kSalt),
+                             bytes_of("key-wrap"), 32);
+}
+
+}  // namespace
+
+Bytes wrap_key(const crypto::Provider& provider, BytesView pairwise_secret,
+               BytesView session_key) {
+  Bytes kek = derive_kek(pairwise_secret);
+  const crypto::AeadKeyPtr aead = provider.make_key(kek);
+  secure_zero(kek);
+  Bytes wire(wrapped_key_bytes(session_key.size()));
+  // Exactly one wrap ever happens under this KEK (it is derived from
+  // a pairwise secret that is fresh per handshake), so deriving the
+  // nonce from the same secret is provably collision-free — no random
+  // draw, no EMC-NONCE-SOURCE exception.
+  Bytes nonce = crypto::hkdf_sha256(pairwise_secret, bytes_of(kSalt),
+                                    bytes_of("wrap-nonce"),
+                                    crypto::kGcmNonceBytes);
+  std::copy(nonce.begin(), nonce.end(), wire.begin());
+  aead->seal(BytesView(wire.data(), crypto::kGcmNonceBytes), {}, session_key,
+             MutBytes(wire).subspan(crypto::kGcmNonceBytes));
+  return wire;
+}
+
+std::optional<Bytes> unwrap_key(const crypto::Provider& provider,
+                                BytesView pairwise_secret, BytesView wire,
+                                std::size_t key_bytes) {
+  if (wire.size() != wrapped_key_bytes(key_bytes)) return std::nullopt;
+  Bytes kek = derive_kek(pairwise_secret);
+  const crypto::AeadKeyPtr aead = provider.make_key(kek);
+  secure_zero(kek);
+  Bytes session_key(key_bytes);
+  const bool ok =
+      aead->open(wire.first(crypto::kGcmNonceBytes), {},
+                 wire.subspan(crypto::kGcmNonceBytes), session_key);
+  if (!ok) {
+    secure_zero(session_key);
+    return std::nullopt;
+  }
+  return session_key;
+}
+
+Bytes confirm_tag(BytesView session_key, BytesView transcript) {
+  Bytes msg = bytes_of(kConfirmLabel);
+  msg.insert(msg.end(), transcript.begin(), transcript.end());
+  return crypto::hmac_sha256(session_key, msg);
+}
+
+std::uint64_t mix_epoch_seed(std::uint64_t seed,
+                             std::uint64_t epoch) noexcept {
+  return seed ^ verify::splitmix64(epoch);
+}
+
+Bytes link_master(BytesView dh_secret, BytesView transcript) {
+  Bytes info = bytes_of("link-master");
+  info.insert(info.end(), transcript.begin(), transcript.end());
+  return crypto::hkdf_sha256(dh_secret, bytes_of(kSalt), info, 64);
+}
+
+Bytes ratchet_next_chain(BytesView chain) {
+  return crypto::hkdf_sha256(chain, bytes_of(kSalt),
+                             bytes_of("ratchet-chain"), kChainBytes);
+}
+
+Bytes epoch_key(BytesView chain, std::size_t key_bytes) {
+  return crypto::hkdf_sha256(chain, bytes_of(kSalt), bytes_of("epoch-key"),
+                             key_bytes);
+}
+
+Bytes group_session_key(BytesView root_key, std::size_t key_bytes) {
+  return crypto::hkdf_sha256(root_key, bytes_of(kSalt),
+                             bytes_of("group-session"), key_bytes);
+}
+
+}  // namespace emc::keys

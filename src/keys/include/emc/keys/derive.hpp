@@ -1,0 +1,86 @@
+// One audited key-derivation path for every key-lifecycle consumer.
+//
+// Before src/keys existed, the session-key wrap/unwrap lived in
+// src/secure_mpi/key_exchange.cpp and the recovery seed-mixing in
+// src/ft/recover.cpp — two places to audit, two places to get a label
+// wrong. Every derivation below is an HKDF-SHA256 (or HMAC-SHA256)
+// invocation under a fixed module salt with a distinct info label, so
+// no two call sites can ever produce the same output from the same
+// input keying material:
+//
+//   "key-wrap"      KEK for wrapping a session key to a peer
+//   "wrap-nonce"    deterministic nonce for that one wrap (the KEK is
+//                   fresh per pairwise secret, so one derived nonce
+//                   per KEK is provably unique — no random draw)
+//   "link-master"   handshake transcript -> 64-byte master secret
+//   "ratchet-chain" forward-secure chain step  c_{e+1} = H(c_e)
+//   "epoch-key"     per-epoch AEAD key          k_e    = H(c_e)
+//   "group-session" LKH root key -> SecureComm session key
+//
+// Used by: secure::establish_group_key (steady-state group exchange),
+// ft::shrink_secure (crash recovery), keys::link_handshake and
+// keys::LinkKeyring (per-link lifecycle), keys::LkhTree (group rekey).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "emc/common/bytes.hpp"
+#include "emc/crypto/provider.hpp"
+
+namespace emc::keys {
+
+/// Wire size of a wrapped key: nonce || ct || tag around @p key_bytes.
+[[nodiscard]] constexpr std::size_t wrapped_key_bytes(
+    std::size_t key_bytes) noexcept {
+  return crypto::kGcmNonceBytes + key_bytes + crypto::kGcmTagBytes;
+}
+
+/// Wraps @p session_key for the peer that shares @p pairwise_secret:
+/// derives a fresh KEK, seals under @p provider with a nonce derived
+/// from the same secret (unique because the KEK is fresh per secret).
+/// Returns nonce || ct || tag.
+[[nodiscard]] Bytes wrap_key(const crypto::Provider& provider,
+                             BytesView pairwise_secret,
+                             BytesView session_key);
+
+/// Inverse of wrap_key. Returns std::nullopt when authentication
+/// fails (tampered or mismatched handshake) — the caller decides the
+/// error type.
+[[nodiscard]] std::optional<Bytes> unwrap_key(const crypto::Provider& provider,
+                                              BytesView pairwise_secret,
+                                              BytesView wire,
+                                              std::size_t key_bytes);
+
+/// Key-confirmation tag: HMAC(session_key, confirmation label). Both
+/// the group exchange and the link handshake confirm with this.
+[[nodiscard]] Bytes confirm_tag(BytesView session_key, BytesView transcript);
+
+/// Mixes a communicator epoch into a key-exchange seed so recovery
+/// and steady-state rekeys never reuse pre-crash randomness. The one
+/// audited formula (previously open-coded in ft::shrink_secure).
+[[nodiscard]] std::uint64_t mix_epoch_seed(std::uint64_t seed,
+                                           std::uint64_t epoch) noexcept;
+
+/// Handshake transcript -> 64-byte master secret (the ratchet chain
+/// seed in the first 32 bytes, the confirmation key in the last 32).
+/// The transcript binds both public keys, both ranks, and the
+/// handshake instance, so a transplanted ACCEPT can never authenticate.
+[[nodiscard]] Bytes link_master(BytesView dh_secret, BytesView transcript);
+
+inline constexpr std::size_t kChainBytes = 32;
+
+/// Forward-secure chain step: c_{e+1} = HKDF(c_e, "ratchet-chain").
+/// One-way — wiping c_e makes every key of epoch <= e unrecoverable.
+[[nodiscard]] Bytes ratchet_next_chain(BytesView chain);
+
+/// Per-epoch AEAD key from the chain state: k_e = HKDF(c_e,
+/// "epoch-key", key_bytes). Independent of the next chain value, so
+/// handing k_e to the AEAD never exposes the chain.
+[[nodiscard]] Bytes epoch_key(BytesView chain, std::size_t key_bytes);
+
+/// LKH root key -> SecureComm session key of @p key_bytes.
+[[nodiscard]] Bytes group_session_key(BytesView root_key,
+                                      std::size_t key_bytes);
+
+}  // namespace emc::keys

@@ -1,0 +1,161 @@
+// Logical Key Hierarchy (LKH) group-key tree.
+//
+// A membership change under the flat group-key scheme
+// (secure::establish_group_key) costs a full re-exchange: N-1 wrapped
+// session keys plus an allgather of public keys. The LKH tree keeps
+// one key per node of a complete binary tree over the member leaves;
+// every member holds exactly the keys on its leaf-to-root path, and
+// the root key is the group key. Evicting a member rotates the keys
+// on its path, each new key delivered wrapped under the key of a
+// child subtree the evicted member is NOT in — at most two wrapped
+// messages per level, ~2·log2(N) total instead of N-1.
+//
+// Wire realism without pretending to be a network protocol: the key
+// server (LkhTree) produces LkhFrame frames — real AES-GCM wraps
+// under real node keys with deterministic (version, node) nonces —
+// and members (LkhMemberView) apply them by unwrapping with the path
+// keys they hold. An evicted member's view holds none of the wrapping
+// keys, so apply() installs nothing and its stale root key no longer
+// authenticates traffic (the compromise-recovery drill in
+// tests/keys/ and bench_keys).
+//
+// ft::shrink_secure_lkh carries these frames over the recovered
+// communicator; initial provisioning of member views models the
+// bootstrap the per-link handshakes provide (docs/RESILIENCE.md).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "emc/common/bytes.hpp"
+#include "emc/crypto/provider.hpp"
+
+namespace emc::keys {
+
+struct LkhConfig {
+  std::string provider = "boringssl-sim";
+  std::size_t key_bytes = 32;  ///< node/group key length
+  std::uint64_t seed = 0x16b;  ///< key-server randomness (deterministic)
+};
+
+/// One wrapped node key: the new key of @p node, sealed under the
+/// current key of child subtree @p wrap_node. nonce || ct || tag wire.
+struct LkhFrame {
+  std::uint32_t node = 0;
+  std::uint32_t wrap_node = 0;
+  std::uint32_t version = 0;
+  Bytes wire;
+};
+
+/// Outcome of one membership change on the server.
+struct LkhBatch {
+  std::vector<LkhFrame> frames;
+  std::uint32_t version = 0;
+};
+
+/// Fixed serialized size of one LkhFrame for @p key_bytes keys.
+[[nodiscard]] std::size_t lkh_frame_bytes(std::size_t key_bytes);
+
+/// Flat [count | frames...] codec used to ship a rekey batch over a
+/// communicator (ft::shrink_secure_lkh).
+[[nodiscard]] Bytes serialize_frames(const std::vector<LkhFrame>& frames);
+[[nodiscard]] std::vector<LkhFrame> deserialize_frames(BytesView wire,
+                                                         std::size_t key_bytes);
+
+class LkhMemberView;
+
+/// The key server's full tree. Heap node numbering: root = 1, leaf of
+/// member m = capacity + m, capacity = next power of two >= members.
+class LkhTree {
+ public:
+  /// Builds the tree over @p members leaves, all initially alive.
+  LkhTree(int members, const LkhConfig& config = {});
+  ~LkhTree();  // wipes every node key (EMC-SECRET-WIPE)
+  LkhTree(const LkhTree&) = delete;
+  LkhTree& operator=(const LkhTree&) = delete;
+
+  [[nodiscard]] int capacity() const noexcept { return cap_; }
+  [[nodiscard]] int alive() const noexcept { return alive_; }
+  [[nodiscard]] std::uint32_t version() const noexcept { return version_; }
+  [[nodiscard]] const LkhConfig& config() const noexcept { return config_; }
+
+  /// Copy of the current root (group) key.
+  [[nodiscard]] Bytes group_key() const;
+
+  /// Evicts member @p m: rotates every key on its path and wraps each
+  /// new key for the surviving child subtrees. O(log N) messages.
+  LkhBatch remove_member(int m);
+
+  /// (Re-)admits a member at leaf @p m, rotating its path so the
+  /// newcomer cannot read pre-join traffic (backward secrecy). The
+  /// newcomer is provisioned out of band via member_view(); existing
+  /// members apply the returned messages.
+  LkhBatch add_member(int m);
+
+  /// Bootstrap provisioning: the path keys member @p m holds. Models
+  /// the initial secure delivery the per-link handshake provides.
+  [[nodiscard]] LkhMemberView member_view(int m) const;
+
+  /// Messages a flat full re-exchange would need for the same group
+  /// (one wrapped session key per other member) — the O(N) comparator
+  /// bench_keys plots against O(log N) LKH rekeys.
+  [[nodiscard]] std::size_t full_reexchange_messages() const noexcept {
+    return alive_ > 0 ? static_cast<std::size_t>(alive_) - 1 : 0;
+  }
+
+ private:
+  friend class LkhMemberView;
+
+  [[nodiscard]] Bytes derive_node_key(std::uint32_t node,
+                                      std::uint32_t version) const;
+  [[nodiscard]] bool subtree_alive(std::uint32_t node) const noexcept;
+  /// Rotates every key on member @p m's leaf-to-root path, wrapping
+  /// each new key for the alive child subtrees (skipping the subtree
+  /// that contains ONLY @p m when @p skip_self — a joiner gets its
+  /// keys via member_view, not frames).
+  LkhBatch rotate_path(int m, bool skip_self);
+
+  LkhConfig config_;
+  int cap_ = 0;
+  int alive_ = 0;
+  std::uint32_t version_ = 0;
+  std::vector<Bytes> node_keys_;  ///< heap-indexed, [1, 2*cap)
+  std::vector<char> leaf_alive_;
+};
+
+/// One member's slice of the tree: the keys on its leaf-to-root path.
+class LkhMemberView {
+ public:
+  LkhMemberView() = default;
+  ~LkhMemberView();  // wipes held path keys (EMC-SECRET-WIPE)
+  LkhMemberView(LkhMemberView&&) = default;
+  LkhMemberView& operator=(LkhMemberView&&) = default;
+  LkhMemberView(const LkhMemberView&) = delete;
+  LkhMemberView& operator=(const LkhMemberView&) = delete;
+
+  [[nodiscard]] int member() const noexcept { return member_; }
+  [[nodiscard]] std::uint32_t version() const noexcept { return version_; }
+
+  /// Copy of this member's current root (group) key.
+  [[nodiscard]] Bytes group_key() const;
+
+  /// Applies a rekey batch bottom-up: every message whose wrapping
+  /// subtree key this member holds is unwrapped and installed.
+  /// Returns true when the root key was updated — false for an
+  /// evicted member, which holds none of the wrapping keys. Frames of
+  /// a version older than the view's are ignored, so a replayed
+  /// pre-rotation batch can never roll the view back.
+  bool apply(const std::vector<LkhFrame>& frames);
+
+ private:
+  friend class LkhTree;
+
+  int member_ = -1;
+  std::uint32_t version_ = 0;
+  std::string provider_;
+  std::size_t key_bytes_ = 0;
+  /// (node, key) pairs, leaf first, root (node 1) last.
+  std::vector<std::pair<std::uint32_t, Bytes>> path_;
+};
+
+}  // namespace emc::keys

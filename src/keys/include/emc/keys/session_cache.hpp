@@ -1,0 +1,95 @@
+// Epoch-bound session-key cache.
+//
+// At production scale a rank talks to far more peers than it can keep
+// expanded AES key schedules for (ROADMAP: "evaluate at millions of
+// cached sessions"). The cache maps (link id, epoch) to a ready AEAD
+// key schedule with strict LRU eviction at a configured capacity:
+//
+//   * O(1) get/put — a hash map of per-link buckets (a link holds at
+//     most a handful of live epochs) over an intrusive LRU list;
+//   * hit/miss/eviction counters for the bench campaigns;
+//   * eviction destroys the AeadKey, whose key schedule wipes itself
+//     (EMC-SECRET-WIPE) — a bounded number of schedules exists at any
+//     instant no matter how many sessions a run touches;
+//   * epoch-bound invalidation: retiring every epoch below a floor
+//     (forward secrecy after a ratchet) or dropping a whole link
+//     (quarantine) touches only that link's bucket.
+//
+// Misses are not errors: the owner (LinkKeyring) re-derives the epoch
+// key from its current chain state and re-inserts. Keys of epochs
+// below a link's floor are gone for good — that is the point.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "emc/crypto/aead.hpp"
+
+namespace emc::keys {
+
+struct SessionCacheConfig {
+  /// Maximum resident key schedules; at least 1. Inserting past the
+  /// capacity evicts the least-recently-used entry.
+  std::size_t capacity = std::size_t{1} << 16;
+};
+
+struct SessionCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;      ///< LRU capacity evictions
+  std::uint64_t invalidations = 0;  ///< epoch-floor / link retirements
+};
+
+class SessionCache {
+ public:
+  explicit SessionCache(const SessionCacheConfig& config);
+
+  /// The resident schedule for (link, epoch), or nullptr on a miss.
+  /// A hit refreshes the entry's LRU position.
+  [[nodiscard]] const crypto::AeadKey* get(std::uint64_t link,
+                                           std::uint32_t epoch);
+
+  /// Inserts (replacing any same-id entry) and returns the resident
+  /// schedule. Evicts the LRU entry when full.
+  const crypto::AeadKey* put(std::uint64_t link, std::uint32_t epoch,
+                             crypto::AeadKeyPtr key);
+
+  /// Drops every resident epoch of @p link below @p floor (ratchet
+  /// forward secrecy: old-epoch schedules are destroyed, not merely
+  /// unreachable).
+  void retire_below(std::uint64_t link, std::uint32_t floor);
+
+  /// Drops every resident epoch of @p link (quarantine).
+  void retire_link(std::uint64_t link);
+
+  /// Resident entries (= live key schedules).
+  [[nodiscard]] std::size_t size() const noexcept { return entries_; }
+  [[nodiscard]] const SessionCacheStats& stats() const noexcept {
+    return stats_;
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t link;
+    std::uint32_t epoch;
+    crypto::AeadKeyPtr key;
+  };
+  using Lru = std::list<Entry>;
+
+  struct Bucket {
+    /// (epoch, LRU position); at most a handful per link.
+    std::vector<std::pair<std::uint32_t, Lru::iterator>> epochs;
+  };
+
+  void drop(std::uint64_t link, std::uint32_t epoch, Bucket& bucket);
+
+  SessionCacheConfig config_;
+  Lru lru_;  ///< front = most recently used
+  std::unordered_map<std::uint64_t, Bucket> links_;
+  std::size_t entries_ = 0;
+  SessionCacheStats stats_;
+};
+
+}  // namespace emc::keys

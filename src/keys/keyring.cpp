@@ -1,0 +1,217 @@
+#include "emc/keys/keyring.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "emc/crypto/provider.hpp"
+#include "emc/keys/derive.hpp"
+
+namespace emc::keys {
+
+LinkKeyring::LinkKeyring(std::string provider, std::size_t key_bytes,
+                         const RatchetConfig& ratchet,
+                         const SessionCacheConfig& cache)
+    : provider_(std::move(provider)),
+      key_bytes_(key_bytes),
+      ratchet_(ratchet),
+      cache_(cache) {
+  if (!crypto::provider(provider_).supports_key_size(key_bytes_)) {
+    throw std::invalid_argument("LinkKeyring: provider '" + provider_ +
+                                "' does not support " +
+                                std::to_string(key_bytes_) + "-byte keys");
+  }
+  if (ratchet_.max_skew == 0) {
+    throw std::invalid_argument("LinkKeyring: max_skew must be >= 1");
+  }
+  if (cache.capacity < static_cast<std::size_t>(ratchet_.max_skew) + 1) {
+    // open_candidates hands out cache-owned schedules for epochs
+    // current..current+max_skew at once; a smaller cache would evict
+    // an earlier candidate while deriving a later one.
+    throw std::invalid_argument(
+        "LinkKeyring: session-cache capacity must be >= max_skew + 1");
+  }
+}
+
+LinkKeyring::~LinkKeyring() {
+  for (auto& [id, l] : links_) wipe_link(l);
+}
+
+void LinkKeyring::wipe_link(Link& l) {
+  if (!l.chain.empty()) {
+    secure_zero(l.chain);
+    l.chain.clear();
+    ++counters_.keys_wiped;
+  }
+  counters_.keys_wiped += l.grace.size();  // schedules self-wipe on destroy
+  l.grace.clear();
+}
+
+void LinkKeyring::install(int link, BytesView chain, double now) {
+  if (chain.size() != kChainBytes) {
+    throw std::invalid_argument("LinkKeyring::install: chain must be " +
+                                std::to_string(kChainBytes) + " bytes");
+  }
+  Link& l = links_[link];
+  wipe_link(l);
+  cache_.retire_link(static_cast<std::uint64_t>(static_cast<std::uint32_t>(link)));
+  l.chain.assign(chain.begin(), chain.end());
+  l.epoch = 0;
+  l.epoch_start = now;
+  l.seq = 0;
+  l.quarantined = false;
+  ++counters_.installs;
+}
+
+void LinkKeyring::quarantine(int link) {
+  Link& l = require(link);
+  wipe_link(l);
+  cache_.retire_link(static_cast<std::uint64_t>(static_cast<std::uint32_t>(link)));
+  l.quarantined = true;
+  ++counters_.quarantines;
+}
+
+bool LinkKeyring::has_link(int link) const {
+  const auto it = links_.find(link);
+  return it != links_.end() && !it->second.quarantined &&
+         !it->second.chain.empty();
+}
+
+bool LinkKeyring::is_quarantined(int link) const {
+  const auto it = links_.find(link);
+  return it != links_.end() && it->second.quarantined;
+}
+
+std::uint32_t LinkKeyring::epoch(int link) const {
+  const auto it = links_.find(link);
+  if (it == links_.end()) {
+    throw KeyringError("no keyring state for link " + std::to_string(link));
+  }
+  return it->second.epoch;
+}
+
+LinkKeyring::Link& LinkKeyring::require(int link) {
+  const auto it = links_.find(link);
+  if (it == links_.end() || (it->second.chain.empty() &&
+                             !it->second.quarantined)) {
+    throw KeyringError("no session key for link " + std::to_string(link) +
+                       ": run the handshake before sending");
+  }
+  return it->second;
+}
+
+const crypto::AeadKey* LinkKeyring::epoch_aead(int link, const Link& l,
+                                               std::uint32_t target) {
+  const auto id = static_cast<std::uint64_t>(static_cast<std::uint32_t>(link));
+  if (const crypto::AeadKey* hit = cache_.get(id, target)) return hit;
+  // Miss: re-derive from the current chain. Only the current epoch or
+  // ahead is derivable — earlier chains are gone (forward secrecy).
+  Bytes chain(l.chain);
+  for (std::uint32_t e = l.epoch; e < target; ++e) {
+    Bytes next = ratchet_next_chain(chain);
+    secure_zero(chain);
+    chain = std::move(next);
+  }
+  Bytes ek = epoch_key(chain, key_bytes_);
+  secure_zero(chain);
+  const crypto::AeadKey* out =
+      cache_.put(id, target, crypto::provider(provider_).make_key(ek));
+  secure_zero(ek);
+  return out;
+}
+
+void LinkKeyring::advance_epoch(Link& l, int link, double now) {
+  // Retain the superseded epoch's schedule for the grace window so
+  // in-flight messages drain; the chain itself steps forward and the
+  // old state is wiped — nothing can re-derive epoch <= current.
+  Grace g;
+  g.epoch = l.epoch;
+  Bytes old_epoch_key = epoch_key(l.chain, key_bytes_);
+  g.aead = crypto::provider(provider_).make_key(old_epoch_key);
+  secure_zero(old_epoch_key);
+  g.expires = now + ratchet_.grace_window;
+  l.grace.push_back(std::move(g));
+
+  Bytes next = ratchet_next_chain(l.chain);
+  secure_zero(l.chain);
+  ++counters_.keys_wiped;
+  l.chain = std::move(next);
+  ++l.epoch;
+  l.epoch_start = now;
+  l.seq = 0;
+  cache_.retire_below(
+      static_cast<std::uint64_t>(static_cast<std::uint32_t>(link)), l.epoch);
+  ++counters_.ratchets;
+}
+
+void LinkKeyring::prune_grace(Link& l, double now) {
+  for (std::size_t i = 0; i < l.grace.size();) {
+    if (l.grace[i].expires <= now) {
+      ++counters_.keys_wiped;  // the schedule wipes itself on destroy
+      l.grace[i] = std::move(l.grace.back());
+      l.grace.pop_back();
+    } else {
+      ++i;
+    }
+  }
+}
+
+LinkKeyring::SealKey LinkKeyring::seal_key(int link, double now,
+                                           std::uint64_t seal_budget) {
+  Link& l = require(link);
+  if (l.quarantined) throw LinkQuarantined(link);
+  prune_grace(l, now);
+  bool ratcheted = false;
+  const std::uint64_t budget =
+      ratchet_.max_seals != 0 ? ratchet_.max_seals : seal_budget;
+  if (budget != 0 && l.seq >= budget) {
+    advance_epoch(l, link, now);
+    ++counters_.budget_ratchets;
+    ratcheted = true;
+  }
+  if (!ratcheted && ratchet_.interval > 0.0 &&
+      now - l.epoch_start >= ratchet_.interval) {
+    advance_epoch(l, link, now);
+    ratcheted = true;
+  }
+  SealKey out;
+  out.aead = epoch_aead(link, l, l.epoch);
+  out.epoch = l.epoch;
+  out.seq = l.seq++;
+  out.ratcheted = ratcheted;
+  return out;
+}
+
+void LinkKeyring::open_candidates(int link, double now,
+                                  std::vector<OpenCandidate>& out) {
+  out.clear();
+  const auto it = links_.find(link);
+  if (it == links_.end() || it->second.quarantined ||
+      it->second.chain.empty()) {
+    return;  // unknown or quarantined: nothing authenticates
+  }
+  Link& l = it->second;
+  prune_grace(l, now);
+  for (std::uint32_t e = l.epoch; e <= l.epoch + ratchet_.max_skew; ++e) {
+    out.push_back(OpenCandidate{epoch_aead(link, l, e), e});
+  }
+  for (const Grace& g : l.grace) {
+    out.push_back(OpenCandidate{g.aead.get(), g.epoch});
+  }
+}
+
+LinkKeyring::OpenKind LinkKeyring::note_open(int link, std::uint32_t epoch,
+                                             double now) {
+  Link& l = require(link);
+  if (epoch == l.epoch) return OpenKind::kCurrent;
+  if (epoch > l.epoch) {
+    // The sender ratcheted first; catch up, retaining each superseded
+    // epoch for the grace window so reordered older traffic drains.
+    while (l.epoch < epoch) advance_epoch(l, link, now);
+    ++counters_.catchup_opens;
+    return OpenKind::kCatchup;
+  }
+  ++counters_.grace_opens;
+  return OpenKind::kGrace;
+}
+
+}  // namespace emc::keys

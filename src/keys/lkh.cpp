@@ -1,0 +1,271 @@
+#include "emc/keys/lkh.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "emc/crypto/sha256.hpp"
+
+namespace emc::keys {
+
+namespace {
+
+const char* kNodeSalt = "emc-lkh-node-v1";
+
+/// AAD binding a frame to its (node, wrap_node, version) position so
+/// a frame transplanted to another slot never authenticates.
+Bytes frame_aad(std::uint32_t node, std::uint32_t wrap_node,
+                std::uint32_t version) {
+  Bytes aad = bytes_of("emc-lkh-frame");
+  const std::size_t base = aad.size();
+  aad.resize(base + 12);
+  store_be32(aad.data() + base, node);
+  store_be32(aad.data() + base + 4, wrap_node);
+  store_be32(aad.data() + base + 8, version);
+  return aad;
+}
+
+/// Deterministic wrap nonce: (version, wrap_node, node) is unique per
+/// wrapping key — a node key wraps at most one frame per (version,
+/// target node), and versions strictly increase.
+void frame_nonce(std::uint8_t out[crypto::kGcmNonceBytes],
+                 std::uint32_t version, std::uint32_t wrap_node,
+                 std::uint32_t node) noexcept {
+  store_be32(out, version);
+  store_be32(out + 4, wrap_node);
+  store_be32(out + 8, node);
+}
+
+LkhFrame wrap_node_key(const crypto::Provider& provider, BytesView wrap_key,
+                       std::uint32_t wrap_node, BytesView new_key,
+                       std::uint32_t node, std::uint32_t version) {
+  LkhFrame f;
+  f.node = node;
+  f.wrap_node = wrap_node;
+  f.version = version;
+  f.wire.resize(crypto::kGcmNonceBytes + new_key.size() +
+                crypto::kGcmTagBytes);
+  frame_nonce(f.wire.data(), version, wrap_node, node);
+  const crypto::AeadKeyPtr aead = provider.make_key(wrap_key);
+  aead->seal(BytesView(f.wire.data(), crypto::kGcmNonceBytes),
+             frame_aad(node, wrap_node, version), new_key,
+             MutBytes(f.wire).subspan(crypto::kGcmNonceBytes));
+  return f;
+}
+
+}  // namespace
+
+std::size_t lkh_frame_bytes(std::size_t key_bytes) {
+  return 12 + crypto::kGcmNonceBytes + key_bytes + crypto::kGcmTagBytes;
+}
+
+Bytes serialize_frames(const std::vector<LkhFrame>& frames) {
+  Bytes out(4);
+  store_be32(out.data(), static_cast<std::uint32_t>(frames.size()));
+  for (const LkhFrame& f : frames) {
+    const std::size_t base = out.size();
+    out.resize(base + 12 + f.wire.size());
+    store_be32(out.data() + base, f.node);
+    store_be32(out.data() + base + 4, f.wrap_node);
+    store_be32(out.data() + base + 8, f.version);
+    std::copy(f.wire.begin(), f.wire.end(), out.begin() +
+              static_cast<std::ptrdiff_t>(base + 12));
+  }
+  return out;
+}
+
+std::vector<LkhFrame> deserialize_frames(BytesView wire,
+                                         std::size_t key_bytes) {
+  if (wire.size() < 4) {
+    throw std::invalid_argument("lkh: truncated frame batch");
+  }
+  const std::uint32_t count = load_be32(wire.data());
+  const std::size_t frame = lkh_frame_bytes(key_bytes);
+  if (wire.size() != 4 + static_cast<std::size_t>(count) * frame) {
+    throw std::invalid_argument("lkh: frame batch length mismatch");
+  }
+  std::vector<LkhFrame> out(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint8_t* p = wire.data() + 4 + i * frame;
+    out[i].node = load_be32(p);
+    out[i].wrap_node = load_be32(p + 4);
+    out[i].version = load_be32(p + 8);
+    out[i].wire.assign(p + 12, p + frame);
+  }
+  return out;
+}
+
+LkhTree::LkhTree(int members, const LkhConfig& config) : config_(config) {
+  if (members < 2) {
+    throw std::invalid_argument("LkhTree needs at least 2 members");
+  }
+  cap_ = 1;
+  while (cap_ < members) cap_ *= 2;
+  node_keys_.resize(2 * static_cast<std::size_t>(cap_));
+  leaf_alive_.assign(static_cast<std::size_t>(cap_), 0);
+  for (std::uint32_t v = 1; v < node_keys_.size(); ++v) {
+    node_keys_[v] = derive_node_key(v, 0);
+  }
+  for (int m = 0; m < members; ++m) leaf_alive_[static_cast<std::size_t>(m)] = 1;
+  alive_ = members;
+}
+
+LkhTree::~LkhTree() {
+  for (Bytes& k : node_keys_) secure_zero(k);
+}
+
+Bytes LkhTree::derive_node_key(std::uint32_t node,
+                               std::uint32_t version) const {
+  std::uint8_t seed_be[8];
+  store_be64(seed_be, config_.seed);
+  Bytes info = bytes_of("lkh-node");
+  const std::size_t base = info.size();
+  info.resize(base + 8);
+  store_be32(info.data() + base, node);
+  store_be32(info.data() + base + 4, version);
+  return crypto::hkdf_sha256(BytesView(seed_be, sizeof seed_be), bytes_of(kNodeSalt),
+                             info, config_.key_bytes);
+}
+
+bool LkhTree::subtree_alive(std::uint32_t node) const noexcept {
+  std::uint32_t lo = node;
+  std::uint32_t hi = node;
+  while (lo < static_cast<std::uint32_t>(cap_)) {
+    lo = 2 * lo;
+    hi = 2 * hi + 1;
+  }
+  for (std::uint32_t leaf = lo; leaf <= hi; ++leaf) {
+    if (leaf_alive_[leaf - static_cast<std::uint32_t>(cap_)] != 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Bytes LkhTree::group_key() const { return node_keys_[1]; }
+
+LkhBatch LkhTree::rotate_path(int m, bool skip_self) {
+  const crypto::Provider& provider = crypto::provider(config_.provider);
+  const auto leaf = static_cast<std::uint32_t>(cap_ + m);
+  LkhBatch batch;
+  ++version_;
+  batch.version = version_;
+  for (std::uint32_t v = leaf / 2; v >= 1; v /= 2) {
+    Bytes next = derive_node_key(v, version_);
+    for (std::uint32_t c : {2 * v, 2 * v + 1}) {
+      if (!subtree_alive(c)) continue;
+      // The subtree holding only the member being rotated around: on
+      // a join the newcomer is provisioned via member_view, so no
+      // frame is needed; on an eviction the leaf is already dead and
+      // subtree_alive filtered it.
+      if (skip_self && c == leaf) continue;
+      batch.frames.push_back(wrap_node_key(provider, node_keys_[c], c, next,
+                                           v, version_));
+    }
+    secure_zero(node_keys_[v]);
+    node_keys_[v] = std::move(next);
+    if (v == 1) break;
+  }
+  return batch;
+}
+
+LkhBatch LkhTree::remove_member(int m) {
+  if (m < 0 || m >= cap_ || leaf_alive_[static_cast<std::size_t>(m)] == 0) {
+    throw std::invalid_argument("LkhTree::remove_member: not a live member");
+  }
+  if (alive_ <= 1) {
+    throw std::invalid_argument(
+        "LkhTree::remove_member: cannot empty the group");
+  }
+  const auto leaf = static_cast<std::uint32_t>(cap_ + m);
+  leaf_alive_[static_cast<std::size_t>(m)] = 0;
+  --alive_;
+  secure_zero(node_keys_[leaf]);
+  node_keys_[leaf].clear();
+  return rotate_path(m, /*skip_self=*/false);
+}
+
+LkhBatch LkhTree::add_member(int m) {
+  if (m < 0 || m >= cap_ || leaf_alive_[static_cast<std::size_t>(m)] != 0) {
+    throw std::invalid_argument("LkhTree::add_member: leaf not free");
+  }
+  const auto leaf = static_cast<std::uint32_t>(cap_ + m);
+  leaf_alive_[static_cast<std::size_t>(m)] = 1;
+  ++alive_;
+  // Fresh leaf key first so the path rotation wraps nothing under a
+  // stale leaf key the previous occupant may have known.
+  secure_zero(node_keys_[leaf]);
+  node_keys_[leaf] = derive_node_key(leaf, version_ + 1);
+  return rotate_path(m, /*skip_self=*/true);
+}
+
+LkhMemberView LkhTree::member_view(int m) const {
+  if (m < 0 || m >= cap_ || leaf_alive_[static_cast<std::size_t>(m)] == 0) {
+    throw std::invalid_argument("LkhTree::member_view: not a live member");
+  }
+  LkhMemberView view;
+  view.member_ = m;
+  view.version_ = version_;
+  view.provider_ = config_.provider;
+  view.key_bytes_ = config_.key_bytes;
+  for (auto v = static_cast<std::uint32_t>(cap_ + m); v >= 1; v /= 2) {
+    view.path_.emplace_back(v, node_keys_[v]);
+    if (v == 1) break;
+  }
+  return view;
+}
+
+LkhMemberView::~LkhMemberView() {
+  for (auto& [node, k] : path_) secure_zero(k);
+}
+
+Bytes LkhMemberView::group_key() const {
+  for (const auto& [node, k] : path_) {
+    if (node == 1) return k;
+  }
+  throw std::logic_error("LkhMemberView: no root key held");
+}
+
+bool LkhMemberView::apply(const std::vector<LkhFrame>& frames) {
+  const crypto::Provider& provider = crypto::provider(provider_);
+  bool root_updated = false;
+  for (const LkhFrame& f : frames) {
+    if (f.version < version_) continue;  // replayed pre-rotation batch
+    Bytes* wrap = nullptr;
+    for (auto& [node, k] : path_) {
+      if (node == f.wrap_node) {
+        wrap = &k;
+        break;
+      }
+    }
+    if (wrap == nullptr || f.wire.size() !=
+        crypto::kGcmNonceBytes + key_bytes_ + crypto::kGcmTagBytes) {
+      continue;  // wrapped for a subtree this member is not in
+    }
+    const crypto::AeadKeyPtr aead = provider.make_key(*wrap);
+    Bytes unwrapped(key_bytes_);
+    const bool ok =
+        aead->open(BytesView(f.wire.data(), crypto::kGcmNonceBytes),
+                   frame_aad(f.node, f.wrap_node, f.version),
+                   BytesView(f.wire).subspan(crypto::kGcmNonceBytes),
+                   unwrapped);
+    if (!ok) {
+      secure_zero(unwrapped);
+      continue;  // stale or transplanted frame
+    }
+    for (auto& [node, k] : path_) {
+      if (node == f.node) {
+        secure_zero(k);
+        k = std::move(unwrapped);
+        version_ = std::max(version_, f.version);
+        if (node == 1) root_updated = true;
+        unwrapped = Bytes();
+        break;
+      }
+    }
+    secure_zero(unwrapped);
+  }
+  return root_updated;
+}
+
+}  // namespace emc::keys

@@ -1,0 +1,103 @@
+#include "emc/keys/session_cache.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace emc::keys {
+
+SessionCache::SessionCache(const SessionCacheConfig& config)
+    : config_(config) {
+  if (config_.capacity == 0) {
+    throw std::invalid_argument("SessionCache capacity must be at least 1");
+  }
+}
+
+const crypto::AeadKey* SessionCache::get(std::uint64_t link,
+                                         std::uint32_t epoch) {
+  auto it = links_.find(link);
+  if (it != links_.end()) {
+    for (auto& [e, pos] : it->second.epochs) {
+      if (e == epoch) {
+        lru_.splice(lru_.begin(), lru_, pos);
+        ++stats_.hits;
+        return pos->key.get();
+      }
+    }
+  }
+  ++stats_.misses;
+  return nullptr;
+}
+
+const crypto::AeadKey* SessionCache::put(std::uint64_t link,
+                                         std::uint32_t epoch,
+                                         crypto::AeadKeyPtr key) {
+  Bucket& bucket = links_[link];
+  for (auto& [e, pos] : bucket.epochs) {
+    if (e == epoch) {  // replace in place, keep LRU position fresh
+      pos->key = std::move(key);
+      lru_.splice(lru_.begin(), lru_, pos);
+      return pos->key.get();
+    }
+  }
+  while (entries_ >= config_.capacity) {
+    const Entry& victim = lru_.back();
+    ++stats_.evictions;
+    // Self-insertions cannot evict themselves: the new entry is not
+    // linked yet, so the victim is always an older entry.
+    auto vit = links_.find(victim.link);
+    drop(victim.link, victim.epoch, vit->second);
+  }
+  lru_.push_front(Entry{link, epoch, std::move(key)});
+  // links_[link] may have rehashed during eviction of another link's
+  // entry; re-find to be safe.
+  Bucket& fresh = links_[link];
+  fresh.epochs.emplace_back(epoch, lru_.begin());
+  ++entries_;
+  return lru_.front().key.get();
+}
+
+void SessionCache::retire_below(std::uint64_t link, std::uint32_t floor) {
+  auto it = links_.find(link);
+  if (it == links_.end()) return;
+  auto& epochs = it->second.epochs;
+  for (std::size_t i = 0; i < epochs.size();) {
+    if (epochs[i].first < floor) {
+      ++stats_.invalidations;
+      lru_.erase(epochs[i].second);
+      epochs[i] = epochs.back();
+      epochs.pop_back();
+      --entries_;
+    } else {
+      ++i;
+    }
+  }
+  if (epochs.empty()) links_.erase(it);
+}
+
+void SessionCache::retire_link(std::uint64_t link) {
+  auto it = links_.find(link);
+  if (it == links_.end()) return;
+  for (auto& [e, pos] : it->second.epochs) {
+    ++stats_.invalidations;
+    lru_.erase(pos);
+    --entries_;
+  }
+  links_.erase(it);
+}
+
+void SessionCache::drop(std::uint64_t link, std::uint32_t epoch,
+                        Bucket& bucket) {
+  auto& epochs = bucket.epochs;
+  for (std::size_t i = 0; i < epochs.size(); ++i) {
+    if (epochs[i].first == epoch) {
+      lru_.erase(epochs[i].second);
+      epochs[i] = epochs.back();
+      epochs.pop_back();
+      --entries_;
+      break;
+    }
+  }
+  if (epochs.empty()) links_.erase(link);
+}
+
+}  // namespace emc::keys

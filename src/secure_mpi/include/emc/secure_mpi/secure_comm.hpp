@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -27,6 +28,10 @@
 #include "emc/crypto/provider.hpp"
 #include "emc/mpi/comm.hpp"
 #include "emc/secure_mpi/pipeline.hpp"
+
+namespace emc::keys {
+class LinkKeyring;
+}  // namespace emc::keys
 
 namespace emc::secure {
 
@@ -151,6 +156,21 @@ struct SecureConfig {
   /// simulated processes, so their per-chunk crypto can only be
   /// billed analytically (validated at construction).
   PipelineConfig pipeline;
+
+  /// Per-link key lifecycle (docs/RESILIENCE.md): when set,
+  /// point-to-point traffic is sealed under the keyring's per-link
+  /// forward-secure epoch keys (installed by keys::link_handshake)
+  /// instead of the group key; collectives stay on the group key. The
+  /// keyring is strictly per rank — every simulated rank must hold its
+  /// OWN LinkKeyring (sharing one across ranks would merge their
+  /// ratchet states). Link ids are WORLD ranks, so keyrings survive
+  /// communicator shrinks. Sealing to a link with no installed chain
+  /// throws keys::KeyringError; to a quarantined link,
+  /// keys::LinkQuarantined — both fail closed. Instead of
+  /// NonceExhaustedError, a keyring link that reaches
+  /// nonce_rekey_threshold seals under one key ratchets forward
+  /// in-place and traffic continues (counters().link_ratchets).
+  std::shared_ptr<keys::LinkKeyring> keyring;
 };
 
 /// Cumulative per-rank crypto accounting (drives the overhead
@@ -185,6 +205,12 @@ struct CryptoCounters {
   /// Times rekey() installed a fresh session key (ft recovery or
   /// nonce-threshold rotation).
   std::uint64_t rekeys = 0;
+
+  // Per-link key-lifecycle accounting (SecureConfig::keyring;
+  // mirrors of the keyring's own counters scoped to this SecureComm).
+  std::uint64_t link_ratchets = 0;  ///< epoch advances triggered by seals
+  std::uint64_t grace_opens = 0;    ///< opens under a superseded epoch
+  std::uint64_t catchup_opens = 0;  ///< opens that advanced local state
 
   // Pipelined-transport accounting (PipelineConfig; docs/PIPELINE.md).
   // Chunk seals/opens also count in messages_sealed/opened and the
@@ -280,16 +306,51 @@ class SecureComm final : public mpi::Communicator {
  private:
   /// nonce || ct || tag for @p pt, written at @p out (wire_size(pt)),
   /// authenticating @p aad (empty unless context binding is on).
-  void seal_into(BytesView pt, MutBytes out, BytesView aad = {});
+  /// @p peer (comm-local, >= 0 for point-to-point traffic) selects the
+  /// keyring's per-link epoch key when a keyring is configured; -1
+  /// (collectives) always seals under the group key.
+  void seal_into(BytesView pt, MutBytes out, BytesView aad = {},
+                 int peer = -1);
 
   /// Inverse of seal_into; throws IntegrityError on tag failure.
   /// @p wire is nonce||ct||tag; @p out receives wire.size()-28 bytes.
   void open_into(BytesView wire, MutBytes out, BytesView aad = {});
 
   /// Non-throwing open: true and plaintext in @p out on success.
-  /// Charges crypto time; the caller accounts accepted messages.
+  /// Charges crypto time; the caller accounts accepted messages. For
+  /// keyring links (@p peer >= 0), trial-opens the link's epoch
+  /// candidates (current, ahead up to max_skew, grace) — each trial is
+  /// one charged open — and reports the success to the keyring.
   [[nodiscard]] bool try_open_into(BytesView wire, MutBytes out,
-                                   BytesView aad);
+                                   BytesView aad, int peer = -1);
+
+  /// True when @p peer's point-to-point traffic uses the keyring.
+  [[nodiscard]] bool keyring_link(int peer) const noexcept;
+
+  /// Hop-trusted routes only: counts the re-seal every relay on the
+  /// way to @p peer performs under the group key against the
+  /// nonce-exhaustion budget, throwing NonceExhaustedError BEFORE the
+  /// payload leaves if the route's re-seals would overrun it (fail
+  /// closed at the sender, not at an unaccountable relay). No-op for
+  /// end-to-end trust, unrouted peers, collectives (@p peer < 0), and
+  /// keyring links (their per-link budget rotates online instead).
+  void charge_relay_reseals(int peer);
+
+  /// Keyring seal setup for one message/chunk to @p peer: fetches the
+  /// epoch seal key (ratcheting in place on budget/interval triggers —
+  /// billed on the key_mgmt lane), writes the rank||seq nonce (the two
+  /// directions of a link share the epoch key; the rank prefix keeps
+  /// their nonce streams disjoint), returns the AEAD to seal under.
+  const crypto::AeadKey* keyring_seal(int peer,
+                                      std::uint8_t out[crypto::kGcmNonceBytes]);
+
+  /// Keyring open: trial-opens the link's epoch candidates (current,
+  /// ahead up to max_skew, grace) and reports a success to the
+  /// keyring. When @p charged, every trial is one charged open
+  /// (point-to-point path); uncharged trials are for pipelined chunks,
+  /// whose time the helper cores bill.
+  [[nodiscard]] bool keyring_open(int peer, BytesView wire, BytesView aad,
+                                  MutBytes out, bool charged);
 
   /// Validates a received wire length BEFORE any size arithmetic:
   /// anything outside [kWireOverhead, wire_size(capacity)] throws
@@ -342,8 +403,9 @@ class SecureComm final : public mpi::Communicator {
   /// bytes, already behind the plaintext header) and returns the
   /// helper-core completion time — the chunk's wire_not_before.
   /// Draws the nonce from the sanctioned stream (per-chunk exhaustion
-  /// guard) and bills analytically via helper_crypto.
-  double seal_chunk(BytesView pt, MutBytes out, BytesView aad);
+  /// guard; keyring links use their epoch key and rank||seq stream)
+  /// and bills analytically via helper_crypto.
+  double seal_chunk(BytesView pt, MutBytes out, BytesView aad, int peer);
 
   /// Sender side of the pipeline: chunk, seal on helper cores, send
   /// each frame with its seal-completion wire gate.

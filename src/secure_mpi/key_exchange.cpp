@@ -3,47 +3,13 @@
 #include "emc/common/rng.hpp"
 #include "emc/crypto/provider.hpp"
 #include "emc/crypto/sha256.hpp"
+#include "emc/keys/derive.hpp"
 
 namespace emc::secure {
 
 namespace {
 
 constexpr int kWrapTag = 901;
-const char* kHkdfSalt = "emc-mpi-key-exchange-v1";
-const char* kConfirmLabel = "emc-key-confirmation";
-
-Bytes wrap_key_for_peer(const crypto::Provider& provider,
-                        BytesView pairwise_secret, BytesView session_key) {
-  Bytes kek = crypto::hkdf_sha256(
-      pairwise_secret, bytes_of(kHkdfSalt), bytes_of("key-wrap"), 32);
-  const crypto::AeadKeyPtr aead = provider.make_key(kek);
-  secure_zero(kek);
-  Bytes wire(crypto::kGcmNonceBytes + session_key.size() +
-             crypto::kGcmTagBytes);
-  // EMC_LINT_ALLOW(nonce-source): one wrap per (handshake, peer) under
-  // a KEK that is freshly derived from the pairwise DH secret, so the
-  // random draw can never repeat under the same key.
-  random_nonce(MutBytes(wire.data(), crypto::kGcmNonceBytes));
-  aead->seal(BytesView(wire.data(), crypto::kGcmNonceBytes), {}, session_key,
-             MutBytes(wire).subspan(crypto::kGcmNonceBytes));
-  return wire;
-}
-
-Bytes unwrap_key(const crypto::Provider& provider, BytesView pairwise_secret,
-                 BytesView wire, std::size_t key_bytes) {
-  Bytes kek = crypto::hkdf_sha256(
-      pairwise_secret, bytes_of(kHkdfSalt), bytes_of("key-wrap"), 32);
-  const crypto::AeadKeyPtr aead = provider.make_key(kek);
-  secure_zero(kek);
-  Bytes session_key(key_bytes);
-  const bool ok =
-      aead->open(wire.first(crypto::kGcmNonceBytes), {},
-                 wire.subspan(crypto::kGcmNonceBytes), session_key);
-  if (!ok) {
-    throw KeyExchangeError("session-key unwrap failed (tampered handshake?)");
-  }
-  return session_key;
-}
 
 }  // namespace
 
@@ -64,7 +30,10 @@ Bytes establish_group_key(mpi::Comm& comm, const crypto::DhGroup& group,
   Bytes all_publics(width * n);
   comm.allgather(my_public, all_publics);
 
-  // 2. Rank 0 wraps a fresh session key for every peer.
+  // 2. Rank 0 wraps a fresh session key for every peer. The wrap and
+  // the confirmation tag both come from keys::derive — the one
+  // audited derivation path shared with the per-link handshake and
+  // the recovery rekey.
   if (rank == 0) {
     Bytes session_key(config.key_bytes);
     Xoshiro256 session_rng(config.seed ^ 0xA11CE);
@@ -77,7 +46,7 @@ Bytes establish_group_key(mpi::Comm& comm, const crypto::DhGroup& group,
             BytesView(all_publics).subspan(peer * width, width));
         Bytes secret =
             crypto::dh_shared_secret(group, pair.private_key, peer_public);
-        wire = wrap_key_for_peer(provider, secret, session_key);
+        wire = keys::wrap_key(provider, secret, session_key);
         secure_zero(secret);
       });
       comm.send(wire, static_cast<int>(peer), kWrapTag);
@@ -85,14 +54,12 @@ Bytes establish_group_key(mpi::Comm& comm, const crypto::DhGroup& group,
     pair.private_key.wipe();
 
     // 3. Key confirmation.
-    Bytes confirmation =
-        crypto::hmac_sha256(session_key, bytes_of(kConfirmLabel));
+    Bytes confirmation = keys::confirm_tag(session_key, {});
     comm.bcast(confirmation, 0);
     return session_key;
   }
 
-  Bytes wire(crypto::kGcmNonceBytes + config.key_bytes +
-             crypto::kGcmTagBytes);
+  Bytes wire(keys::wrapped_key_bytes(config.key_bytes));
   comm.recv(wire, 0, kWrapTag);
   Bytes session_key;
   comm.process().charge([&] {
@@ -100,15 +67,20 @@ Bytes establish_group_key(mpi::Comm& comm, const crypto::DhGroup& group,
         BytesView(all_publics).first(width));
     Bytes secret =
         crypto::dh_shared_secret(group, pair.private_key, root_public);
-    session_key = unwrap_key(provider, secret, wire, config.key_bytes);
+    std::optional<Bytes> unwrapped =
+        keys::unwrap_key(provider, secret, wire, config.key_bytes);
     secure_zero(secret);
+    if (!unwrapped) {
+      throw KeyExchangeError(
+          "session-key unwrap failed (tampered handshake?)");
+    }
+    session_key = std::move(*unwrapped);
   });
   pair.private_key.wipe();
 
   Bytes confirmation(crypto::kSha256Digest);
   comm.bcast(confirmation, 0);
-  const Bytes expected =
-      crypto::hmac_sha256(session_key, bytes_of(kConfirmLabel));
+  const Bytes expected = keys::confirm_tag(session_key, {});
   if (!ct_equal(confirmation, expected)) {
     throw KeyExchangeError("key confirmation mismatch");
   }

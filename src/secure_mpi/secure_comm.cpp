@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "emc/common/rng.hpp"
+#include "emc/keys/keyring.hpp"
 #include "emc/mpi/validate.hpp"
 #include "emc/common/timer.hpp"
 
@@ -157,6 +158,71 @@ double SecureComm::charged_crypto(const std::function<void()>& work,
   return comm_->process().charge(work);
 }
 
+bool SecureComm::keyring_link(int peer) const noexcept {
+  return config_.keyring != nullptr && peer >= 0;
+}
+
+const crypto::AeadKey* SecureComm::keyring_seal(
+    int peer, std::uint8_t out[kGcmNonceBytes]) {
+  keys::LinkKeyring& ring = *config_.keyring;
+  const int link = comm_->to_world(peer);
+  const keys::LinkKeyring::SealKey sk =
+      ring.seal_key(link, comm_->now(), config_.nonce_rekey_threshold);
+  if (sk.ratcheted) {
+    // The epoch advanced in place — traffic continues under the next
+    // chain key instead of stopping on NonceExhaustedError. Bill the
+    // chain step analytically on the key_mgmt lane.
+    ++counters_.link_ratchets;
+    sim::Process& proc = comm_->process();
+    const double begin = proc.now();
+    proc.advance(ring.ratchet().step_cost);
+    if (trace::TraceRecorder* rec = comm_->world().trace()) {
+      rec->record(proc.index(), trace::Category::kKeyMgmt, begin, proc.now(),
+                  link);
+    }
+  }
+  // Both endpoints seal under the same epoch key; the sender's world
+  // rank prefixes the per-epoch sequence so the two directions' nonce
+  // streams can never collide.
+  store_be32(out, static_cast<std::uint32_t>(comm_->to_world(rank())));
+  store_be64(out + 4, sk.seq);
+  return sk.aead;
+}
+
+bool SecureComm::keyring_open(int peer, BytesView wire, BytesView aad,
+                              MutBytes out, bool charged) {
+  keys::LinkKeyring& ring = *config_.keyring;
+  const int link = comm_->to_world(peer);
+  std::vector<keys::LinkKeyring::OpenCandidate> cands;
+  ring.open_candidates(link, comm_->now(), cands);
+  for (const auto& cand : cands) {
+    bool ok = false;
+    const auto trial = [&] {
+      ok = cand.aead->open(wire.first(kGcmNonceBytes), aad,
+                           wire.subspan(kGcmNonceBytes), out);
+    };
+    if (charged) {
+      counters_.open_seconds +=
+          charged_crypto(trial, out.size(), /*encrypt=*/false);
+    } else {
+      trial();  // pipelined chunk: the helper core bills the time
+    }
+    if (!ok) continue;
+    switch (ring.note_open(link, cand.epoch, comm_->now())) {
+      case keys::LinkKeyring::OpenKind::kGrace:
+        ++counters_.grace_opens;
+        break;
+      case keys::LinkKeyring::OpenKind::kCatchup:
+        ++counters_.catchup_opens;
+        break;
+      case keys::LinkKeyring::OpenKind::kCurrent:
+        break;
+    }
+    return true;
+  }
+  return false;
+}
+
 void SecureComm::next_nonce(std::uint8_t out[kGcmNonceBytes]) {
   // Fail-closed rekey gate: refuse to seal past the per-key invocation
   // budget rather than risk a repeated (key, nonce) pair. Counted in
@@ -177,6 +243,31 @@ void SecureComm::next_nonce(std::uint8_t out[kGcmNonceBytes]) {
   }
   store_be32(out, static_cast<std::uint32_t>(rank()));
   store_be64(out + 4, nonce_counter_++);
+}
+
+void SecureComm::charge_relay_reseals(int peer) {
+  if (peer < 0 || config_.relay_trust != RelayTrust::kHopTrusted ||
+      keyring_link(peer)) {
+    return;
+  }
+  const net::Fabric& fabric = comm_->world().fabric();
+  const net::RouteSpec* route =
+      fabric.route_for(fabric.node_of(comm_->to_world(rank())),
+                       fabric.node_of(comm_->to_world(peer)));
+  if (route == nullptr) return;
+  // Every hop-trusted relay on the route re-seals this payload under
+  // the same group key: those AEAD invocations spend the key's nonce
+  // budget exactly like local seals. Count them against the
+  // fail-closed guard, or the true invocation count under the key
+  // silently overruns the configured threshold. (Keyring links are
+  // exempt: their per-link budget rotates the epoch online instead.)
+  const auto hops = static_cast<std::uint64_t>(route->via.size());
+  if (config_.nonce_rekey_threshold != 0 &&
+      nonce_counter_ + hops >= config_.nonce_rekey_threshold) {
+    throw NonceExhaustedError(nonce_counter_ + hops,
+                              config_.nonce_rekey_threshold);
+  }
+  nonce_counter_ += hops;
 }
 
 void SecureComm::rekey(BytesView new_key) {
@@ -223,14 +314,24 @@ std::uint64_t SecureComm::next_send_seq(int dst, int tag) {
   return send_seq_[{dst, tag}]++;
 }
 
-void SecureComm::seal_into(BytesView pt, MutBytes out, BytesView aad) {
+void SecureComm::seal_into(BytesView pt, MutBytes out, BytesView aad,
+                           int peer) {
   if (out.size() != wire_size(pt.size())) {
     throw std::invalid_argument("seal_into: wire buffer size mismatch");
   }
+  charge_relay_reseals(peer);
+  // Keyring links seal under the link's per-epoch key (ratchet + seq
+  // fetched before the charged region so ratchet billing lands on the
+  // key_mgmt lane, not inside the seal span).
+  const crypto::AeadKey* aead =
+      keyring_link(peer) ? keyring_seal(peer, out.data()) : nullptr;
   const double elapsed = charged_crypto(
       [&] {
-        next_nonce(out.data());
-        key_->seal(BytesView(out.data(), kGcmNonceBytes), aad, pt,
+        if (aead == nullptr) {
+          next_nonce(out.data());
+          aead = key_.get();
+        }
+        aead->seal(BytesView(out.data(), kGcmNonceBytes), aad, pt,
                    out.subspan(kGcmNonceBytes));
       },
       pt.size(), /*encrypt=*/true);
@@ -239,7 +340,11 @@ void SecureComm::seal_into(BytesView pt, MutBytes out, BytesView aad) {
   counters_.seal_seconds += elapsed;
 }
 
-bool SecureComm::try_open_into(BytesView wire, MutBytes out, BytesView aad) {
+bool SecureComm::try_open_into(BytesView wire, MutBytes out, BytesView aad,
+                               int peer) {
+  if (keyring_link(peer)) {
+    return keyring_open(peer, wire, aad, out, /*charged=*/true);
+  }
   bool ok = false;
   const double elapsed = charged_crypto(
       [&] {
@@ -301,7 +406,7 @@ std::optional<mpi::Status> SecureComm::open_p2p(
   // the stash cannot explain — is a genuine integrity error.
   for (int round = 0;; ++round) {
     if (!config_.bind_context) {
-      if (try_open_into(wire, out, {})) {
+      if (try_open_into(wire, out, {}, src)) {
         ++counters_.messages_opened;
         counters_.bytes_opened += out.size();
         return status;
@@ -317,8 +422,8 @@ std::optional<mpi::Status> SecureComm::open_p2p(
       const std::uint64_t ahead =
           config_.replay_window > 0 ? config_.replay_window : 1;
       for (std::uint64_t k = 0; k < ahead; ++k) {
-        if (try_open_into(wire, out,
-                          p2p_aad(src, rank(), tag, expected + k))) {
+        if (try_open_into(wire, out, p2p_aad(src, rank(), tag, expected + k),
+                          src)) {
           expected += k + 1;
           ++counters_.messages_opened;
           counters_.bytes_opened += out.size();
@@ -327,8 +432,8 @@ std::optional<mpi::Status> SecureComm::open_p2p(
       }
       for (std::uint64_t back = 1;
            back <= config_.replay_window && back <= expected; ++back) {
-        if (try_open_into(wire, out,
-                          p2p_aad(src, rank(), tag, expected - back))) {
+        if (try_open_into(wire, out, p2p_aad(src, rank(), tag, expected - back),
+                          src)) {
           secure_zero(out);  // never hand a repeated plaintext to the caller
           const std::uint64_t seq = expected - back;
           const std::uint32_t copies = ++extra_copies_[{src, tag, seq}];
@@ -421,11 +526,19 @@ double SecureComm::helper_crypto(std::size_t bytes, bool encrypt) {
   return done;
 }
 
-double SecureComm::seal_chunk(BytesView pt, MutBytes out, BytesView aad) {
+double SecureComm::seal_chunk(BytesView pt, MutBytes out, BytesView aad,
+                              int peer) {
   // No host-time measurement on this path (seal_seconds stays a
   // main-clock wall measurement; helper billing is purely analytic).
-  next_nonce(out.data());
-  key_->seal(BytesView(out.data(), kGcmNonceBytes), aad, pt,
+  charge_relay_reseals(peer);
+  const crypto::AeadKey* aead;
+  if (keyring_link(peer)) {
+    aead = keyring_seal(peer, out.data());
+  } else {
+    next_nonce(out.data());
+    aead = key_.get();
+  }
+  aead->seal(BytesView(out.data(), kGcmNonceBytes), aad, pt,
              out.subspan(kGcmNonceBytes));
   ++counters_.messages_sealed;
   ++counters_.chunks_sealed;
@@ -464,7 +577,7 @@ void SecureComm::send_pipelined(BytesView data, int dst, int tag) {
     }
     const double sealed_at = seal_chunk(
         data.subspan(off, len), MutBytes(frame).subspan(kPipeHeaderBytes),
-        aad);
+        aad, dst);
     // The frame flies as soon as both the NIC is free and the helper
     // core sealed it; the sender's own clock only pays the per-chunk
     // CPU overhead + copy, which is how encryption hides behind the
@@ -570,8 +683,12 @@ std::optional<mpi::Status> SecureComm::open_pipelined(
         }
         const BytesView wire = BytesView(frame).subspan(kPipeHeaderBytes);
         const MutBytes out = user.subspan(h.offset, h.chunk_len);
-        if (key_->open(wire.first(kGcmNonceBytes), aad,
-                       wire.subspan(kGcmNonceBytes), out)) {
+        const bool opened =
+            keyring_link(src)
+                ? keyring_open(src, wire, aad, out, /*charged=*/false)
+                : key_->open(wire.first(kGcmNonceBytes), aad,
+                             wire.subspan(kGcmNonceBytes), out);
+        if (opened) {
           have[h.index] = 1;
           ++have_n;
           bytes_accepted += h.chunk_len;
@@ -679,9 +796,10 @@ void SecureComm::send(BytesView data, int dst, int tag) {
   }
   Bytes wire(wire_size(data.size()));
   if (config_.bind_context) {
-    seal_into(data, wire, p2p_aad(rank(), dst, tag, next_send_seq(dst, tag)));
+    seal_into(data, wire, p2p_aad(rank(), dst, tag, next_send_seq(dst, tag)),
+              dst);
   } else {
-    seal_into(data, wire);
+    seal_into(data, wire, {}, dst);
   }
   comm_->send(wire, dst, tag);
 }
@@ -718,9 +836,9 @@ mpi::Request SecureComm::isend(BytesView data, int dst, int tag) {
   state->wire.resize(wire_size(data.size()));
   if (config_.bind_context) {
     seal_into(data, state->wire,
-              p2p_aad(rank(), dst, tag, next_send_seq(dst, tag)));
+              p2p_aad(rank(), dst, tag, next_send_seq(dst, tag)), dst);
   } else {
-    seal_into(data, state->wire);
+    seal_into(data, state->wire, {}, dst);
   }
   state->inner = comm_->isend(state->wire, dst, tag);
   return mpi::Request(std::move(state));

@@ -124,7 +124,8 @@ double SummaryRow::crypto_pct() const noexcept {
   return 100.0 *
          (seconds[static_cast<std::size_t>(Category::kCryptoEncrypt)] +
           seconds[static_cast<std::size_t>(Category::kCryptoDecrypt)] +
-          seconds[static_cast<std::size_t>(Category::kPipelineStall)]) /
+          seconds[static_cast<std::size_t>(Category::kPipelineStall)] +
+          seconds[static_cast<std::size_t>(Category::kKeyMgmt)]) /
          total;
 }
 

@@ -58,9 +58,11 @@ enum class Category : std::uint8_t {
                        ///< (concurrent lane; `peer` holds the core id)
   kPipelineStall,      ///< main timeline blocked on helper-core crypto
                        ///< (the unhidden tail of a pipelined message)
+  kKeyMgmt,            ///< key lifecycle: handshake asymmetric crypto,
+                       ///< ratchet steps, group rekey fan-out
 };
 
-inline constexpr std::size_t kNumCategories = 11;
+inline constexpr std::size_t kNumCategories = 12;
 
 /// Stable lower_snake_case name ("crypto_encrypt", ...); used by both
 /// exporters, so it is part of the trace file format.

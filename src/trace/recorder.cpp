@@ -18,6 +18,7 @@ const char* category_name(Category c) noexcept {
     case Category::kRelayForward: return "relay_forward";
     case Category::kCryptoHelper: return "crypto_helper";
     case Category::kPipelineStall: return "pipeline_stall";
+    case Category::kKeyMgmt: return "key_mgmt";
   }
   return "unknown";
 }

@@ -1,0 +1,166 @@
+// LKH group-key tree: O(log N) rekey fan-out, eviction and rejoin
+// secrecy, the frame codec, and the transplant/stale-frame rejections
+// the compromise-recovery drill depends on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "emc/keys/lkh.hpp"
+
+namespace emc::keys {
+namespace {
+
+std::size_t log2_ceil(std::size_t n) {
+  std::size_t l = 0;
+  while ((std::size_t{1} << l) < n) ++l;
+  return l;
+}
+
+TEST(LkhTree, BuildsOverMembersAndAgreesOnRoot) {
+  LkhTree tree(6);
+  EXPECT_EQ(tree.capacity(), 8);  // next power of two
+  EXPECT_EQ(tree.alive(), 6);
+  EXPECT_EQ(tree.full_reexchange_messages(), 5u);
+  const Bytes root = tree.group_key();
+  EXPECT_EQ(root.size(), tree.config().key_bytes);
+  for (int m = 0; m < 6; ++m) {
+    EXPECT_EQ(tree.member_view(m).group_key(), root) << "member " << m;
+  }
+  EXPECT_THROW((void)tree.member_view(6), std::invalid_argument);
+}
+
+TEST(LkhTree, EvictionRotatesPathAndLocksTheEvicteeOut) {
+  LkhTree tree(8);
+  const Bytes old_root = tree.group_key();
+  std::vector<LkhMemberView> views;
+  for (int m = 0; m < 8; ++m) views.push_back(tree.member_view(m));
+
+  const LkhBatch batch = tree.remove_member(3);
+  EXPECT_EQ(tree.alive(), 7);
+  EXPECT_LE(batch.frames.size(), 2 * log2_ceil(8));
+  const Bytes new_root = tree.group_key();
+  EXPECT_NE(new_root, old_root);
+
+  for (int m = 0; m < 8; ++m) {
+    const bool updated = views[static_cast<std::size_t>(m)].apply(batch.frames);
+    if (m == 3) {
+      // The evicted member holds none of the wrapping keys: nothing
+      // installs, its stale root no longer matches the group.
+      EXPECT_FALSE(updated);
+      EXPECT_EQ(views[3].group_key(), old_root);
+    } else {
+      EXPECT_TRUE(updated) << "member " << m;
+      EXPECT_EQ(views[static_cast<std::size_t>(m)].group_key(), new_root)
+          << "member " << m;
+    }
+  }
+}
+
+TEST(LkhTree, RejoinRotatesSoTheNewcomerCannotReadPreJoinTraffic) {
+  LkhTree tree(4);
+  std::vector<LkhMemberView> views;
+  for (int m = 0; m < 4; ++m) views.push_back(tree.member_view(m));
+  const LkhBatch evict = tree.remove_member(1);
+  for (const int m : {0, 2, 3}) {
+    ASSERT_TRUE(views[static_cast<std::size_t>(m)].apply(evict.frames));
+  }
+  const Bytes pre_join_root = tree.group_key();
+
+  const LkhBatch join = tree.add_member(1);
+  EXPECT_EQ(tree.alive(), 4);
+  const Bytes post_join_root = tree.group_key();
+  EXPECT_NE(post_join_root, pre_join_root);  // backward secrecy
+  // The newcomer is provisioned via a fresh view, not frames.
+  LkhMemberView fresh = tree.member_view(1);
+  EXPECT_EQ(fresh.group_key(), post_join_root);
+  // Existing members follow via the join batch.
+  for (const int m : {0, 2, 3}) {
+    ASSERT_TRUE(views[static_cast<std::size_t>(m)].apply(join.frames));
+    EXPECT_EQ(views[static_cast<std::size_t>(m)].group_key(), post_join_root);
+  }
+}
+
+TEST(LkhTree, FrameCodecRoundTripsAndRejectsBadLengths) {
+  LkhTree tree(8);
+  const LkhBatch batch = tree.remove_member(5);
+  ASSERT_FALSE(batch.frames.empty());
+  const Bytes wire = serialize_frames(batch.frames);
+  EXPECT_EQ(wire.size(),
+            4 + batch.frames.size() *
+                    lkh_frame_bytes(tree.config().key_bytes));
+  const std::vector<LkhFrame> back =
+      deserialize_frames(wire, tree.config().key_bytes);
+  ASSERT_EQ(back.size(), batch.frames.size());
+  for (std::size_t i = 0; i < back.size(); ++i) {
+    EXPECT_EQ(back[i].node, batch.frames[i].node);
+    EXPECT_EQ(back[i].wrap_node, batch.frames[i].wrap_node);
+    EXPECT_EQ(back[i].version, batch.frames[i].version);
+    EXPECT_EQ(back[i].wire, batch.frames[i].wire);
+  }
+  EXPECT_THROW((void)deserialize_frames(BytesView(wire.data(), 2), 32),
+               std::invalid_argument);
+  Bytes truncated(wire.begin(), wire.end() - 1);
+  EXPECT_THROW((void)deserialize_frames(truncated, tree.config().key_bytes),
+               std::invalid_argument);
+}
+
+TEST(LkhTree, TransplantedFramesNeverInstall) {
+  LkhTree tree(8);
+  LkhMemberView view = tree.member_view(0);
+  LkhBatch batch = tree.remove_member(7);
+  const Bytes expected = tree.group_key();
+  // Retarget every frame at a different node: the AAD binds (node,
+  // wrap_node, version), so unwrap fails and nothing installs.
+  std::vector<LkhFrame> forged = batch.frames;
+  for (LkhFrame& f : forged) f.node = f.node == 1 ? 2 : 1;
+  EXPECT_FALSE(view.apply(forged));
+  // The untampered batch still lands afterwards.
+  EXPECT_TRUE(view.apply(batch.frames));
+  EXPECT_EQ(view.group_key(), expected);
+}
+
+TEST(LkhTree, StaleFramesOfAnOldVersionAreIgnoredAfterNewerOnes) {
+  LkhTree tree(4);
+  LkhMemberView view = tree.member_view(0);
+  LkhBatch first = tree.remove_member(3);
+  LkhBatch second = tree.remove_member(2);
+  ASSERT_TRUE(view.apply(first.frames));
+  ASSERT_TRUE(view.apply(second.frames));
+  const Bytes current = view.group_key();
+  EXPECT_EQ(current, tree.group_key());
+  // Replaying the older batch cannot roll the view back: the old
+  // wrapping keys were rotated away, so the frames no longer unwrap.
+  EXPECT_FALSE(view.apply(first.frames));
+  EXPECT_EQ(view.group_key(), current);
+}
+
+TEST(LkhTree, RekeyCostGrowsLogarithmicallyNotLinearly) {
+  // The acceptance curve bench_keys plots, asserted at its endpoints:
+  // evicting one member of N costs <= 2*log2(N) frames while a flat
+  // re-exchange costs N-1 messages.
+  for (const int n : {8, 64, 1024}) {
+    LkhTree tree(n);
+    const std::size_t full = tree.full_reexchange_messages();
+    const LkhBatch batch = tree.remove_member(n / 2);
+    EXPECT_LE(batch.frames.size(),
+              2 * log2_ceil(static_cast<std::size_t>(n)))
+        << "N=" << n;
+    if (n >= 64) {
+      EXPECT_LT(batch.frames.size(), full / 2) << "N=" << n;
+    }
+  }
+}
+
+TEST(LkhTree, GuardsAgainstInvalidMembership) {
+  EXPECT_THROW(LkhTree bad(1), std::invalid_argument);
+  LkhTree tree(2);
+  EXPECT_THROW((void)tree.remove_member(5), std::invalid_argument);
+  EXPECT_THROW((void)tree.add_member(0), std::invalid_argument);  // alive
+  (void)tree.remove_member(0);
+  // The last member can never be evicted — an empty group has no key.
+  EXPECT_THROW((void)tree.remove_member(1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace emc::keys

@@ -1,0 +1,113 @@
+// Epoch-bound session cache: strict LRU eviction, epoch-floor and
+// whole-link retirement, counter accounting, and the bounded-resident
+// guarantee under millions of inserted sessions.
+#include <gtest/gtest.h>
+
+#include "emc/crypto/provider.hpp"
+#include "emc/keys/session_cache.hpp"
+
+namespace emc::keys {
+namespace {
+
+const crypto::Provider& provider() {
+  return crypto::provider("boringssl-sim");
+}
+
+crypto::AeadKeyPtr key_for(std::uint64_t link, std::uint32_t epoch) {
+  Bytes raw(32);
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    raw[i] = static_cast<std::uint8_t>(link * 131 + epoch * 31 + i);
+  }
+  return provider().make_key(raw);
+}
+
+TEST(SessionCache, HitAndMissCounters) {
+  SessionCache cache({.capacity = 8});
+  EXPECT_EQ(cache.get(1, 0), nullptr);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  const crypto::AeadKey* put = cache.put(1, 0, key_for(1, 0));
+  ASSERT_NE(put, nullptr);
+  EXPECT_EQ(cache.get(1, 0), put);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.get(1, 1), nullptr);  // other epoch is its own entry
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(SessionCache, LruEvictionAtCapacity) {
+  SessionCache cache({.capacity = 3});
+  cache.put(1, 0, key_for(1, 0));
+  cache.put(2, 0, key_for(2, 0));
+  cache.put(3, 0, key_for(3, 0));
+  // Touch link 1 so link 2 becomes the LRU victim.
+  EXPECT_NE(cache.get(1, 0), nullptr);
+  cache.put(4, 0, key_for(4, 0));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.get(2, 0), nullptr);  // evicted
+  EXPECT_NE(cache.get(1, 0), nullptr);
+  EXPECT_NE(cache.get(3, 0), nullptr);
+  EXPECT_NE(cache.get(4, 0), nullptr);
+}
+
+TEST(SessionCache, RetireBelowDropsOnlyOldEpochsOfThatLink) {
+  SessionCache cache({.capacity = 16});
+  for (std::uint32_t e = 0; e < 4; ++e) {
+    cache.put(7, e, key_for(7, e));
+    cache.put(9, e, key_for(9, e));
+  }
+  cache.retire_below(7, 2);
+  EXPECT_EQ(cache.stats().invalidations, 2u);
+  EXPECT_EQ(cache.get(7, 0), nullptr);
+  EXPECT_EQ(cache.get(7, 1), nullptr);
+  EXPECT_NE(cache.get(7, 2), nullptr);
+  EXPECT_NE(cache.get(7, 3), nullptr);
+  for (std::uint32_t e = 0; e < 4; ++e) {
+    EXPECT_NE(cache.get(9, e), nullptr) << "link 9 epoch " << e;
+  }
+}
+
+TEST(SessionCache, RetireLinkDropsEveryEpoch) {
+  SessionCache cache({.capacity = 16});
+  for (std::uint32_t e = 0; e < 3; ++e) cache.put(5, e, key_for(5, e));
+  cache.put(6, 0, key_for(6, 0));
+  cache.retire_link(5);
+  EXPECT_EQ(cache.size(), 1u);
+  for (std::uint32_t e = 0; e < 3; ++e) {
+    EXPECT_EQ(cache.get(5, e), nullptr) << "epoch " << e;
+  }
+  EXPECT_NE(cache.get(6, 0), nullptr);
+}
+
+TEST(SessionCache, ReplacingAnEntryKeepsSizeStable) {
+  SessionCache cache({.capacity = 4});
+  const crypto::AeadKey* first = cache.put(1, 0, key_for(1, 0));
+  const crypto::AeadKey* second = cache.put(1, 0, key_for(2, 9));
+  EXPECT_NE(second, nullptr);
+  (void)first;  // replaced (and destroyed); only the size is checkable
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(SessionCache, MillionsOfSessionsStayBounded) {
+  // ROADMAP scale drill: two million (link, epoch) sessions through a
+  // quarter-million-entry cache. Residency must never exceed the
+  // capacity, every overflow must be an eviction, and the final
+  // generation must still be resident (strict LRU).
+  constexpr std::size_t kCapacity = std::size_t{1} << 18;
+  constexpr std::uint64_t kSessions = 2'000'000;
+  SessionCache cache({.capacity = kCapacity});
+  for (std::uint64_t s = 0; s < kSessions; ++s) {
+    cache.put(s, 0, key_for(s, 0));
+    ASSERT_LE(cache.size(), kCapacity);
+  }
+  EXPECT_EQ(cache.size(), kCapacity);
+  EXPECT_EQ(cache.stats().evictions, kSessions - kCapacity);
+  // The newest kCapacity links are resident, the oldest are gone.
+  EXPECT_NE(cache.get(kSessions - 1, 0), nullptr);
+  EXPECT_NE(cache.get(kSessions - kCapacity, 0), nullptr);
+  EXPECT_EQ(cache.get(0, 0), nullptr);
+  EXPECT_EQ(cache.get(kSessions - kCapacity - 1, 0), nullptr);
+}
+
+}  // namespace
+}  // namespace emc::keys

@@ -1,0 +1,52 @@
+// emc-lint fixture: src/keys/ is in the secret-hygiene scope, so
+// EMC-SECRET-WIPE must fire for handshake ephemerals (DH private
+// scalars, shared secrets, chain seeds) that are not zeroized before
+// scope exit, and for key-holding handshake state classes without a
+// scrubbing destructor. This file is linted, never compiled.
+#include <array>
+#include <cstdint>
+#include <vector>
+
+using Bytes = std::vector<std::uint8_t>;
+
+Bytes kem_mix(const Bytes&);
+void send_frame(const Bytes&);
+void secure_zero(Bytes&);
+
+namespace fixture {
+
+Bytes leaky_handshake() {
+  Bytes dh_priv(32, 0);  // EXPECT: EMC-SECRET-WIPE
+  Bytes shared_secret = kem_mix(dh_priv);  // EXPECT: EMC-SECRET-WIPE
+  Bytes chain = kem_mix(shared_secret);
+  send_frame(chain);
+  return chain;  // the surviving output may leave; the ephemerals may not
+}
+
+Bytes careful_handshake() {
+  Bytes dh_priv(32, 0);
+  Bytes shared_secret = kem_mix(dh_priv);
+  Bytes chain = kem_mix(shared_secret);
+  secure_zero(dh_priv);
+  secure_zero(shared_secret);
+  return chain;
+}
+
+class LeakyHandshakeState {
+ public:
+  int attempts() const { return attempts_; }
+
+ private:
+  int attempts_ = 0;
+  std::array<std::uint8_t, 32> chain_key_{};  // EXPECT: EMC-SECRET-WIPE
+};
+
+class WipedHandshakeState {
+ public:
+  ~WipedHandshakeState();  // scrubs chain_key_
+
+ private:
+  std::array<std::uint8_t, 32> chain_key_{};
+};
+
+}  // namespace fixture

@@ -80,6 +80,9 @@ class GoldenFixtureTests(unittest.TestCase):
     def test_secret_log(self):
         self.assert_golden("src/secure_mpi/bad_secret_log.cpp")
 
+    def test_keys_handshake_ephemerals(self):
+        self.assert_golden("src/keys/bad_handshake_ephemeral.cpp")
+
     def test_determinism_rules(self):
         self.assert_golden("src/sim/bad_determinism.cpp")
 

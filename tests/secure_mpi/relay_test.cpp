@@ -121,6 +121,47 @@ TEST(RelayTrust, EndToEndLetsCorruptionRideAndRecoversAtDestination) {
   EXPECT_GE(world.reliability()->stats().e2e_nacks, 1u);
 }
 
+TEST(RelayTrust, HopTrustedReSealsSpendTheNonceBudgetFailClosed) {
+  // Each hop-trusted relay re-seals the payload under the same group
+  // key, so a route with one relay burns two AEAD invocations per
+  // message. With a threshold of 5, the third message (invocations 5
+  // and 6) must be refused at the sender — fail closed before an
+  // unaccountable relay overruns the (key, nonce) budget — while the
+  // same traffic under end-to-end trust (one invocation per message)
+  // sails through five messages.
+  for (const RelayTrust trust :
+       {RelayTrust::kHopTrusted, RelayTrust::kEndToEnd}) {
+    SecureConfig sc = secure_with_trust(trust);
+    sc.nonce_mode = NonceMode::kCounter;
+    sc.nonce_rekey_threshold = 5;
+    int sent = 0;
+    bool exhausted = false;
+    run_secure_world(relayed_world(), sc, [&](SecureComm& comm) {
+      if (comm.rank() == 0) {
+        try {
+          for (int i = 0; i < 5; ++i) {
+            comm.send(Bytes(64, static_cast<std::uint8_t>(i)), 2, i);
+            ++sent;
+          }
+        } catch (const NonceExhaustedError&) {
+          exhausted = true;
+        }
+      } else if (comm.rank() == 2) {
+        Bytes buf(64);
+        const int expect = trust == RelayTrust::kHopTrusted ? 2 : 5;
+        for (int i = 0; i < expect; ++i) (void)comm.recv(buf, 0, i);
+      }
+    });
+    if (trust == RelayTrust::kHopTrusted) {
+      EXPECT_TRUE(exhausted);
+      EXPECT_EQ(sent, 2);  // messages 1-2 spent 2 invocations each
+    } else {
+      EXPECT_FALSE(exhausted);
+      EXPECT_EQ(sent, 5);
+    }
+  }
+}
+
 TEST(RelayTrust, HopTrustedPaysThePerRelayCryptoSurcharge) {
   // With an analytic cost model, every hop-trusted relay bills one
   // open + one seal per payload; end-to-end forwarding is free. Same

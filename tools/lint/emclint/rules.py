@@ -51,9 +51,10 @@ class RuleInfo:
 DETERMINISM_DIRS = (
     "src/sim/", "src/netsim/", "src/mpi/", "src/secure_mpi/",
     "src/reliable/", "src/ft/", "src/trace/", "src/common/",
+    "src/keys/",
 )
 CRYPTO_DIRS = ("src/crypto/",)
-SECRET_DIRS = ("src/crypto/", "src/secure_mpi/")
+SECRET_DIRS = ("src/crypto/", "src/secure_mpi/", "src/keys/")
 ALL_SRC = ("src/",)
 
 
@@ -887,7 +888,7 @@ def _check_log_statement(path: str, tokens: List[Token], start: int,
 RULES = [
     RuleInfo("secret-wipe", "EMC-SECRET-WIPE",
              "key material zeroized before scope exit",
-             "src/crypto, src/secure_mpi"),
+             "src/crypto, src/secure_mpi, src/keys"),
     RuleInfo("secret-log", "EMC-SECRET-LOG",
              "key material never reaches log/CSV/hex sinks", "src"),
     RuleInfo("ct-branch", "EMC-CT-BRANCH",
@@ -903,13 +904,13 @@ RULES = [
              "no literal/zero nonces at seal() call sites", "src"),
     RuleInfo("det-rand", "EMC-DET-RAND",
              "no ambient entropy in deterministic modules",
-             "src/{sim,netsim,mpi,secure_mpi,reliable,ft,trace,common}"),
+             "src/{sim,netsim,mpi,secure_mpi,reliable,ft,trace,common,keys}"),
     RuleInfo("det-clock", "EMC-DET-CLOCK",
              "no wall-clock reads in deterministic modules",
-             "src/{sim,netsim,mpi,secure_mpi,reliable,ft,trace,common}"),
+             "src/{sim,netsim,mpi,secure_mpi,reliable,ft,trace,common,keys}"),
     RuleInfo("det-ptrkey", "EMC-DET-PTRKEY",
              "no pointer-keyed containers / address leaks",
-             "src/{sim,netsim,mpi,secure_mpi,reliable,ft,trace,common}"),
+             "src/{sim,netsim,mpi,secure_mpi,reliable,ft,trace,common,keys}"),
     RuleInfo("unused-allow", "EMC-LINT-UNUSED-ALLOW",
              "every EMC_LINT_ALLOW must suppress something", "anywhere"),
     RuleInfo("bad-allow", "EMC-LINT-BAD-ALLOW",
